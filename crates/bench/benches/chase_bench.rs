@@ -1,0 +1,63 @@
+//! Criterion benches for the chase engine (experiments E1 and E13).
+
+use bddfc_chase::{chase, ChaseConfig, ChaseVariant};
+use bddfc_core::{parse_into, Vocabulary};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// E13 — chase throughput over random graphs, restricted vs. oblivious.
+fn chase_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_throughput");
+    group.sample_size(10);
+    for nodes in [30usize, 100] {
+        for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{variant:?}"), nodes),
+                &nodes,
+                |b, &nodes| {
+                    let mut voc = Vocabulary::new();
+                    let db = bddfc_zoo::random_graph(&mut voc, nodes, nodes * 2, 42);
+                    let (theory, _, _) = parse_into(
+                        "E(X,Y) -> exists Z . E(Y,Z). E(X,Y), E(Y,Z) -> R(X,Z).",
+                        &mut voc,
+                    )
+                    .unwrap();
+                    b.iter(|| {
+                        let mut v = voc.clone();
+                        chase(
+                            &db,
+                            &theory,
+                            &mut v,
+                            ChaseConfig { max_rounds: 3, max_facts: 2_000_000, variant },
+                        )
+                        .instance
+                        .len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// E1 — divergence of Example 1 on the triangle image, per prefix depth.
+fn chase_divergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_divergence_example1");
+    group.sample_size(10);
+    for rounds in [6u32, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
+            let prog = bddfc_zoo::example1();
+            let mut voc = prog.voc.clone();
+            let (_, mp, _) = parse_into("E(a,b). E(b,c). E(c,a).", &mut voc).unwrap();
+            b.iter(|| {
+                let mut v = voc.clone();
+                chase(&mp, &prog.theory, &mut v, ChaseConfig::rounds(rounds))
+                    .instance
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chase_throughput, chase_divergence);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates every experiment table of EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p bddfc-bench --bin tables            # all experiments
+//! cargo run -p bddfc-bench --bin tables -- --exp e3
+//! ```
+
+use bddfc_bench::{all_experiments, run_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--exp") {
+        let id = args.get(pos + 1).map(String::as_str).unwrap_or("");
+        match run_experiment(id) {
+            Some(rows) => {
+                println!("== {id} ==");
+                for row in rows {
+                    println!("{row}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id {id:?}; known ids:");
+                for e in all_experiments() {
+                    eprintln!("  {} — {} ({})", e.id, e.title, e.source);
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    for exp in all_experiments() {
+        println!("== {} — {} ({}) ==", exp.id, exp.title, exp.source);
+        for row in (exp.run)() {
+            println!("{row}");
+        }
+        println!();
+    }
+}

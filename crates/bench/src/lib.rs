@@ -1,0 +1,14 @@
+//! # bddfc-bench — experiment harness
+//!
+//! The paper has no empirical evaluation section (it is a theory paper),
+//! so the reproducible quantitative surface is the set of checkable
+//! claims its examples and lemmas make, plus a systems-style evaluation
+//! of each component. The [`experiments`] module regenerates every row of
+//! EXPERIMENTS.md; `cargo run -p bddfc-bench --bin tables` prints them,
+//! and the Criterion benches under `benches/` measure the hot paths.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{all_experiments, run_experiment, Experiment};

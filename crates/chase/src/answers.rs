@@ -1,0 +1,240 @@
+//! Chase-based certain answers and empirical derivation-depth probing.
+//!
+//! `D, T ⊨ Φ` iff `Chase(D,T) ⊨ Φ` (Section 1.1). Since the chase may be
+//! infinite, the decision procedure here is a *semi*-decision sound in both
+//! directions when it answers, and `Unknown` when the budget runs out:
+//!
+//! * if the query becomes true in some `Chaseᵏ` prefix — certainly true
+//!   (the chase is monotone);
+//! * if the chase reaches a fixpoint without the query — certainly false;
+//! * otherwise — unknown.
+
+use crate::engine::{chase, chase_round, ChaseConfig, ChaseVariant};
+use bddfc_core::{hom, ConjunctiveQuery, Instance, Theory, Ucq, Vocabulary};
+use rustc_hash::FxHashSet;
+
+/// Outcome of a budgeted certain-answer computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Certainty {
+    /// The query is certainly entailed: `Chaseᵏ(D,T) ⊨ Φ` for the reported
+    /// depth `k` — the minimal prefix depth at which it became true.
+    True(u32),
+    /// The chase terminated without satisfying the query.
+    False,
+    /// Budget exhausted before either could be concluded.
+    Unknown,
+}
+
+impl Certainty {
+    /// Is the entailment settled (not [`Certainty::Unknown`])?
+    pub fn is_decided(self) -> bool {
+        !matches!(self, Certainty::Unknown)
+    }
+
+    /// `true` iff certainly entailed.
+    pub fn is_true(self) -> bool {
+        matches!(self, Certainty::True(_))
+    }
+}
+
+/// Decides `D, T ⊨ Φ` by chasing within the budget, checking the query
+/// after every round. Returns the minimal witnessing depth when true —
+/// the empirical counterpart of the constant `k_Ψ` in the standard BDD
+/// definition (Section 1.1).
+pub fn certain_cq(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    query: &ConjunctiveQuery,
+    config: ChaseConfig,
+) -> Certainty {
+    certain_ucq(db, theory, voc, &Ucq::single(query.clone()), config)
+}
+
+/// UCQ version of [`certain_cq`].
+pub fn certain_ucq(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    query: &Ucq,
+    config: ChaseConfig,
+) -> Certainty {
+    let mut inst = db.clone();
+    if hom::satisfies_ucq(&inst, query) {
+        return Certainty::True(0);
+    }
+    let mut fired = FxHashSet::default();
+    for round in 1..=config.max_rounds {
+        let new_facts = chase_round(&mut inst, theory, voc, config.variant, &mut fired);
+        if new_facts.is_empty() {
+            return Certainty::False;
+        }
+        if hom::satisfies_ucq(&inst, query) {
+            return Certainty::True(round);
+        }
+        if inst.len() > config.max_facts {
+            return Certainty::Unknown;
+        }
+    }
+    Certainty::Unknown
+}
+
+/// Empirically probes the derivation depth of a query over a family of
+/// instances: the maximum, over the instances, of the minimal `k` with
+/// `Chaseᵏ(D,T) ⊨ Φ` (instances not entailing Φ are skipped). A theory is
+/// BDD iff this is bounded over *all* instances; the probe gives a lower
+/// bound on `k_Φ` and is used by tests and benchmarks.
+pub fn probe_depth(
+    instances: &[Instance],
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    query: &ConjunctiveQuery,
+    config: ChaseConfig,
+) -> Option<u32> {
+    let mut max = None;
+    for db in instances {
+        if let Certainty::True(k) = certain_cq(db, theory, voc, query, config) {
+            max = Some(max.map_or(k, |m: u32| m.max(k)));
+        }
+    }
+    max
+}
+
+/// Compares restricted and oblivious chase sizes on the same input — the
+/// contrast drawn in Section 1.1 ("as opposed to the blind Chase").
+pub fn chase_size_comparison(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    config: ChaseConfig,
+) -> (usize, usize) {
+    let restricted = chase(
+        db,
+        theory,
+        &mut voc.clone(),
+        ChaseConfig { variant: ChaseVariant::Restricted, ..config },
+    );
+    let oblivious = chase(
+        db,
+        theory,
+        voc,
+        ChaseConfig { variant: ChaseVariant::Oblivious, ..config },
+    );
+    (restricted.instance.len(), oblivious.instance.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    #[test]
+    fn entailed_query_found_at_right_depth() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b).
+             ?- E(X1,X2), E(X2,X3), E(X3,X4).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let c = certain_cq(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            &prog.queries[0],
+            ChaseConfig::default(),
+        );
+        // Path of 3 edges needs 2 chase rounds beyond E(a,b).
+        assert_eq!(c, Certainty::True(2));
+    }
+
+    #[test]
+    fn non_entailed_query_on_terminating_chase() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,a).
+             ?- E(X,Y), E(Y,X), E(X,X), E(Y,Y), U(X).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let c = certain_cq(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            &prog.queries[0],
+            ChaseConfig::default(),
+        );
+        assert_eq!(c, Certainty::False);
+    }
+
+    #[test]
+    fn diverging_chase_with_never_true_query_is_unknown() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b).
+             ?- E(X,X).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let c = certain_cq(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            &prog.queries[0],
+            ChaseConfig::rounds(20),
+        );
+        assert_eq!(c, Certainty::Unknown);
+    }
+
+    #[test]
+    fn query_true_in_db_is_depth_zero() {
+        let prog = parse_program("E(a,b). ?- E(X,Y).").unwrap();
+        let mut voc = prog.voc.clone();
+        let c = certain_cq(
+            &prog.instance,
+            &Default::default(),
+            &mut voc,
+            &prog.queries[0],
+            ChaseConfig::default(),
+        );
+        assert_eq!(c, Certainty::True(0));
+    }
+
+    #[test]
+    fn probe_depth_takes_max_over_instances() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             ?- E(X1,X2), E(X2,X3), E(X3,X4).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let d1 = bddfc_core::parse_into("E(a,b).", &mut voc).unwrap().1;
+        let d2 = bddfc_core::parse_into("E(a,b). E(b,c). E(c,d).", &mut voc).unwrap().1;
+        let depth = probe_depth(
+            &[d1, d2],
+            &prog.theory,
+            &mut voc,
+            &prog.queries[0],
+            ChaseConfig::default(),
+        );
+        assert_eq!(depth, Some(2)); // max(2, 0)
+    }
+
+    #[test]
+    fn restricted_never_larger_than_oblivious() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b). E(b,c). E(c,a).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let (r, o) = chase_size_comparison(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            ChaseConfig::rounds(6),
+        );
+        assert_eq!(r, 3); // cycle: every element has a successor
+        assert!(o > r); // oblivious invents witnesses anyway
+    }
+}

@@ -1,0 +1,382 @@
+//! The chase engine, implementing Section 1.1 of the paper.
+//!
+//! `Chase¹(D,T)` is one *simultaneous* round: for every rule `t` and every
+//! frontier tuple `x̄` satisfying the body such that no witness for the
+//! head exists (the **non-oblivious** condition — "new elements are only
+//! created if needed"), a fresh labelled null `c_{t,x̄}` is created and the
+//! head atom added. `Chaseⁱ⁺¹ = Chase¹(Chaseⁱ)` and `Chase = ⋃ᵢ Chaseⁱ`.
+//!
+//! The engine also provides the *oblivious* chase (fires every trigger
+//! regardless of existing witnesses) for the comparisons in Section 1.1's
+//! footnote and our benchmarks.
+
+use bddfc_core::satisfaction::{head_satisfied, restrict_binding};
+use bddfc_core::{hom, Binding, ConstId, Fact, Instance, Rule, Term, Theory, VarId, Vocabulary};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::ops::ControlFlow;
+
+/// Which chase variant to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ChaseVariant {
+    /// The paper's chase: create a witness only when none exists.
+    #[default]
+    Restricted,
+    /// Fire every trigger exactly once, regardless of existing witnesses.
+    Oblivious,
+}
+
+/// Resource limits for a chase run. The chase of a Datalog∃ program need
+/// not terminate (Example 1), so every entry point takes a budget.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseConfig {
+    /// Maximum number of `Chase¹` rounds.
+    pub max_rounds: u32,
+    /// Maximum number of facts; the run stops after the round that exceeds it.
+    pub max_facts: usize,
+    /// Chase variant.
+    pub variant: ChaseVariant,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            max_rounds: 64,
+            max_facts: 1_000_000,
+            variant: ChaseVariant::Restricted,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// A config bounded only by the number of rounds (`Chaseᵏ`).
+    pub fn rounds(k: u32) -> Self {
+        ChaseConfig { max_rounds: k, ..Default::default() }
+    }
+
+    /// Sets the variant.
+    pub fn with_variant(mut self, v: ChaseVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Sets the fact budget.
+    pub fn with_max_facts(mut self, n: usize) -> Self {
+        self.max_facts = n;
+        self
+    }
+}
+
+/// Why a chase run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseStatus {
+    /// A fixpoint was reached: the result models the theory.
+    Fixpoint,
+    /// The round budget was exhausted before reaching a fixpoint.
+    RoundBudget,
+    /// The fact budget was exhausted before reaching a fixpoint.
+    FactBudget,
+}
+
+/// The result of a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The (partially) chased instance.
+    pub instance: Instance,
+    /// Derivation depth of every fact: the round at which it appeared
+    /// (`0` for the facts of `D`). This is the depth the BDD property
+    /// (Section 1.1) quantifies over.
+    pub depth: FxHashMap<Fact, u32>,
+    /// Number of completed rounds.
+    pub rounds: u32,
+    /// Why the run stopped.
+    pub status: ChaseStatus,
+}
+
+impl ChaseResult {
+    /// Did the chase terminate (so `instance ⊨ T`)?
+    pub fn is_fixpoint(&self) -> bool {
+        self.status == ChaseStatus::Fixpoint
+    }
+
+    /// The maximal derivation depth of any fact.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// One pending repair: a rule index plus the frontier binding to repair.
+struct Repair {
+    rule_idx: usize,
+    binding: Binding,
+}
+
+/// Collects this round's repairs against the *frozen* instance, per the
+/// simultaneous semantics of `Chase¹`.
+fn collect_repairs(inst: &Instance, theory: &Theory, variant: ChaseVariant,
+                   fired: &mut FxHashSet<(usize, Vec<ConstId>)>) -> Vec<Repair> {
+    let mut out = Vec::new();
+    for (rule_idx, rule) in theory.rules.iter().enumerate() {
+        let mut frontier: Vec<VarId> = rule.frontier().into_iter().collect();
+        frontier.sort_unstable();
+        let mut seen: FxHashSet<Vec<ConstId>> = FxHashSet::default();
+        let _ = hom::for_each_hom(inst, &rule.body, &Binding::default(), |b| {
+            let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
+            if !seen.insert(key.clone()) {
+                return ControlFlow::Continue(());
+            }
+            let restricted = restrict_binding(b, &frontier);
+            match variant {
+                ChaseVariant::Restricted => {
+                    if !head_satisfied(inst, rule, &restricted) {
+                        out.push(Repair { rule_idx, binding: restricted });
+                    }
+                }
+                ChaseVariant::Oblivious => {
+                    let trigger = (rule_idx, key);
+                    if rule.is_datalog() {
+                        // Datalog rules are idempotent; skip if head present.
+                        if !head_satisfied(inst, rule, &restricted) {
+                            out.push(Repair { rule_idx, binding: restricted });
+                        }
+                    } else if fired.insert(trigger) {
+                        out.push(Repair { rule_idx, binding: restricted });
+                    }
+                }
+            }
+            ControlFlow::Continue(())
+        });
+    }
+    out
+}
+
+/// Applies a repair: grounds the head, inventing one fresh null per
+/// existential variable (the paper's `c_{t,x̄}`). Returns the new facts.
+fn apply_repair(rule: &Rule, binding: &Binding, voc: &mut Vocabulary) -> Vec<Fact> {
+    let mut ext = binding.clone();
+    let mut ex: Vec<VarId> = rule.existential_vars().into_iter().collect();
+    ex.sort_unstable();
+    for v in ex {
+        ext.insert(v, voc.fresh_null("n"));
+    }
+    rule.head
+        .iter()
+        .map(|atom| {
+            let grounded = atom.apply(&|v| ext.get(&v).map(|&c| Term::Const(c)));
+            grounded.to_fact().expect("head fully grounded by repair")
+        })
+        .collect()
+}
+
+/// Runs `Chase¹`: one simultaneous round. Returns the new facts, each at
+/// the given depth. The instance is mutated in place.
+pub fn chase_round(
+    inst: &mut Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    variant: ChaseVariant,
+    fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
+) -> Vec<Fact> {
+    let repairs = collect_repairs(inst, theory, variant, fired);
+    let mut new_facts = Vec::new();
+    for repair in repairs {
+        for fact in apply_repair(&theory.rules[repair.rule_idx], &repair.binding, voc) {
+            if inst.insert(fact.clone()) {
+                new_facts.push(fact);
+            }
+        }
+    }
+    new_facts
+}
+
+/// Runs the chase of `db` under `theory` within the given budget.
+pub fn chase(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    config: ChaseConfig,
+) -> ChaseResult {
+    let mut inst = db.clone();
+    let mut depth: FxHashMap<Fact, u32> = db.facts().iter().map(|f| (f.clone(), 0)).collect();
+    let mut fired = FxHashSet::default();
+    let mut rounds = 0;
+    let status = loop {
+        if rounds >= config.max_rounds {
+            break ChaseStatus::RoundBudget;
+        }
+        let new_facts = chase_round(&mut inst, theory, voc, config.variant, &mut fired);
+        if new_facts.is_empty() {
+            break ChaseStatus::Fixpoint;
+        }
+        rounds += 1;
+        for f in new_facts {
+            depth.entry(f).or_insert(rounds);
+        }
+        if inst.len() > config.max_facts {
+            break ChaseStatus::FactBudget;
+        }
+    };
+    ChaseResult { instance: inst, depth, rounds, status }
+}
+
+/// Computes `Chaseᵏ(D, T)` exactly (stops early on fixpoint).
+pub fn chase_k(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    k: u32,
+) -> ChaseResult {
+    chase(db, theory, voc, ChaseConfig { max_rounds: k, max_facts: usize::MAX, ..Default::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    #[test]
+    fn chain_grows_one_per_round() {
+        // Example 1's first rule alone: an infinite E-chain.
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b).").unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(&prog.instance, &prog.theory, &mut voc, ChaseConfig::rounds(10));
+        assert_eq!(res.status, ChaseStatus::RoundBudget);
+        assert_eq!(res.instance.len(), 11); // E(a,b) + 10 new edges
+        assert_eq!(res.max_depth(), 10);
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint_immediately() {
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,a).").unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(&prog.instance, &prog.theory, &mut voc, ChaseConfig::default());
+        assert!(res.is_fixpoint());
+        assert_eq!(res.instance.len(), 1);
+        assert_eq!(res.rounds, 0);
+    }
+
+    #[test]
+    fn restricted_reuses_existing_witness() {
+        // b already has a successor, so no null is created for it.
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b). E(b,a).").unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(&prog.instance, &prog.theory, &mut voc, ChaseConfig::default());
+        assert!(res.is_fixpoint());
+        assert_eq!(res.instance.len(), 2);
+    }
+
+    #[test]
+    fn oblivious_fires_every_trigger() {
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b). E(b,a).").unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            ChaseConfig::rounds(3).with_variant(ChaseVariant::Oblivious),
+        );
+        // Oblivious chase keeps inventing successors: strictly more facts.
+        assert!(res.instance.len() > 2);
+        assert_eq!(res.status, ChaseStatus::RoundBudget);
+    }
+
+    #[test]
+    fn oblivious_does_not_refire_same_trigger() {
+        // A single fact with a self-loop: one trigger, fired once.
+        let prog = parse_program("E(X,X) -> exists Z . E(X,Z). E(a,a).").unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            ChaseConfig::rounds(5).with_variant(ChaseVariant::Oblivious),
+        );
+        assert!(res.is_fixpoint());
+        assert_eq!(res.instance.len(), 2); // E(a,a) + E(a,n0)
+    }
+
+    #[test]
+    fn datalog_transitive_closure() {
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z). E(a,b). E(b,c). E(c,d).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(&prog.instance, &prog.theory, &mut voc, ChaseConfig::default());
+        assert!(res.is_fixpoint());
+        assert_eq!(res.instance.len(), 6); // 3 base + ac, bd, ad
+        assert_eq!(res.instance.domain_size(), 4); // no new elements
+    }
+
+    #[test]
+    fn depth_tracks_rounds() {
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z). E(a,b). E(b,c). E(c,d). E(d,e).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(&prog.instance, &prog.theory, &mut voc, ChaseConfig::default());
+        assert!(res.is_fixpoint());
+        // Paths of length 2 and 3 appear in round 1; length 4 in round 2
+        // (ae = composition of two round-1 facts).
+        assert_eq!(res.max_depth(), 2);
+    }
+
+    #[test]
+    fn example1_triangle_is_fixpoint_for_first_rule_but_not_theory() {
+        // The 3-cycle M' of Example 1 satisfies the successor rule but
+        // triggers the triangle rule, and then U-chains diverge.
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(X,Y), E(Y,Z), E(Z,X) -> exists T . U(X,T).
+             U(X,Y) -> exists Z . U(Y,Z).
+             E(a,b). E(b,c). E(c,a).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(&prog.instance, &prog.theory, &mut voc, ChaseConfig::rounds(8));
+        assert_eq!(res.status, ChaseStatus::RoundBudget); // diverges
+        let u = voc.find_pred("U").unwrap();
+        // Three U-chains (one per triangle vertex), each 8 atoms deep.
+        assert_eq!(res.instance.facts_with_pred(u).len(), 3 * 8);
+    }
+
+    #[test]
+    fn chase_k_matches_paper_notation() {
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b).").unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase_k(&prog.instance, &prog.theory, &mut voc, 3);
+        assert_eq!(res.instance.len(), 4);
+        assert_eq!(res.rounds, 3);
+    }
+
+    #[test]
+    fn fact_budget_stops_run() {
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b).").unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            ChaseConfig { max_rounds: u32::MAX, max_facts: 5, ..Default::default() },
+        );
+        assert_eq!(res.status, ChaseStatus::FactBudget);
+        assert!(res.instance.len() >= 5);
+    }
+
+    #[test]
+    fn multi_head_tgd_creates_shared_witness() {
+        let prog = parse_program("P(X) -> E(X,Z), U(Z). P(a).").unwrap();
+        let mut voc = prog.voc.clone();
+        let res = chase(&prog.instance, &prog.theory, &mut voc, ChaseConfig::default());
+        assert!(res.is_fixpoint());
+        let e = voc.find_pred("E").unwrap();
+        let u = voc.find_pred("U").unwrap();
+        let ef = res.instance.facts_with_pred(e);
+        let uf = res.instance.facts_with_pred(u);
+        assert_eq!((ef.len(), uf.len()), (1, 1));
+        // Same witness in both atoms.
+        let w1 = res.instance.fact(ef[0]).args[1];
+        let w2 = res.instance.fact(uf[0]).args[0];
+        assert_eq!(w1, w2);
+    }
+}

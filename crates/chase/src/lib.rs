@@ -1,0 +1,27 @@
+//! # bddfc-chase — the chase engine
+//!
+//! Implements Section 1.1 of *On the BDD/FC Conjecture*:
+//!
+//! * the non-oblivious (restricted) chase `Chase¹ / Chaseᵏ / Chase`, with
+//!   per-fact derivation depths ([`engine`]);
+//! * an oblivious variant for comparison ([`engine`]);
+//! * semi-naive saturation under the datalog rules only ([`saturate`]) —
+//!   the step Lemma 5 justifies in the finite-model pipeline;
+//! * chase-based certain answers and derivation-depth probing
+//!   ([`answers`]);
+//! * a complete bounded-size finite model finder ([`finder`]) used to
+//!   demonstrate non-FC computationally (Section 5.5).
+
+#![warn(missing_docs)]
+
+pub mod answers;
+pub mod engine;
+pub mod finder;
+pub mod saturate;
+pub mod trace;
+
+pub use answers::{certain_cq, certain_ucq, chase_size_comparison, probe_depth, Certainty};
+pub use engine::{chase, chase_k, chase_round, ChaseConfig, ChaseResult, ChaseStatus, ChaseVariant};
+pub use finder::{countermodel, find_model, FinderConfig, SearchOutcome};
+pub use saturate::{saturate_datalog, SaturationResult};
+pub use trace::{traced_chase, Derivation, DerivationTree, TracedChase};

@@ -1,0 +1,28 @@
+//! # bddfc-classes — Datalog∃ class recognizers and reductions
+//!
+//! The Section 5 toolbox of *On the BDD/FC Conjecture*:
+//!
+//! * recognizers for binary / linear / guarded / sticky / weakly-acyclic
+//!   theories and the Theorem 3 fragment ([`recognize`]);
+//! * multi-head elimination, §5.3 ([`multihead`]);
+//! * the ternary reduction of Theorem 4, §5.2 ([`ternary`]);
+//! * the guarded→binary translation of §5.6 ([`guarded`]).
+
+#![warn(missing_docs)]
+
+pub mod guarded;
+pub mod multihead;
+pub mod orderprobe;
+pub mod recognize;
+pub mod ternary;
+pub mod theorem3;
+
+pub use guarded::{guarded_to_binary, GuardedError, GuardedToBinary};
+pub use multihead::eliminate_multi_heads;
+pub use recognize::{
+    classify, guard_of, is_binary, is_guarded, is_linear, is_sticky, is_theorem3_fragment,
+    is_weakly_acyclic, ClassReport,
+};
+pub use orderprobe::{order_probe, OrderWitness};
+pub use ternary::{to_ternary, ChainEncoding, TernaryReduction};
+pub use theorem3::{split_theorem3, Theorem3Error};

@@ -1,0 +1,91 @@
+//! Multi-head TGD elimination (Section 5.3).
+//!
+//! For unrestricted arity, a multi-head TGD is replaced by a single-head
+//! TGD whose head is the *join* of all head atoms (a fresh predicate over
+//! every head variable), plus datalog rules splitting the join back into
+//! the original atoms — exactly the paper's first observation in §5.3.
+
+use bddfc_core::{Atom, Rule, Term, Theory, VarId, Vocabulary};
+
+/// Replaces every multi-head rule by its join encoding. Single-head rules
+/// pass through unchanged. The result is single-head and equivalent for
+/// certain answers over the original signature.
+pub fn eliminate_multi_heads(theory: &Theory, voc: &mut Vocabulary) -> Theory {
+    let mut out = Vec::new();
+    for rule in &theory.rules {
+        if rule.is_single_head() {
+            out.push(rule.clone());
+            continue;
+        }
+        // Collect all head variables in deterministic order, constants
+        // stay in the split-back rules.
+        let mut head_vars: Vec<VarId> = Vec::new();
+        for atom in &rule.head {
+            for v in atom.vars() {
+                if !head_vars.contains(&v) {
+                    head_vars.push(v);
+                }
+            }
+        }
+        let join = voc.fresh_pred("Join", head_vars.len());
+        let join_head = Atom::new(join, head_vars.iter().map(|&v| Term::Var(v)).collect());
+        out.push(Rule::single(rule.body.clone(), join_head.clone()));
+        for atom in &rule.head {
+            out.push(Rule::single(vec![join_head.clone()], atom.clone()));
+        }
+    }
+    Theory::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_chase::{certain_cq, ChaseConfig};
+    use bddfc_core::{parse_into, parse_query};
+
+    #[test]
+    fn result_is_single_head() {
+        let mut voc = Vocabulary::new();
+        let (theory, _, _) =
+            parse_into("P(X) -> E(X,Z), U(Z). E(X,Y), U(Y) -> M(X).", &mut voc).unwrap();
+        assert!(!theory.is_single_head());
+        let single = eliminate_multi_heads(&theory, &mut voc);
+        assert!(single.is_single_head());
+        assert_eq!(single.len(), 4); // join TGD + 2 splitters + datalog rule
+    }
+
+    #[test]
+    fn certain_answers_preserved() {
+        let mut voc = Vocabulary::new();
+        let (theory, db, _) = parse_into(
+            "P(X) -> E(X,Z), U(Z).
+             E(X,Y), U(Y) -> M(X).
+             P(a).",
+            &mut voc,
+        )
+        .unwrap();
+        let single = eliminate_multi_heads(&theory, &mut voc);
+        for q_src in ["M(a)", "E(a,W), U(W)", "U(a)"] {
+            let q = parse_query(q_src, &mut voc).unwrap();
+            let orig = certain_cq(&db, &theory, &mut voc.clone(), &q, ChaseConfig::rounds(8));
+            let new = certain_cq(&db, &single, &mut voc.clone(), &q, ChaseConfig::rounds(16));
+            assert_eq!(orig.is_true(), new.is_true(), "query {q_src}");
+        }
+    }
+
+    #[test]
+    fn shared_witness_is_preserved() {
+        // The defining property of a multi-head TGD: one witness serves
+        // both atoms. The join encoding must keep that.
+        let mut voc = Vocabulary::new();
+        let (theory, db, _) = parse_into("P(X) -> E(X,Z), U(Z). P(a).", &mut voc).unwrap();
+        let single = eliminate_multi_heads(&theory, &mut voc);
+        let res = bddfc_chase::chase(&db, &single, &mut voc, ChaseConfig::default());
+        assert!(res.is_fixpoint());
+        let e = voc.find_pred("E").unwrap();
+        let u = voc.find_pred("U").unwrap();
+        let w_e = res.instance.fact(res.instance.facts_with_pred(e)[0]).args[1];
+        let w_u = res.instance.fact(res.instance.facts_with_pred(u)[0]).args[0];
+        assert_eq!(w_e, w_u);
+    }
+}

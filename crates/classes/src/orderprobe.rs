@@ -1,0 +1,206 @@
+//! The (refuted) ordering conjecture of Section 5.5, as a probe.
+//!
+//! Conjecture 2 (stated false by the paper) said: a theory is non-FC iff
+//! it *defines an ordering* — some CQ `Φ(x,y)` that is irreflexive in the
+//! chase yet defines a strict total order on an infinite subset. The "if"
+//! direction is true and useful as a non-FC detector; the "only if"
+//! direction fails on the notorious example.
+//!
+//! [`order_probe`] searches a chase prefix for candidate defining
+//! queries: binary-atom and two-step composition queries that are
+//! irreflexive, transitive and total on a large subset of the prefix.
+//! Finding one *proves* non-FC (by the paper's argument: any finite model
+//! collapses two elements of the chain, forcing `Φ(x,x)`); finding none
+//! proves nothing — which is exactly the paper's point, demonstrated by
+//! the notorious example.
+
+use bddfc_chase::{chase, ChaseConfig};
+use bddfc_core::{hom, Binding, ConjunctiveQuery, ConstId, Instance, Term, Theory, Vocabulary};
+use rustc_hash::FxHashSet;
+use std::ops::ControlFlow;
+
+/// A witness that the theory defines an ordering on the chase prefix.
+#[derive(Clone, Debug)]
+pub struct OrderWitness {
+    /// The defining query `Φ(x, y)` (free variables in order x, y).
+    pub query: ConjunctiveQuery,
+    /// The chain found in the prefix (ordered by Φ).
+    pub chain: Vec<ConstId>,
+}
+
+/// All pairs (a, b) of prefix elements with `prefix ⊨ Φ(a, b)`.
+fn relation_pairs(
+    prefix: &Instance,
+    q: &ConjunctiveQuery,
+) -> FxHashSet<(ConstId, ConstId)> {
+    let mut out = FxHashSet::default();
+    let x = q.free[0];
+    let y = q.free[1];
+    let _ = hom::for_each_hom(prefix, &q.atoms, &Binding::default(), |b| {
+        out.insert((b[&x], b[&y]));
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Does the relation strictly totally order some subset of size ≥
+/// `min_chain`? Returns the chain if so. (Greedy: follow successors.)
+fn find_chain(
+    pairs: &FxHashSet<(ConstId, ConstId)>,
+    min_chain: usize,
+) -> Option<Vec<ConstId>> {
+    // Irreflexivity is checked by the caller. A "chain" here is a set
+    // a₁ < a₂ < … totally ordered by the relation: every earlier element
+    // relates to every later one (transitive chain), matching Conjecture
+    // 2's "strict total ordering on A".
+    let starts: FxHashSet<ConstId> = pairs.iter().map(|&(a, _)| a).collect();
+    for &start in &starts {
+        let mut chain = vec![start];
+        loop {
+            let last = *chain.last().expect("nonempty");
+            // Next: an element all chain members relate to.
+            let mut next = None;
+            for &(a, b) in pairs.iter() {
+                if a == last
+                    && !chain.contains(&b)
+                    && chain.iter().all(|&c| pairs.contains(&(c, b)))
+                {
+                    next = Some(b);
+                    break;
+                }
+            }
+            match next {
+                Some(b) => chain.push(b),
+                None => break,
+            }
+            if chain.len() >= min_chain {
+                return Some(chain);
+            }
+        }
+    }
+    None
+}
+
+/// Candidate defining queries: `R(x,y)` and the compositions
+/// `R(x,w) ∧ S(w,y)` over all binary predicates of the prefix.
+fn candidates(prefix: &Instance, voc: &mut Vocabulary) -> Vec<ConjunctiveQuery> {
+    let x = voc.fresh_var("ox");
+    let y = voc.fresh_var("oy");
+    let w = voc.fresh_var("ow");
+    let binary: Vec<_> = prefix
+        .used_preds()
+        .filter(|&p| voc.arity(p) == 2)
+        .collect();
+    let mut out = Vec::new();
+    for &r in &binary {
+        out.push(ConjunctiveQuery::with_free(
+            vec![bddfc_core::Atom::new(r, vec![Term::Var(x), Term::Var(y)])],
+            vec![x, y],
+        ));
+    }
+    for &r in &binary {
+        for &s in &binary {
+            out.push(ConjunctiveQuery::with_free(
+                vec![
+                    bddfc_core::Atom::new(r, vec![Term::Var(x), Term::Var(w)]),
+                    bddfc_core::Atom::new(s, vec![Term::Var(w), Term::Var(y)]),
+                ],
+                vec![x, y],
+            ));
+        }
+    }
+    out
+}
+
+/// Probes whether the theory defines an ordering (Conjecture 2's
+/// condition) on a chase prefix of the given depth. `min_chain` is the
+/// chain length demanded as evidence of "an infinite ordered subset".
+pub fn order_probe(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    depth: u32,
+    min_chain: usize,
+) -> Option<OrderWitness> {
+    let prefix = chase(db, theory, voc, ChaseConfig::rounds(depth)).instance;
+    for q in candidates(&prefix, voc) {
+        let pairs = relation_pairs(&prefix, &q);
+        if pairs.is_empty() {
+            continue;
+        }
+        // Irreflexive in the prefix (a sound under-approximation of
+        // "Chase ⊭ ∃x Φ(x,x)").
+        if pairs.iter().any(|&(a, b)| a == b) {
+            continue;
+        }
+        if let Some(chain) = find_chain(&pairs, min_chain) {
+            return Some(OrderWitness { query: q, chain });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_into;
+
+    #[test]
+    fn order_theory_defines_an_ordering() {
+        let mut voc = Vocabulary::new();
+        let (theory, db, _) = parse_into(
+            "Lt(X,Y) -> exists Z . Lt(Y,Z).
+             Lt(X,Y), Lt(Y,Z) -> Lt(X,Z).
+             Lt(a,b).",
+            &mut voc,
+        )
+        .unwrap();
+        let w = order_probe(&db, &theory, &mut voc, 10, 6).expect("defines an ordering");
+        assert!(w.chain.len() >= 6);
+        assert_eq!(w.query.atoms.len(), 1); // Lt itself
+    }
+
+    #[test]
+    fn notorious_example_defines_no_ordering() {
+        // The paper: this theory does NOT define an ordering, yet is not
+        // FC — Conjecture 2's "only if" fails.
+        let mut voc = Vocabulary::new();
+        let (theory, db, _) = parse_into(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             R(X,Y), E(X,X2), E(Y,Z), E(Z,Y2) -> R(X2,Y2).
+             E(a0,a1). R(a0,a0).",
+            &mut voc,
+        )
+        .unwrap();
+        assert!(order_probe(&db, &theory, &mut voc, 10, 6).is_none());
+    }
+
+    #[test]
+    fn successor_chain_alone_is_not_an_order() {
+        // E is irreflexive but not transitive: chains of length ≥ 3 under
+        // "every earlier element relates to every later" do not exist.
+        let mut voc = Vocabulary::new();
+        let (theory, db, _) = parse_into(
+            "E(X,Y) -> exists Z . E(Y,Z). E(a,b).",
+            &mut voc,
+        )
+        .unwrap();
+        assert!(order_probe(&db, &theory, &mut voc, 10, 3).is_none());
+    }
+
+    #[test]
+    fn transitive_closure_of_dag_detected_via_composition() {
+        // Lt not in the signature; the ordering shows as the single-atom
+        // candidate over the transitively-closed relation.
+        let mut voc = Vocabulary::new();
+        let (theory, db, _) = parse_into(
+            "S(X,Y) -> exists Z . S(Y,Z).
+             S(X,Y), S(Y,Z) -> S(X,Z).
+             S(a,b).",
+            &mut voc,
+        )
+        .unwrap();
+        let w = order_probe(&db, &theory, &mut voc, 8, 5).expect("order found");
+        assert!(w.chain.len() >= 5);
+    }
+}

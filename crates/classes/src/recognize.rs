@@ -1,0 +1,320 @@
+//! Recognizers for the Datalog∃ classes discussed in the paper.
+//!
+//! * **binary** signatures — the scope of Theorem 1;
+//! * **linear** — single-atom bodies, studied in Rosati `[8]`;
+//! * **guarded** — a body atom covers all body variables, `[1]`, §5.6;
+//! * **sticky** — the Calì–Gottlob–Pieris marking procedure, `[4]`;
+//! * **weakly acyclic** — the classical chase-termination condition (a
+//!   useful contrast class: WA theories have *finite* chases, making FC
+//!   trivial for them);
+//! * the **Theorem 3 fragment** — every TGD of the form
+//!   `Ψ(x̄, y) ⇒ ∃z̄ Φ(y, z̄)` (single frontier variable), to which the
+//!   paper's proof extends beyond binary signatures.
+
+use bddfc_core::{Atom, Rule, Term, Theory, VarId, Vocabulary};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Is every predicate of the theory of arity ≤ 2?
+pub fn is_binary(theory: &Theory, voc: &Vocabulary) -> bool {
+    theory.preds().into_iter().all(|p| voc.arity(p) <= 2)
+}
+
+/// Is the theory linear: every rule body is a single atom?
+pub fn is_linear(theory: &Theory) -> bool {
+    theory.rules.iter().all(|r| r.body.len() == 1)
+}
+
+/// Returns the guard of a rule, if any: a body atom containing every body
+/// variable.
+pub fn guard_of(rule: &Rule) -> Option<&Atom> {
+    let body_vars = rule.body_vars();
+    rule.body.iter().find(|atom| {
+        let atom_vars: FxHashSet<VarId> = atom.vars().collect();
+        body_vars.iter().all(|v| atom_vars.contains(v))
+    })
+}
+
+/// Is the theory guarded: every rule has a guard?
+pub fn is_guarded(theory: &Theory) -> bool {
+    theory.rules.iter().all(|r| guard_of(r).is_some())
+}
+
+/// Is every TGD of the Theorem 3 (§5.1) shape `Ψ(x̄,y) ⇒ ∃z̄ Φ(y,z̄)`:
+/// at most one frontier variable? (Datalog rules are unrestricted.)
+pub fn is_theorem3_fragment(theory: &Theory) -> bool {
+    theory.tgds().all(|r| r.frontier().len() <= 1)
+}
+
+/// The sticky marking: marks body variable *positions* whose values may
+/// be lost (not propagated to the head), then closes under rule
+/// composition; the theory is sticky iff no marked variable is a join
+/// variable (occurs twice in a body). Implements the marking procedure of
+/// Calì, Gottlob & Pieris (VLDB'10) at the granularity of predicate
+/// positions.
+pub fn is_sticky(theory: &Theory) -> bool {
+    // marked: set of (pred, position) whose body occurrences are marked.
+    let mut marked: FxHashSet<(bddfc_core::PredId, usize)> = FxHashSet::default();
+
+    // Initial marking: a body variable not occurring in the head marks
+    // every body position it occupies.
+    for rule in &theory.rules {
+        let head_vars = rule.head_vars();
+        for atom in &rule.body {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    if !head_vars.contains(v) {
+                        marked.insert((atom.pred, i));
+                    }
+                }
+            }
+        }
+    }
+
+    // Propagation: if a head position of some rule is marked (as a body
+    // position elsewhere), then body variables feeding that head position
+    // mark their own body positions.
+    loop {
+        let mut changed = false;
+        for rule in &theory.rules {
+            for head in &rule.head {
+                for (i, t) in head.args.iter().enumerate() {
+                    if !marked.contains(&(head.pred, i)) {
+                        continue;
+                    }
+                    if let Term::Var(v) = t {
+                        for atom in &rule.body {
+                            for (j, bt) in atom.args.iter().enumerate() {
+                                if *bt == Term::Var(*v)
+                                    && marked.insert((atom.pred, j))
+                                {
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Stickiness: no variable occurring in a marked body position may
+    // occur more than once in that body.
+    for rule in &theory.rules {
+        let mut occurrences: FxHashMap<VarId, usize> = FxHashMap::default();
+        for atom in &rule.body {
+            for t in &atom.args {
+                if let Term::Var(v) = t {
+                    *occurrences.entry(*v).or_default() += 1;
+                }
+            }
+        }
+        for atom in &rule.body {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    if marked.contains(&(atom.pred, i)) && occurrences[v] > 1 {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Weak acyclicity: build the position dependency graph (regular edges for
+/// frontier propagation, special edges into existential positions); the
+/// theory is weakly acyclic iff no cycle passes through a special edge.
+pub fn is_weakly_acyclic(theory: &Theory) -> bool {
+    type Pos = (bddfc_core::PredId, usize);
+    let mut regular: FxHashMap<Pos, FxHashSet<Pos>> = FxHashMap::default();
+    let mut special: FxHashMap<Pos, FxHashSet<Pos>> = FxHashMap::default();
+
+    for rule in &theory.rules {
+        let ex = rule.existential_vars();
+        for atom in &rule.body {
+            for (i, t) in atom.args.iter().enumerate() {
+                let Term::Var(v) = t else { continue };
+                let from: Pos = (atom.pred, i);
+                for head in &rule.head {
+                    for (j, ht) in head.args.iter().enumerate() {
+                        match ht {
+                            Term::Var(w) if w == v => {
+                                regular.entry(from).or_default().insert((head.pred, j));
+                            }
+                            Term::Var(w) if ex.contains(w) => {
+                                special.entry(from).or_default().insert((head.pred, j));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // A cycle through a special edge exists iff some special edge (u → v)
+    // has a path v →* u in the combined graph.
+    let combined_succ = |p: Pos| -> Vec<Pos> {
+        let mut out: Vec<Pos> = Vec::new();
+        if let Some(s) = regular.get(&p) {
+            out.extend(s.iter().copied());
+        }
+        if let Some(s) = special.get(&p) {
+            out.extend(s.iter().copied());
+        }
+        out
+    };
+    let reaches = |from: Pos, to: Pos| -> bool {
+        let mut seen: FxHashSet<Pos> = FxHashSet::default();
+        let mut stack = vec![from];
+        while let Some(p) = stack.pop() {
+            if p == to {
+                return true;
+            }
+            if seen.insert(p) {
+                stack.extend(combined_succ(p));
+            }
+        }
+        false
+    };
+    for (&u, vs) in &special {
+        for &v in vs {
+            if reaches(v, u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A one-stop classification report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Arity ≤ 2 everywhere.
+    pub binary: bool,
+    /// Single-atom bodies.
+    pub linear: bool,
+    /// Guard in every body.
+    pub guarded: bool,
+    /// CGP sticky marking passes.
+    pub sticky: bool,
+    /// Position dependency graph has no special cycle.
+    pub weakly_acyclic: bool,
+    /// Every TGD has ≤ 1 frontier variable (§5.1).
+    pub theorem3: bool,
+}
+
+/// Classifies a theory against every recognizer at once.
+pub fn classify(theory: &Theory, voc: &Vocabulary) -> ClassReport {
+    ClassReport {
+        binary: is_binary(theory, voc),
+        linear: is_linear(theory),
+        guarded: is_guarded(theory),
+        sticky: is_sticky(theory),
+        weakly_acyclic: is_weakly_acyclic(theory),
+        theorem3: is_theorem3_fragment(theory),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::{parse_into, parse_rule};
+
+    fn theory(src: &str) -> (Theory, Vocabulary) {
+        let mut voc = Vocabulary::new();
+        let (t, _, _) = parse_into(src, &mut voc).unwrap();
+        (t, voc)
+    }
+
+    #[test]
+    fn linear_implies_guarded() {
+        let (t, voc) = theory("E(X,Y) -> exists Z . E(Y,Z). P(X) -> U(X).");
+        let report = classify(&t, &voc);
+        assert!(report.linear && report.guarded && report.binary);
+    }
+
+    #[test]
+    fn guard_detection() {
+        let mut voc = Vocabulary::new();
+        let r = parse_rule("R(X,Y,Z), P(X) -> U(Z)", &mut voc).unwrap();
+        let g = guard_of(&r).unwrap();
+        assert_eq!(voc.pred_name(g.pred), "R");
+        let r2 = parse_rule("E(X,Y), E(Y,Z) -> E(X,Z)", &mut voc).unwrap();
+        assert!(guard_of(&r2).is_none());
+    }
+
+    #[test]
+    fn transitivity_is_not_guarded_not_linear() {
+        let (t, voc) = theory("E(X,Y), E(Y,Z) -> E(X,Z).");
+        let report = classify(&t, &voc);
+        assert!(!report.linear && !report.guarded);
+        // But it is weakly acyclic (no existential at all).
+        assert!(report.weakly_acyclic);
+    }
+
+    #[test]
+    fn successor_rule_is_not_weakly_acyclic() {
+        let (t, voc) = theory("E(X,Y) -> exists Z . E(Y,Z).");
+        assert!(!is_weakly_acyclic(&t));
+        let _ = voc;
+    }
+
+    #[test]
+    fn acyclic_generation_is_weakly_acyclic() {
+        let (t, _) = theory("P(X) -> exists Z . E(X,Z). E(X,Y) -> U(Y).");
+        assert!(is_weakly_acyclic(&t));
+    }
+
+    #[test]
+    fn sticky_examples() {
+        // Classic sticky example: joins propagate to heads.
+        let (t, _) = theory("E(X,Y), E(Y,Z) -> R(X,Y,Z).");
+        assert!(is_sticky(&t));
+        // Classic non-sticky: the join variable Y is lost.
+        let (t2, _) = theory("E(X,Y), E(Y,Z) -> R(X,Z).");
+        assert!(!is_sticky(&t2));
+    }
+
+    #[test]
+    fn sticky_propagation_through_rules() {
+        // Y survives into R but a second rule drops R's middle position:
+        // the marking propagates back and hits the join.
+        let (t, _) = theory(
+            "E(X,Y), E(Y,Z) -> R(X,Y,Z).
+             R(X,Y,Z) -> S(X,Z).",
+        );
+        assert!(!is_sticky(&t));
+    }
+
+    #[test]
+    fn theorem3_fragment_detection() {
+        let (t, _) = theory("P(X), E(X,Y) -> exists Z1, Z2 . R(Y,Z1,Z2).");
+        assert!(is_theorem3_fragment(&t));
+        let (t2, _) = theory("E(X,Y) -> exists Z . R(X,Y,Z).");
+        assert!(!is_theorem3_fragment(&t2)); // two frontier variables
+    }
+
+    #[test]
+    fn ternary_predicate_breaks_binary() {
+        let (t, voc) = theory("R(X,Y,Z) -> U(X).");
+        assert!(!is_binary(&t, &voc));
+    }
+
+    #[test]
+    fn example1_classification() {
+        let (t, voc) = theory(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(X,Y), E(Y,Z), E(Z,X) -> exists T . U(X,T).
+             U(X,Y) -> exists Z . U(Y,Z).",
+        );
+        let report = classify(&t, &voc);
+        assert!(report.binary);
+        assert!(!report.linear); // triangle body
+        assert!(!report.weakly_acyclic);
+        assert!(report.theorem3); // all TGDs have one frontier var
+    }
+}

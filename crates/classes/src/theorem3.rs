@@ -1,0 +1,160 @@
+//! The Section 5.1 splitting: Theorem 3's fragment reduces to binary
+//! heads.
+//!
+//! Theorem 3 extends the main result to TGDs of the form
+//! `Ψ(x̄, y) ⇒ ∃z̄ Φ(y, z̄)` — a single frontier variable, arbitrary
+//! existential tuple. The paper's hint: introduce binary relations
+//! `RᵢΦ(y, zᵢ)`, replace the TGD by the rules `Ψ ⇒ ∃zᵢ RᵢΦ(y, zᵢ)` and a
+//! datalog rule `R¹Φ(y,z₁) ∧ … ∧ RⁿΦ(y,zₙ) → Φ(y, z̄)`.
+//!
+//! The split theory derives more head tuples (all witness combinations),
+//! but maps homomorphically onto the original chase over the original
+//! signature, so certain answers are preserved.
+
+use crate::recognize::is_theorem3_fragment;
+use bddfc_core::{Atom, Rule, Term, Theory, VarId, Vocabulary};
+
+/// Why a theory is outside the Theorem 3 fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Theorem3Error {
+    /// Some TGD has more than one frontier variable.
+    TooManyFrontierVars(usize),
+    /// A rule is multi-head (eliminate multi-heads first, §5.3).
+    MultiHead(usize),
+}
+
+impl std::fmt::Display for Theorem3Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Theorem3Error::TooManyFrontierVars(i) => {
+                write!(f, "rule #{i} has more than one frontier variable")
+            }
+            Theorem3Error::MultiHead(i) => write!(f, "rule #{i} is multi-head"),
+        }
+    }
+}
+
+impl std::error::Error for Theorem3Error {}
+
+/// Splits every Theorem 3 TGD into binary-head TGDs plus a regrouping
+/// datalog rule, following the §5.1 hint. Datalog rules and TGDs whose
+/// head is already at most binary pass through unchanged.
+pub fn split_theorem3(theory: &Theory, voc: &mut Vocabulary) -> Result<Theory, Theorem3Error> {
+    for (i, rule) in theory.rules.iter().enumerate() {
+        if !rule.is_single_head() {
+            return Err(Theorem3Error::MultiHead(i));
+        }
+        if !rule.is_datalog() && rule.frontier().len() > 1 {
+            return Err(Theorem3Error::TooManyFrontierVars(i));
+        }
+    }
+    debug_assert!(is_theorem3_fragment(theory));
+
+    let mut out: Vec<Rule> = Vec::new();
+    for rule in &theory.rules {
+        if rule.is_datalog() || rule.head[0].args.len() <= 2 {
+            out.push(rule.clone());
+            continue;
+        }
+        let head = &rule.head[0];
+        let mut ex: Vec<VarId> = rule.existential_vars().into_iter().collect();
+        ex.sort_unstable();
+        let frontier: Vec<VarId> = {
+            let mut f: Vec<VarId> = rule.frontier().into_iter().collect();
+            f.sort_unstable();
+            f
+        };
+        let Some(&y) = frontier.first() else {
+            // No frontier at all: keep the rule (nothing to anchor on;
+            // such rules are degenerate and rare).
+            out.push(rule.clone());
+            continue;
+        };
+        // One binary witness relation per existential variable.
+        let name = voc.pred_name(head.pred).to_owned();
+        let mut witness_atoms = Vec::with_capacity(ex.len());
+        for (i, &z) in ex.iter().enumerate() {
+            let ri = voc.fresh_pred(&format!("{name}_r{i}"), 2);
+            let atom = Atom::new(ri, vec![Term::Var(y), Term::Var(z)]);
+            out.push(Rule::single(rule.body.clone(), atom.clone()));
+            witness_atoms.push(atom);
+        }
+        // Regroup: R¹(y,z₁) ∧ … ∧ Rⁿ(y,zₙ) → Φ(y,z̄).
+        out.push(Rule::single(witness_atoms, head.clone()));
+    }
+    Ok(Theory::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_chase::{certain_cq, chase, ChaseConfig};
+    use bddfc_core::{parse_into, parse_query};
+
+    #[test]
+    fn split_produces_binary_tgd_heads() {
+        let mut voc = Vocabulary::new();
+        let (theory, _, _) =
+            parse_into("P(X), E(X,Y) -> exists Z1, Z2 . R(Y,Z1,Z2).", &mut voc).unwrap();
+        let split = split_theorem3(&theory, &mut voc).unwrap();
+        for tgd in split.tgds() {
+            assert!(tgd.head[0].args.len() <= 2);
+        }
+        // 2 witness TGDs + 1 regrouping datalog rule.
+        assert_eq!(split.len(), 3);
+    }
+
+    #[test]
+    fn non_fragment_rejected() {
+        let mut voc = Vocabulary::new();
+        let (theory, _, _) = parse_into("E(X,Y) -> exists Z . R(X,Y,Z).", &mut voc).unwrap();
+        assert!(matches!(
+            split_theorem3(&theory, &mut voc),
+            Err(Theorem3Error::TooManyFrontierVars(0))
+        ));
+    }
+
+    #[test]
+    fn certain_answers_preserved() {
+        let mut voc = Vocabulary::new();
+        let (theory, db, _) = parse_into(
+            "P(Y) -> exists Z1, Z2 . R(Y,Z1,Z2).
+             R(Y,Z1,Z2) -> M(Y).
+             P(a).",
+            &mut voc,
+        )
+        .unwrap();
+        let split = split_theorem3(&theory, &mut voc).unwrap();
+        for q_src in ["M(a)", "R(a,W1,W2)", "M(b)"] {
+            let q = parse_query(q_src, &mut voc).unwrap();
+            let orig = certain_cq(&db, &theory, &mut voc.clone(), &q, ChaseConfig::rounds(6));
+            let new = certain_cq(&db, &split, &mut voc.clone(), &q, ChaseConfig::rounds(12));
+            assert_eq!(orig.is_true(), new.is_true(), "query {q_src}");
+        }
+    }
+
+    #[test]
+    fn witnesses_are_regrouped() {
+        let mut voc = Vocabulary::new();
+        let (theory, db, _) =
+            parse_into("P(Y) -> exists Z1, Z2 . R(Y,Z1,Z2). P(a).", &mut voc).unwrap();
+        let split = split_theorem3(&theory, &mut voc).unwrap();
+        let res = chase(&db, &split, &mut voc, ChaseConfig::default());
+        assert!(res.is_fixpoint());
+        let r = voc.find_pred("R").unwrap();
+        let facts = res.instance.facts_with_pred(r);
+        assert_eq!(facts.len(), 1);
+        let f = res.instance.fact(facts[0]);
+        // Distinct witnesses in positions 1 and 2, anchored at a.
+        assert_eq!(f.args[0], voc.find_const("a").unwrap());
+        assert_ne!(f.args[1], f.args[2]);
+    }
+
+    #[test]
+    fn binary_heads_pass_through() {
+        let mut voc = Vocabulary::new();
+        let (theory, _, _) = parse_into("E(X,Y) -> exists Z . E(Y,Z).", &mut voc).unwrap();
+        let split = split_theorem3(&theory, &mut voc).unwrap();
+        assert_eq!(split, theory);
+    }
+}

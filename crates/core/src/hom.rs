@@ -1,0 +1,359 @@
+//! The homomorphism engine: backtracking evaluation of conjunctive queries
+//! over indexed instances.
+//!
+//! This is the computational workhorse of the whole workspace — rule
+//! applicability in the chase, query answering, subsumption in the
+//! rewriting engine and model checking all reduce to "find (all / one / no)
+//! homomorphisms of this atom set into this instance extending this partial
+//! binding".
+//!
+//! The search picks, at every step, the *most constrained* remaining atom
+//! (fewest candidate facts under the current binding, estimated through the
+//! `(predicate, position, element)` index), which keeps the join tree
+//! narrow without any query planning machinery.
+
+use crate::instance::Instance;
+use crate::query::{ConjunctiveQuery, Ucq};
+use crate::symbols::{ConstId, VarId};
+use crate::term::{Atom, Term};
+use rustc_hash::FxHashMap;
+use std::ops::ControlFlow;
+
+/// A partial assignment of variables to domain elements.
+pub type Binding = FxHashMap<VarId, ConstId>;
+
+/// Estimates the number of candidate facts for `atom` under `binding`,
+/// returning the tightest available index slice.
+fn candidates<'i>(inst: &'i Instance, atom: &Atom, binding: &Binding) -> &'i [usize] {
+    let mut best: Option<&[usize]> = None;
+    for (pos, term) in atom.args.iter().enumerate() {
+        let bound = match term {
+            Term::Const(c) => Some(*c),
+            Term::Var(v) => binding.get(v).copied(),
+        };
+        if let Some(c) = bound {
+            let slice = inst.facts_with_pred_pos_const(atom.pred, pos, c);
+            if best.is_none_or(|b| slice.len() < b.len()) {
+                best = Some(slice);
+            }
+        }
+    }
+    best.unwrap_or_else(|| inst.facts_with_pred(atom.pred))
+}
+
+/// Attempts to extend `binding` so that `atom` matches the fact at `idx`.
+/// Returns the list of variables newly bound (for backtracking), or `None`
+/// on mismatch.
+fn try_match(
+    inst: &Instance,
+    atom: &Atom,
+    idx: usize,
+    binding: &mut Binding,
+) -> Option<Vec<VarId>> {
+    let fact = inst.fact(idx);
+    debug_assert_eq!(fact.pred, atom.pred);
+    if fact.args.len() != atom.args.len() {
+        return None;
+    }
+    let mut newly = Vec::new();
+    for (term, &c) in atom.args.iter().zip(fact.args.iter()) {
+        match term {
+            Term::Const(k) => {
+                if *k != c {
+                    undo(binding, &newly);
+                    return None;
+                }
+            }
+            Term::Var(v) => match binding.get(v) {
+                Some(&b) if b == c => {}
+                Some(_) => {
+                    undo(binding, &newly);
+                    return None;
+                }
+                None => {
+                    binding.insert(*v, c);
+                    newly.push(*v);
+                }
+            },
+        }
+    }
+    Some(newly)
+}
+
+fn undo(binding: &mut Binding, newly: &[VarId]) {
+    for v in newly {
+        binding.remove(v);
+    }
+}
+
+/// Recursive backtracking over the remaining atoms. `remaining` holds
+/// indices into `atoms` still to be matched.
+fn search<F>(
+    inst: &Instance,
+    atoms: &[Atom],
+    remaining: &mut Vec<usize>,
+    binding: &mut Binding,
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Binding) -> ControlFlow<()>,
+{
+    if remaining.is_empty() {
+        return visit(binding);
+    }
+    // Most-constrained-atom heuristic.
+    let (slot, _) = remaining
+        .iter()
+        .enumerate()
+        .map(|(slot, &ai)| (slot, candidates(inst, &atoms[ai], binding).len()))
+        .min_by_key(|&(_, n)| n)
+        .expect("remaining non-empty");
+    let ai = remaining.swap_remove(slot);
+    let atom = &atoms[ai];
+    // The candidate slice borrows the instance, which we never mutate here.
+    let cand: Vec<usize> = candidates(inst, atom, binding).to_vec();
+    for idx in cand {
+        if let Some(newly) = try_match(inst, atom, idx, binding) {
+            let flow = search(inst, atoms, remaining, binding, visit);
+            undo(binding, &newly);
+            if flow.is_break() {
+                // Restore `remaining` before unwinding.
+                remaining.push(ai);
+                return ControlFlow::Break(());
+            }
+        }
+    }
+    remaining.push(ai);
+    ControlFlow::Continue(())
+}
+
+/// Visits every homomorphism of `atoms` into `inst` extending `init`.
+/// The callback may stop the enumeration by returning
+/// [`ControlFlow::Break`]. Returns `Break` iff the callback broke.
+pub fn for_each_hom<F>(
+    inst: &Instance,
+    atoms: &[Atom],
+    init: &Binding,
+    mut visit: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Binding) -> ControlFlow<()>,
+{
+    let mut binding = init.clone();
+    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+    search(inst, atoms, &mut remaining, &mut binding, &mut visit)
+}
+
+/// Finds one homomorphism of `atoms` into `inst` extending `init`.
+pub fn find_hom(inst: &Instance, atoms: &[Atom], init: &Binding) -> Option<Binding> {
+    let mut found = None;
+    let _ = for_each_hom(inst, atoms, init, |b| {
+        found = Some(b.clone());
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// Does a homomorphism of `atoms` into `inst` extending `init` exist?
+pub fn hom_exists(inst: &Instance, atoms: &[Atom], init: &Binding) -> bool {
+    find_hom(inst, atoms, init).is_some()
+}
+
+/// Does the instance satisfy the (Boolean reading of the) conjunctive
+/// query? Free variables are treated as existential, per the paper's
+/// convention.
+pub fn satisfies_cq(inst: &Instance, cq: &ConjunctiveQuery) -> bool {
+    hom_exists(inst, &cq.atoms, &Binding::default())
+}
+
+/// Does the instance satisfy the UCQ (some disjunct holds)?
+pub fn satisfies_ucq(inst: &Instance, ucq: &Ucq) -> bool {
+    ucq.disjuncts.iter().any(|d| satisfies_cq(inst, d))
+}
+
+/// All distinct answer tuples of a conjunctive query (projection of the
+/// homomorphisms onto the free variables), sorted for determinism.
+pub fn answers(inst: &Instance, cq: &ConjunctiveQuery) -> Vec<Vec<ConstId>> {
+    let mut out: Vec<Vec<ConstId>> = Vec::new();
+    let mut seen = rustc_hash::FxHashSet::default();
+    let _ = for_each_hom(inst, &cq.atoms, &Binding::default(), |b| {
+        let tuple: Vec<ConstId> = cq.free.iter().map(|v| b[v]).collect();
+        if seen.insert(tuple.clone()) {
+            out.push(tuple);
+        }
+        ControlFlow::Continue(())
+    });
+    out.sort_unstable();
+    out
+}
+
+/// All distinct answer tuples of a UCQ.
+pub fn ucq_answers(inst: &Instance, ucq: &Ucq) -> Vec<Vec<ConstId>> {
+    let mut seen = rustc_hash::FxHashSet::default();
+    let mut out = Vec::new();
+    for d in &ucq.disjuncts {
+        for t in answers(inst, d) {
+            if seen.insert(t.clone()) {
+                out.push(t);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Counts the homomorphisms of `atoms` into `inst` (all of them — use with
+/// care on large joins; intended for tests and diagnostics).
+pub fn count_homs(inst: &Instance, atoms: &[Atom]) -> usize {
+    let mut n = 0usize;
+    let _ = for_each_hom(inst, atoms, &Binding::default(), |_| {
+        n += 1;
+        ControlFlow::Continue(())
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Vocabulary;
+    use crate::term::Fact;
+
+    fn cycle(voc: &mut Vocabulary, n: usize) -> Instance {
+        let e = voc.pred("E", 2);
+        let mut inst = Instance::new();
+        for i in 0..n {
+            let a = voc.constant(&format!("c{i}"));
+            let b = voc.constant(&format!("c{}", (i + 1) % n));
+            inst.insert(Fact::new(e, vec![a, b]));
+        }
+        inst
+    }
+
+    #[test]
+    fn triangle_query_on_triangle() {
+        let mut voc = Vocabulary::new();
+        let inst = cycle(&mut voc, 3);
+        let e = voc.find_pred("E").unwrap();
+        let (x, y, z) = (voc.var("X"), voc.var("Y"), voc.var("Z"));
+        let tri = vec![
+            Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(e, vec![Term::Var(y), Term::Var(z)]),
+            Atom::new(e, vec![Term::Var(z), Term::Var(x)]),
+        ];
+        assert!(hom_exists(&inst, &tri, &Binding::default()));
+        // Three rotations.
+        assert_eq!(count_homs(&inst, &tri), 3);
+    }
+
+    #[test]
+    fn triangle_query_on_square_fails() {
+        let mut voc = Vocabulary::new();
+        let inst = cycle(&mut voc, 4);
+        let e = voc.find_pred("E").unwrap();
+        let (x, y, z) = (voc.var("X"), voc.var("Y"), voc.var("Z"));
+        let tri = vec![
+            Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(e, vec![Term::Var(y), Term::Var(z)]),
+            Atom::new(e, vec![Term::Var(z), Term::Var(x)]),
+        ];
+        assert!(!hom_exists(&inst, &tri, &Binding::default()));
+    }
+
+    #[test]
+    fn initial_binding_restricts_matches() {
+        let mut voc = Vocabulary::new();
+        let inst = cycle(&mut voc, 3);
+        let e = voc.find_pred("E").unwrap();
+        let (x, y) = (voc.var("X"), voc.var("Y"));
+        let atoms = vec![Atom::new(e, vec![Term::Var(x), Term::Var(y)])];
+        let c0 = voc.find_const("c0").unwrap();
+        let c1 = voc.find_const("c1").unwrap();
+        let mut init = Binding::default();
+        init.insert(x, c0);
+        let hom = find_hom(&inst, &atoms, &init).unwrap();
+        assert_eq!(hom[&y], c1);
+    }
+
+    #[test]
+    fn constants_in_atoms_must_match() {
+        let mut voc = Vocabulary::new();
+        let inst = cycle(&mut voc, 3);
+        let e = voc.find_pred("E").unwrap();
+        let c0 = voc.find_const("c0").unwrap();
+        let c2 = voc.find_const("c2").unwrap();
+        let y = voc.var("Y");
+        // E(c0, Y) matches only Y=c1.
+        let atoms = vec![Atom::new(e, vec![Term::Const(c0), Term::Var(y)])];
+        assert_eq!(count_homs(&inst, &atoms), 1);
+        // E(c0, c2) does not hold in a 3-cycle.
+        let atoms = vec![Atom::new(e, vec![Term::Const(c0), Term::Const(c2)])];
+        assert!(!hom_exists(&inst, &atoms, &Binding::default()));
+    }
+
+    #[test]
+    fn repeated_variable_needs_loop() {
+        let mut voc = Vocabulary::new();
+        let mut inst = cycle(&mut voc, 3);
+        let e = voc.find_pred("E").unwrap();
+        let x = voc.var("X");
+        let atoms = vec![Atom::new(e, vec![Term::Var(x), Term::Var(x)])];
+        assert!(!hom_exists(&inst, &atoms, &Binding::default()));
+        let c0 = voc.find_const("c0").unwrap();
+        inst.insert(Fact::new(e, vec![c0, c0]));
+        assert!(hom_exists(&inst, &atoms, &Binding::default()));
+    }
+
+    #[test]
+    fn answers_are_sorted_and_distinct() {
+        let mut voc = Vocabulary::new();
+        let inst = cycle(&mut voc, 3);
+        let e = voc.find_pred("E").unwrap();
+        let (x, y) = (voc.var("X"), voc.var("Y"));
+        let cq = ConjunctiveQuery::with_free(
+            vec![Atom::new(e, vec![Term::Var(x), Term::Var(y)])],
+            vec![x],
+        );
+        let ans = answers(&inst, &cq);
+        assert_eq!(ans.len(), 3);
+        assert!(ans.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_query_is_true() {
+        let inst = Instance::new();
+        assert!(satisfies_cq(&inst, &ConjunctiveQuery::boolean(vec![])));
+    }
+
+    #[test]
+    fn ucq_any_disjunct() {
+        let mut voc = Vocabulary::new();
+        let inst = cycle(&mut voc, 4);
+        let e = voc.find_pred("E").unwrap();
+        let (x, y, z) = (voc.var("X"), voc.var("Y"), voc.var("Z"));
+        let tri = ConjunctiveQuery::boolean(vec![
+            Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(e, vec![Term::Var(y), Term::Var(z)]),
+            Atom::new(e, vec![Term::Var(z), Term::Var(x)]),
+        ]);
+        let edge = ConjunctiveQuery::boolean(vec![Atom::new(e, vec![Term::Var(x), Term::Var(y)])]);
+        assert!(!satisfies_ucq(&inst, &Ucq::new(vec![tri.clone()])));
+        assert!(satisfies_ucq(&inst, &Ucq::new(vec![tri, edge])));
+    }
+
+    #[test]
+    fn early_break_stops_enumeration() {
+        let mut voc = Vocabulary::new();
+        let inst = cycle(&mut voc, 50);
+        let e = voc.find_pred("E").unwrap();
+        let (x, y) = (voc.var("X"), voc.var("Y"));
+        let atoms = vec![Atom::new(e, vec![Term::Var(x), Term::Var(y)])];
+        let mut count = 0;
+        let flow = for_each_hom(&inst, &atoms, &Binding::default(), |_| {
+            count += 1;
+            ControlFlow::Break(())
+        });
+        assert!(flow.is_break());
+        assert_eq!(count, 1);
+    }
+}

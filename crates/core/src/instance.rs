@@ -1,0 +1,292 @@
+//! Database instances: indexed stores of ground facts.
+//!
+//! An [`Instance`] is the paper's "database instance … a set of facts".
+//! It maintains three indexes tuned for the homomorphism engine and the
+//! chase: by predicate, by (predicate, position, element), and the set of
+//! all facts for O(1) duplicate detection.
+
+use crate::symbols::{ConstId, PredId, Vocabulary};
+use crate::term::Fact;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::fmt;
+
+/// Position of a fact in the instance's insertion-ordered fact vector.
+pub type FactIdx = usize;
+
+/// An indexed set of ground facts over interned symbols.
+#[derive(Clone, Debug, Default)]
+pub struct Instance {
+    facts: Vec<Fact>,
+    fact_set: FxHashSet<Fact>,
+    by_pred: FxHashMap<PredId, Vec<FactIdx>>,
+    by_pred_pos_const: FxHashMap<(PredId, u8, ConstId), Vec<FactIdx>>,
+    by_const: FxHashMap<ConstId, Vec<FactIdx>>,
+    domain: FxHashSet<ConstId>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact; returns `true` if it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        if self.fact_set.contains(&fact) {
+            return false;
+        }
+        let idx = self.facts.len();
+        self.by_pred.entry(fact.pred).or_default().push(idx);
+        for (pos, &c) in fact.args.iter().enumerate() {
+            self.by_pred_pos_const
+                .entry((fact.pred, pos as u8, c))
+                .or_default()
+                .push(idx);
+            self.domain.insert(c);
+            // Record each fact once per *distinct* element it contains.
+            if fact.args[..pos].iter().all(|&p| p != c) {
+                self.by_const.entry(c).or_default().push(idx);
+            }
+        }
+        self.fact_set.insert(fact.clone());
+        self.facts.push(fact);
+        true
+    }
+
+    /// Inserts every fact from an iterator; returns how many were new.
+    pub fn extend<I: IntoIterator<Item = Fact>>(&mut self, facts: I) -> usize {
+        facts.into_iter().filter(|f| self.insert(f.clone())).count()
+    }
+
+    /// Does the instance contain this exact fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.fact_set.contains(fact)
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// All facts, in insertion order.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// The fact stored at `idx`.
+    pub fn fact(&self, idx: FactIdx) -> &Fact {
+        &self.facts[idx]
+    }
+
+    /// Indexes of facts with the given predicate.
+    pub fn facts_with_pred(&self, pred: PredId) -> &[FactIdx] {
+        self.by_pred.get(&pred).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Indexes of facts with the given predicate and element `c` at
+    /// argument position `pos`.
+    pub fn facts_with_pred_pos_const(&self, pred: PredId, pos: usize, c: ConstId) -> &[FactIdx] {
+        self.by_pred_pos_const
+            .get(&(pred, pos as u8, c))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Indexes of all facts containing the element `c` (each fact listed
+    /// once, regardless of how many positions `c` fills).
+    pub fn facts_with_element(&self, c: ConstId) -> &[FactIdx] {
+        self.by_const.get(&c).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The active domain: every element occurring in some fact.
+    pub fn domain(&self) -> impl Iterator<Item = ConstId> + '_ {
+        self.domain.iter().copied()
+    }
+
+    /// Does the element occur in some fact?
+    pub fn in_domain(&self, c: ConstId) -> bool {
+        self.domain.contains(&c)
+    }
+
+    /// Size of the active domain.
+    pub fn domain_size(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// The active domain as a sorted vector (deterministic order).
+    pub fn sorted_domain(&self) -> Vec<ConstId> {
+        let mut v: Vec<ConstId> = self.domain.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Is `other` a sub-instance of `self` (the paper's `C₁ ⊨ C₂`)?
+    pub fn models(&self, other: &Instance) -> bool {
+        other.facts.iter().all(|f| self.contains(f))
+    }
+
+    /// Restriction `C ↾ A` to the atoms whose arguments all lie in `A`
+    /// (Notation, Section 1.1).
+    pub fn restrict_to_elements(&self, elements: &FxHashSet<ConstId>) -> Instance {
+        let mut out = Instance::new();
+        for f in &self.facts {
+            if f.args.iter().all(|c| elements.contains(c)) {
+                out.insert(f.clone());
+            }
+        }
+        out
+    }
+
+    /// Restriction `C ↾ Σ` to the atoms over the given predicates.
+    pub fn restrict_to_preds(&self, preds: &FxHashSet<PredId>) -> Instance {
+        let mut out = Instance::new();
+        for f in &self.facts {
+            if preds.contains(&f.pred) {
+                out.insert(f.clone());
+            }
+        }
+        out
+    }
+
+    /// The set of predicates actually used by some fact.
+    pub fn used_preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.by_pred.keys().copied()
+    }
+
+    /// Applies an element mapping, producing the homomorphic image
+    /// (used by quotient constructions; the paper's "projection").
+    pub fn map_elements(&self, f: &impl Fn(ConstId) -> ConstId) -> Instance {
+        let mut out = Instance::new();
+        for fact in &self.facts {
+            out.insert(Fact::new(fact.pred, fact.args.iter().map(|&c| f(c)).collect()));
+        }
+        out
+    }
+
+    /// Renders all facts, sorted, one per line.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> DisplayInstance<'a> {
+        DisplayInstance { inst: self, voc }
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.fact_set == other.fact_set
+    }
+}
+
+impl Eq for Instance {}
+
+impl FromIterator<Fact> for Instance {
+    fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> Self {
+        let mut inst = Instance::new();
+        inst.extend(iter);
+        inst
+    }
+}
+
+/// Helper for [`Instance::display`].
+pub struct DisplayInstance<'a> {
+    inst: &'a Instance,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for DisplayInstance<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut lines: Vec<String> = self
+            .inst
+            .facts
+            .iter()
+            .map(|fact| fact.display(self.voc).to_string())
+            .collect();
+        lines.sort();
+        for line in lines {
+            writeln!(f, "{line}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(voc: &mut Vocabulary, n: usize) -> Instance {
+        let e = voc.pred("E", 2);
+        let mut inst = Instance::new();
+        for i in 0..n {
+            let a = voc.constant(&format!("a{i}"));
+            let b = voc.constant(&format!("a{}", i + 1));
+            inst.insert(Fact::new(e, vec![a, b]));
+        }
+        inst
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut voc = Vocabulary::new();
+        let e = voc.pred("E", 2);
+        let a = voc.constant("a");
+        let mut inst = Instance::new();
+        assert!(inst.insert(Fact::new(e, vec![a, a])));
+        assert!(!inst.insert(Fact::new(e, vec![a, a])));
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.domain_size(), 1);
+    }
+
+    #[test]
+    fn indexes_answer_lookups() {
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 3);
+        let e = voc.find_pred("E").unwrap();
+        let a1 = voc.find_const("a1").unwrap();
+        assert_eq!(inst.facts_with_pred(e).len(), 3);
+        // a1 occurs once in position 0 and once in position 1.
+        assert_eq!(inst.facts_with_pred_pos_const(e, 0, a1).len(), 1);
+        assert_eq!(inst.facts_with_pred_pos_const(e, 1, a1).len(), 1);
+    }
+
+    #[test]
+    fn restriction_to_elements() {
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 3);
+        let keep: FxHashSet<ConstId> =
+            [voc.find_const("a0").unwrap(), voc.find_const("a1").unwrap()]
+                .into_iter()
+                .collect();
+        let small = inst.restrict_to_elements(&keep);
+        assert_eq!(small.len(), 1);
+    }
+
+    #[test]
+    fn models_is_subset_check() {
+        let mut voc = Vocabulary::new();
+        let big = chain(&mut voc, 4);
+        let mut voc2 = voc.clone();
+        let small = chain(&mut voc2, 2);
+        assert!(big.models(&small));
+        assert!(!small.models(&big));
+    }
+
+    #[test]
+    fn map_elements_collapses() {
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 2); // E(a0,a1), E(a1,a2)
+        let a0 = voc.find_const("a0").unwrap();
+        let img = inst.map_elements(&|_| a0);
+        assert_eq!(img.len(), 1); // both collapse to E(a0,a0)
+        assert_eq!(img.domain_size(), 1);
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 2);
+        let s = inst.display(&voc).to_string();
+        assert_eq!(s, "E(a0,a1).\nE(a1,a2).\n");
+    }
+}

@@ -1,0 +1,44 @@
+//! # bddfc-core — the Datalog∃ substrate
+//!
+//! Core representations and algorithms shared by every crate in the
+//! `bddfc` workspace, the executable companion to Gogacz & Marcinkowski,
+//! *On the BDD/FC Conjecture*:
+//!
+//! * interned symbols and the [`Vocabulary`] ([`symbols`]);
+//! * terms, atoms and facts ([`term`]);
+//! * indexed database instances ([`instance`]);
+//! * conjunctive queries and UCQs ([`query`]);
+//! * TGDs, datalog rules and theories ([`rule`]);
+//! * the backtracking homomorphism engine ([`hom`]);
+//! * rule/theory satisfaction and violation enumeration ([`satisfaction`]);
+//! * a text format parser ([`parser`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bddfc_core::{parse_program, hom};
+//!
+//! let prog = bddfc_core::parse_program(
+//!     "E(a,b). E(b,c). E(c,a). ?- E(X,Y), E(Y,Z), E(Z,X).",
+//! ).unwrap();
+//! assert!(hom::satisfies_cq(&prog.instance, &prog.queries[0]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hom;
+pub mod instance;
+pub mod parser;
+pub mod query;
+pub mod rule;
+pub mod satisfaction;
+pub mod symbols;
+pub mod term;
+
+pub use hom::Binding;
+pub use instance::Instance;
+pub use parser::{parse_into, parse_program, parse_query, parse_rule, ParseError, Program};
+pub use query::{ConjunctiveQuery, Ucq};
+pub use rule::{Rule, RuleKind, Theory};
+pub use symbols::{ConstId, PredId, VarId, Vocabulary};
+pub use term::{Atom, Fact, Term};

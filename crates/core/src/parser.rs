@@ -1,0 +1,522 @@
+//! A small text format for theories, instances and queries.
+//!
+//! Syntax (Prolog-flavoured; `%` starts a line comment):
+//!
+//! ```text
+//! % facts: ground atoms over lowercase constants
+//! E(a,b).
+//!
+//! % rules: body -> head; existential variables are exactly the head
+//! % variables absent from the body (an optional `exists Z .` prefix
+//! % documents them); identifiers starting with an uppercase letter or
+//! % `_` are variables
+//! E(X,Y) -> exists Z . E(Y,Z).
+//! E(X,Y), E(Y,Z) -> E(X,Z).
+//!
+//! % queries: `?-` for Boolean, `?(X)-` for answer variables
+//! ?- E(X,Y), E(Y,X).
+//! ?(X)- E(X,X).
+//! ```
+
+use crate::instance::Instance;
+use crate::query::ConjunctiveQuery;
+use crate::rule::{Rule, Theory};
+use crate::symbols::Vocabulary;
+use crate::term::{Atom, Term};
+use std::fmt;
+
+/// A parse error with 1-based line/column position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed program: theory, initial instance and queries, sharing one
+/// vocabulary.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Symbol table for everything below.
+    pub voc: Vocabulary,
+    /// The rules.
+    pub theory: Theory,
+    /// The facts.
+    pub instance: Instance,
+    /// The queries, in order of appearance.
+    pub queries: Vec<ConjunctiveQuery>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,
+    Query, // '?'
+    Dash,  // '-' (after '?')
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match c {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b'.' => {
+                self.bump();
+                Tok::Dot
+            }
+            b'?' => {
+                self.bump();
+                Tok::Query
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Tok::Arrow
+                } else {
+                    Tok::Dash
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii slice")
+                    .to_owned();
+                Tok::Ident(s)
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {:?}", other as char),
+                    line,
+                    col,
+                })
+            }
+        };
+        Ok((tok, line, col))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    lookahead: (Tok, usize, usize),
+    voc: &'a mut Vocabulary,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, voc: &'a mut Vocabulary) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let lookahead = lexer.next_tok()?;
+        Ok(Parser { lexer, lookahead, voc })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.lookahead.0
+    }
+
+    fn advance(&mut self) -> Result<Tok, ParseError> {
+        let next = self.lexer.next_tok()?;
+        Ok(std::mem::replace(&mut self.lookahead, next).0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.lookahead.1,
+            col: self.lookahead.2,
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if *self.peek() == tok {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.advance()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn is_var_name(name: &str) -> bool {
+        name.starts_with(|c: char| c.is_ascii_uppercase() || c == '_')
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let name = self.ident("term")?;
+        if Self::is_var_name(&name) {
+            Ok(Term::Var(self.voc.var(&name)))
+        } else {
+            Ok(Term::Const(self.voc.constant(&name)))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        // Predicate names may be any identifier (the paper's relations are
+        // uppercase); the following '(' disambiguates them from terms.
+        let name = self.ident("predicate name")?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.term()?);
+                if *self.peek() == Tok::Comma {
+                    self.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        if let Some(existing) = self.voc.find_pred(&name) {
+            if self.voc.arity(existing) != args.len() {
+                return Err(self.err(format!(
+                    "predicate {name} used with arity {} but declared {}",
+                    args.len(),
+                    self.voc.arity(existing)
+                )));
+            }
+        }
+        let pred = self.voc.pred(&name, args.len());
+        Ok(Atom::new(pred, args))
+    }
+
+    fn atom_list(&mut self) -> Result<Vec<Atom>, ParseError> {
+        let mut atoms = vec![self.atom()?];
+        while *self.peek() == Tok::Comma {
+            self.advance()?;
+            atoms.push(self.atom()?);
+        }
+        Ok(atoms)
+    }
+
+    /// Parses one statement, pushing into the program parts. Returns false
+    /// at EOF.
+    fn statement(
+        &mut self,
+        theory: &mut Theory,
+        instance: &mut Instance,
+        queries: &mut Vec<ConjunctiveQuery>,
+    ) -> Result<bool, ParseError> {
+        match self.peek() {
+            Tok::Eof => return Ok(false),
+            Tok::Query => {
+                self.advance()?;
+                let mut free = Vec::new();
+                if *self.peek() == Tok::LParen {
+                    self.advance()?;
+                    loop {
+                        let name = self.ident("answer variable")?;
+                        if !Self::is_var_name(&name) {
+                            return Err(self.err("answer positions must be variables"));
+                        }
+                        free.push(self.voc.var(&name));
+                        if *self.peek() == Tok::Comma {
+                            self.advance()?;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                }
+                if *self.peek() == Tok::Dash {
+                    self.advance()?;
+                }
+                let atoms = self.atom_list()?;
+                self.expect(Tok::Dot, "'.'")?;
+                queries.push(ConjunctiveQuery::with_free(atoms, free));
+            }
+            _ => {
+                let atoms = self.atom_list()?;
+                match self.peek() {
+                    Tok::Dot => {
+                        self.advance()?;
+                        // Fact list: every atom must be ground.
+                        for atom in atoms {
+                            match atom.to_fact() {
+                                Some(f) => {
+                                    instance.insert(f);
+                                }
+                                None => {
+                                    return Err(
+                                        self.err("facts must be ground (no variables)")
+                                    )
+                                }
+                            }
+                        }
+                    }
+                    Tok::Arrow => {
+                        self.advance()?;
+                        // Optional `exists X,Y .` documentation prefix.
+                        if let Tok::Ident(kw) = self.peek() {
+                            if kw == "exists" {
+                                self.advance()?;
+                                loop {
+                                    let name = self.ident("existential variable")?;
+                                    if !Self::is_var_name(&name) {
+                                        return Err(
+                                            self.err("existential positions must be variables")
+                                        );
+                                    }
+                                    self.voc.var(&name);
+                                    if *self.peek() == Tok::Comma {
+                                        self.advance()?;
+                                    } else {
+                                        break;
+                                    }
+                                }
+                                self.expect(Tok::Dot, "'.' after exists clause")?;
+                            }
+                        }
+                        let head = self.atom_list()?;
+                        self.expect(Tok::Dot, "'.'")?;
+                        theory.push(Rule::new(atoms, head));
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "expected '.' or '->' after atoms, found {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Parses a whole program into a fresh vocabulary.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut voc = Vocabulary::new();
+    let (theory, instance, queries) = parse_into(src, &mut voc)?;
+    Ok(Program { voc, theory, instance, queries })
+}
+
+/// Parses a whole program, interning symbols into an existing vocabulary.
+pub fn parse_into(
+    src: &str,
+    voc: &mut Vocabulary,
+) -> Result<(Theory, Instance, Vec<ConjunctiveQuery>), ParseError> {
+    let mut parser = Parser::new(src, voc)?;
+    let mut theory = Theory::default();
+    let mut instance = Instance::new();
+    let mut queries = Vec::new();
+    while parser.statement(&mut theory, &mut instance, &mut queries)? {}
+    Ok((theory, instance, queries))
+}
+
+/// Parses a single rule like `E(X,Y) -> exists Z . E(Y,Z)`.
+pub fn parse_rule(src: &str, voc: &mut Vocabulary) -> Result<Rule, ParseError> {
+    let with_dot = format!("{}.", src.trim().trim_end_matches('.'));
+    let (theory, inst, queries) = parse_into(&with_dot, voc)?;
+    if theory.len() != 1 || !inst.is_empty() || !queries.is_empty() {
+        return Err(ParseError {
+            message: "expected exactly one rule".into(),
+            line: 1,
+            col: 1,
+        });
+    }
+    Ok(theory.rules.into_iter().next().expect("one rule"))
+}
+
+/// Parses a single Boolean query body like `E(X,Y), E(Y,X)`.
+pub fn parse_query(src: &str, voc: &mut Vocabulary) -> Result<ConjunctiveQuery, ParseError> {
+    let with_marker = format!("?- {}.", src.trim().trim_end_matches('.'));
+    let (theory, inst, queries) = parse_into(&with_marker, voc)?;
+    if queries.len() != 1 || !theory.is_empty() || !inst.is_empty() {
+        return Err(ParseError {
+            message: "expected exactly one query".into(),
+            line: 1,
+            col: 1,
+        });
+    }
+    Ok(queries.into_iter().next().expect("one query"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleKind;
+
+    #[test]
+    fn parses_example1() {
+        let src = "
+            % Example 1 of the paper
+            E(X,Y) -> exists Z . E(Y,Z).
+            E(X,Y), E(Y,Z), E(Z,X) -> U(X,T).
+            U(X,Y) -> U(Y,Z).
+            E(a,b).
+            ?- U(X,Y).
+        ";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.theory.len(), 3);
+        assert_eq!(prog.instance.len(), 1);
+        assert_eq!(prog.queries.len(), 1);
+        assert!(prog.theory.rules.iter().all(|r| r.kind() == RuleKind::ExistentialTgd));
+    }
+
+    #[test]
+    fn existential_vars_inferred_without_exists() {
+        let mut voc = Vocabulary::new();
+        let r = parse_rule("E(X,Y) -> E(Y,Z)", &mut voc).unwrap();
+        assert_eq!(r.existential_vars().len(), 1);
+    }
+
+    #[test]
+    fn datalog_rule_parses() {
+        let mut voc = Vocabulary::new();
+        let r = parse_rule("E(X,Y), E(Y,Z) -> E(X,Z)", &mut voc).unwrap();
+        assert!(r.is_datalog());
+    }
+
+    #[test]
+    fn multi_head_rule_parses() {
+        let mut voc = Vocabulary::new();
+        let r = parse_rule("E(X,Y) -> E(Y,Z), U(Z)", &mut voc).unwrap();
+        assert_eq!(r.head.len(), 2);
+        assert_eq!(r.existential_vars().len(), 1);
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let mut voc = Vocabulary::new();
+        let r = parse_rule("E(X,a) -> U(X)", &mut voc).unwrap();
+        assert_eq!(r.constants().len(), 1);
+    }
+
+    #[test]
+    fn query_with_answer_vars() {
+        let src = "?(X,Y)- E(X,Y).";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.queries[0].free.len(), 2);
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        assert!(parse_program("E(a,X).").is_err());
+    }
+
+    #[test]
+    fn arity_clash_rejected() {
+        let err = parse_program("E(a,b). E(a).").unwrap_err();
+        assert!(err.message.contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn error_position_is_reported() {
+        let err = parse_program("E(a,b)\nE(c,d).").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn zero_ary_atoms() {
+        let prog = parse_program("p(). p() -> q().").unwrap();
+        assert_eq!(prog.instance.len(), 1);
+        assert_eq!(prog.theory.len(), 1);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let src = "E(X,Y) -> exists Z . E(Y,Z).";
+        let prog = parse_program(src).unwrap();
+        let printed = prog.theory.display(&prog.voc).to_string();
+        let mut voc2 = Vocabulary::new();
+        let (theory2, _, _) = parse_into(&printed, &mut voc2).unwrap();
+        assert_eq!(theory2.len(), 1);
+        assert_eq!(
+            theory2.rules[0].display(&voc2).to_string(),
+            prog.theory.rules[0].display(&prog.voc).to_string()
+        );
+    }
+
+    #[test]
+    fn unexpected_char_reports_error() {
+        assert!(parse_program("E(a;b).").is_err());
+    }
+}

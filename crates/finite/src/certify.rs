@@ -1,0 +1,131 @@
+//! Independent certification of finite countermodels.
+//!
+//! Everything the pipeline produces is re-checked from scratch against
+//! Definition 1's requirements: `M ⊨ D`, `M ⊨ T`, `M ⊭ Φ`. The pipeline's
+//! heuristics (chase prefix depth, quotient parameter search) can
+//! therefore never produce a wrong answer — only a retry.
+
+use bddfc_core::satisfaction::{first_violation, satisfies_rule};
+use bddfc_core::{hom, ConjunctiveQuery, Instance, Theory, Vocabulary};
+
+/// A reason a candidate model fails certification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertFailure {
+    /// Some fact of `D` is missing.
+    MissingDbFact(String),
+    /// Some rule of the theory is violated.
+    RuleViolated {
+        /// Index of the violated rule.
+        rule_idx: usize,
+        /// Rendering of the rule.
+        rule: String,
+    },
+    /// The forbidden query is satisfied.
+    QuerySatisfied,
+}
+
+impl std::fmt::Display for CertFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertFailure::MissingDbFact(s) => write!(f, "missing database fact {s}"),
+            CertFailure::RuleViolated { rule_idx, rule } => {
+                write!(f, "rule #{rule_idx} violated: {rule}")
+            }
+            CertFailure::QuerySatisfied => write!(f, "forbidden query is satisfied"),
+        }
+    }
+}
+
+/// Certifies that `model` witnesses `T, D ⊭_fin Φ`: it extends `db`,
+/// satisfies every rule of `theory`, and avoids `query`. Returns all
+/// failures (empty = certified).
+pub fn certify_countermodel(
+    model: &Instance,
+    db: &Instance,
+    theory: &Theory,
+    query: &ConjunctiveQuery,
+    voc: &Vocabulary,
+) -> Vec<CertFailure> {
+    let mut failures = Vec::new();
+    for fact in db.facts() {
+        if !model.contains(fact) {
+            failures.push(CertFailure::MissingDbFact(fact.display(voc).to_string()));
+        }
+    }
+    for (rule_idx, rule) in theory.rules.iter().enumerate() {
+        if !satisfies_rule(model, rule) {
+            debug_assert!(first_violation(model, rule).is_some());
+            failures.push(CertFailure::RuleViolated {
+                rule_idx,
+                rule: rule.display(voc).to_string(),
+            });
+        }
+    }
+    if hom::satisfies_cq(model, query) {
+        failures.push(CertFailure::QuerySatisfied);
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::{parse_program, parse_query};
+
+    #[test]
+    fn good_countermodel_certifies() {
+        // 2-cycle tail model for the successor rule, avoiding E(x,x).
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b). E(b,c). E(c,b).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let q = parse_query("E(X,X)", &mut voc).unwrap();
+        let db = {
+            let mut v2 = voc.clone();
+            bddfc_core::parse_into("E(a,b).", &mut v2).unwrap().1
+        };
+        let failures = certify_countermodel(&prog.instance, &db, &prog.theory, &q, &voc);
+        assert!(failures.is_empty(), "{failures:?}");
+        let _ = db;
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let q = parse_query("E(X,X)", &mut voc).unwrap();
+        let failures =
+            certify_countermodel(&prog.instance, &prog.instance, &prog.theory, &q, &voc);
+        // b has no successor.
+        assert!(failures
+            .iter()
+            .any(|f| matches!(f, CertFailure::RuleViolated { .. })));
+    }
+
+    #[test]
+    fn satisfied_query_fails_certification() {
+        let prog = parse_program("E(a,a).").unwrap();
+        let mut voc = prog.voc.clone();
+        let q = parse_query("E(X,X)", &mut voc).unwrap();
+        let failures =
+            certify_countermodel(&prog.instance, &prog.instance, &Theory::default(), &q, &voc);
+        assert_eq!(failures, vec![CertFailure::QuerySatisfied]);
+    }
+
+    #[test]
+    fn missing_db_fact_fails_certification() {
+        let prog = parse_program("E(a,a).").unwrap();
+        let mut voc = prog.voc.clone();
+        let (_, db2, _) = bddfc_core::parse_into("E(a,a). E(b,b).", &mut voc).unwrap();
+        let q = parse_query("U(X)", &mut voc).unwrap();
+        let failures =
+            certify_countermodel(&prog.instance, &db2, &Theory::default(), &q, &voc);
+        assert!(matches!(failures[0], CertFailure::MissingDbFact(_)));
+    }
+}

@@ -1,0 +1,446 @@
+//! The Theorem 2 pipeline: certified finite countermodels for binary BDD
+//! theories.
+//!
+//! Given `T₀`, `D` and a query `Q` with `Chase(D,T₀) ⊭ Q`, the pipeline
+//! constructs a finite `M ⊨ D, T₀` with `M ⊭ Q` by walking the paper's
+//! proof:
+//!
+//! 1. hide the query: `T = T₀ ∪ {Q ⇒ ∃z F(y,z)}` (♠4);
+//! 2. normalize heads into (♠5) form;
+//! 3. compute κ — the maximal variable count of any rule-body rewriting
+//!    (Section 3.3); failure means the theory is not usably BDD;
+//! 4. chase a finite prefix and extract the skeleton `S(D,T)`
+//!    (Definition 12);
+//! 5. color `S` naturally (Definition 14) and search for `n` such that
+//!    the quotient `Mₙ(S̄)` preserves positive κ-types (Definition 8) —
+//!    the Main Lemma guarantees such an `n` exists;
+//! 6. chase `Mₙ(S̄)`, which by Lemma 5 only saturates datalog rules and
+//!    creates no elements;
+//! 7. **certify** the result independently (`⊨ D`, `⊨ T₀`, `⊭ Q`).
+//!
+//! ## The finite-prefix substitution
+//!
+//! The paper quotients the *infinite* chase. We quotient a finite prefix
+//! of depth `L`, with one twist: positive `n`-types only depend on
+//! radius-`n` neighbourhoods (they are decided by connected canonical
+//! queries — see `bddfc-types`), so elements created at depth
+//! `≤ L − max(n, κ)` have exactly their infinite-chase types. The quotient
+//! projects only facts among these *safe* elements; rim elements
+//! contribute nothing. Any residual artifact is caught by step 7, which
+//! triggers a retry with a deeper prefix — soundness never depends on the
+//! heuristic.
+
+use crate::certify::{certify_countermodel, CertFailure};
+use crate::skeleton::skeleton;
+use crate::transform::{hide_query, normalize_spade5};
+use bddfc_chase::{chase, ChaseConfig, ChaseStatus};
+use bddfc_core::{
+    hom, ConjunctiveQuery, ConstId, Instance, PredId, Theory, Vocabulary,
+};
+use bddfc_rewrite::{kappa, RewriteConfig};
+use bddfc_types::{natural_coloring, Quotient, TypeAnalyzer};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Budgets and parameters for the pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct FcConfig {
+    /// Rewriting budget for the κ computation.
+    pub rewrite: RewriteConfig,
+    /// Initial chase prefix depth `L`.
+    pub chase_depth: u32,
+    /// Maximal prefix depth before giving up.
+    pub max_chase_depth: u32,
+    /// Fact budget per chase prefix.
+    pub chase_facts: usize,
+    /// Maximal quotient parameter `n` tried per prefix.
+    pub n_max: usize,
+    /// Round budget for the final saturating chase of the quotient.
+    pub final_rounds: u32,
+    /// Skeleton size cap: prefixes whose skeleton exceeds this are not
+    /// quotiented (the partition cost would dominate); the run gives up
+    /// instead of hanging.
+    pub max_skeleton: usize,
+}
+
+impl Default for FcConfig {
+    fn default() -> Self {
+        FcConfig {
+            rewrite: RewriteConfig::default(),
+            chase_depth: 8,
+            max_chase_depth: 64,
+            chase_facts: 200_000,
+            n_max: 4,
+            final_rounds: 64,
+            max_skeleton: 9_000,
+        }
+    }
+}
+
+/// A certified finite countermodel, with provenance.
+#[derive(Clone, Debug)]
+pub struct Certified {
+    /// The model (over the original signature, color and auxiliary
+    /// predicates removed).
+    pub model: Instance,
+    /// κ used for conservativity (Section 3.3).
+    pub kappa: usize,
+    /// The quotient parameter `n` that worked.
+    pub n: usize,
+    /// The chase prefix depth used.
+    pub chase_depth: u32,
+    /// Did Lemma 5 hold exactly (final chase created no new elements)?
+    pub lemma5_no_new_elements: bool,
+    /// Domain size of the model.
+    pub model_size: usize,
+}
+
+/// Outcome of a pipeline run.
+#[derive(Clone, Debug)]
+pub enum FcOutcome {
+    /// A certified finite countermodel.
+    Countermodel(Box<Certified>),
+    /// The query is certainly entailed — no countermodel exists at all.
+    /// Reports the chase round at which the query became true.
+    Entailed {
+        /// Chase depth at which the forbidden atom appeared.
+        depth: u32,
+    },
+    /// The budgets were exhausted without a decision.
+    Inconclusive(String),
+}
+
+impl FcOutcome {
+    /// The certified model, if any.
+    pub fn model(&self) -> Option<&Certified> {
+        match self {
+            FcOutcome::Countermodel(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Element creation depths: the round at which each element first appears.
+fn element_depths(res: &bddfc_chase::ChaseResult) -> FxHashMap<ConstId, u32> {
+    let mut depth: FxHashMap<ConstId, u32> = FxHashMap::default();
+    for (fact, &d) in &res.depth {
+        for &c in &fact.args {
+            depth
+                .entry(c)
+                .and_modify(|cur| *cur = (*cur).min(d))
+                .or_insert(d);
+        }
+    }
+    depth
+}
+
+/// Runs the full Theorem 2 pipeline.
+pub fn finite_countermodel(
+    db: &Instance,
+    theory0: &Theory,
+    query: &ConjunctiveQuery,
+    voc: &mut Vocabulary,
+    config: FcConfig,
+) -> FcOutcome {
+    // Step 0: the query may already hold in D.
+    if hom::satisfies_cq(db, query) {
+        return FcOutcome::Entailed { depth: 0 };
+    }
+
+    // Steps 1–2: hide the query, normalize heads.
+    let hidden = hide_query(theory0, query, voc);
+    let norm = match normalize_spade5(&hidden.theory, voc) {
+        Ok(t) => t,
+        Err(e) => return FcOutcome::Inconclusive(format!("normalization failed: {e}")),
+    };
+    let forbidden = hidden.forbidden;
+
+    // Step 3: κ.
+    let Some(kap) = kappa(&norm, voc, config.rewrite) else {
+        return FcOutcome::Inconclusive(
+            "κ computation failed: some rule-body rewriting did not saturate (theory not \
+             verifiably BDD within budget)"
+                .into(),
+        );
+    };
+    let m = kap.max(2);
+
+    let color_free_preds: FxHashSet<PredId> = norm.preds().into_iter().collect();
+
+    let mut l = config.chase_depth;
+    let mut last_reason = String::from("no prefix attempted");
+    while l <= config.max_chase_depth {
+        // Step 4: chase prefix and skeleton.
+        let res = chase(
+            db,
+            &norm,
+            voc,
+            ChaseConfig {
+                max_rounds: l,
+                max_facts: config.chase_facts,
+                ..Default::default()
+            },
+        );
+        if !res.instance.facts_with_pred(forbidden).is_empty() {
+            let d = res
+                .instance
+                .facts_with_pred(forbidden)
+                .iter()
+                .map(|&i| res.depth[res.instance.fact(i)])
+                .min()
+                .unwrap_or(res.rounds);
+            // The forbidden atom appears one round after the query became
+            // true (the hidden (♠4) rule fires on it).
+            return FcOutcome::Entailed { depth: d.saturating_sub(1) };
+        }
+        if res.status == ChaseStatus::Fixpoint {
+            // The chase itself is finite and F-free: it is the model.
+            let model = res.instance.restrict_to_preds(&theory0.preds());
+            let failures = certify_countermodel(&res.instance, db, theory0, query, voc);
+            if failures.is_empty() {
+                return FcOutcome::Countermodel(Box::new(Certified {
+                    model_size: model.domain_size(),
+                    model,
+                    kappa: kap,
+                    n: 0,
+                    chase_depth: res.rounds,
+                    lemma5_no_new_elements: true,
+                }));
+            }
+            return FcOutcome::Inconclusive(format!(
+                "terminating chase failed certification: {:?}",
+                failures
+            ));
+        }
+
+        let skel = skeleton(&res.instance, db, &norm);
+        if skel.domain_size() > config.max_skeleton {
+            return FcOutcome::Inconclusive(format!(
+                "skeleton prefix too large to quotient ({} elements > cap {}); last: {last_reason}",
+                skel.domain_size(),
+                config.max_skeleton
+            ));
+        }
+        let depths = element_depths(&res);
+
+        // Step 5: color and search n.
+        let coloring = natural_coloring(&skel, voc, m);
+        let colored = coloring.apply(&skel);
+
+        for n in m..=config.n_max {
+            let margin = (n.max(m)) as u32;
+            if margin >= l {
+                break;
+            }
+            let safe: FxHashSet<ConstId> = skel
+                .domain()
+                .filter(|c| depths.get(c).copied().unwrap_or(0) + margin <= l)
+                .collect();
+            if !db.domain().all(|c| safe.contains(&c)) {
+                last_reason = "database elements not safe (prefix too shallow)".into();
+                continue;
+            }
+            let partition = {
+                let analyzer = TypeAnalyzer::new(&colored, voc, n);
+                analyzer.partition()
+            };
+            let colored_safe = colored.restrict_to_elements(&safe);
+            let quotient = Quotient::new(&colored_safe, partition, voc);
+            let m_sigma = quotient.instance.restrict_to_preds(&color_free_preds);
+
+            // Conservativity (♠2) on safe elements: quotient types map back.
+            let analyzer_m = TypeAnalyzer::new(&m_sigma, voc, m);
+            let mut conservative = true;
+            for &e in &safe {
+                let Some(qe) = quotient.try_project(e) else {
+                    continue;
+                };
+                if !m_sigma.in_domain(qe) {
+                    continue;
+                }
+                if !analyzer_m.ptp_included_in(qe, &skel, e) {
+                    conservative = false;
+                    break;
+                }
+            }
+            if !conservative {
+                last_reason = format!("n = {n} not conservative at prefix depth {l}");
+                continue;
+            }
+
+            // Step 6: saturate the quotient with the full normalized theory.
+            // Divergence here is detected by the round budget; a small
+            // fact budget keeps failed attempts cheap.
+            let final_res = chase(
+                &m_sigma,
+                &norm,
+                voc,
+                ChaseConfig {
+                    max_rounds: config.final_rounds,
+                    max_facts: (config.chase_facts / 4).max(10_000),
+                    ..Default::default()
+                },
+            );
+            if final_res.status != ChaseStatus::Fixpoint {
+                last_reason = format!("final chase diverged for n = {n}, depth {l}");
+                continue;
+            }
+            if !final_res.instance.facts_with_pred(forbidden).is_empty() {
+                last_reason = format!("forbidden atom re-derived for n = {n}, depth {l}");
+                continue;
+            }
+
+            // Step 7: certify against the *original* theory and query.
+            let failures: Vec<CertFailure> =
+                certify_countermodel(&final_res.instance, db, theory0, query, voc);
+            if failures.is_empty() {
+                let lemma5 =
+                    final_res.instance.domain_size() == m_sigma.domain_size();
+                let model = final_res.instance.restrict_to_preds(&theory0.preds());
+                return FcOutcome::Countermodel(Box::new(Certified {
+                    model_size: final_res.instance.domain_size(),
+                    model,
+                    kappa: kap,
+                    n,
+                    chase_depth: l,
+                    lemma5_no_new_elements: lemma5,
+                }));
+            }
+            last_reason = format!(
+                "certification failed for n = {n}, depth {l}: {}",
+                failures
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            );
+        }
+        // Grow gently: partition cost is superlinear in prefix size.
+        l += (l / 2).max(4);
+    }
+    FcOutcome::Inconclusive(last_reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::{parse_program, parse_query};
+
+    fn run(src: &str, query: &str, config: FcConfig) -> (FcOutcome, Vocabulary, Instance, Theory, ConjunctiveQuery) {
+        let prog = parse_program(src).unwrap();
+        let mut voc = prog.voc.clone();
+        let q = parse_query(query, &mut voc).unwrap();
+        let out = finite_countermodel(&prog.instance, &prog.theory, &q, &mut voc, config);
+        (out, voc, prog.instance, prog.theory, q)
+    }
+
+    #[test]
+    fn successor_rule_gets_certified_countermodel() {
+        // The simplest diverging-chase BDD theory: E(x,y) → ∃z E(y,z).
+        // Chase(E(a,b)) is an infinite chain without loops, so E(x,x) is
+        // not entailed; the pipeline must find a finite loop-free model…
+        // wait — every finite model of the successor rule contains a
+        // cycle, but not necessarily a *self-loop*; E(X,X) must stay false.
+        let (out, voc, db, theory, q) = run(
+            "E(X,Y) -> exists Z . E(Y,Z). E(a,b).",
+            "E(X,X)",
+            FcConfig::default(),
+        );
+        let cert = out.model().unwrap_or_else(|| panic!("expected countermodel: {out:?}"));
+        assert!(cert.model_size >= 2);
+        let failures = certify_countermodel(&cert.model, &db, &theory, &q, &voc);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn entailed_query_is_detected() {
+        let (out, _, _, _, _) = run(
+            "E(X,Y) -> exists Z . E(Y,Z). E(a,b).",
+            "E(X1,X2), E(X2,X3), E(X3,X4)",
+            FcConfig::default(),
+        );
+        match out {
+            FcOutcome::Entailed { depth } => assert_eq!(depth, 2),
+            other => panic!("expected Entailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn terminating_chase_is_its_own_model() {
+        let (out, _, _, _, _) = run(
+            "E(X,Y) -> exists Z . E(Y,Z). E(a,a).",
+            "U(W)",
+            FcConfig::default(),
+        );
+        let cert = out.model().expect("fixpoint fast path");
+        assert_eq!(cert.model_size, 1);
+        assert!(cert.lemma5_no_new_elements);
+    }
+
+    #[test]
+    fn example7_theory_countermodel() {
+        // Example 7/8: the full theory with the datalog rule deriving R;
+        // the query asks for an R-edge between *distinct-typed* ends via
+        // a fresh marker that never appears: use F0(x,y) absent from the
+        // theory. Simplest meaningful check: R(x,y) with an E-edge apart —
+        // the chase has only R(e,e) atoms, no query R(x,y),E(x,y) match.
+        let (out, voc, db, theory, q) = run(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(X,Y), E(X2,Y) -> R(X,X2).
+             E(a,b).",
+            "R(X,Y), E(X,Y)",
+            FcConfig::default(),
+        );
+        let cert = out
+            .model()
+            .unwrap_or_else(|| panic!("expected countermodel: {out:?}"));
+        let failures = certify_countermodel(&cert.model, &db, &theory, &q, &voc);
+        assert!(failures.is_empty(), "{failures:?}");
+        // The model saturates R over the loop classes: Lemma 5 may add
+        // facts but never elements.
+        assert!(cert.model_size < 64);
+    }
+
+    #[test]
+    fn two_relation_tree_theory() {
+        // Example 9's binary-tree theory: F/G successors everywhere.
+        let (out, voc, db, theory, q) = run(
+            "F(X,Y) -> exists Z . F(Y,Z).
+             F(X,Y) -> exists Z . G(Y,Z).
+             G(X,Y) -> exists Z . F(Y,Z).
+             G(X,Y) -> exists Z . G(Y,Z).
+             F(a,b).",
+            "F(X,X)",
+            FcConfig { n_max: 6, ..FcConfig::default() },
+        );
+        let cert = out
+            .model()
+            .unwrap_or_else(|| panic!("expected countermodel: {out:?}"));
+        let failures = certify_countermodel(&cert.model, &db, &theory, &q, &voc);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn non_bdd_theory_is_inconclusive() {
+        // Transitivity is not BDD; κ must fail.
+        let (out, _, _, _, _) = run(
+            "E(X,Y), E(Y,Z) -> E(X,Z). E(a,b).",
+            "E(b,a)",
+            FcConfig {
+                rewrite: RewriteConfig { max_disjuncts: 15, max_steps: 3000, max_piece: 2 },
+                ..FcConfig::default()
+            },
+        );
+        match out {
+            FcOutcome::Inconclusive(reason) => {
+                assert!(reason.contains("κ"), "{reason}")
+            }
+            other => panic!("expected Inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_already_true_in_db() {
+        let (out, _, _, _, _) = run("E(a,a).", "E(X,X)", FcConfig::default());
+        assert!(matches!(out, FcOutcome::Entailed { depth: 0 }));
+    }
+}

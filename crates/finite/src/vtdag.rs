@@ -1,0 +1,218 @@
+//! Very Treelike DAGs (Definitions 10 and 11).
+//!
+//! A structure is a VTDAG when its non-constant part is a DAG, each
+//! non-constant element has at most one non-constant direct predecessor
+//! *per binary relation*, and the set of direct predecessors of every
+//! element is a directed clique. Trees are trivially VTDAGs; the Main
+//! Lemma (Lemma 2) asserts every VTDAG is ptp-conservative.
+
+use bddfc_core::{ConstId, Instance, Vocabulary};
+use bddfc_types::predecessors;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Why a structure fails to be a VTDAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VtdagViolation {
+    /// The non-constant part has a directed cycle.
+    Cyclic,
+    /// Some element has two non-constant predecessors in one relation.
+    MultiplePredecessors {
+        /// The offending element.
+        element: ConstId,
+    },
+    /// Two predecessors of an element are not related either way.
+    PredecessorsNotClique {
+        /// The element whose predecessor set is not a directed clique.
+        element: ConstId,
+    },
+}
+
+/// Checks Definition 11, returning all violations found (empty = VTDAG).
+pub fn vtdag_violations(inst: &Instance, voc: &Vocabulary) -> Vec<VtdagViolation> {
+    let mut out = Vec::new();
+    let non: FxHashSet<ConstId> = inst.domain().filter(|&c| voc.is_null(c)).collect();
+
+    // Condition 1: per-relation in-degree ≤ 1 among non-constants.
+    let mut in_by_rel: FxHashMap<(bddfc_core::PredId, ConstId), FxHashSet<ConstId>> =
+        FxHashMap::default();
+    let mut edges: FxHashMap<ConstId, Vec<ConstId>> = FxHashMap::default();
+    for fact in inst.facts() {
+        if fact.args.len() != 2 {
+            continue;
+        }
+        let (a, b) = (fact.args[0], fact.args[1]);
+        if non.contains(&a) && non.contains(&b) {
+            in_by_rel.entry((fact.pred, b)).or_default().insert(a);
+            edges.entry(a).or_default().push(b);
+        }
+    }
+    let mut bad_multi: FxHashSet<ConstId> = FxHashSet::default();
+    for ((_, e), preds) in &in_by_rel {
+        if preds.len() > 1 {
+            bad_multi.insert(*e);
+        }
+    }
+    let mut bad_multi: Vec<ConstId> = bad_multi.into_iter().collect();
+    bad_multi.sort_unstable();
+    for element in bad_multi {
+        out.push(VtdagViolation::MultiplePredecessors { element });
+    }
+
+    // DAG check.
+    if has_cycle(&non, &edges) {
+        out.push(VtdagViolation::Cyclic);
+    }
+
+    // Condition 2: P(e) ∖ {e} must be a directed clique: for d ≠ d' in
+    // P(e), d ∈ P(d') or d' ∈ P(d).
+    let mut sorted_non: Vec<ConstId> = non.iter().copied().collect();
+    sorted_non.sort_unstable();
+    for &e in &sorted_non {
+        let p: Vec<ConstId> = {
+            let mut v: Vec<ConstId> = predecessors(inst, voc, e).into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        let mut ok = true;
+        for (i, &d) in p.iter().enumerate() {
+            for &d2 in p.iter().skip(i + 1) {
+                let d_in_p_d2 = predecessors(inst, voc, d2).contains(&d);
+                let d2_in_p_d = predecessors(inst, voc, d).contains(&d2);
+                if !d_in_p_d2 && !d2_in_p_d {
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            out.push(VtdagViolation::PredecessorsNotClique { element: e });
+        }
+    }
+    out
+}
+
+fn has_cycle(nodes: &FxHashSet<ConstId>, edges: &FxHashMap<ConstId, Vec<ConstId>>) -> bool {
+    let mut color: FxHashMap<ConstId, u8> = FxHashMap::default();
+    for &start in nodes {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color.insert(start, 1);
+        while let Some(&(node, idx)) = stack.last() {
+            let succs = edges.get(&node).map_or(&[][..], |v| v.as_slice());
+            if idx < succs.len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let next = succs[idx];
+                match color.get(&next).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(next, 1);
+                        stack.push((next, 0));
+                    }
+                    1 => return true,
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// Is the structure a VTDAG (Definition 11)?
+pub fn is_vtdag(inst: &Instance, voc: &Vocabulary) -> bool {
+    vtdag_violations(inst, voc).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::Fact;
+
+    #[test]
+    fn trees_are_vtdags() {
+        let mut voc = Vocabulary::new();
+        let e = voc.pred("E", 2);
+        let f = voc.pred("F", 2);
+        let mut inst = Instance::new();
+        let root = voc.fresh_null("r");
+        let l = voc.fresh_null("l");
+        let r = voc.fresh_null("r");
+        inst.insert(Fact::new(e, vec![root, l]));
+        inst.insert(Fact::new(f, vec![root, r]));
+        assert!(is_vtdag(&inst, &voc));
+    }
+
+    #[test]
+    fn two_predecessors_in_one_relation_violate() {
+        let mut voc = Vocabulary::new();
+        let e = voc.pred("E", 2);
+        let mut inst = Instance::new();
+        let (a, b, c) = (voc.fresh_null("a"), voc.fresh_null("b"), voc.fresh_null("c"));
+        inst.insert(Fact::new(e, vec![a, c]));
+        inst.insert(Fact::new(e, vec![b, c]));
+        let v = vtdag_violations(&inst, &voc);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, VtdagViolation::MultiplePredecessors { element } if *element == c)));
+    }
+
+    #[test]
+    fn cycles_violate() {
+        let mut voc = Vocabulary::new();
+        let e = voc.pred("E", 2);
+        let mut inst = Instance::new();
+        let (a, b) = (voc.fresh_null("a"), voc.fresh_null("b"));
+        inst.insert(Fact::new(e, vec![a, b]));
+        inst.insert(Fact::new(e, vec![b, a]));
+        assert!(vtdag_violations(&inst, &voc).contains(&VtdagViolation::Cyclic));
+    }
+
+    #[test]
+    fn diamond_with_unrelated_predecessors_violates_clique() {
+        // e has predecessors d (via E) and d' (via F), unrelated: the
+        // second VTDAG condition fails.
+        let mut voc = Vocabulary::new();
+        let e = voc.pred("E", 2);
+        let f = voc.pred("F", 2);
+        let mut inst = Instance::new();
+        let (d, d2, x) = (voc.fresh_null("d"), voc.fresh_null("d"), voc.fresh_null("x"));
+        inst.insert(Fact::new(e, vec![d, x]));
+        inst.insert(Fact::new(f, vec![d2, x]));
+        let v = vtdag_violations(&inst, &voc);
+        assert!(v
+            .iter()
+            .any(|vi| matches!(vi, VtdagViolation::PredecessorsNotClique { element } if *element == x)));
+    }
+
+    #[test]
+    fn related_predecessors_form_clique() {
+        // d -> d' and both -> x: P(x) = {x, d, d'} with d ∈ P(d').
+        let mut voc = Vocabulary::new();
+        let e = voc.pred("E", 2);
+        let f = voc.pred("F", 2);
+        let g = voc.pred("G", 2);
+        let mut inst = Instance::new();
+        let (d, d2, x) = (voc.fresh_null("d"), voc.fresh_null("d"), voc.fresh_null("x"));
+        inst.insert(Fact::new(g, vec![d, d2]));
+        inst.insert(Fact::new(e, vec![d, x]));
+        inst.insert(Fact::new(f, vec![d2, x]));
+        assert!(is_vtdag(&inst, &voc));
+    }
+
+    #[test]
+    fn constants_are_exempt() {
+        // Constants may have any in-degree.
+        let mut voc = Vocabulary::new();
+        let e = voc.pred("E", 2);
+        let c = voc.constant("c");
+        let mut inst = Instance::new();
+        let (a, b) = (voc.fresh_null("a"), voc.fresh_null("b"));
+        inst.insert(Fact::new(e, vec![a, c]));
+        inst.insert(Fact::new(e, vec![b, c]));
+        inst.insert(Fact::new(e, vec![c, a]));
+        inst.insert(Fact::new(e, vec![c, b]));
+        assert!(is_vtdag(&inst, &voc));
+    }
+}

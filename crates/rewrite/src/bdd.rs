@@ -1,0 +1,183 @@
+//! The BDD property: semi-decision, certificates, and the constant κ.
+//!
+//! BDD is undecidable in general, but — as the paper notes — "in all
+//! practical situations … proving the statement 'all the programs from
+//! class C are BDD' is an easy exercise". Computationally, we *witness*
+//! BDD for a concrete query by saturating its rewriting, and we compute
+//! the Section 3.3 constant
+//!
+//! > κ = max { |Var(Ψ′)| : Ψ ⇒ ψ is a rule in T }
+//!
+//! (the maximal variable count of the positive first-order rewriting of a
+//! rule body) by rewriting every rule body.
+
+use crate::rewrite::{rewrite_query, RewriteConfig, RewriteResult};
+use bddfc_core::{ConjunctiveQuery, Term, Theory, Vocabulary};
+
+/// Outcome of a budgeted BDD probe for one query.
+#[derive(Clone, Debug)]
+pub enum BddWitness {
+    /// The rewriting saturated: a UCQ rewriting exists for this query.
+    Rewriting(RewriteResult),
+    /// The budget ran out; nothing can be concluded.
+    Inconclusive(RewriteResult),
+}
+
+impl BddWitness {
+    /// The rewriting result, saturated or not.
+    pub fn result(&self) -> &RewriteResult {
+        match self {
+            BddWitness::Rewriting(r) | BddWitness::Inconclusive(r) => r,
+        }
+    }
+
+    /// Did the rewriting saturate?
+    pub fn is_witness(&self) -> bool {
+        matches!(self, BddWitness::Rewriting(_))
+    }
+}
+
+/// Probes the BDD property for one query: saturating rewriting ⇒ witness.
+///
+/// Returns `None` for multi-head theories (normalize first, Section 5.3).
+pub fn bdd_witness(
+    query: &ConjunctiveQuery,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    config: RewriteConfig,
+) -> Option<BddWitness> {
+    let res = rewrite_query(query, theory, voc, config)?;
+    Some(if res.saturated {
+        BddWitness::Rewriting(res)
+    } else {
+        BddWitness::Inconclusive(res)
+    })
+}
+
+/// Probes BDD over all *atomic* queries `R(x₁,…,xₖ)` — with `x̄` **free** —
+/// of the theory's signature. Returns the per-predicate outcomes. If every
+/// atomic query saturates, the theory is *atomically BDD* — the practical
+/// indicator used by our pipeline (full BDD quantifies over all queries;
+/// atomic saturation is necessary, and for the classes the paper
+/// discusses — linear, sticky — it is where the action is). Free
+/// variables give the strong reading: the Boolean existential closure of
+/// an atom often saturates trivially even for non-BDD theories.
+pub fn atomic_bdd_probe(
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    config: RewriteConfig,
+) -> Vec<(String, bool)> {
+    let preds: Vec<_> = {
+        let mut v: Vec<_> = theory.preds().into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    let mut out = Vec::new();
+    for p in preds {
+        let arity = voc.arity(p);
+        let var_ids: Vec<_> = (0..arity).map(|i| voc.fresh_var(&format!("aq{i}"))).collect();
+        let vars: Vec<Term> = var_ids.iter().map(|&v| Term::Var(v)).collect();
+        let q =
+            ConjunctiveQuery::with_free(vec![bddfc_core::Atom::new(p, vars)], var_ids.clone());
+        let witness = bdd_witness(&q, theory, voc, config);
+        let ok = witness.map(|w| w.is_witness()).unwrap_or(false);
+        out.push((voc.pred_name(p).to_owned(), ok));
+    }
+    out
+}
+
+/// Is the theory atomically BDD within the budget?
+pub fn is_atomically_bdd(theory: &Theory, voc: &mut Vocabulary, config: RewriteConfig) -> bool {
+    atomic_bdd_probe(theory, voc, config).iter().all(|(_, ok)| *ok)
+}
+
+/// Computes the Section 3.3 constant κ: the maximal number of variables
+/// in the rewriting of any rule body. Returns `None` if some body
+/// rewriting fails to saturate within budget (then the theory is not
+/// usably BDD for the pipeline).
+pub fn kappa(theory: &Theory, voc: &mut Vocabulary, config: RewriteConfig) -> Option<usize> {
+    let mut max = 0usize;
+    for rule in &theory.rules {
+        // The paper evaluates Ψ′ at the frontier (Lemma 5 fixes b = the
+        // frontier value), so the frontier variables are free.
+        let mut body_q = rule.body_query();
+        let mut frontier: Vec<_> = rule.frontier().into_iter().collect();
+        frontier.sort_unstable();
+        body_q.free = frontier;
+        let res = rewrite_query(&body_q, theory, voc, config)?;
+        if !res.saturated {
+            return None;
+        }
+        for d in &res.ucq.disjuncts {
+            max = max.max(d.var_count());
+        }
+    }
+    Some(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_rule;
+
+    fn linear_theory(voc: &mut Vocabulary) -> Theory {
+        Theory::new(vec![
+            parse_rule("P(X) -> E(X,Z)", voc).unwrap(),
+            parse_rule("E(X,Y) -> U(Y)", voc).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn linear_theory_is_atomically_bdd() {
+        let mut voc = Vocabulary::new();
+        let th = linear_theory(&mut voc);
+        assert!(is_atomically_bdd(&th, &mut voc, RewriteConfig::default()));
+    }
+
+    #[test]
+    fn transitive_closure_is_not_bdd() {
+        let mut voc = Vocabulary::new();
+        let th = Theory::new(vec![parse_rule("E(X,Y), E(Y,Z) -> E(X,Z)", &mut voc).unwrap()]);
+        let config = RewriteConfig { max_disjuncts: 15, max_steps: 4_000, max_piece: 2 };
+        assert!(!is_atomically_bdd(&th, &mut voc, config));
+    }
+
+    #[test]
+    fn kappa_of_linear_theory() {
+        let mut voc = Vocabulary::new();
+        let th = linear_theory(&mut voc);
+        let k = kappa(&th, &mut voc, RewriteConfig::default()).unwrap();
+        // Bodies: P(X) rewrites to itself (1 var); E(X,Y) rewrites to
+        // {E(X,Y), P(X)} (≤ 2 vars). κ = 2.
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn kappa_fails_for_non_bdd_theory() {
+        let mut voc = Vocabulary::new();
+        let th = Theory::new(vec![parse_rule("E(X,Y), E(Y,Z) -> E(X,Z)", &mut voc).unwrap()]);
+        let config = RewriteConfig { max_disjuncts: 15, max_steps: 4_000, max_piece: 2 };
+        assert_eq!(kappa(&th, &mut voc, config), None);
+    }
+
+    #[test]
+    fn example7_theory_is_bdd() {
+        // Example 7: E(x,y) -> ∃z E(y,z);  E(x,y), E(x',y) -> R(x,x').
+        // The paper calls this theory BDD.
+        let mut voc = Vocabulary::new();
+        let th = Theory::new(vec![
+            parse_rule("E(X,Y) -> E(Y,Z)", &mut voc).unwrap(),
+            parse_rule("E(X,Y), E(X2,Y) -> R(X,X2)", &mut voc).unwrap(),
+        ]);
+        assert!(is_atomically_bdd(&th, &mut voc, RewriteConfig::default()));
+    }
+
+    #[test]
+    fn per_predicate_probe_reports_names() {
+        let mut voc = Vocabulary::new();
+        let th = linear_theory(&mut voc);
+        let probe = atomic_bdd_probe(&th, &mut voc, RewriteConfig::default());
+        assert_eq!(probe.len(), 3); // P, E, U
+        assert!(probe.iter().all(|(_, ok)| *ok));
+    }
+}

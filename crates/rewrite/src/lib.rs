@@ -1,0 +1,30 @@
+//! # bddfc-rewrite — UCQ rewriting and the BDD property
+//!
+//! Implements the machinery behind Definition 2 of *On the BDD/FC
+//! Conjecture*:
+//!
+//! * atom unification over flat terms ([`unify`]);
+//! * homomorphic containment of conjunctive queries ([`subsume`]);
+//! * piece rewriting producing positive first-order (UCQ) rewritings
+//!   ([`rewrite`]);
+//! * BDD witnesses and the Section 3.3 constant κ ([`bdd`]);
+//! * rewriting-based certain answers ([`answers`]).
+
+#![warn(missing_docs)]
+
+pub mod answers;
+pub mod bdd;
+pub mod query_graph;
+pub mod rewrite;
+pub mod subsume;
+pub mod unify;
+
+pub use answers::{certain_answers_rewriting, certainly_entailed_rewriting};
+pub use bdd::{atomic_bdd_probe, bdd_witness, is_atomically_bdd, kappa, BddWitness};
+pub use query_graph::{
+    find_fork, has_directed_cycle, is_undirected_tree, measure, resolve_fork_by_unification,
+    resolve_fork_with, shape, Fork, QueryShape,
+};
+pub use rewrite::{rewrite_query, RewriteConfig, RewriteResult};
+pub use subsume::{equivalent, insert_minimal, subsumes};
+pub use unify::{unify_with_all, Subst};

@@ -1,0 +1,355 @@
+//! Queries as graphs: the Section 4 machinery behind Lemmas 8–11.
+//!
+//! The proof of the Main Lemma views a conjunctive query over a binary
+//! signature as a directed labelled graph — vertices are variables, edges
+//! are binary atoms (atoms mentioning constants act as unary decorations,
+//! and pure-constant atoms are irrelevant). Three shapes matter:
+//!
+//! * **undirected trees** — never counterexamples (Lemma 8);
+//! * queries with a **directed cycle** — never satisfied in quotients of
+//!   naturally colored structures (Lemma 9);
+//! * queries with an **undirected but no directed cycle** — the hard
+//!   case, handled by normalization (Lemmas 10/11): such a query contains
+//!   the fork pattern (♥) `R₁(z′, z) ∧ R₂(z″, z)`, and each normalization
+//!   step strictly decreases the measure
+//!   `Measure(Φ) = Σ_x occ(x) · smaller(x)`.
+//!
+//! This module classifies query graphs and implements the measure, so the
+//! termination argument of Lemma 10's while-loop is executable.
+
+use bddfc_core::{Atom, ConjunctiveQuery, Term, VarId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The Section 4 shape classification of a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryShape {
+    /// The variable graph is an undirected forest (Lemma 8 applies).
+    UndirectedTree,
+    /// The variable graph has a directed cycle (Lemma 9 applies).
+    DirectedCycle,
+    /// Undirected cycle but no directed one (Lemmas 10/11 apply).
+    UndirectedCycleOnly,
+}
+
+/// A fork `R₁(z′, z) ∧ R₂(z″, z)` — the (♥) pattern of Section 4.1.
+/// Normalization resolves forks until the query is a tree or contains a
+/// directed cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fork {
+    /// Index of the first in-edge atom in the query.
+    pub atom1: usize,
+    /// Index of the second in-edge atom.
+    pub atom2: usize,
+    /// The shared target variable `z`.
+    pub target: VarId,
+}
+
+/// The variable-to-variable directed edges of a query (binary atoms with
+/// two distinct variable arguments).
+fn var_edges(q: &ConjunctiveQuery) -> Vec<(VarId, VarId, usize)> {
+    let mut out = Vec::new();
+    for (i, atom) in q.atoms.iter().enumerate() {
+        if atom.args.len() != 2 {
+            continue;
+        }
+        if let (Term::Var(a), Term::Var(b)) = (atom.args[0], atom.args[1]) {
+            out.push((a, b, i));
+        }
+    }
+    out
+}
+
+/// Does the query's variable graph contain a directed cycle (including
+/// self-loops `R(x,x)`)?
+pub fn has_directed_cycle(q: &ConjunctiveQuery) -> bool {
+    let edges = var_edges(q);
+    let mut succ: FxHashMap<VarId, Vec<VarId>> = FxHashMap::default();
+    for &(a, b, _) in &edges {
+        if a == b {
+            return true;
+        }
+        succ.entry(a).or_default().push(b);
+    }
+    // Iterative DFS with colors.
+    let mut color: FxHashMap<VarId, u8> = FxHashMap::default();
+    let nodes: FxHashSet<VarId> = q.variables();
+    for &start in &nodes {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        color.insert(start, 1);
+        while let Some(&(node, idx)) = stack.last() {
+            let succs = succ.get(&node).map_or(&[][..], |v| v.as_slice());
+            if idx < succs.len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let next = succs[idx];
+                match color.get(&next).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(next, 1);
+                        stack.push((next, 0));
+                    }
+                    1 => return true,
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+/// Is the query's variable graph an undirected forest (no undirected
+/// cycle)? Parallel edges between the same pair count as a cycle.
+pub fn is_undirected_tree(q: &ConjunctiveQuery) -> bool {
+    // Union-find over variables; any edge joining two already-connected
+    // variables closes an undirected cycle.
+    let mut parent: FxHashMap<VarId, VarId> = FxHashMap::default();
+    fn find(parent: &mut FxHashMap<VarId, VarId>, mut v: VarId) -> VarId {
+        loop {
+            let p = *parent.entry(v).or_insert(v);
+            if p == v {
+                return v;
+            }
+            let gp = *parent.entry(p).or_insert(p);
+            parent.insert(v, gp);
+            v = gp;
+        }
+    }
+    for (a, b, _) in var_edges(q) {
+        if a == b {
+            return false;
+        }
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra == rb {
+            return false;
+        }
+        parent.insert(ra, rb);
+    }
+    true
+}
+
+/// Classifies the query per Section 4.
+pub fn shape(q: &ConjunctiveQuery) -> QueryShape {
+    if has_directed_cycle(q) {
+        QueryShape::DirectedCycle
+    } else if is_undirected_tree(q) {
+        QueryShape::UndirectedTree
+    } else {
+        QueryShape::UndirectedCycleOnly
+    }
+}
+
+/// Finds a (♥) fork: two distinct binary atoms pointing into the same
+/// variable. Every query with an undirected but no directed cycle has
+/// one (Section 4.1).
+pub fn find_fork(q: &ConjunctiveQuery) -> Option<Fork> {
+    let mut into: FxHashMap<VarId, usize> = FxHashMap::default();
+    for (i, atom) in q.atoms.iter().enumerate() {
+        if atom.args.len() != 2 || !atom.args[0].is_var() {
+            // (♥) concerns variable predecessors; counterexamples avoid
+            // constants (Lemma 7 (iii)).
+            continue;
+        }
+        if let Term::Var(z) = atom.args[1] {
+            if let Some(&first) = into.get(&z) {
+                if first != i {
+                    return Some(Fork { atom1: first, atom2: i, target: z });
+                }
+            } else {
+                into.insert(z, i);
+            }
+        }
+    }
+    None
+}
+
+/// The termination measure of Lemma 10's while-loop:
+/// `Measure(Φ) = Σ_{x ∈ Var(Φ)} occ(x) · smaller(x)`, where `occ(x)`
+/// counts occurrences and `smaller(x)` counts variables from which `x`
+/// is reachable by a directed path.
+pub fn measure(q: &ConjunctiveQuery) -> u64 {
+    let vars: Vec<VarId> = {
+        let mut v: Vec<VarId> = q.variables().into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    let mut succ: FxHashMap<VarId, Vec<VarId>> = FxHashMap::default();
+    for (a, b, _) in var_edges(q) {
+        succ.entry(a).or_default().push(b);
+    }
+    // smaller(x): number of variables y ≠ x with a directed path y →* x.
+    let mut smaller: FxHashMap<VarId, u64> = FxHashMap::default();
+    for &y in &vars {
+        let mut seen: FxHashSet<VarId> = FxHashSet::default();
+        let mut stack = vec![y];
+        while let Some(v) = stack.pop() {
+            if !seen.insert(v) {
+                continue;
+            }
+            if v != y {
+                *smaller.entry(v).or_default() += 1;
+            }
+            if let Some(next) = succ.get(&v) {
+                stack.extend(next.iter().copied());
+            }
+        }
+    }
+    let mut occ: FxHashMap<VarId, u64> = FxHashMap::default();
+    for atom in &q.atoms {
+        for v in atom.vars() {
+            *occ.entry(v).or_default() += 1;
+        }
+    }
+    vars.iter()
+        .map(|v| occ.get(v).copied().unwrap_or(0) * smaller.get(v).copied().unwrap_or(0))
+        .sum()
+}
+
+/// One normalization step in the spirit of Lemma 11, option 3: resolve
+/// the fork by replacing `R₁(z′,z)` with `P(z′,z″)` — "the two
+/// predecessors of z must be related". The caller chooses the relation
+/// `P` (in the paper it is dictated by the color of `z`). Returns the
+/// rewritten query.
+pub fn resolve_fork_with(
+    q: &ConjunctiveQuery,
+    fork: &Fork,
+    p: bddfc_core::PredId,
+) -> ConjunctiveQuery {
+    let z_prime = q.atoms[fork.atom1].args[0];
+    let z_dprime = q.atoms[fork.atom2].args[0];
+    let mut atoms: Vec<Atom> = Vec::with_capacity(q.atoms.len());
+    for (i, atom) in q.atoms.iter().enumerate() {
+        if i == fork.atom1 {
+            atoms.push(Atom::new(p, vec![z_dprime, z_prime]));
+        } else {
+            atoms.push(atom.clone());
+        }
+    }
+    ConjunctiveQuery { atoms, free: q.free.clone() }
+}
+
+/// One normalization step in the spirit of Lemma 11, option 1: unify the
+/// two fork sources (`z′ = z″`), dropping the duplicate atom.
+pub fn resolve_fork_by_unification(q: &ConjunctiveQuery, fork: &Fork) -> ConjunctiveQuery {
+    let z_prime = q.atoms[fork.atom1].args[0];
+    let z_dprime = q.atoms[fork.atom2].args[0];
+    let subst = |v: VarId| -> Option<Term> {
+        if Term::Var(v) == z_dprime {
+            Some(z_prime)
+        } else {
+            None
+        }
+    };
+    let mut atoms = Vec::new();
+    let mut seen = FxHashSet::default();
+    for atom in &q.atoms {
+        let a = atom.apply(&subst);
+        if seen.insert(a.clone()) {
+            atoms.push(a);
+        }
+    }
+    let free = q
+        .free
+        .iter()
+        .map(|&f| match subst(f) {
+            Some(Term::Var(w)) => w,
+            _ => f,
+        })
+        .collect();
+    ConjunctiveQuery { atoms, free }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::{parse_query, Vocabulary};
+
+    fn q(src: &str, voc: &mut Vocabulary) -> ConjunctiveQuery {
+        parse_query(src, voc).unwrap()
+    }
+
+    #[test]
+    fn paths_are_trees() {
+        let mut voc = Vocabulary::new();
+        let query = q("E(X,Y), E(Y,Z), F(Y,W)", &mut voc);
+        assert_eq!(shape(&query), QueryShape::UndirectedTree);
+        assert!(find_fork(&query).is_none());
+    }
+
+    #[test]
+    fn directed_cycles_detected() {
+        let mut voc = Vocabulary::new();
+        let query = q("E(X,Y), E(Y,Z), E(Z,X)", &mut voc);
+        assert_eq!(shape(&query), QueryShape::DirectedCycle);
+        let lp = q("E(X,X)", &mut voc);
+        assert_eq!(shape(&lp), QueryShape::DirectedCycle);
+    }
+
+    #[test]
+    fn example9_diamond_is_undirected_cycle_only() {
+        // Example 9's 4-cycle: F(x1,y1), F(x2,y1), G(x2,y2), G(x1,y2).
+        let mut voc = Vocabulary::new();
+        let query = q("F(X1,Y1), F(X2,Y1), G(X2,Y2), G(X1,Y2)", &mut voc);
+        assert_eq!(shape(&query), QueryShape::UndirectedCycleOnly);
+        let fork = find_fork(&query).unwrap();
+        assert_eq!(voc.var_name(fork.target), "Y1");
+    }
+
+    #[test]
+    fn unification_step_shrinks_variables() {
+        let mut voc = Vocabulary::new();
+        let query = q("F(X1,Y1), F(X2,Y1), G(X2,Y2), G(X1,Y2)", &mut voc);
+        let fork = find_fork(&query).unwrap();
+        let unified = resolve_fork_by_unification(&query, &fork);
+        assert!(unified.var_count() < query.var_count());
+        // Lemma 11 option 1: fewer variables.
+    }
+
+    #[test]
+    fn fork_resolution_decreases_measure() {
+        // Lemma 10's termination argument: each application of option 2/3
+        // strictly decreases Measure. Build the (♥) diamond and resolve.
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("P", 2);
+        let query = q("F(X1,Y1), F(X2,Y1), G(X2,Y2), G(X1,Y2)", &mut voc);
+        let before = measure(&query);
+        let fork = find_fork(&query).unwrap();
+        let resolved = resolve_fork_with(&query, &fork, p);
+        let after = measure(&resolved);
+        assert!(
+            after < before,
+            "measure must strictly decrease: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn measure_of_tree_query() {
+        let mut voc = Vocabulary::new();
+        // X -> Y -> Z: occ = (1,2,1); smaller = (0,1,2); measure = 4.
+        let query = q("E(X,Y), E(Y,Z)", &mut voc);
+        assert_eq!(measure(&query), 4);
+    }
+
+    #[test]
+    fn constants_do_not_create_edges() {
+        let mut voc = Vocabulary::new();
+        let query = q("E(a,X), E(b,X)", &mut voc);
+        // Two in-atoms at X but through constants: still a tree and no
+        // variable fork... the fork targets a variable with two *variable*
+        // predecessors — constants are unary decorations.
+        assert_eq!(shape(&query), QueryShape::UndirectedTree);
+    }
+
+    #[test]
+    fn parallel_edges_are_a_cycle() {
+        let mut voc = Vocabulary::new();
+        let query = q("E(X,Y), F(X,Y)", &mut voc);
+        assert!(!is_undirected_tree(&query));
+        assert!(!has_directed_cycle(&query));
+        assert_eq!(shape(&query), QueryShape::UndirectedCycleOnly);
+    }
+}

@@ -1,0 +1,185 @@
+//! Homomorphic containment and equivalence of conjunctive queries.
+//!
+//! The rewriting engine keeps its UCQ small by discarding disjuncts that
+//! are subsumed by (mapped into by) more general ones. Containment is
+//! decided the classical way: `Q_specific ⊑ Q_general` iff `Q_general`
+//! maps homomorphically into the frozen (canonical) instance of
+//! `Q_specific`, sending free variables to their frozen counterparts in
+//! order.
+//!
+//! Freezing here uses *ephemeral* constants — ids in a reserved high range
+//! never handed out by any [`bddfc_core::Vocabulary`] — so the hot
+//! subsumption path allocates no interner entries. The homomorphism
+//! engine only compares ids, so this is safe.
+
+use bddfc_core::{hom, Binding, ConjunctiveQuery, ConstId, Fact, Instance, Term, VarId};
+use rustc_hash::FxHashMap;
+
+/// Base of the ephemeral constant range. Real vocabularies hand out ids
+/// sequentially from 0 and could not practically reach 2³¹ symbols.
+const EPHEMERAL_BASE: u32 = 1 << 31;
+
+/// Freezes a query into an instance using ephemeral constants; returns the
+/// instance and the variable map.
+fn freeze_ephemeral(cq: &ConjunctiveQuery) -> (Instance, FxHashMap<VarId, ConstId>) {
+    let mut map: FxHashMap<VarId, ConstId> = FxHashMap::default();
+    let mut inst = Instance::new();
+    let mut next = EPHEMERAL_BASE;
+    for atom in &cq.atoms {
+        let mut args = Vec::with_capacity(atom.args.len());
+        for t in &atom.args {
+            match t {
+                Term::Const(c) => {
+                    debug_assert!(c.0 < EPHEMERAL_BASE, "real constant in ephemeral range");
+                    args.push(*c);
+                }
+                Term::Var(v) => {
+                    let c = *map.entry(*v).or_insert_with(|| {
+                        let c = ConstId(next);
+                        next += 1;
+                        c
+                    });
+                    args.push(c);
+                }
+            }
+        }
+        inst.insert(Fact::new(atom.pred, args));
+    }
+    (inst, map)
+}
+
+/// Does every instance satisfying `specific` also satisfy `general`?
+/// (I.e. `specific ⊑ general`; `general` homomorphically maps into
+/// `specific`.) Free variable tuples are matched positionally.
+pub fn subsumes(general: &ConjunctiveQuery, specific: &ConjunctiveQuery) -> bool {
+    if general.free.len() != specific.free.len() {
+        return false;
+    }
+    let (frozen, var_map) = freeze_ephemeral(specific);
+    let mut init = Binding::default();
+    for (&gv, &sv) in general.free.iter().zip(specific.free.iter()) {
+        let Some(&target) = var_map.get(&sv) else {
+            // A free variable of `specific` not occurring in its atoms:
+            // cannot anchor the mapping; treat conservatively.
+            return false;
+        };
+        // Two general free vars may coincide; enforce consistency.
+        if let Some(&existing) = init.get(&gv) {
+            if existing != target {
+                return false;
+            }
+        }
+        init.insert(gv, target);
+    }
+    hom::hom_exists(&frozen, &general.atoms, &init)
+}
+
+/// Are the two queries homomorphically equivalent?
+pub fn equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+    subsumes(a, b) && subsumes(b, a)
+}
+
+/// Inserts `cq` into a set of pairwise-incomparable disjuncts: drops it if
+/// subsumed by an existing disjunct, else removes disjuncts it subsumes
+/// and appends it. Returns `true` if the query was inserted.
+pub fn insert_minimal(disjuncts: &mut Vec<ConjunctiveQuery>, cq: ConjunctiveQuery) -> bool {
+    for existing in disjuncts.iter() {
+        if subsumes(existing, &cq) {
+            return false;
+        }
+    }
+    disjuncts.retain(|existing| !subsumes(&cq, existing));
+    disjuncts.push(cq);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::{parse_query, Vocabulary};
+
+    #[test]
+    fn shorter_path_subsumes_longer() {
+        let mut voc = Vocabulary::new();
+        let p1 = parse_query("E(X,Y)", &mut voc).unwrap();
+        let p2 = parse_query("E(X,Y), E(Y,Z)", &mut voc).unwrap();
+        assert!(subsumes(&p1, &p2));
+        assert!(!subsumes(&p2, &p1));
+    }
+
+    #[test]
+    fn loop_is_most_specific() {
+        let mut voc = Vocabulary::new();
+        let path = parse_query("E(X,Y), E(Y,Z)", &mut voc).unwrap();
+        let lp = parse_query("E(W,W)", &mut voc).unwrap();
+        assert!(subsumes(&path, &lp));
+        assert!(!subsumes(&lp, &path));
+    }
+
+    #[test]
+    fn equivalence_up_to_redundancy() {
+        let mut voc = Vocabulary::new();
+        let q1 = parse_query("E(X,Y)", &mut voc).unwrap();
+        let q2 = parse_query("E(X,Y), E(X2,Y2)", &mut voc).unwrap();
+        assert!(equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn constants_block_subsumption() {
+        let mut voc = Vocabulary::new();
+        let qa = parse_query("E(a,Y)", &mut voc).unwrap();
+        let qv = parse_query("E(X,Y)", &mut voc).unwrap();
+        assert!(subsumes(&qv, &qa));
+        assert!(!subsumes(&qa, &qv));
+    }
+
+    #[test]
+    fn free_variables_anchor_the_mapping() {
+        let mut voc = Vocabulary::new();
+        let mut q1 = parse_query("E(X,Y)", &mut voc).unwrap();
+        q1.free = vec![voc.var("X")];
+        let mut q2 = parse_query("E(X,Y)", &mut voc).unwrap();
+        q2.free = vec![voc.var("Y")];
+        // Boolean-ly equivalent but answer variables differ.
+        assert!(!subsumes(&q1, &q2));
+        assert!(subsumes(&q1, &q1.clone()));
+    }
+
+    #[test]
+    fn insert_minimal_keeps_antichain() {
+        let mut voc = Vocabulary::new();
+        let edge = parse_query("E(X,Y)", &mut voc).unwrap();
+        let path = parse_query("E(X,Y), E(Y,Z)", &mut voc).unwrap();
+        let lp = parse_query("E(W,W)", &mut voc).unwrap();
+        let mut set = Vec::new();
+        assert!(insert_minimal(&mut set, path));
+        // Path subsumes loop, so loop is rejected.
+        assert!(!insert_minimal(&mut set, lp));
+        assert_eq!(set.len(), 1);
+        assert!(insert_minimal(&mut set, edge));
+        // Edge subsumes path: set collapses to {edge}.
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].atoms.len(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_never_subsumes() {
+        let mut voc = Vocabulary::new();
+        let mut q1 = parse_query("E(X,Y)", &mut voc).unwrap();
+        q1.free = vec![voc.var("X")];
+        let q2 = parse_query("E(X,Y)", &mut voc).unwrap();
+        assert!(!subsumes(&q1, &q2));
+    }
+
+    #[test]
+    fn free_var_paths_are_incomparable() {
+        // With endpoints free, E(U,V) does not subsume the 2-path.
+        let mut voc = Vocabulary::new();
+        let mut edge = parse_query("E(U,V)", &mut voc).unwrap();
+        edge.free = vec![voc.var("U"), voc.var("V")];
+        let mut path = parse_query("E(U,W), E(W,V)", &mut voc).unwrap();
+        path.free = vec![voc.var("U"), voc.var("V")];
+        assert!(!subsumes(&edge, &path));
+        assert!(!subsumes(&path, &edge));
+    }
+}

@@ -1,0 +1,207 @@
+//! Most-general unification of atoms over variable/constant terms.
+//!
+//! The rewriting engine unifies rule heads with query atoms. Terms are
+//! flat (no function symbols), so unification is a union of variable
+//! classes with at most one constant each.
+
+use bddfc_core::{Atom, Term, VarId};
+use rustc_hash::FxHashMap;
+
+/// A triangular substitution: variables map to terms; lookups chase
+/// variable-to-variable links to a representative.
+#[derive(Clone, Debug, Default)]
+pub struct Subst {
+    map: FxHashMap<VarId, Term>,
+}
+
+impl Subst {
+    /// Creates the empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves a term to its current representative.
+    pub fn walk(&self, mut t: Term) -> Term {
+        while let Term::Var(v) = t {
+            match self.map.get(&v) {
+                Some(&next) => t = next,
+                None => break,
+            }
+        }
+        t
+    }
+
+    /// Binds a variable (must be unbound after walking).
+    fn bind(&mut self, v: VarId, t: Term) {
+        debug_assert!(!self.map.contains_key(&v));
+        if t != Term::Var(v) {
+            self.map.insert(v, t);
+        }
+    }
+
+    /// Unifies two terms; returns false on clash.
+    pub fn unify_terms(&mut self, a: Term, b: Term) -> bool {
+        let a = self.walk(a);
+        let b = self.walk(b);
+        match (a, b) {
+            (Term::Var(x), Term::Var(y)) => {
+                if x != y {
+                    self.bind(x, Term::Var(y));
+                }
+                true
+            }
+            (Term::Var(x), c @ Term::Const(_)) | (c @ Term::Const(_), Term::Var(x)) => {
+                self.bind(x, c);
+                true
+            }
+            (Term::Const(c1), Term::Const(c2)) => c1 == c2,
+        }
+    }
+
+    /// Unifies two atoms; returns false on clash (including predicate or
+    /// arity mismatch).
+    pub fn unify_atoms(&mut self, a: &Atom, b: &Atom) -> bool {
+        if a.pred != b.pred || a.args.len() != b.args.len() {
+            return false;
+        }
+        a.args
+            .iter()
+            .zip(b.args.iter())
+            .all(|(&ta, &tb)| self.unify_terms(ta, tb))
+    }
+
+    /// Applies the substitution to an atom (full resolution).
+    pub fn apply_atom(&self, atom: &Atom) -> Atom {
+        Atom::new(
+            atom.pred,
+            atom.args.iter().map(|&t| self.walk(t)).collect(),
+        )
+    }
+
+    /// All variables that resolve to the same representative as `t`.
+    pub fn class_of(&self, t: Term) -> Vec<VarId> {
+        let rep = self.walk(t);
+        let mut out = Vec::new();
+        // Include the representative itself when it is a variable.
+        if let Term::Var(v) = rep {
+            out.push(v);
+        }
+        for &v in self.map.keys() {
+            if Term::Var(v) != rep && self.walk(Term::Var(v)) == rep {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Computes the mgu of `left` with every atom of `rights` simultaneously
+/// (used to unify a rule head with a whole query piece).
+pub fn unify_with_all(left: &Atom, rights: &[&Atom]) -> Option<Subst> {
+    let mut subst = Subst::new();
+    for r in rights {
+        if !subst.unify_atoms(left, r) {
+            return None;
+        }
+    }
+    Some(subst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::Vocabulary;
+
+    fn atom(voc: &mut Vocabulary, p: &str, args: &[&str]) -> Atom {
+        let pred = voc.pred(p, args.len());
+        let terms = args
+            .iter()
+            .map(|s| {
+                if s.starts_with(char::is_uppercase) {
+                    Term::Var(voc.var(s))
+                } else {
+                    Term::Const(voc.constant(s))
+                }
+            })
+            .collect();
+        Atom::new(pred, terms)
+    }
+
+    #[test]
+    fn unifies_var_with_const() {
+        let mut voc = Vocabulary::new();
+        let a = atom(&mut voc, "E", &["X", "Y"]);
+        let b = atom(&mut voc, "E", &["a", "Y"]);
+        let s = unify_with_all(&a, &[&b]).unwrap();
+        let x = voc.find_const("a").unwrap();
+        assert_eq!(s.walk(Term::Var(voc.var("X"))), Term::Const(x));
+    }
+
+    #[test]
+    fn constant_clash_fails() {
+        let mut voc = Vocabulary::new();
+        let a = atom(&mut voc, "E", &["a", "X"]);
+        let b = atom(&mut voc, "E", &["b", "Y"]);
+        assert!(unify_with_all(&a, &[&b]).is_none());
+    }
+
+    #[test]
+    fn predicate_mismatch_fails() {
+        let mut voc = Vocabulary::new();
+        let a = atom(&mut voc, "E", &["X", "Y"]);
+        let b = atom(&mut voc, "F", &["X", "Y"]);
+        assert!(unify_with_all(&a, &[&b]).is_none());
+    }
+
+    #[test]
+    fn simultaneous_unification_merges_classes() {
+        let mut voc = Vocabulary::new();
+        // Unify E(X,Z) with both E(U,V) and E(W,V): forces U ~ W ~ X, Z ~ V.
+        let h = atom(&mut voc, "E", &["X", "Z"]);
+        let q1 = atom(&mut voc, "E", &["U", "V"]);
+        let q2 = atom(&mut voc, "E", &["W", "V"]);
+        let s = unify_with_all(&h, &[&q1, &q2]).unwrap();
+        let u = voc.var("U");
+        let w = voc.var("W");
+        assert_eq!(s.walk(Term::Var(u)), s.walk(Term::Var(w)));
+        let class = s.class_of(Term::Var(u));
+        assert!(class.contains(&voc.var("X")));
+        assert!(class.contains(&w));
+    }
+
+    #[test]
+    fn repeated_variable_forces_equality() {
+        let mut voc = Vocabulary::new();
+        let h = atom(&mut voc, "E", &["X", "X"]);
+        let q = atom(&mut voc, "E", &["A", "B"]);
+        let s = unify_with_all(&h, &[&q]).unwrap();
+        assert_eq!(
+            s.walk(Term::Var(voc.var("A"))),
+            s.walk(Term::Var(voc.var("B")))
+        );
+    }
+
+    #[test]
+    fn apply_resolves_chains() {
+        let mut voc = Vocabulary::new();
+        let h = atom(&mut voc, "E", &["X", "Y"]);
+        let q = atom(&mut voc, "E", &["Y", "a"]);
+        let s = unify_with_all(&h, &[&q]).unwrap();
+        let applied = s.apply_atom(&h);
+        let a = voc.find_const("a").unwrap();
+        // X ~ Y ~ a... wait: X unifies with Y, Y unifies with a.
+        assert_eq!(applied.args[1], Term::Const(a));
+    }
+
+    #[test]
+    fn occurs_is_trivial_without_functions() {
+        // Flat terms cannot loop; X ~ Y then Y ~ X must not hang.
+        let mut voc = Vocabulary::new();
+        let mut s = Subst::new();
+        let x = voc.var("X");
+        let y = voc.var("Y");
+        assert!(s.unify_terms(Term::Var(x), Term::Var(y)));
+        assert!(s.unify_terms(Term::Var(y), Term::Var(x)));
+        assert_eq!(s.walk(Term::Var(x)), s.walk(Term::Var(y)));
+    }
+}

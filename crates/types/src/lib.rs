@@ -1,0 +1,25 @@
+//! # bddfc-types — positive types, quotients, colorings, conservativity
+//!
+//! The Section 2 machinery of *On the BDD/FC Conjecture*:
+//!
+//! * positive n-types `ptpₙ` and the equivalence `≡ₙ` (Definitions 3/4),
+//!   computed exactly via connected canonical queries ([`analyzer`]);
+//! * the quotient structures `Mₙ(C)` (Definition 5) ([`quotient`]);
+//! * colors `K^l_h`, colorings, and natural colorings (Definitions 6, 7
+//!   and 14) ([`coloring`]);
+//! * n-conservativity up to size m (Definitions 8/9, condition (♠2))
+//!   ([`conservative`]).
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod coloring;
+pub mod conservative;
+pub mod quotient;
+pub mod tower;
+
+pub use analyzer::TypeAnalyzer;
+pub use coloring::{natural_coloring, neighbourhood_code, predecessors, predecessors_m, Color, Coloring};
+pub use conservative::{check_conservative, find_conservative_n, remark5_transfer, ConservativityCheck};
+pub use quotient::Quotient;
+pub use tower::{is_downward_closed, pointed_query, QuotientTower};

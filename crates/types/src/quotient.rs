@@ -1,0 +1,174 @@
+//! The quotient structures `Mₙ(C)` of Definition 5.
+//!
+//! Given a partition of a structure's domain (normally the `≡ₙ` classes
+//! from [`crate::analyzer::TypeAnalyzer::partition`]), the quotient has
+//! one element per class and the minimal relations making the projection
+//! `qₙ : C → Mₙ(C)` a homomorphism — every fact of `C` is projected.
+//! Named constants are always singleton classes (Remark 1) and keep their
+//! identity in the quotient, so `D` survives the projection verbatim.
+
+use bddfc_core::{ConstId, Fact, Instance, Vocabulary};
+use rustc_hash::FxHashMap;
+
+/// A quotient structure together with its projection map.
+#[derive(Clone, Debug)]
+pub struct Quotient {
+    /// The quotient structure (the paper's `Mₙ(C)`).
+    pub instance: Instance,
+    /// The classes, in construction order; `classes[i]` maps to
+    /// `class_repr[i]`.
+    pub classes: Vec<Vec<ConstId>>,
+    /// The quotient element standing for each class.
+    pub class_repr: Vec<ConstId>,
+    elem_class: FxHashMap<ConstId, usize>,
+}
+
+impl Quotient {
+    /// Builds the quotient of `inst` by `partition`.
+    ///
+    /// Classes consisting of a single named constant are represented by
+    /// that constant itself; all other classes get a fresh null.
+    ///
+    /// # Panics
+    /// Panics if the partition does not cover the instance domain.
+    pub fn new(inst: &Instance, partition: Vec<Vec<ConstId>>, voc: &mut Vocabulary) -> Self {
+        let mut elem_class = FxHashMap::default();
+        let mut class_repr = Vec::with_capacity(partition.len());
+        for (i, class) in partition.iter().enumerate() {
+            for &e in class {
+                elem_class.insert(e, i);
+            }
+            let repr = if class.len() == 1 && !voc.is_null(class[0]) {
+                class[0]
+            } else {
+                voc.fresh_null("q")
+            };
+            class_repr.push(repr);
+        }
+        let mut instance = Instance::new();
+        for fact in inst.facts() {
+            let args = fact
+                .args
+                .iter()
+                .map(|c| {
+                    class_repr[*elem_class
+                        .get(c)
+                        .unwrap_or_else(|| panic!("partition misses element {c:?}"))]
+                })
+                .collect();
+            instance.insert(Fact::new(fact.pred, args));
+        }
+        Quotient { instance, classes: partition, class_repr, elem_class }
+    }
+
+    /// The projection `qₙ(e)`.
+    pub fn project(&self, e: ConstId) -> ConstId {
+        self.class_repr[self.elem_class[&e]]
+    }
+
+    /// The projection, if `e` belongs to the quotiented structure.
+    pub fn try_project(&self, e: ConstId) -> Option<ConstId> {
+        self.elem_class.get(&e).map(|&i| self.class_repr[i])
+    }
+
+    /// Number of classes (= domain size of the quotient, when every class
+    /// is inhabited by a domain element).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The members of the class of `e`.
+    pub fn class_of(&self, e: ConstId) -> &[ConstId] {
+        &self.classes[self.elem_class[&e]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::TypeAnalyzer;
+    use bddfc_core::hom;
+
+    fn chain(voc: &mut Vocabulary, len: usize) -> Instance {
+        let e = voc.pred("E", 2);
+        let mut inst = Instance::new();
+        let elems: Vec<ConstId> = (0..=len).map(|_| voc.fresh_null("a")).collect();
+        for i in 0..len {
+            inst.insert(Fact::new(e, vec![elems[i], elems[i + 1]]));
+        }
+        inst
+    }
+
+    #[test]
+    fn quotient_of_chain_by_types() {
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 10);
+        let analyzer = TypeAnalyzer::new(&inst, &mut voc, 3);
+        let partition = analyzer.partition();
+        let q = Quotient::new(&inst, partition, &mut voc);
+        // 2(n-1)+1 = 5 classes for n = 3 (finite-prefix rim included).
+        assert_eq!(q.class_count(), 5);
+        assert_eq!(q.instance.domain_size(), 5);
+        // The quotient of a chain by ≡₃ is a chain through the interior
+        // class, which carries the only self-loop.
+        let e = voc.find_pred("E").unwrap();
+        let dom = inst.sorted_domain();
+        let interior = q.project(dom[4]);
+        assert!(q
+            .instance
+            .contains(&Fact::new(e, vec![interior, interior])));
+    }
+
+    #[test]
+    fn projection_is_homomorphism() {
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 8);
+        let analyzer = TypeAnalyzer::new(&inst, &mut voc, 2);
+        let q = Quotient::new(&inst, analyzer.partition(), &mut voc);
+        // Every projected fact is present.
+        for fact in inst.facts() {
+            let img = Fact::new(fact.pred, fact.args.iter().map(|&c| q.project(c)).collect());
+            assert!(q.instance.contains(&img));
+        }
+    }
+
+    #[test]
+    fn constants_survive_projection() {
+        let mut voc = Vocabulary::new();
+        let e = voc.pred("E", 2);
+        let a = voc.constant("a");
+        let b = voc.constant("b");
+        let mut inst = Instance::new();
+        inst.insert(Fact::new(e, vec![a, b]));
+        let n1 = voc.fresh_null("x");
+        inst.insert(Fact::new(e, vec![b, n1]));
+        let analyzer = TypeAnalyzer::new(&inst, &mut voc, 2);
+        let q = Quotient::new(&inst, analyzer.partition(), &mut voc);
+        assert_eq!(q.project(a), a);
+        assert_eq!(q.project(b), b);
+        assert!(q.instance.contains(&Fact::new(e, vec![a, b])));
+    }
+
+    #[test]
+    fn quotient_preserves_positive_queries() {
+        // Homomorphic images preserve CQ satisfaction (the ⊆ direction of
+        // (♠2), which is automatic).
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 8);
+        let analyzer = TypeAnalyzer::new(&inst, &mut voc, 3);
+        let q = Quotient::new(&inst, analyzer.partition(), &mut voc);
+        let path3 =
+            bddfc_core::parse_query("E(X1,X2), E(X2,X3), E(X3,X4)", &mut voc).unwrap();
+        assert!(hom::satisfies_cq(&inst, &path3));
+        assert!(hom::satisfies_cq(&q.instance, &path3));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition misses")]
+    fn incomplete_partition_panics() {
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 3);
+        let dom = inst.sorted_domain();
+        Quotient::new(&inst, vec![vec![dom[0]]], &mut voc);
+    }
+}

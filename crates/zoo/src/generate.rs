@@ -1,0 +1,210 @@
+//! Seeded random workload generators for benchmarks and property tests.
+//!
+//! Everything here is deterministic given the seed, so benchmark rows are
+//! reproducible.
+
+use bddfc_core::{Atom, ConstId, Fact, Instance, PredId, Rule, Term, Theory, VarId, Vocabulary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random directed graph instance over one binary predicate
+/// `E` with `nodes` elements and `edges` random edges.
+pub fn random_graph(voc: &mut Vocabulary, nodes: usize, edges: usize, seed: u64) -> Instance {
+    let e = voc.pred("E", 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let elems: Vec<ConstId> = (0..nodes)
+        .map(|i| voc.constant(&format!("v{i}")))
+        .collect();
+    let mut inst = Instance::new();
+    while inst.len() < edges {
+        let a = elems[rng.gen_range(0..nodes)];
+        let b = elems[rng.gen_range(0..nodes)];
+        inst.insert(Fact::new(e, vec![a, b]));
+    }
+    inst
+}
+
+/// Generates a random *linear* Datalog∃ theory over `preds` binary
+/// predicates with `rules` rules (linear theories are BDD and FC, so the
+/// whole pipeline applies to them).
+pub fn random_linear_theory(
+    voc: &mut Vocabulary,
+    preds: usize,
+    rules: usize,
+    seed: u64,
+) -> Theory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ps: Vec<PredId> = (0..preds)
+        .map(|i| voc.pred(&format!("R{i}"), 2))
+        .collect();
+    let x = voc.var("Xg");
+    let y = voc.var("Yg");
+    let z = voc.var("Zg");
+    let mut out = Vec::new();
+    for _ in 0..rules {
+        let pb = ps[rng.gen_range(0..preds)];
+        let ph = ps[rng.gen_range(0..preds)];
+        let body = vec![Atom::new(pb, vec![Term::Var(x), Term::Var(y)])];
+        let head = if rng.gen_bool(0.5) {
+            // Existential: R(x,y) -> ∃z S(y,z).
+            Atom::new(ph, vec![Term::Var(y), Term::Var(z)])
+        } else {
+            // Datalog: R(x,y) -> S(y,x).
+            Atom::new(ph, vec![Term::Var(y), Term::Var(x)])
+        };
+        out.push(Rule::single(body, head));
+    }
+    Theory::new(out)
+}
+
+/// A forest-shaped instance: `roots` chains of length `depth` over `E`,
+/// with unary markers every `marker_every` steps. All non-root elements
+/// are labelled nulls, matching chase-produced skeletons.
+pub fn forest(
+    voc: &mut Vocabulary,
+    roots: usize,
+    depth: usize,
+    marker_every: usize,
+) -> Instance {
+    let e = voc.pred("E", 2);
+    let u = voc.pred("Mark", 1);
+    let mut inst = Instance::new();
+    for r in 0..roots {
+        let mut prev = {
+            let c = voc.constant(&format!("root{r}"));
+            c
+        };
+        for d in 0..depth {
+            let next = voc.fresh_null("t");
+            inst.insert(Fact::new(e, vec![prev, next]));
+            if marker_every > 0 && d % marker_every == 0 {
+                inst.insert(Fact::new(u, vec![next]));
+            }
+            prev = next;
+        }
+    }
+    inst
+}
+
+/// A long anonymous chain (Example 3's structure) of the given length.
+pub fn anonymous_chain(voc: &mut Vocabulary, len: usize) -> (Instance, Vec<ConstId>) {
+    let e = voc.pred("E", 2);
+    let elems: Vec<ConstId> = (0..=len).map(|_| voc.fresh_null("a")).collect();
+    let mut inst = Instance::new();
+    for i in 0..len {
+        inst.insert(Fact::new(e, vec![elems[i], elems[i + 1]]));
+    }
+    (inst, elems)
+}
+
+/// Builds the colored chain of Example 4: `len` elements, hues cycling
+/// modulo `hues`. Returns the colored instance (colors as unary `Kh`)
+/// and the elements.
+pub fn colored_chain(
+    voc: &mut Vocabulary,
+    len: usize,
+    hues: usize,
+) -> (Instance, Vec<ConstId>) {
+    let (mut inst, elems) = anonymous_chain(voc, len);
+    let preds: Vec<PredId> = (0..hues).map(|h| voc.pred(&format!("K{h}"), 1)).collect();
+    for (i, &e) in elems.iter().enumerate() {
+        inst.insert(Fact::new(preds[i % hues], vec![e]));
+    }
+    (inst, elems)
+}
+
+/// A directed grid over two relations: `Right(i,j)->(i,j+1)` and
+/// `Down(i,j)->(i+1,j)`. Grids are the classic *non*-treelike structures:
+/// every inner node has two predecessors that are unrelated, so they
+/// violate the VTDAG clique condition — useful as negative tests for the
+/// Section 2.7 machinery.
+pub fn grid(voc: &mut Vocabulary, rows: usize, cols: usize) -> Instance {
+    let right = voc.pred("Right", 2);
+    let down = voc.pred("Down", 2);
+    let mut cells = vec![vec![ConstId(0); cols]; rows];
+    for (i, row) in cells.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let _ = (i, j);
+            *cell = voc.fresh_null("g");
+        }
+    }
+    let mut inst = Instance::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols {
+                inst.insert(Fact::new(right, vec![cells[i][j], cells[i][j + 1]]));
+            }
+            if i + 1 < rows {
+                inst.insert(Fact::new(down, vec![cells[i][j], cells[i + 1][j]]));
+            }
+        }
+    }
+    inst
+}
+
+/// A random conjunctive path query `E(x₀,x₁) ∧ … ∧ E(x_{k-1},x_k)` with
+/// optional branching, for rewriting benchmarks.
+pub fn path_query(voc: &mut Vocabulary, len: usize) -> bddfc_core::ConjunctiveQuery {
+    let e = voc.pred("E", 2);
+    let vars: Vec<VarId> = (0..=len).map(|i| voc.fresh_var(&format!("q{i}"))).collect();
+    let atoms = (0..len)
+        .map(|i| Atom::new(e, vec![Term::Var(vars[i]), Term::Var(vars[i + 1])]))
+        .collect();
+    bddfc_core::ConjunctiveQuery::boolean(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let mut v1 = Vocabulary::new();
+        let g1 = random_graph(&mut v1, 20, 40, 7);
+        let mut v2 = Vocabulary::new();
+        let g2 = random_graph(&mut v2, 20, 40, 7);
+        assert_eq!(g1.len(), g2.len());
+        assert_eq!(g1.facts(), g2.facts());
+    }
+
+    #[test]
+    fn random_linear_theory_is_linear() {
+        let mut voc = Vocabulary::new();
+        let t = random_linear_theory(&mut voc, 4, 12, 3);
+        assert!(bddfc_classes::is_linear(&t));
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn forest_shape() {
+        let mut voc = Vocabulary::new();
+        let f = forest(&mut voc, 3, 10, 3);
+        let e = voc.find_pred("E").unwrap();
+        assert_eq!(f.facts_with_pred(e).len(), 30);
+    }
+
+    #[test]
+    fn colored_chain_has_one_color_per_element() {
+        let mut voc = Vocabulary::new();
+        let (inst, elems) = colored_chain(&mut voc, 9, 3);
+        // 9 edges + 10 colors.
+        assert_eq!(inst.len(), 9 + elems.len());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let mut voc = Vocabulary::new();
+        let g = grid(&mut voc, 3, 4);
+        // Right edges: 3 rows × 3; Down edges: 2 × 4.
+        assert_eq!(g.len(), 9 + 8);
+        assert_eq!(g.domain_size(), 12);
+    }
+
+    #[test]
+    fn path_query_length() {
+        let mut voc = Vocabulary::new();
+        let q = path_query(&mut voc, 5);
+        assert_eq!(q.atoms.len(), 5);
+        assert_eq!(q.var_count(), 6);
+    }
+}

@@ -1,0 +1,19 @@
+//! # bddfc-zoo — the paper's examples and workload generators
+//!
+//! * every example theory from *On the BDD/FC Conjecture* ([`paper`]);
+//! * seeded random instance/theory/query generators for benchmarks and
+//!   property tests ([`generate`]).
+
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod paper;
+
+pub use generate::{
+    anonymous_chain, colored_chain, forest, grid, path_query, random_graph,
+    random_linear_theory,
+};
+pub use paper::{
+    chain_theory, example1, example1_m_prime, example7, example9, guarded_example,
+    linear_ontology, notorious, order_theory, remark3, section54, sticky_example, total_order,
+};

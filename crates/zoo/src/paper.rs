@@ -1,0 +1,217 @@
+//! Every example theory and instance from *On the BDD/FC Conjecture*,
+//! as ready-made constructors.
+//!
+//! Each function returns a [`bddfc_core::Program`]; the source text is
+//! embedded so examples can also be read as documentation.
+
+use bddfc_core::{parse_program, Program};
+
+fn parse(src: &str) -> Program {
+    parse_program(src).expect("zoo source parses")
+}
+
+/// **Example 1**: the triangle theory whose chase is an infinite E-chain
+/// but whose 3-cycle homomorphic image triggers a diverging U-chain.
+pub fn example1() -> Program {
+    parse(
+        "% Example 1
+         E(X,Y) -> exists Z . E(Y,Z).
+         E(X,Y), E(Y,Z), E(Z,X) -> exists T . U(X,T).
+         U(X,Y) -> exists Z . U(Y,Z).
+         E(a,b).",
+    )
+}
+
+/// The 3-cycle `M'` of Examples 1 and 2 — a homomorphic image of the
+/// chase that is *not* a model of the theory.
+pub fn example1_m_prime() -> Program {
+    parse("E(a,b). E(b,c). E(c,a).")
+}
+
+/// **Example 3 / Example 4 substrate**: the plain successor rule whose
+/// chase from `E(a,b)` is the infinite chain.
+pub fn chain_theory() -> Program {
+    parse(
+        "E(X,Y) -> exists Z . E(Y,Z).
+         E(a,b).",
+    )
+}
+
+/// **Remark 3**: satisfies (♠3) without being ptp-conservative — the
+/// chase contains an infinite irreflexive total order next to a loop.
+pub fn remark3() -> Program {
+    parse(
+        "% Remark 3
+         E(X,Y) -> exists Z . E(Y,Z).
+         E(X,Y), E(Y,Z) -> E(X,Z).
+         E(a,a). E(b,c).",
+    )
+}
+
+/// **Example 6 substrate**: a finite prefix of a strict total order with
+/// `len` elements (the non-conservative structure).
+pub fn total_order(len: usize) -> Program {
+    let mut src = String::new();
+    for i in 0..len {
+        for j in (i + 1)..len {
+            src.push_str(&format!("Lt(o{i},o{j}). "));
+        }
+    }
+    parse(&src)
+}
+
+/// **Example 7**: BDD theory whose quotient needs datalog saturation —
+/// `E(x,y) → ∃z E(y,z)` and `E(x,y) ∧ E(x',y) → R(x,x')`.
+pub fn example7() -> Program {
+    parse(
+        "% Example 7
+         E(X,Y) -> exists Z . E(Y,Z).
+         E(X,Y), E(X2,Y) -> R(X,X2).
+         E(a,b).",
+    )
+}
+
+/// **Example 9**: the F/G binary-tree theory whose quotients contain
+/// undirected (but no short directed) cycles.
+pub fn example9() -> Program {
+    parse(
+        "% Example 9
+         F(X,Y) -> exists Z . F(Y,Z).
+         F(X,Y) -> exists Z . G(Y,Z).
+         G(X,Y) -> exists Z . F(Y,Z).
+         G(X,Y) -> exists Z . G(Y,Z).
+         F(a,b).",
+    )
+}
+
+/// **Section 5.4**: the quaternary obstruction — BDD, but no analogue of
+/// Lemma 5 can hold (witnesses depend on whole tuples).
+pub fn section54() -> Program {
+    parse(
+        "% Section 5.4
+         R(X,X2,Y,Z) -> E(Y,Z).
+         E(X,Y), E(T,Y) -> exists Z . R(X,T,Y,Z).
+         E(a,b).",
+    )
+}
+
+/// **Section 5.5, the "notorious example"**: a theory that does not
+/// define an ordering yet is not FC. `Chase ⊭ E(x,y) ∧ R(y,y)`, but every
+/// finite model satisfies it.
+pub fn notorious() -> Program {
+    parse(
+        "% Section 5.5
+         E(X,Y) -> exists Z . E(Y,Z).
+         R(X,Y), E(X,X2), E(Y,Z), E(Z,Y2) -> R(X2,Y2).
+         E(a0,a1). R(a0,a0).
+         ?- E(X,Y), R(Y,Y).",
+    )
+}
+
+/// The infinite-order theory from the introduction of §5.5 (the "most
+/// natural" non-FC theory): a strict total order with a maximal element
+/// demanded forever.
+pub fn order_theory() -> Program {
+    parse(
+        "% §5.5 intro: defines an ordering
+         Lt(X,Y) -> exists Z . Lt(Y,Z).
+         Lt(X,Y), Lt(Y,Z) -> Lt(X,Z).
+         Lt(a,b).
+         ?- Lt(X,X).",
+    )
+}
+
+/// A linear (hence BDD and FC) ontology used as the well-behaved
+/// comparison point in benchmarks.
+pub fn linear_ontology() -> Program {
+    parse(
+        "% linear ontology
+         Person(X) -> exists Z . HasParent(X,Z).
+         HasParent(X,Y) -> Person(Y).
+         Person(X) -> Named(X).
+         Person(alice). HasParent(bob,carol).",
+    )
+}
+
+/// A guarded, non-linear theory (for the §5.6 translation demos).
+pub fn guarded_example() -> Program {
+    parse(
+        "% guarded
+         Mentors(X,Y) -> exists Z . Mentors(Y,Z).
+         Mentors(X,Y), Senior(X) -> Senior(Y).
+         Mentors(a,b). Senior(a).",
+    )
+}
+
+/// A sticky but unguarded theory (Calì–Gottlob–Pieris flavour).
+pub fn sticky_example() -> Program {
+    parse(
+        "% sticky: the join variable P always survives into the head
+         WorksOn(X,P), LeaderOf(Y,P) -> ReportsTo(X,Y,P).
+         ReportsTo(X,Y,P) -> exists Q . Delegates(Y,P,Q).
+         WorksOn(ann,db). LeaderOf(tom,db).",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_classes::classify;
+
+    #[test]
+    fn all_zoo_programs_parse() {
+        for p in [
+            example1(),
+            example1_m_prime(),
+            chain_theory(),
+            remark3(),
+            total_order(4),
+            example7(),
+            example9(),
+            section54(),
+            notorious(),
+            order_theory(),
+            linear_ontology(),
+            guarded_example(),
+            sticky_example(),
+        ] {
+            // The vocabulary must know every predicate used.
+            assert!(p.voc.pred_count() > 0);
+        }
+    }
+
+    #[test]
+    fn classifications_match_the_paper() {
+        let e1 = example1();
+        let r = classify(&e1.theory, &e1.voc);
+        assert!(r.binary && !r.linear);
+
+        let lin = linear_ontology();
+        let r = classify(&lin.theory, &lin.voc);
+        assert!(r.linear && r.guarded);
+
+        let g = guarded_example();
+        let r = classify(&g.theory, &g.voc);
+        assert!(r.guarded && !r.linear);
+
+        let s54 = section54();
+        let r = classify(&s54.theory, &s54.voc);
+        assert!(!r.binary); // quaternary R
+
+        let st = sticky_example();
+        assert!(bddfc_classes::is_sticky(&st.theory));
+    }
+
+    #[test]
+    fn notorious_query_parses() {
+        let n = notorious();
+        assert_eq!(n.queries.len(), 1);
+        assert_eq!(n.instance.len(), 2);
+    }
+
+    #[test]
+    fn total_order_has_expected_size() {
+        let p = total_order(5);
+        assert_eq!(p.instance.len(), 10); // C(5,2)
+    }
+}

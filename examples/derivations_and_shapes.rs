@@ -1,0 +1,74 @@
+//! Derivation trees, query shapes and the ordering probe: the analysis
+//! side of the library.
+//!
+//! Run with: `cargo run --example derivations_and_shapes`
+
+use bddfc::prelude::*;
+use bddfc::rewrite::{find_fork, measure, resolve_fork_by_unification};
+
+fn main() {
+    // 1. Derivation trees — the objects whose height the BDD property
+    //    bounds (Section 1.1).
+    println!("== Derivation trees ==\n");
+    let prog = parse_program(
+        "E(X,Y), E(Y,Z) -> E(X,Z).
+         E(a,b). E(b,c). E(c,d). E(d,f).",
+    )
+    .expect("parses");
+    let mut voc = prog.voc.clone();
+    let traced = bddfc::chase::traced_chase(&prog.instance, &prog.theory, &mut voc, 8);
+    assert!(traced.fixpoint);
+    let e = voc.find_pred("E").unwrap();
+    let a = voc.find_const("a").unwrap();
+    let f = voc.find_const("f").unwrap();
+    let af = bddfc::core::Fact::new(e, vec![a, f]);
+    let tree = traced.explain(&af).expect("derived");
+    println!(
+        "E(a,f) has a derivation of height {} with {} rule applications:\n{}",
+        tree.height(),
+        tree.size(),
+        tree.display(&voc)
+    );
+
+    // 2. Query shapes — Section 4's trichotomy.
+    println!("== Query shapes (Section 4) ==\n");
+    for src in [
+        "E(X,Y), E(Y,Z), F(Y,W)",
+        "E(X,Y), E(Y,Z), E(Z,X)",
+        "F(X1,Y1), F(X2,Y1), G(X2,Y2), G(X1,Y2)",
+    ] {
+        let q = parse_query(src, &mut voc).expect("parses");
+        println!("{src:<44} -> {:?}, measure {}", shape(&q), measure(&q));
+    }
+
+    // 3. Normalization (Lemma 11, option 1): unify the fork sources.
+    let diamond =
+        parse_query("F(X1,Y1), F(X2,Y1), G(X2,Y2), G(X1,Y2)", &mut voc).expect("parses");
+    let fork = find_fork(&diamond).expect("the diamond has a fork");
+    let unified = resolve_fork_by_unification(&diamond, &fork);
+    println!(
+        "\nunifying the fork sources: {} vars -> {} vars, shape {:?}",
+        diamond.var_count(),
+        unified.var_count(),
+        shape(&unified)
+    );
+
+    // 4. The Conjecture 2 probe (§5.5).
+    println!("\n== Does the theory define an ordering? (Conjecture 2) ==\n");
+    for (name, p) in [
+        ("order theory", bddfc::zoo::order_theory()),
+        ("notorious", bddfc::zoo::notorious()),
+    ] {
+        let mut v = p.voc.clone();
+        match order_probe(&p.instance, &p.theory, &mut v, 10, 6) {
+            Some(w) => println!(
+                "{name}: defines an ordering via {} (chain of {}) -> provably not FC",
+                w.query.display(&v),
+                w.chain.len()
+            ),
+            None => println!("{name}: no defining query found (probe is one-sided)"),
+        }
+    }
+    println!("\nThe notorious theory defines no ordering yet is not FC —");
+    println!("run `cargo run --example non_fc_demo` for the exhaustive check.");
+}

@@ -1,0 +1,58 @@
+//! Theorem 2 in action: certified finite countermodels for the paper's
+//! own example theories.
+//!
+//! Run with: `cargo run --example finite_countermodels`
+
+use bddfc::prelude::*;
+
+fn demo(name: &str, prog: &Program, query_src: &str) {
+    let mut voc = prog.voc.clone();
+    let query = parse_query(query_src, &mut voc).expect("query parses");
+    print!("{name:<14} query {query_src:<24} ");
+    match finite_countermodel(&prog.instance, &prog.theory, &query, &mut voc, FcConfig::default())
+    {
+        FcOutcome::Countermodel(cert) => {
+            let failures = certify_countermodel(
+                &cert.model,
+                &prog.instance,
+                &prog.theory,
+                &query,
+                &voc,
+            );
+            assert!(failures.is_empty(), "{failures:?}");
+            println!(
+                "countermodel: |M| = {:<3} n = {} kappa = {} prefix = {} lemma5 = {}",
+                cert.model_size, cert.n, cert.kappa, cert.chase_depth, cert.lemma5_no_new_elements
+            );
+        }
+        FcOutcome::Entailed { depth } => println!("entailed at chase depth {depth}"),
+        FcOutcome::Inconclusive(reason) => println!("inconclusive: {reason}"),
+    }
+}
+
+fn main() {
+    println!("== The FC pipeline on the paper's theories ==\n");
+
+    // The plain successor chain (Examples 3/4 substrate).
+    let chain = bddfc::zoo::chain_theory();
+    demo("chain", &chain, "E(X,X)");
+    demo("chain", &chain, "E(X,Y), E(Y,X)");
+    demo("chain", &chain, "E(X1,X2), E(X2,X3)"); // entailed
+
+    // Example 7: existential chain + datalog sibling rule.
+    let e7 = bddfc::zoo::example7();
+    demo("example7", &e7, "R(X,Y), E(X,Y)");
+    demo("example7", &e7, "R(X,X)"); // entailed (R(e,e) everywhere)
+
+    // Example 9: the F/G binary tree.
+    let e9 = bddfc::zoo::example9();
+    demo("example9", &e9, "F(X,X)");
+    demo("example9", &e9, "F(X,Y), G(X,Y)");
+
+    // A linear ontology.
+    let lin = bddfc::zoo::linear_ontology();
+    demo("linear", &lin, "HasParent(W,W)");
+    demo("linear", &lin, "Named(alice)"); // entailed at depth 0? via rule
+
+    println!("\nEvery countermodel above was re-checked by the independent certifier.");
+}

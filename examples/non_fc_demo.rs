@@ -1,0 +1,60 @@
+//! The other side of the conjecture: theories that are *not* FC, checked
+//! computationally with the bounded model finder (Section 5.5).
+//!
+//! Run with: `cargo run --example non_fc_demo`
+
+use bddfc::prelude::*;
+
+fn main() {
+    println!("== §5.5: failures of Finite Controllability ==\n");
+
+    // The infinite-order theory: Lt is transitively closed and every
+    // element has a strict successor. Chase(D,T) ⊭ Lt(x,x), yet every
+    // finite model must close a cycle and derive Lt(x,x).
+    let order = bddfc::zoo::order_theory();
+    let mut voc = order.voc.clone();
+    let q = &order.queries[0];
+    println!("order theory:\n{}", order.theory.display(&voc));
+    for n in 1..=4 {
+        let out = countermodel(&order.instance, &order.theory, &mut voc, q, n);
+        println!("  countermodel within {n} elements? {}", describe(&out));
+        assert!(matches!(out, SearchOutcome::NoModelWithin(_)));
+    }
+    println!("  (the paper: any finite model contains a cycle, so Lt(x,x) holds)\n");
+
+    // The "notorious example": does NOT define an ordering, still not FC.
+    let notorious = bddfc::zoo::notorious();
+    let mut voc = notorious.voc.clone();
+    let q = &notorious.queries[0];
+    println!("notorious theory:\n{}", notorious.theory.display(&voc));
+    for n in 2..=4 {
+        let out = countermodel(&notorious.instance, &notorious.theory, &mut voc, q, n);
+        println!(
+            "  countermodel for E(x,y) ∧ R(y,y) within {n} elements? {}",
+            describe(&out)
+        );
+        assert!(matches!(out, SearchOutcome::NoModelWithin(_)));
+    }
+    println!("  (the paper proves *no* finite countermodel exists at any size)\n");
+
+    // Contrast: an FC theory where the finder succeeds immediately.
+    let chain = bddfc::zoo::chain_theory();
+    let mut voc = chain.voc.clone();
+    let q = parse_query("E(X,X)", &mut voc).expect("parses");
+    let out = countermodel(&chain.instance, &chain.theory, &mut voc, &q, 4);
+    println!("successor theory, query E(x,x):");
+    match &out {
+        SearchOutcome::Found(m) => {
+            println!("  countermodel found:\n{}", m.display(&voc));
+        }
+        other => panic!("expected a model, got {other:?}"),
+    }
+}
+
+fn describe(out: &SearchOutcome) -> String {
+    match out {
+        SearchOutcome::Found(m) => format!("FOUND ({} facts)", m.len()),
+        SearchOutcome::NoModelWithin(n) => format!("no — search space ≤ {n} exhausted"),
+        SearchOutcome::Budget => "budget exceeded".into(),
+    }
+}

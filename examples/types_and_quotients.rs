@@ -1,0 +1,74 @@
+//! Section 2 visualized: positive types, quotient structures and
+//! conservative colorings on the paper's chain examples.
+//!
+//! Run with: `cargo run --example types_and_quotients`
+
+use bddfc::prelude::*;
+use bddfc::types::check_conservative;
+
+fn main() {
+    println!("== Examples 3 & 4: types and quotients of the chain ==\n");
+
+    // The anonymous chain a0 -> a1 -> ... (Example 3's structure).
+    let mut voc = Vocabulary::new();
+    let (chain, elems) = bddfc::zoo::anonymous_chain(&mut voc, 20);
+
+    for n in 2..=4 {
+        let analyzer = TypeAnalyzer::new(&chain, &mut voc, n);
+        let partition = analyzer.partition();
+        println!(
+            "≡_{n} partition of the 21-element chain: {} classes (sizes {:?})",
+            partition.len(),
+            partition.iter().map(|c| c.len()).collect::<Vec<_>>()
+        );
+    }
+
+    // Quotient without colors: the interior class closes a self-loop —
+    // Example 3's complaint that small queries see the difference.
+    let analyzer = TypeAnalyzer::new(&chain, &mut voc, 3);
+    let quotient = Quotient::new(&chain, analyzer.partition(), &mut voc);
+    let e = voc.find_pred("E").unwrap();
+    let interior = quotient.project(elems[10]);
+    let has_loop = quotient
+        .instance
+        .contains(&bddfc::core::Fact::new(e, vec![interior, interior]));
+    println!(
+        "\nuncolored quotient: {} elements, interior self-loop: {has_loop}",
+        quotient.instance.domain_size()
+    );
+    assert!(has_loop);
+
+    // Example 4: natural coloring makes the quotient conservative.
+    println!("\n== Definition 14: the natural coloring fixes it ==\n");
+    let m = 2;
+    let found = find_conservative_n(&chain, &mut voc, m, 2..=6);
+    match found {
+        Some((n, check)) => {
+            println!(
+                "natural coloring with m = {m}: n = {n} is conservative; quotient has {} elements, {} colors",
+                check.quotient.class_count(),
+                check.coloring.color_count(),
+            );
+            assert!(check.is_conservative());
+        }
+        None => panic!("the Main Lemma guarantees some n works"),
+    }
+
+    // And the trivial single-color coloring is *not* conservative.
+    let mut color_of = rustc_hash::FxHashMap::default();
+    let color = bddfc::types::Color { hue: 0, lightness: 0 };
+    for el in chain.domain() {
+        color_of.insert(el, color);
+    }
+    let mut pred_of = rustc_hash::FxHashMap::default();
+    pred_of.insert(color, voc.pred("K_trivial", 1));
+    let trivial = bddfc::types::Coloring { color_of, pred_of };
+    let sigma = chain.used_preds().collect();
+    let check = check_conservative(&chain, &trivial, &mut voc, 3, 2, &sigma);
+    println!(
+        "trivial coloring, n = 3: conservative? {} ({} failing elements)",
+        check.is_conservative(),
+        check.failures.len()
+    );
+    assert!(!check.is_conservative());
+}

@@ -1,0 +1,65 @@
+//! # bddfc — an executable companion to *On the BDD/FC Conjecture*
+//!
+//! Gogacz & Marcinkowski (PODS 2013) conjecture that every Datalog∃
+//! theory with the **Bounded Derivation Depth** property (BDD — positive
+//! first-order rewritability) is **Finitely Controllable** (FC — certain
+//! answers over all models coincide with certain answers over *finite*
+//! models), and prove it for binary signatures. This workspace implements
+//! every object their proof manipulates, as a real library:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`] | terms, atoms, instances, queries, rules, parser, homomorphism engine |
+//! | [`chase`] | restricted/oblivious chase, datalog saturation, bounded model finder |
+//! | [`rewrite`] | UCQ rewriting, BDD witnesses, the constant κ |
+//! | [`types`] | positive n-types, quotients `Mₙ(C)`, colorings, conservativity |
+//! | [`finite`] | skeletons, VTDAGs, (♠4)/(♠5) transforms, the certified FC pipeline |
+//! | [`classes`] | linear/guarded/sticky/weakly-acyclic recognizers, §5.2/§5.3/§5.6 reductions |
+//! | [`zoo`] | the paper's examples 1–9 and workload generators |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bddfc::prelude::*;
+//!
+//! // Example 7 of the paper: a BDD theory with a diverging chase.
+//! let prog = bddfc::zoo::example7();
+//! let mut voc = prog.voc.clone();
+//! let query = bddfc::core::parse_query("R(X,Y), E(X,Y)", &mut voc).unwrap();
+//!
+//! // The paper says a finite countermodel exists; the pipeline builds
+//! // and certifies one.
+//! let outcome = finite_countermodel(
+//!     &prog.instance, &prog.theory, &query, &mut voc, FcConfig::default(),
+//! );
+//! let cert = outcome.model().expect("Theorem 2 in action");
+//! assert!(certify_countermodel(&cert.model, &prog.instance, &prog.theory, &query, &voc)
+//!     .is_empty());
+//! ```
+
+pub use bddfc_chase as chase;
+pub use bddfc_classes as classes;
+pub use bddfc_core as core;
+pub use bddfc_finite as finite;
+pub use bddfc_rewrite as rewrite;
+pub use bddfc_types as types;
+pub use bddfc_zoo as zoo;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use bddfc_chase::{
+        certain_cq, chase, countermodel, find_model, saturate_datalog, Certainty, ChaseConfig,
+        ChaseVariant, FinderConfig, SearchOutcome,
+    };
+    pub use bddfc_classes::{classify, guarded_to_binary, order_probe, split_theorem3, to_ternary};
+    pub use bddfc_core::{
+        parse_program, parse_query, parse_rule, ConjunctiveQuery, Instance, Program, Rule,
+        Theory, Ucq, Vocabulary,
+    };
+    pub use bddfc_finite::{
+        certify_countermodel, finite_countermodel, hide_query, normalize_spade5, FcConfig,
+        FcOutcome,
+    };
+    pub use bddfc_rewrite::{is_atomically_bdd, kappa, rewrite_query, shape, QueryShape, RewriteConfig};
+    pub use bddfc_types::{find_conservative_n, natural_coloring, Quotient, TypeAnalyzer};
+}

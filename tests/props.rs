@@ -1,0 +1,188 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use bddfc::prelude::*;
+use bddfc::core::{hom, Fact};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n` nodes.
+fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0..n as u8, 0..n as u8), 1..max_edges)
+}
+
+fn graph_of(pairs: &[(u8, u8)]) -> (Vocabulary, Instance) {
+    let mut voc = Vocabulary::new();
+    let e = voc.pred("E", 2);
+    let mut inst = Instance::new();
+    for &(a, b) in pairs {
+        let ca = voc.constant(&format!("n{a}"));
+        let cb = voc.constant(&format!("n{b}"));
+        inst.insert(Fact::new(e, vec![ca, cb]));
+    }
+    (voc, inst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The chase result always contains the database and, on fixpoint,
+    /// models the theory.
+    #[test]
+    fn chase_is_sound(pairs in edges(6, 12)) {
+        let (mut voc, db) = graph_of(&pairs);
+        let (theory, _, _) = bddfc::core::parse_into(
+            "E(X,Y) -> exists Z . E(Y,Z). E(X,Y), E(Y,Z) -> E(X,Z).",
+            &mut voc,
+        ).unwrap();
+        let res = chase(&db, &theory, &mut voc, ChaseConfig::rounds(30));
+        prop_assert!(res.instance.models(&db));
+        if res.is_fixpoint() {
+            prop_assert!(bddfc::core::satisfaction::satisfies_theory(&res.instance, &theory));
+        }
+    }
+
+    /// Restricted chase never produces more facts than the oblivious one.
+    #[test]
+    fn restricted_at_most_oblivious(pairs in edges(5, 8)) {
+        let (mut voc, db) = graph_of(&pairs);
+        let (theory, _, _) = bddfc::core::parse_into(
+            "E(X,Y) -> exists Z . E(Y,Z).",
+            &mut voc,
+        ).unwrap();
+        let (r, o) = bddfc::chase::chase_size_comparison(
+            &db, &theory, &mut voc, ChaseConfig::rounds(5),
+        );
+        prop_assert!(r <= o);
+    }
+
+    /// Quotients are homomorphic images: every positive query true in the
+    /// original is true in the quotient.
+    #[test]
+    fn quotient_preserves_positive_queries(pairs in edges(6, 10), qlen in 1usize..4) {
+        let (voc, inst) = graph_of(&pairs);
+        // Make everything anonymous so the partition can merge.
+        let mut anon = Vocabulary::new();
+        let e = anon.pred("E", 2);
+        let mut inst2 = Instance::new();
+        let mut map = std::collections::HashMap::new();
+        for f in inst.facts() {
+            let a = *map.entry(f.args[0]).or_insert_with(|| anon.fresh_null("x"));
+            let b = *map.entry(f.args[1]).or_insert_with(|| anon.fresh_null("x"));
+            inst2.insert(Fact::new(e, vec![a, b]));
+        }
+        let analyzer = TypeAnalyzer::new(&inst2, &mut anon, 2);
+        let quotient = Quotient::new(&inst2, analyzer.partition(), &mut anon);
+        let q = bddfc::zoo::path_query(&mut anon, qlen);
+        if hom::satisfies_cq(&inst2, &q) {
+            prop_assert!(hom::satisfies_cq(&quotient.instance, &q));
+        }
+        let _ = voc;
+    }
+
+    /// CQ subsumption is reflexive and respected by instance evaluation:
+    /// if general subsumes specific and an instance satisfies specific,
+    /// it satisfies general.
+    #[test]
+    fn subsumption_sound_for_evaluation(pairs in edges(5, 8), l1 in 1usize..4, l2 in 1usize..4) {
+        let (_, inst) = graph_of(&pairs);
+        let mut voc = Vocabulary::new();
+        let _ = voc.pred("E", 2);
+        let q1 = bddfc::zoo::path_query(&mut voc, l1);
+        let q2 = bddfc::zoo::path_query(&mut voc, l2);
+        prop_assert!(bddfc::rewrite::subsumes(&q1, &q1));
+        if bddfc::rewrite::subsumes(&q1, &q2) && hom::satisfies_cq(&inst, &q2) {
+            prop_assert!(hom::satisfies_cq(&inst, &q1));
+        }
+    }
+
+    /// Rewriting soundness: whenever the rewriting of a query holds in D,
+    /// the chase-based certain answer is also true.
+    #[test]
+    fn rewriting_sound(pairs in edges(5, 8), qlen in 1usize..4) {
+        let (mut voc, db) = graph_of(&pairs);
+        let (theory, _, _) = bddfc::core::parse_into(
+            "P(X) -> exists Z . E(X,Z). E(X,Y) -> U(Y).",
+            &mut voc,
+        ).unwrap();
+        let q = bddfc::zoo::path_query(&mut voc, qlen);
+        let rw = rewrite_query(&q, &theory, &mut voc, RewriteConfig::default()).unwrap();
+        prop_assert!(rw.saturated);
+        let by_rw = hom::satisfies_ucq(&db, &rw.ucq);
+        let by_chase = certain_cq(&db, &theory, &mut voc, &q, ChaseConfig::rounds(20));
+        if by_chase.is_decided() {
+            prop_assert_eq!(by_rw, by_chase.is_true());
+        }
+    }
+
+    /// Datalog saturation is idempotent and monotone.
+    #[test]
+    fn saturation_idempotent(pairs in edges(6, 10)) {
+        let (mut voc, db) = graph_of(&pairs);
+        let (theory, _, _) = bddfc::core::parse_into(
+            "E(X,Y), E(Y,Z) -> E(X,Z).",
+            &mut voc,
+        ).unwrap();
+        let s1 = saturate_datalog(&db, &theory);
+        prop_assert!(s1.instance.models(&db));
+        let s2 = saturate_datalog(&s1.instance, &theory);
+        prop_assert_eq!(s2.instance.len(), s1.instance.len());
+        prop_assert_eq!(s2.derived, 0);
+    }
+
+    /// The model finder returns genuine models, and with a forbidden
+    /// query the model avoids it.
+    #[test]
+    fn finder_models_are_models(pairs in edges(3, 4)) {
+        let (mut voc, db) = graph_of(&pairs);
+        let (theory, _, _) = bddfc::core::parse_into(
+            "E(X,Y) -> exists Z . E(Y,Z).",
+            &mut voc,
+        ).unwrap();
+        let out = find_model(&db, &theory, &mut voc, None, FinderConfig::size(6));
+        if let SearchOutcome::Found(m) = out {
+            prop_assert!(bddfc::core::satisfaction::satisfies_theory(&m, &theory));
+            prop_assert!(m.models(&db));
+        } else {
+            prop_assert!(false, "a model of ≤ 6 elements exists for any seed graph ≤ 3 nodes");
+        }
+    }
+
+    /// Parser round-trip: display then re-parse preserves rule shapes.
+    #[test]
+    fn parser_round_trip(n_rules in 1usize..6, seed in 0u64..1000) {
+        let mut voc = Vocabulary::new();
+        let theory = bddfc::zoo::random_linear_theory(&mut voc, 3, n_rules, seed);
+        let printed = theory.display(&voc).to_string();
+        let mut voc2 = Vocabulary::new();
+        let (theory2, _, _) = bddfc::core::parse_into(&printed, &mut voc2).unwrap();
+        prop_assert_eq!(theory2.len(), theory.len());
+        let printed2 = theory2.display(&voc2).to_string();
+        prop_assert_eq!(printed, printed2);
+    }
+
+    /// Positive-type inclusion is a preorder on random structures.
+    #[test]
+    fn ptp_inclusion_is_preorder(pairs in edges(5, 8)) {
+        let mut anon = Vocabulary::new();
+        let e = anon.pred("E", 2);
+        let mut inst = Instance::new();
+        let mut map = std::collections::HashMap::new();
+        for &(a, b) in &pairs {
+            let ca = *map.entry(a).or_insert_with(|| anon.fresh_null("x"));
+            let cb = *map.entry(b).or_insert_with(|| anon.fresh_null("x"));
+            inst.insert(Fact::new(e, vec![ca, cb]));
+        }
+        let analyzer = TypeAnalyzer::new(&inst, &mut anon, 3);
+        let dom = inst.sorted_domain();
+        // Reflexivity.
+        for &d in &dom {
+            prop_assert!(analyzer.ptp_included_in(d, &inst, d));
+        }
+        // Transitivity on the first three elements (if present).
+        if dom.len() >= 3 {
+            let (x, y, z) = (dom[0], dom[1], dom[2]);
+            if analyzer.ptp_included_in(x, &inst, y) && analyzer.ptp_included_in(y, &inst, z) {
+                prop_assert!(analyzer.ptp_included_in(x, &inst, z));
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Edge-case and robustness tests across crates: wider arities, constants
+//! in awkward places, empty inputs, budget boundaries.
+
+use bddfc::prelude::*;
+use bddfc::core::{hom, Fact};
+
+#[test]
+fn ternary_homomorphisms() {
+    let prog = parse_program(
+        "R(a,b,c). R(b,c,a). R(c,a,b).
+         ?- R(X,Y,Z), R(Y,Z,X).",
+    )
+    .unwrap();
+    assert!(hom::satisfies_cq(&prog.instance, &prog.queries[0]));
+    // The diagonal does not hold.
+    let mut voc = prog.voc.clone();
+    let diag = parse_query("R(X,X,X)", &mut voc).unwrap();
+    assert!(!hom::satisfies_cq(&prog.instance, &diag));
+}
+
+#[test]
+fn chase_with_ternary_tgds() {
+    let prog = parse_program(
+        "P(X,Y) -> exists Z . R(X,Y,Z).
+         R(X,Y,Z) -> P(Y,Z).
+         P(a,b).",
+    )
+    .unwrap();
+    let mut voc = prog.voc.clone();
+    let res = chase(&prog.instance, &prog.theory, &mut voc, ChaseConfig::rounds(6));
+    let r = voc.find_pred("R").unwrap();
+    // Rounds 1,3,5 produce R-atoms (P alternates with R).
+    assert_eq!(res.instance.facts_with_pred(r).len(), 3);
+}
+
+#[test]
+fn empty_database_chases_to_empty() {
+    let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z).").unwrap();
+    let mut voc = prog.voc.clone();
+    let res = chase(&Instance::new(), &prog.theory, &mut voc, ChaseConfig::default());
+    assert!(res.is_fixpoint());
+    assert!(res.instance.is_empty());
+}
+
+#[test]
+fn constants_in_rule_bodies_through_pipeline() {
+    // A rule anchored on a specific constant.
+    let prog = parse_program(
+        "E(a,Y) -> exists Z . E(Y,Z).
+         E(a,b).",
+    )
+    .unwrap();
+    let mut voc = prog.voc.clone();
+    let q = parse_query("E(X,X)", &mut voc).unwrap();
+    let out = finite_countermodel(&prog.instance, &prog.theory, &q, &mut voc, FcConfig::default());
+    // Only b demands a successor; later elements do not (their parent is
+    // not a) — the chase terminates? No: E(a,·) only matches the a-edge,
+    // so Chase adds one witness for b and stops. Fast path.
+    let cert = out.model().expect("terminating chase is the model");
+    assert!(cert.lemma5_no_new_elements);
+    let failures = certify_countermodel(&cert.model, &prog.instance, &prog.theory, &q, &voc);
+    assert!(failures.is_empty());
+}
+
+#[test]
+fn pipeline_handles_ground_queries() {
+    let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b).").unwrap();
+    let mut voc = prog.voc.clone();
+    // Ground query: is the specific edge E(b,a) certain? No — countermodel.
+    let q = parse_query("E(b,a)", &mut voc).unwrap();
+    let out = finite_countermodel(&prog.instance, &prog.theory, &q, &mut voc, FcConfig::default());
+    let cert = out.model().unwrap_or_else(|| panic!("countermodel: {out:?}"));
+    let failures = certify_countermodel(&cert.model, &prog.instance, &prog.theory, &q, &voc);
+    assert!(failures.is_empty());
+}
+
+#[test]
+fn pipeline_multiple_database_constants() {
+    let prog = parse_program(
+        "E(X,Y) -> exists Z . E(Y,Z).
+         E(a,b). E(c,d). E(d,a).",
+    )
+    .unwrap();
+    let mut voc = prog.voc.clone();
+    let q = parse_query("E(X,X)", &mut voc).unwrap();
+    let out = finite_countermodel(&prog.instance, &prog.theory, &q, &mut voc, FcConfig::default());
+    let cert = out.model().unwrap_or_else(|| panic!("countermodel: {out:?}"));
+    // All four named constants survive into the model (Remark 1 keeps
+    // them distinct through the quotient).
+    for name in ["a", "b", "c", "d"] {
+        let c = voc.find_const(name).unwrap();
+        assert!(cert.model.in_domain(c), "constant {name} lost");
+    }
+}
+
+#[test]
+fn finder_with_answer_variable_query() {
+    // Forbidden queries are Boolean (free vars read existentially).
+    let prog = parse_program("E(a,b). ?(X)- E(X,b).").unwrap();
+    let mut voc = prog.voc.clone();
+    let out = countermodel(&prog.instance, &Default::default(), &mut voc, &prog.queries[0], 3);
+    // D itself satisfies the query: no countermodel containing D exists.
+    assert_eq!(out, SearchOutcome::NoModelWithin(3));
+}
+
+#[test]
+fn instance_element_index_is_deduplicated() {
+    let mut voc = Vocabulary::new();
+    let e = voc.pred("E", 2);
+    let a = voc.constant("a");
+    let mut inst = Instance::new();
+    inst.insert(Fact::new(e, vec![a, a]));
+    // One fact, listed once for `a` even though `a` fills two positions.
+    assert_eq!(inst.facts_with_element(a).len(), 1);
+}
+
+#[test]
+fn restrict_to_preds_drops_everything_else() {
+    let prog = parse_program("E(a,b). U(a). R(a,b,c).").unwrap();
+    let e = prog.voc.find_pred("E").unwrap();
+    let keep = [e].into_iter().collect();
+    let small = prog.instance.restrict_to_preds(&keep);
+    assert_eq!(small.len(), 1);
+    assert_eq!(small.domain_size(), 2);
+}
+
+#[test]
+fn rewriting_with_constants_in_rule_heads() {
+    // Rule with constant in head: P(X) -> E(X,root).
+    let mut voc = Vocabulary::new();
+    let (theory, _, _) = bddfc::core::parse_into("P(X) -> E(X,root).", &mut voc).unwrap();
+    let q = parse_query("E(U,root)", &mut voc).unwrap();
+    let res = rewrite_query(&q, &theory, &mut voc, RewriteConfig::default()).unwrap();
+    assert!(res.saturated);
+    assert_eq!(res.ucq.len(), 2); // E(U,root) ∨ P(U)
+}
+
+#[test]
+fn normalization_with_shared_predicates_both_directions() {
+    // The same predicate heads a forward and a backward TGD: both must be
+    // rerouted, and certain answers preserved.
+    let prog = parse_program(
+        "A(X) -> exists Z . E(X,Z).
+         B(X) -> exists Z . E(Z,X).
+         A(a). B(b).",
+    )
+    .unwrap();
+    let mut voc = prog.voc.clone();
+    let norm = normalize_spade5(&prog.theory, &mut voc).unwrap();
+    assert!(norm.satisfies_spade5());
+    let res = chase(&prog.instance, &norm, &mut voc, ChaseConfig::rounds(4));
+    let e = voc.find_pred("E").unwrap();
+    let facts: Vec<_> = res
+        .instance
+        .facts_with_pred(e)
+        .iter()
+        .map(|&i| res.instance.fact(i).clone())
+        .collect();
+    let a = voc.find_const("a").unwrap();
+    let b = voc.find_const("b").unwrap();
+    assert!(facts.iter().any(|f| f.args[0] == a), "forward edge from a");
+    assert!(facts.iter().any(|f| f.args[1] == b), "backward edge into b");
+}
+
+#[test]
+fn quotient_tower_on_colored_structure() {
+    // Tower laws hold on colored chains too (the structures the pipeline
+    // actually quotients).
+    let mut voc = Vocabulary::new();
+    let (inst, _) = bddfc::zoo::anonymous_chain(&mut voc, 12);
+    let coloring = natural_coloring(&inst, &mut voc, 2);
+    let colored = coloring.apply(&inst);
+    let tower = bddfc::types::QuotientTower::build(&colored, &mut voc, 2, 4);
+    assert!(tower.factoring_holds(&colored));
+}
+
+#[test]
+fn deep_recursion_queries_do_not_overflow() {
+    // A 60-atom path query against a 80-edge chain: the backtracking
+    // search must stay iterative enough to handle it.
+    let mut voc = Vocabulary::new();
+    let (inst, _) = bddfc::zoo::anonymous_chain(&mut voc, 80);
+    let q = bddfc::zoo::path_query(&mut voc, 60);
+    assert!(hom::satisfies_cq(&inst, &q));
+    let q_too_long = bddfc::zoo::path_query(&mut voc, 81);
+    assert!(!hom::satisfies_cq(&inst, &q_too_long));
+}
+
+#[test]
+fn vtdag_holds_for_normalized_chase_skeletons() {
+    // The pipeline's skeletons are VTDAGs (trees), per Lemma 3.
+    let prog = parse_program(
+        "E(X,Y) -> exists Z . E(Y,Z).
+         E(X,Y) -> exists Z . G(Y,Z).
+         E(a,b).",
+    )
+    .unwrap();
+    let mut voc = prog.voc.clone();
+    let norm = normalize_spade5(&prog.theory, &mut voc).unwrap();
+    let res = chase(&prog.instance, &norm, &mut voc, ChaseConfig::rounds(5));
+    let skel = bddfc::finite::skeleton(&res.instance, &prog.instance, &norm);
+    assert!(bddfc::finite::is_vtdag(&skel, &voc));
+}
+
+#[test]
+fn traced_chase_on_multi_rule_theory() {
+    let prog = parse_program(
+        "P(X) -> exists Z . E(X,Z).
+         E(X,Y) -> U(Y).
+         U(X) -> M(X).
+         P(a).",
+    )
+    .unwrap();
+    let mut voc = prog.voc.clone();
+    let traced = bddfc::chase::traced_chase(&prog.instance, &prog.theory, &mut voc, 6);
+    assert!(traced.fixpoint);
+    let m = voc.find_pred("M").unwrap();
+    let m_fact = traced.instance.fact(traced.instance.facts_with_pred(m)[0]).clone();
+    let tree = traced.explain(&m_fact).unwrap();
+    // M <- U <- E <- P(a): height 3.
+    assert_eq!(tree.height(), 3);
+    assert_eq!(tree.size(), 3);
+}
+
+#[test]
+fn grids_are_not_vtdags() {
+    // Inner grid nodes have two unrelated predecessors (one Right, one
+    // Down): the Definition 11 clique condition fails — grids are the
+    // structures the Main Lemma does NOT cover.
+    let mut voc = Vocabulary::new();
+    let g = bddfc::zoo::grid(&mut voc, 3, 3);
+    assert!(!bddfc::finite::is_vtdag(&g, &voc));
+    // A single row (a path) is a VTDAG.
+    let mut voc2 = Vocabulary::new();
+    let path = bddfc::zoo::grid(&mut voc2, 1, 5);
+    assert!(bddfc::finite::is_vtdag(&path, &voc2));
+}
