@@ -1,63 +1,99 @@
-//! Criterion benches for the chase engine (experiments E1 and E13).
+//! Benches for the chase engine (experiments E1 and E13), plus the
+//! semi-naive work-ratio check: on Example 1's transitive-closure
+//! program the semi-naive engine must attempt at least 2× fewer body
+//! matches per run than the naive oracle.
 
-use bddfc_chase::{chase, ChaseConfig, ChaseVariant};
-use bddfc_core::{parse_into, Vocabulary};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bddfc_bench::bench;
+use bddfc_chase::{chase, ChaseConfig, ChaseStrategy, ChaseVariant};
+use bddfc_core::{parse_into, parse_program, Vocabulary};
 
 /// E13 — chase throughput over random graphs, restricted vs. oblivious.
-fn chase_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chase_throughput");
-    group.sample_size(10);
+fn chase_throughput() {
     for nodes in [30usize, 100] {
         for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{variant:?}"), nodes),
-                &nodes,
-                |b, &nodes| {
-                    let mut voc = Vocabulary::new();
-                    let db = bddfc_zoo::random_graph(&mut voc, nodes, nodes * 2, 42);
-                    let (theory, _, _) = parse_into(
-                        "E(X,Y) -> exists Z . E(Y,Z). E(X,Y), E(Y,Z) -> R(X,Z).",
-                        &mut voc,
-                    )
-                    .unwrap();
-                    b.iter(|| {
-                        let mut v = voc.clone();
-                        chase(
-                            &db,
-                            &theory,
-                            &mut v,
-                            ChaseConfig { max_rounds: 3, max_facts: 2_000_000, variant },
-                        )
-                        .instance
-                        .len()
-                    });
-                },
-            );
+            let mut voc = Vocabulary::new();
+            let db = bddfc_zoo::random_graph(&mut voc, nodes, nodes * 2, 42);
+            let (theory, _, _) = parse_into(
+                "E(X,Y) -> exists Z . E(Y,Z). E(X,Y), E(Y,Z) -> R(X,Z).",
+                &mut voc,
+            )
+            .unwrap();
+            bench(&format!("chase_throughput/{variant:?}/{nodes}"), 10, || {
+                let mut v = voc.clone();
+                chase(
+                    &db,
+                    &theory,
+                    &mut v,
+                    ChaseConfig {
+                        max_rounds: 3,
+                        max_facts: 2_000_000,
+                        variant,
+                        ..Default::default()
+                    },
+                )
+                .instance
+                .len()
+            });
         }
     }
-    group.finish();
 }
 
 /// E1 — divergence of Example 1 on the triangle image, per prefix depth.
-fn chase_divergence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chase_divergence_example1");
-    group.sample_size(10);
+fn chase_divergence() {
     for rounds in [6u32, 12] {
-        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
-            let prog = bddfc_zoo::example1();
-            let mut voc = prog.voc.clone();
-            let (_, mp, _) = parse_into("E(a,b). E(b,c). E(c,a).", &mut voc).unwrap();
-            b.iter(|| {
-                let mut v = voc.clone();
-                chase(&mp, &prog.theory, &mut v, ChaseConfig::rounds(rounds))
-                    .instance
-                    .len()
-            });
+        let prog = bddfc_zoo::example1();
+        let mut voc = prog.voc.clone();
+        let (_, mp, _) = parse_into("E(a,b). E(b,c). E(c,a).", &mut voc).unwrap();
+        bench(&format!("chase_divergence_example1/{rounds}"), 10, || {
+            let mut v = voc.clone();
+            chase(&mp, &prog.theory, &mut v, ChaseConfig::rounds(rounds))
+                .instance
+                .len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, chase_throughput, chase_divergence);
-criterion_main!(benches);
+/// Semi-naive vs naive trigger counts on Example 1's transitive-closure
+/// rule over a chain — the engine's own work metric, asserted ≥2×.
+fn seminaive_work_ratio() {
+    let edges: String = (1..=24).map(|i| format!("E(v{i},v{}). ", i + 1)).collect();
+    let prog =
+        parse_program(&format!("E(X,Y), E(Y,Z) -> E(X,Z). {edges}")).unwrap();
+    let mut totals = [0u64; 2];
+    for (slot, strategy) in [ChaseStrategy::SemiNaive, ChaseStrategy::Naive]
+        .into_iter()
+        .enumerate()
+    {
+        let mut voc = prog.voc.clone();
+        let res = chase(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            ChaseConfig::default().with_strategy(strategy),
+        );
+        totals[slot] = res.stats.total_body_matches();
+        bench(&format!("seminaive_ratio/{strategy:?}"), 3, || {
+            let mut v = prog.voc.clone();
+            chase(
+                &prog.instance,
+                &prog.theory,
+                &mut v,
+                ChaseConfig::default().with_strategy(strategy),
+            )
+            .instance
+            .len()
+        });
+    }
+    let [semi, naive] = totals;
+    println!("seminaive_ratio: {naive} naive vs {semi} semi-naive body matches");
+    assert!(
+        naive >= 2 * semi,
+        "semi-naive must do at least 2x fewer body matches ({naive} vs {semi})"
+    );
+}
+
+fn main() {
+    chase_throughput();
+    chase_divergence();
+    seminaive_work_ratio();
+}

@@ -1,50 +1,42 @@
-//! Criterion benches for the end-to-end Theorem 2 pipeline and the
-//! bounded model finder (experiments E8 and E9).
+//! Benches for the end-to-end Theorem 2 pipeline and the bounded model
+//! finder (experiments E8 and E9).
 
+use bddfc_bench::bench;
 use bddfc_chase::countermodel;
 use bddfc_core::parse_query;
 use bddfc_finite::{finite_countermodel, FcConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 /// E8 — the full FC pipeline on the paper's theories.
-fn fc_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fc_pipeline");
-    group.sample_size(10);
+fn fc_pipeline() {
     let cases = [
         ("chain", bddfc_zoo::chain_theory(), "E(X,X)"),
         ("example7", bddfc_zoo::example7(), "R(X,Y), E(X,Y)"),
     ];
     for (name, prog, q_src) in cases {
-        group.bench_function(name, |b| {
-            let mut voc = prog.voc.clone();
-            let q = parse_query(q_src, &mut voc).unwrap();
-            b.iter(|| {
-                let mut v = voc.clone();
-                finite_countermodel(&prog.instance, &prog.theory, &q, &mut v, FcConfig::default())
-                    .model()
-                    .map(|m| m.model_size)
-            });
+        let mut voc = prog.voc.clone();
+        let q = parse_query(q_src, &mut voc).unwrap();
+        bench(&format!("fc_pipeline/{name}"), 10, || {
+            let mut v = voc.clone();
+            finite_countermodel(&prog.instance, &prog.theory, &q, &mut v, FcConfig::default())
+                .model()
+                .map(|m| m.model_size)
         });
     }
-    group.finish();
 }
 
 /// E9 — exhaustive bounded model search on the notorious example.
-fn model_finder(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_finder_notorious");
-    group.sample_size(10);
+fn model_finder() {
     for size in [3usize, 4] {
-        group.bench_function(format!("size{size}"), |b| {
-            let prog = bddfc_zoo::notorious();
-            let q = prog.queries[0].clone();
-            b.iter(|| {
-                let mut v = prog.voc.clone();
-                countermodel(&prog.instance, &prog.theory, &mut v, &q, size)
-            });
+        let prog = bddfc_zoo::notorious();
+        let q = prog.queries[0].clone();
+        bench(&format!("model_finder_notorious/size{size}"), 10, || {
+            let mut v = prog.voc.clone();
+            countermodel(&prog.instance, &prog.theory, &mut v, &q, size)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, fc_pipeline, model_finder);
-criterion_main!(benches);
+fn main() {
+    fc_pipeline();
+    model_finder();
+}

@@ -1,54 +1,46 @@
-//! Criterion benches for UCQ rewriting (experiment E12).
+//! Benches for UCQ rewriting (experiment E12).
 
+use bddfc_bench::bench;
 use bddfc_core::{parse_into, Vocabulary};
 use bddfc_rewrite::{kappa, rewrite_query, RewriteConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// E12 — rewriting time vs. query path length on a linear theory.
-fn rewrite_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rewrite_scaling");
-    group.sample_size(10);
+fn rewrite_scaling() {
     for len in [1usize, 2, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
-            let mut voc = Vocabulary::new();
-            let (theory, _, _) = parse_into(
-                "P(X) -> exists Z . E(X,Z).
-                 A(X) -> P(X).
-                 E(X,Y) -> U(Y).",
-                &mut voc,
-            )
-            .unwrap();
-            let q = bddfc_zoo::path_query(&mut voc, len);
-            b.iter(|| {
-                let mut v = voc.clone();
-                rewrite_query(&q, &theory, &mut v, RewriteConfig::default())
-                    .unwrap()
-                    .ucq
-                    .len()
-            });
+        let mut voc = Vocabulary::new();
+        let (theory, _, _) = parse_into(
+            "P(X) -> exists Z . E(X,Z).
+             A(X) -> P(X).
+             E(X,Y) -> U(Y).",
+            &mut voc,
+        )
+        .unwrap();
+        let q = bddfc_zoo::path_query(&mut voc, len);
+        bench(&format!("rewrite_scaling/{len}"), 10, || {
+            let mut v = voc.clone();
+            rewrite_query(&q, &theory, &mut v, RewriteConfig::default())
+                .unwrap()
+                .ucq
+                .len()
         });
     }
-    group.finish();
 }
 
 /// E12b — the κ computation over the zoo's BDD theories.
-fn kappa_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kappa");
-    group.sample_size(10);
+fn kappa_cost() {
     for (name, prog) in [
         ("chain", bddfc_zoo::chain_theory()),
         ("example7", bddfc_zoo::example7()),
         ("linear", bddfc_zoo::linear_ontology()),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut v = prog.voc.clone();
-                kappa(&prog.theory, &mut v, RewriteConfig::default())
-            });
+        bench(&format!("kappa/{name}"), 10, || {
+            let mut v = prog.voc.clone();
+            kappa(&prog.theory, &mut v, RewriteConfig::default())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, rewrite_scaling, kappa_cost);
-criterion_main!(benches);
+fn main() {
+    rewrite_scaling();
+    kappa_cost();
+}

@@ -1,72 +1,54 @@
-//! Criterion benches for the positive-type machinery (experiments E3, E4
-//! and E14).
+//! Benches for the positive-type machinery (experiments E3, E4 and E14).
 
+use bddfc_bench::bench;
 use bddfc_core::Vocabulary;
 use bddfc_types::{find_conservative_n, Quotient, TypeAnalyzer};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// E14 — ≡ₙ partition cost vs. chain length and n.
-fn pebble_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition");
-    group.sample_size(10);
+fn pebble_scaling() {
     for len in [20usize, 60] {
         for n in [2usize, 3] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("n{n}"), len),
-                &(len, n),
-                |b, &(len, n)| {
-                    let mut voc = Vocabulary::new();
-                    let (inst, _) = bddfc_zoo::anonymous_chain(&mut voc, len);
-                    b.iter(|| {
-                        let mut v = voc.clone();
-                        let analyzer = TypeAnalyzer::new(&inst, &mut v, n);
-                        analyzer.partition().len()
-                    });
-                },
-            );
+            let mut voc = Vocabulary::new();
+            let (inst, _) = bddfc_zoo::anonymous_chain(&mut voc, len);
+            bench(&format!("partition/n{n}/{len}"), 10, || {
+                let mut v = voc.clone();
+                let analyzer = TypeAnalyzer::new(&inst, &mut v, n);
+                analyzer.partition().len()
+            });
         }
     }
-    group.finish();
 }
 
 /// E3 — quotient construction on the chain.
-fn quotient_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quotient_chain");
-    group.sample_size(10);
+fn quotient_chain() {
     for len in [20usize, 60] {
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
-            let mut voc = Vocabulary::new();
-            let (inst, _) = bddfc_zoo::anonymous_chain(&mut voc, len);
-            let analyzer = TypeAnalyzer::new(&inst, &mut voc, 3);
-            let partition = analyzer.partition();
-            b.iter(|| {
-                let mut v = voc.clone();
-                Quotient::new(&inst, partition.clone(), &mut v)
-                    .instance
-                    .len()
-            });
+        let mut voc = Vocabulary::new();
+        let (inst, _) = bddfc_zoo::anonymous_chain(&mut voc, len);
+        let analyzer = TypeAnalyzer::new(&inst, &mut voc, 3);
+        let partition = analyzer.partition();
+        bench(&format!("quotient_chain/{len}"), 10, || {
+            let mut v = voc.clone();
+            Quotient::new(&inst, partition.clone(), &mut v)
+                .instance
+                .len()
         });
     }
-    group.finish();
 }
 
 /// E4 — the conservative-n search with the natural coloring.
-fn conservative_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("conservative_n");
-    group.sample_size(10);
+fn conservative_search() {
     for m in [1usize, 2] {
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            let mut voc = Vocabulary::new();
-            let (inst, _) = bddfc_zoo::anonymous_chain(&mut voc, 24);
-            b.iter(|| {
-                let mut v = voc.clone();
-                find_conservative_n(&inst, &mut v, m, m.max(2)..=(m + 4))
-                    .map(|(n, _)| n)
-            });
+        let mut voc = Vocabulary::new();
+        let (inst, _) = bddfc_zoo::anonymous_chain(&mut voc, 24);
+        bench(&format!("conservative_n/{m}"), 10, || {
+            let mut v = voc.clone();
+            find_conservative_n(&inst, &mut v, m, m.max(2)..=(m + 4)).map(|(n, _)| n)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, pebble_scaling, quotient_chain, conservative_search);
-criterion_main!(benches);
+fn main() {
+    pebble_scaling();
+    quotient_chain();
+    conservative_search();
+}

@@ -8,7 +8,7 @@ use bddfc_core::{hom, parse_into, parse_query, Fact, Instance, Vocabulary};
 use bddfc_finite::{finite_countermodel, FcConfig, FcOutcome};
 use bddfc_rewrite::{kappa, rewrite_query, RewriteConfig};
 use bddfc_types::{find_conservative_n, natural_coloring, Quotient, TypeAnalyzer};
-use rustc_hash::FxHashSet;
+use bddfc_core::fxhash::FxHashSet;
 use std::time::Instant;
 
 /// An experiment: id, paper source, and the row generator.
@@ -198,11 +198,11 @@ fn e5() -> Vec<String> {
         let natural = natural_coloring(&inst, &mut voc, 1);
         let trivial = {
             let color = bddfc_types::Color { hue: 0, lightness: 0 };
-            let mut color_of = rustc_hash::FxHashMap::default();
+            let mut color_of = bddfc_core::fxhash::FxHashMap::default();
             for e in inst.domain() {
                 color_of.insert(e, color);
             }
-            let mut pred_of = rustc_hash::FxHashMap::default();
+            let mut pred_of = bddfc_core::fxhash::FxHashMap::default();
             pred_of.insert(color, voc.pred("K_triv", 1));
             bddfc_types::Coloring { color_of, pred_of }
         };
@@ -491,7 +491,7 @@ fn e13() -> Vec<String> {
                 &db,
                 &theory,
                 &mut voc,
-                ChaseConfig { max_rounds: 4, max_facts: 2_000_000, variant },
+                ChaseConfig { max_rounds: 4, max_facts: 2_000_000, variant, ..Default::default() },
             );
             let dt = t0.elapsed();
             let per_s = (res.instance.len() as f64 / dt.as_secs_f64()) as u64;

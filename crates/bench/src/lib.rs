@@ -5,10 +5,14 @@
 //! claims its examples and lemmas make, plus a systems-style evaluation
 //! of each component. The [`experiments`] module regenerates every row of
 //! EXPERIMENTS.md; `cargo run -p bddfc-bench --bin tables` prints them,
-//! and the Criterion benches under `benches/` measure the hot paths.
+//! and the dependency-free benches under `benches/` (run with
+//! `cargo bench`) measure the hot paths using the in-tree [`timing`]
+//! harness.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod timing;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
+pub use timing::{bench, black_box, BenchRow};

@@ -1,0 +1,85 @@
+//! Minimal dependency-free micro-benchmark helper for the `benches/`
+//! binaries (`harness = false`), replacing the external Criterion
+//! harness so the workspace builds offline.
+//!
+//! Methodology: a warmup pass, then `iters` timed runs; the row reports
+//! min / median / max wall-clock per run. Medians are robust enough for
+//! the coarse "did this get slower by 10×" regressions these benches
+//! guard against; rigorous statistics are out of scope by design.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark row: timings plus the (blackboxed) result of the last run.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Label, e.g. `chase_throughput/Restricted/30`.
+    pub name: String,
+    /// Per-iteration wall-clock times, sorted ascending.
+    pub times: Vec<Duration>,
+}
+
+impl BenchRow {
+    /// Median per-iteration time.
+    pub fn median(&self) -> Duration {
+        self.times[self.times.len() / 2]
+    }
+}
+
+/// Runs `f` once for warmup and `iters` timed times; prints and returns
+/// the row. The closure's return value is written to a volatile sink so
+/// the optimizer cannot delete the computation.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow {
+    black_box(f()); // warmup
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    let row = BenchRow { name: name.to_string(), times };
+    println!(
+        "{:<44} min {:>10.3?}  median {:>10.3?}  max {:>10.3?}  ({} iters)",
+        row.name,
+        row.times[0],
+        row.median(),
+        row.times[row.times.len() - 1],
+        iters
+    );
+    row
+}
+
+/// An identity function the optimizer must assume reads and writes its
+/// argument (same trick `std::hint::black_box` uses; spelled out here to
+/// keep the MSRV window wide).
+pub fn black_box<T>(x: T) -> T {
+    // SAFETY: a no-op asm block that claims to read `x` via a pointer.
+    unsafe {
+        let ret = std::ptr::read_volatile(&x);
+        std::mem::forget(x);
+        ret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut n = 0u64;
+        let row = bench("smoke", 5, || {
+            n += 1;
+            n * 2
+        });
+        assert_eq!(row.times.len(), 5);
+        assert_eq!(n, 6); // warmup + 5 timed iterations
+        assert!(row.median() >= row.times[0]);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(41) + 1, 42);
+        assert_eq!(black_box(String::from("x")), "x");
+    }
+}

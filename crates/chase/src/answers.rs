@@ -9,9 +9,8 @@
 //! * if the chase reaches a fixpoint without the query — certainly false;
 //! * otherwise — unknown.
 
-use crate::engine::{chase, chase_round, ChaseConfig, ChaseVariant};
+use crate::engine::{chase, ChaseConfig, ChaseStepper, ChaseVariant};
 use bddfc_core::{hom, ConjunctiveQuery, Instance, Theory, Ucq, Vocabulary};
-use rustc_hash::FxHashSet;
 
 /// Outcome of a budgeted certain-answer computation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,20 +58,19 @@ pub fn certain_ucq(
     query: &Ucq,
     config: ChaseConfig,
 ) -> Certainty {
-    let mut inst = db.clone();
-    if hom::satisfies_ucq(&inst, query) {
+    if hom::satisfies_ucq(db, query) {
         return Certainty::True(0);
     }
-    let mut fired = FxHashSet::default();
+    let mut stepper = ChaseStepper::new(db, theory, config.variant, config.strategy);
     for round in 1..=config.max_rounds {
-        let new_facts = chase_round(&mut inst, theory, voc, config.variant, &mut fired);
+        let new_facts = stepper.step(voc);
         if new_facts.is_empty() {
             return Certainty::False;
         }
-        if hom::satisfies_ucq(&inst, query) {
+        if hom::satisfies_ucq(&stepper.instance, query) {
             return Certainty::True(round);
         }
-        if inst.len() > config.max_facts {
+        if stepper.instance.len() > config.max_facts {
             return Certainty::Unknown;
         }
     }

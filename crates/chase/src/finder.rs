@@ -19,7 +19,7 @@
 
 use bddfc_core::satisfaction::theory_violations;
 use bddfc_core::{hom, ConjunctiveQuery, ConstId, Fact, Instance, Term, Theory, VarId, Vocabulary};
-use rustc_hash::FxHashSet;
+use bddfc_core::fxhash::FxHashSet;
 
 /// Limits for the model search.
 #[derive(Clone, Copy, Debug)]

@@ -21,7 +21,10 @@ pub mod saturate;
 pub mod trace;
 
 pub use answers::{certain_cq, certain_ucq, chase_size_comparison, probe_depth, Certainty};
-pub use engine::{chase, chase_k, chase_round, ChaseConfig, ChaseResult, ChaseStatus, ChaseVariant};
+pub use engine::{
+    chase, chase_k, chase_round, ChaseConfig, ChaseResult, ChaseStats, ChaseStatus,
+    ChaseStepper, ChaseStrategy, ChaseVariant,
+};
 pub use finder::{countermodel, find_model, FinderConfig, SearchOutcome};
-pub use saturate::{saturate_datalog, SaturationResult};
+pub use saturate::{saturate_datalog, saturate_datalog_naive, SaturationResult};
 pub use trace::{traced_chase, Derivation, DerivationTree, TracedChase};

@@ -8,7 +8,7 @@
 //! fact must use at least one fact from the previous delta).
 
 use bddfc_core::{hom, Binding, Fact, Instance, Rule, Term, Theory};
-use rustc_hash::FxHashSet;
+use bddfc_core::fxhash::FxHashSet;
 use std::ops::ControlFlow;
 
 /// The result of a datalog saturation.
@@ -20,6 +20,16 @@ pub struct SaturationResult {
     pub rounds: u32,
     /// Number of facts added on top of the input.
     pub derived: usize,
+    /// Completed body-homomorphism enumerations per round (the work
+    /// metric semi-naive evaluation reduces; see [`crate::ChaseStats`]).
+    pub body_matches_per_round: Vec<u64>,
+}
+
+impl SaturationResult {
+    /// Total body matches across all rounds.
+    pub fn total_body_matches(&self) -> u64 {
+        self.body_matches_per_round.iter().sum()
+    }
 }
 
 /// Grounds the head atoms of a datalog rule under a total body binding.
@@ -40,6 +50,7 @@ fn rule_round(
     rule: &Rule,
     out: &mut Vec<Fact>,
     seen: &mut FxHashSet<Fact>,
+    matches: &mut u64,
 ) {
     for pin in 0..rule.body.len() {
         let pinned = &rule.body[pin];
@@ -79,6 +90,7 @@ fn rule_round(
                 .map(|(_, a)| a.clone())
                 .collect();
             let _ = hom::for_each_hom(inst, &rest, &binding, |b| {
+                *matches += 1;
                 for fact in ground_head(rule, b) {
                     if !inst.contains(&fact) && seen.insert(fact.clone()) {
                         out.push(fact);
@@ -90,20 +102,46 @@ fn rule_round(
     }
 }
 
-/// Saturates `inst` under the *datalog rules* of `theory` (existential
-/// TGDs are ignored). Always terminates.
-pub fn saturate_datalog(inst: &Instance, theory: &Theory) -> SaturationResult {
+/// Evaluates one rule naively: enumerates *all* body homomorphisms over
+/// the full instance, ignoring the delta. Differential-testing oracle for
+/// [`rule_round`].
+fn rule_round_naive(
+    inst: &Instance,
+    rule: &Rule,
+    out: &mut Vec<Fact>,
+    seen: &mut FxHashSet<Fact>,
+    matches: &mut u64,
+) {
+    let _ = hom::for_each_hom(inst, &rule.body, &Binding::default(), |b| {
+        *matches += 1;
+        for fact in ground_head(rule, b) {
+            if !inst.contains(&fact) && seen.insert(fact.clone()) {
+                out.push(fact);
+            }
+        }
+        ControlFlow::Continue(())
+    });
+}
+
+fn saturate_impl(inst: &Instance, theory: &Theory, naive: bool) -> SaturationResult {
     let datalog: Vec<&Rule> = theory.datalog_rules().collect();
     let mut current = inst.clone();
     let mut delta = inst.clone();
     let mut rounds = 0;
     let mut derived = 0;
+    let mut body_matches_per_round = Vec::new();
     loop {
         let mut new_facts = Vec::new();
         let mut seen = FxHashSet::default();
+        let mut matches = 0u64;
         for rule in &datalog {
-            rule_round(&current, &delta, rule, &mut new_facts, &mut seen);
+            if naive {
+                rule_round_naive(&current, rule, &mut new_facts, &mut seen, &mut matches);
+            } else {
+                rule_round(&current, &delta, rule, &mut new_facts, &mut seen, &mut matches);
+            }
         }
+        body_matches_per_round.push(matches);
         if new_facts.is_empty() {
             break;
         }
@@ -117,7 +155,20 @@ pub fn saturate_datalog(inst: &Instance, theory: &Theory) -> SaturationResult {
         }
         delta = next_delta;
     }
-    SaturationResult { instance: current, rounds, derived }
+    SaturationResult { instance: current, rounds, derived, body_matches_per_round }
+}
+
+/// Saturates `inst` under the *datalog rules* of `theory` (existential
+/// TGDs are ignored), using semi-naive evaluation. Always terminates.
+pub fn saturate_datalog(inst: &Instance, theory: &Theory) -> SaturationResult {
+    saturate_impl(inst, theory, false)
+}
+
+/// Naive-evaluation oracle for [`saturate_datalog`]: every round
+/// re-enumerates all body homomorphisms over the full instance. Same
+/// result, more work — kept for differential testing.
+pub fn saturate_datalog_naive(inst: &Instance, theory: &Theory) -> SaturationResult {
+    saturate_impl(inst, theory, true)
 }
 
 #[cfg(test)]
@@ -213,5 +264,21 @@ mod tests {
         let res = saturate_datalog(&prog.instance, &Default::default());
         assert_eq!(res.instance.len(), 1);
         assert_eq!(res.rounds, 0);
+    }
+
+    #[test]
+    fn naive_oracle_agrees_and_works_harder() {
+        let edges: String = (1..=40).map(|i| format!("E(a{i},a{}). ", i + 1)).collect();
+        let prog = parse_program(&format!("E(X,Y), E(Y,Z) -> E(X,Z). {edges}")).unwrap();
+        let semi = saturate_datalog(&prog.instance, &prog.theory);
+        let naive = saturate_datalog_naive(&prog.instance, &prog.theory);
+        assert_eq!(semi.instance, naive.instance);
+        assert_eq!(semi.derived, naive.derived);
+        assert!(
+            naive.total_body_matches() >= 2 * semi.total_body_matches(),
+            "naive {} vs semi-naive {}",
+            naive.total_body_matches(),
+            semi.total_body_matches()
+        );
     }
 }

@@ -11,7 +11,7 @@
 
 use bddfc_core::satisfaction::{head_satisfied, restrict_binding};
 use bddfc_core::{hom, Binding, Fact, Instance, Term, Theory, VarId, Vocabulary};
-use rustc_hash::FxHashMap;
+use bddfc_core::fxhash::FxHashMap;
 use std::ops::ControlFlow;
 
 /// Provenance of one derived fact.
@@ -102,6 +102,7 @@ pub fn traced_chase(
         // instance (simultaneous semantics, as in the plain engine).
         struct Repair {
             rule_idx: usize,
+            key: Vec<bddfc_core::ConstId>,
             binding: Binding,
             premises: Vec<Fact>,
         }
@@ -109,13 +110,14 @@ pub fn traced_chase(
         for (rule_idx, rule) in theory.rules.iter().enumerate() {
             let mut frontier: Vec<VarId> = rule.frontier().into_iter().collect();
             frontier.sort_unstable();
-            let mut seen: rustc_hash::FxHashSet<Vec<bddfc_core::ConstId>> =
-                rustc_hash::FxHashSet::default();
+            let mut seen: bddfc_core::fxhash::FxHashSet<Vec<bddfc_core::ConstId>> =
+                bddfc_core::fxhash::FxHashSet::default();
             let _ = hom::for_each_hom(&inst, &rule.body, &Binding::default(), |b| {
                 let key: Vec<_> = frontier.iter().map(|v| b[v]).collect();
-                if !seen.insert(key) {
+                if seen.contains(&key) {
                     return ControlFlow::Continue(());
                 }
+                seen.insert(key.clone());
                 let restricted = restrict_binding(b, &frontier);
                 if !head_satisfied(&inst, rule, &restricted) {
                     let premises = rule
@@ -127,7 +129,7 @@ pub fn traced_chase(
                                 .expect("body grounded by homomorphism")
                         })
                         .collect();
-                    repairs.push(Repair { rule_idx, binding: restricted, premises });
+                    repairs.push(Repair { rule_idx, key, binding: restricted, premises });
                 }
                 ControlFlow::Continue(())
             });
@@ -136,6 +138,9 @@ pub fn traced_chase(
             fixpoint = true;
             break;
         }
+        // Canonical repair order — the same (rule, frontier-key) order as
+        // the plain engine, so fresh nulls get identical names.
+        repairs.sort_by(|a, b| (a.rule_idx, &a.key).cmp(&(b.rule_idx, &b.key)));
         rounds += 1;
         for repair in repairs {
             let rule = &theory.rules[repair.rule_idx];

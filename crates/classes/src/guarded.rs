@@ -26,7 +26,7 @@
 
 use crate::recognize::guard_of;
 use bddfc_core::{Atom, PredId, Rule, Term, Theory, VarId, Vocabulary};
-use rustc_hash::{FxHashMap, FxHashSet};
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 
 /// Why a theory is outside the supported guarded fragment.
 #[derive(Clone, Debug, PartialEq, Eq)]

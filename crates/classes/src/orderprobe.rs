@@ -16,7 +16,7 @@
 
 use bddfc_chase::{chase, ChaseConfig};
 use bddfc_core::{hom, Binding, ConjunctiveQuery, ConstId, Instance, Term, Theory, Vocabulary};
-use rustc_hash::FxHashSet;
+use bddfc_core::fxhash::FxHashSet;
 use std::ops::ControlFlow;
 
 /// A witness that the theory defines an ordering on the chase prefix.
@@ -52,23 +52,35 @@ fn find_chain(
     // Irreflexivity is checked by the caller. A "chain" here is a set
     // a₁ < a₂ < … totally ordered by the relation: every earlier element
     // relates to every later one (transitive chain), matching Conjecture
-    // 2's "strict total ordering on A".
-    let starts: FxHashSet<ConstId> = pairs.iter().map(|&(a, _)| a).collect();
+    // 2's "strict total ordering on A". The greedy extension is sensitive
+    // to candidate order, so candidates are visited in ascending ConstId
+    // order — deterministic, hasher-independent, and on chase prefixes it
+    // follows element creation order, which is the direction truncated
+    // transitive closures are densest in.
+    let mut succ: bddfc_core::fxhash::FxHashMap<ConstId, Vec<ConstId>> =
+        bddfc_core::fxhash::FxHashMap::default();
+    for &(a, b) in pairs {
+        succ.entry(a).or_default().push(b);
+    }
+    let mut starts: Vec<ConstId> = succ.keys().copied().collect();
+    starts.sort_unstable();
+    for list in succ.values_mut() {
+        list.sort_unstable();
+    }
     for &start in &starts {
         let mut chain = vec![start];
         loop {
             let last = *chain.last().expect("nonempty");
-            // Next: an element all chain members relate to.
-            let mut next = None;
-            for &(a, b) in pairs.iter() {
-                if a == last
-                    && !chain.contains(&b)
-                    && chain.iter().all(|&c| pairs.contains(&(c, b)))
-                {
-                    next = Some(b);
-                    break;
-                }
-            }
+            // Next: the smallest element all chain members relate to.
+            let next = succ.get(&last).and_then(|cands| {
+                cands
+                    .iter()
+                    .find(|&&b| {
+                        !chain.contains(&b)
+                            && chain.iter().all(|&c| pairs.contains(&(c, b)))
+                    })
+                    .copied()
+            });
             match next {
                 Some(b) => chain.push(b),
                 None => break,

@@ -12,7 +12,7 @@
 //!   paper's proof extends beyond binary signatures.
 
 use bddfc_core::{Atom, Rule, Term, Theory, VarId, Vocabulary};
-use rustc_hash::{FxHashMap, FxHashSet};
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 
 /// Is every predicate of the theory of arity ≤ 2?
 pub fn is_binary(theory: &Theory, voc: &Vocabulary) -> bool {

@@ -16,7 +16,7 @@
 //! ternary theory (harmless for certain answers, as §5.4 notes).
 
 use bddfc_core::{Atom, ConjunctiveQuery, Fact, Instance, PredId, Rule, Term, Theory, Vocabulary};
-use rustc_hash::FxHashMap;
+use bddfc_core::fxhash::FxHashMap;
 
 /// The per-predicate encoding: the chain of link predicates.
 #[derive(Clone, Debug)]

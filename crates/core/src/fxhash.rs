@@ -1,0 +1,157 @@
+//! An in-tree Fx-style hasher, so the workspace builds with **zero
+//! external dependencies** (the hermetic-build policy of DESIGN.md).
+//!
+//! The construction is the classic "multiply by a large odd constant,
+//! rotate, xor" word hasher popularized by Firefox and the Rust compiler:
+//! not cryptographic, not DoS-resistant, but extremely fast on the small
+//! fixed-width keys this workspace hashes everywhere (`PredId`, `ConstId`,
+//! `VarId`, small tuples and id vectors). All hashing in the workspace
+//! goes through the [`FxHashMap`] / [`FxHashSet`] aliases below.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier: 2^64 / φ, forced odd — the usual Fibonacci-hashing constant.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A fast, non-cryptographic [`Hasher`] for small keys.
+///
+/// State is a single `u64`; every ingested word is folded in with a
+/// rotate-xor-multiply step. Integer writes take the one-word fast path;
+/// byte slices are consumed in `u64` chunks with a length-tagged tail so
+/// that `"ab" + "c"` and `"a" + "bc"` hash differently.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(26) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so low output bits depend on high state bits
+        // (HashMap only uses the low bits for bucket selection).
+        let h = self.hash;
+        h ^ (h >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+        self.add_word(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] keyed through [`FxHasher`] — drop-in for the std map.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] keyed through [`FxHasher`] — drop-in for the std set.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&vec![1u32, 2, 3]), hash_of(&vec![1u32, 2, 3]));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn byte_boundaries_matter() {
+        // Length tagging: splitting the same bytes differently must not
+        // collide via the Hash impl for (str, str)-style composites.
+        assert_ne!(hash_of(&("ab", "c")), hash_of(&("a", "bc")));
+    }
+
+    #[test]
+    fn small_keys_spread() {
+        // 10_000 consecutive u32 keys should produce (nearly) distinct
+        // hashes — the map would still work with collisions, but the
+        // avalanche step should keep them rare.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            seen.insert(hash_of(&i));
+        }
+        assert!(seen.len() > 9_990, "only {} distinct hashes", seen.len());
+    }
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut map: FxHashMap<(u32, u8, u32), Vec<usize>> = FxHashMap::default();
+        map.entry((1, 0, 2)).or_default().push(7);
+        map.entry((1, 0, 2)).or_default().push(8);
+        assert_eq!(map[&(1, 0, 2)], vec![7, 8]);
+
+        let mut set: FxHashSet<Vec<u32>> = FxHashSet::default();
+        assert!(set.insert(vec![1, 2]));
+        assert!(!set.insert(vec![1, 2]));
+        assert!(set.contains(&vec![1, 2]));
+    }
+
+    #[test]
+    fn hashes_are_deterministic_across_hashers() {
+        // No per-instance randomness: two hasher instances agree.
+        let a = hash_of(&0xdead_beefu64);
+        let b = hash_of(&0xdead_beefu64);
+        assert_eq!(a, b);
+    }
+}

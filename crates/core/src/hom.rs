@@ -12,19 +12,22 @@
 //! `(predicate, position, element)` index), which keeps the join tree
 //! narrow without any query planning machinery.
 
+use crate::fxhash::FxHashMap;
 use crate::instance::Instance;
 use crate::query::{ConjunctiveQuery, Ucq};
 use crate::symbols::{ConstId, VarId};
 use crate::term::{Atom, Term};
-use rustc_hash::FxHashMap;
 use std::ops::ControlFlow;
 
 /// A partial assignment of variables to domain elements.
 pub type Binding = FxHashMap<VarId, ConstId>;
 
 /// Estimates the number of candidate facts for `atom` under `binding`,
-/// returning the tightest available index slice.
+/// returning the tightest available [`crate::index::FactIndex`] posting
+/// list: the shortest `(predicate, position, element)` list over the bound
+/// positions, falling back to the whole predicate list.
 fn candidates<'i>(inst: &'i Instance, atom: &Atom, binding: &Binding) -> &'i [usize] {
+    let index = inst.index();
     let mut best: Option<&[usize]> = None;
     for (pos, term) in atom.args.iter().enumerate() {
         let bound = match term {
@@ -32,13 +35,13 @@ fn candidates<'i>(inst: &'i Instance, atom: &Atom, binding: &Binding) -> &'i [us
             Term::Var(v) => binding.get(v).copied(),
         };
         if let Some(c) = bound {
-            let slice = inst.facts_with_pred_pos_const(atom.pred, pos, c);
+            let slice = index.with_pred_pos_const(atom.pred, pos, c);
             if best.is_none_or(|b| slice.len() < b.len()) {
                 best = Some(slice);
             }
         }
     }
-    best.unwrap_or_else(|| inst.facts_with_pred(atom.pred))
+    best.unwrap_or_else(|| index.with_pred(atom.pred))
 }
 
 /// Attempts to extend `binding` so that `atom` matches the fact at `idx`.
@@ -175,7 +178,7 @@ pub fn satisfies_ucq(inst: &Instance, ucq: &Ucq) -> bool {
 /// homomorphisms onto the free variables), sorted for determinism.
 pub fn answers(inst: &Instance, cq: &ConjunctiveQuery) -> Vec<Vec<ConstId>> {
     let mut out: Vec<Vec<ConstId>> = Vec::new();
-    let mut seen = rustc_hash::FxHashSet::default();
+    let mut seen = crate::fxhash::FxHashSet::default();
     let _ = for_each_hom(inst, &cq.atoms, &Binding::default(), |b| {
         let tuple: Vec<ConstId> = cq.free.iter().map(|v| b[v]).collect();
         if seen.insert(tuple.clone()) {
@@ -189,7 +192,7 @@ pub fn answers(inst: &Instance, cq: &ConjunctiveQuery) -> Vec<Vec<ConstId>> {
 
 /// All distinct answer tuples of a UCQ.
 pub fn ucq_answers(inst: &Instance, ucq: &Ucq) -> Vec<Vec<ConstId>> {
-    let mut seen = rustc_hash::FxHashSet::default();
+    let mut seen = crate::fxhash::FxHashSet::default();
     let mut out = Vec::new();
     for d in &ucq.disjuncts {
         for t in answers(inst, d) {
@@ -339,6 +342,73 @@ mod tests {
         let edge = ConjunctiveQuery::boolean(vec![Atom::new(e, vec![Term::Var(x), Term::Var(y)])]);
         assert!(!satisfies_ucq(&inst, &Ucq::new(vec![tri.clone()])));
         assert!(satisfies_ucq(&inst, &Ucq::new(vec![tri, edge])));
+    }
+
+    /// Index-free oracle for [`candidates`]: every fact compatible with
+    /// `atom` under `binding` by linear scan.
+    fn candidates_scan(inst: &Instance, atom: &Atom, binding: &Binding) -> Vec<usize> {
+        (0..inst.len())
+            .filter(|&idx| {
+                let fact = inst.fact(idx);
+                fact.pred == atom.pred
+                    && fact.args.len() == atom.args.len()
+                    && atom.args.iter().zip(fact.args.iter()).all(|(t, &c)| match t {
+                        Term::Const(k) => *k == c,
+                        Term::Var(v) => binding.get(v).is_none_or(|&b| b == c),
+                    })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn indexed_candidates_cover_exactly_the_scan_matches() {
+        use crate::prng::SplitMix64;
+        let mut rng = SplitMix64::new(99);
+        let mut voc = Vocabulary::new();
+        let e = voc.pred("E", 2);
+        let u = voc.pred("U", 1);
+        let elems: Vec<_> = (0..6).map(|i| voc.constant(&format!("c{i}"))).collect();
+        let mut inst = Instance::new();
+        for _ in 0..60 {
+            if rng.flip() {
+                inst.insert(Fact::new(e, vec![*rng.pick(&elems), *rng.pick(&elems)]));
+            } else {
+                inst.insert(Fact::new(u, vec![*rng.pick(&elems)]));
+            }
+        }
+        let (x, y) = (voc.var("X"), voc.var("Y"));
+        // Atoms of every binding shape: unbound, half-bound, constant.
+        let shapes = vec![
+            Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(e, vec![Term::Const(elems[0]), Term::Var(y)]),
+            Atom::new(e, vec![Term::Var(x), Term::Const(elems[1])]),
+            Atom::new(u, vec![Term::Var(x)]),
+            Atom::new(u, vec![Term::Const(elems[2])]),
+        ];
+        for atom in &shapes {
+            for bound_x in [None, Some(elems[3])] {
+                let mut binding = Binding::default();
+                if let Some(c) = bound_x {
+                    binding.insert(x, c);
+                }
+                let by_index: Vec<usize> = candidates(&inst, atom, &binding).to_vec();
+                let by_scan = candidates_scan(&inst, atom, &binding);
+                // The index may over-approximate (it prunes on one bound
+                // position), but must contain every scan match, and
+                // try_match must accept exactly the scan matches.
+                for idx in &by_scan {
+                    assert!(by_index.contains(idx), "index missed fact {idx} for {atom:?}");
+                }
+                let accepted: Vec<usize> = by_index
+                    .into_iter()
+                    .filter(|&idx| {
+                        let mut b = binding.clone();
+                        try_match(&inst, atom, idx, &mut b).is_some()
+                    })
+                    .collect();
+                assert_eq!(accepted, by_scan, "atom {atom:?}, bound_x {bound_x:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! [`FactIndex`]: the access-path structure behind [`Instance`] lookups.
+//!
+//! The chase and the homomorphism engine spend essentially all their time
+//! asking two questions about a growing set of facts: *which facts use
+//! predicate `P`?* and *which facts have element `c` at position `i` of
+//! predicate `P`?*. `FactIndex` answers both from hash maps of posting
+//! lists (vectors of [`FactIdx`] in insertion order), and is kept
+//! incrementally up to date on every insert — [`FactIndex::rebuild`]
+//! exists only as the from-scratch oracle the unit tests compare against.
+//!
+//! [`Instance`]: crate::instance::Instance
+
+use crate::fxhash::FxHashMap;
+use crate::symbols::{ConstId, PredId};
+use crate::term::Fact;
+
+/// Position of a fact in its instance's insertion-ordered fact vector.
+pub type FactIdx = usize;
+
+/// Posting-list indexes over a fact vector: by predicate, and by
+/// `(predicate, position, element)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FactIndex {
+    by_pred: FxHashMap<PredId, Vec<FactIdx>>,
+    by_pred_pos_const: FxHashMap<(PredId, u8, ConstId), Vec<FactIdx>>,
+}
+
+impl FactIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the fact stored at `idx`. Callers must present facts in
+    /// increasing `idx` order (the instance's insertion order) so posting
+    /// lists stay sorted.
+    pub fn insert(&mut self, idx: FactIdx, fact: &Fact) {
+        self.by_pred.entry(fact.pred).or_default().push(idx);
+        for (pos, &c) in fact.args.iter().enumerate() {
+            self.by_pred_pos_const
+                .entry((fact.pred, pos as u8, c))
+                .or_default()
+                .push(idx);
+        }
+    }
+
+    /// Builds the index of a fact slice from scratch. Semantically equal
+    /// to inserting every fact in order into an empty index.
+    pub fn rebuild(facts: &[Fact]) -> Self {
+        let mut index = FactIndex::new();
+        for (idx, fact) in facts.iter().enumerate() {
+            index.insert(idx, fact);
+        }
+        index
+    }
+
+    /// Indexes of facts with the given predicate, in insertion order.
+    pub fn with_pred(&self, pred: PredId) -> &[FactIdx] {
+        self.by_pred.get(&pred).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Indexes of facts with predicate `pred` and element `c` at argument
+    /// position `pos`, in insertion order.
+    pub fn with_pred_pos_const(&self, pred: PredId, pos: usize, c: ConstId) -> &[FactIdx] {
+        self.by_pred_pos_const
+            .get(&(pred, pos as u8, c))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// The predicates that index at least one fact.
+    pub fn preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.by_pred.keys().copied()
+    }
+
+    /// Number of posting lists (diagnostics).
+    pub fn posting_lists(&self) -> usize {
+        self.by_pred.len() + self.by_pred_pos_const.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::SplitMix64;
+    use crate::symbols::Vocabulary;
+
+    /// A deterministic pseudo-random fact soup over mixed arities.
+    fn soup(voc: &mut Vocabulary, n: usize, seed: u64) -> Vec<Fact> {
+        let mut rng = SplitMix64::new(seed);
+        let e = voc.pred("E", 2);
+        let u = voc.pred("U", 1);
+        let t = voc.pred("T", 3);
+        let elems: Vec<ConstId> = (0..8).map(|i| voc.constant(&format!("c{i}"))).collect();
+        (0..n)
+            .map(|_| match rng.below(3) {
+                0 => Fact::new(e, vec![*rng.pick(&elems), *rng.pick(&elems)]),
+                1 => Fact::new(u, vec![*rng.pick(&elems)]),
+                _ => Fact::new(t, vec![*rng.pick(&elems), *rng.pick(&elems), *rng.pick(&elems)]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        let mut voc = Vocabulary::new();
+        let facts = soup(&mut voc, 200, 11);
+        let mut incremental = FactIndex::new();
+        for (idx, fact) in facts.iter().enumerate() {
+            incremental.insert(idx, fact);
+            // Invariant holds at *every* prefix, not just the end.
+            if idx % 50 == 0 {
+                assert_eq!(incremental, FactIndex::rebuild(&facts[..=idx]));
+            }
+        }
+        assert_eq!(incremental, FactIndex::rebuild(&facts));
+    }
+
+    #[test]
+    fn posting_lists_are_sorted_and_complete() {
+        let mut voc = Vocabulary::new();
+        let facts = soup(&mut voc, 150, 23);
+        let index = FactIndex::rebuild(&facts);
+        for p in index.preds() {
+            let list = index.with_pred(p);
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "unsorted list for {p:?}");
+            // Every listed idx really has predicate p, and every fact with
+            // predicate p is listed.
+            let expect: Vec<FactIdx> = facts
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.pred == p)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(list, expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn position_index_agrees_with_scan() {
+        let mut voc = Vocabulary::new();
+        let facts = soup(&mut voc, 150, 37);
+        let index = FactIndex::rebuild(&facts);
+        let e = voc.find_pred("E").unwrap();
+        for pos in 0..2 {
+            for i in 0..8 {
+                let c = voc.find_const(&format!("c{i}")).unwrap();
+                let expect: Vec<FactIdx> = facts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.pred == e && f.args[pos] == c)
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(index.with_pred_pos_const(e, pos, c), expect.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn missing_keys_give_empty_slices() {
+        let index = FactIndex::new();
+        assert!(index.with_pred(PredId(99)).is_empty());
+        assert!(index.with_pred_pos_const(PredId(99), 0, ConstId(0)).is_empty());
+        assert_eq!(index.posting_lists(), 0);
+    }
+}

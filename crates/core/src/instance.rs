@@ -1,25 +1,25 @@
 //! Database instances: indexed stores of ground facts.
 //!
 //! An [`Instance`] is the paper's "database instance … a set of facts".
-//! It maintains three indexes tuned for the homomorphism engine and the
-//! chase: by predicate, by (predicate, position, element), and the set of
-//! all facts for O(1) duplicate detection.
+//! Lookup queries are served by a [`FactIndex`] (by predicate and by
+//! `(predicate, position, element)`), kept incrementally up to date on
+//! insert; the instance additionally maintains a by-element posting list
+//! and the set of all facts for O(1) duplicate detection.
 
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::index::FactIndex;
 use crate::symbols::{ConstId, PredId, Vocabulary};
 use crate::term::Fact;
-use rustc_hash::{FxHashMap, FxHashSet};
 use std::fmt;
 
-/// Position of a fact in the instance's insertion-ordered fact vector.
-pub type FactIdx = usize;
+pub use crate::index::FactIdx;
 
 /// An indexed set of ground facts over interned symbols.
 #[derive(Clone, Debug, Default)]
 pub struct Instance {
     facts: Vec<Fact>,
     fact_set: FxHashSet<Fact>,
-    by_pred: FxHashMap<PredId, Vec<FactIdx>>,
-    by_pred_pos_const: FxHashMap<(PredId, u8, ConstId), Vec<FactIdx>>,
+    index: FactIndex,
     by_const: FxHashMap<ConstId, Vec<FactIdx>>,
     domain: FxHashSet<ConstId>,
 }
@@ -36,12 +36,8 @@ impl Instance {
             return false;
         }
         let idx = self.facts.len();
-        self.by_pred.entry(fact.pred).or_default().push(idx);
+        self.index.insert(idx, &fact);
         for (pos, &c) in fact.args.iter().enumerate() {
-            self.by_pred_pos_const
-                .entry((fact.pred, pos as u8, c))
-                .or_default()
-                .push(idx);
             self.domain.insert(c);
             // Record each fact once per *distinct* element it contains.
             if fact.args[..pos].iter().all(|&p| p != c) {
@@ -83,17 +79,20 @@ impl Instance {
         &self.facts[idx]
     }
 
+    /// The access-path index over this instance's facts.
+    pub fn index(&self) -> &FactIndex {
+        &self.index
+    }
+
     /// Indexes of facts with the given predicate.
     pub fn facts_with_pred(&self, pred: PredId) -> &[FactIdx] {
-        self.by_pred.get(&pred).map_or(&[], |v| v.as_slice())
+        self.index.with_pred(pred)
     }
 
     /// Indexes of facts with the given predicate and element `c` at
     /// argument position `pos`.
     pub fn facts_with_pred_pos_const(&self, pred: PredId, pos: usize, c: ConstId) -> &[FactIdx] {
-        self.by_pred_pos_const
-            .get(&(pred, pos as u8, c))
-            .map_or(&[], |v| v.as_slice())
+        self.index.with_pred_pos_const(pred, pos, c)
     }
 
     /// Indexes of all facts containing the element `c` (each fact listed
@@ -154,7 +153,7 @@ impl Instance {
 
     /// The set of predicates actually used by some fact.
     pub fn used_preds(&self) -> impl Iterator<Item = PredId> + '_ {
-        self.by_pred.keys().copied()
+        self.index.preds()
     }
 
     /// Applies an element mapping, producing the homomorphic image
@@ -280,6 +279,13 @@ mod tests {
         let img = inst.map_elements(&|_| a0);
         assert_eq!(img.len(), 1); // both collapse to E(a0,a0)
         assert_eq!(img.domain_size(), 1);
+    }
+
+    #[test]
+    fn incremental_index_matches_rebuild() {
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 10);
+        assert_eq!(*inst.index(), FactIndex::rebuild(inst.facts()));
     }
 
     #[test]

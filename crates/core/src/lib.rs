@@ -6,7 +6,10 @@
 //!
 //! * interned symbols and the [`Vocabulary`] ([`symbols`]);
 //! * terms, atoms and facts ([`term`]);
-//! * indexed database instances ([`instance`]);
+//! * indexed database instances ([`instance`]) over the access-path
+//!   structure of [`index`];
+//! * the in-tree hasher ([`fxhash`]) and deterministic PRNG ([`prng`])
+//!   that keep the workspace free of external dependencies;
 //! * conjunctive queries and UCQs ([`query`]);
 //! * TGDs, datalog rules and theories ([`rule`]);
 //! * the backtracking homomorphism engine ([`hom`]);
@@ -26,9 +29,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod hom;
+pub mod index;
 pub mod instance;
 pub mod parser;
+pub mod prng;
 pub mod query;
 pub mod rule;
 pub mod satisfaction;
@@ -36,6 +42,7 @@ pub mod symbols;
 pub mod term;
 
 pub use hom::Binding;
+pub use index::{FactIdx, FactIndex};
 pub use instance::Instance;
 pub use parser::{parse_into, parse_program, parse_query, parse_rule, ParseError, Program};
 pub use query::{ConjunctiveQuery, Ucq};

@@ -8,7 +8,7 @@
 
 use crate::symbols::{ConstId, VarId, Vocabulary};
 use crate::term::{Atom, Fact, Term};
-use rustc_hash::{FxHashMap, FxHashSet};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use std::fmt;
 
 /// A conjunctive query: a conjunction of atoms with a tuple of free

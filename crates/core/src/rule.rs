@@ -10,7 +10,7 @@
 use crate::query::ConjunctiveQuery;
 use crate::symbols::{ConstId, PredId, VarId, Vocabulary};
 use crate::term::{Atom, Term};
-use rustc_hash::FxHashSet;
+use crate::fxhash::FxHashSet;
 use std::fmt;
 
 /// A rule `body ⇒ ∃(head-only vars) head₁ ∧ … ∧ headₖ`.
@@ -120,7 +120,7 @@ impl Rule {
 
     /// Renames all variables apart from anything already interned.
     pub fn rename_apart(&self, voc: &mut Vocabulary) -> Rule {
-        let mut map = rustc_hash::FxHashMap::default();
+        let mut map = crate::fxhash::FxHashMap::default();
         let mut all: Vec<VarId> = self.body_vars().into_iter().collect();
         all.extend(self.head_vars());
         for v in all {

@@ -63,7 +63,7 @@ pub fn first_violation(inst: &Instance, rule: &Rule) -> Option<Violation> {
 pub fn rule_violations(inst: &Instance, rule: &Rule) -> Vec<Violation> {
     let mut frontier: Vec<VarId> = rule.frontier().into_iter().collect();
     frontier.sort_unstable();
-    let mut seen = rustc_hash::FxHashSet::default();
+    let mut seen = crate::fxhash::FxHashSet::default();
     let mut out = Vec::new();
     let _ = hom::for_each_hom(inst, &rule.body, &Binding::default(), |b| {
         let key: Vec<_> = frontier.iter().map(|v| b[v]).collect();

@@ -6,7 +6,7 @@
 //! arities, and the constant/null distinction the paper relies on
 //! (`C_con` vs `C_non` in Section 1.1).
 
-use rustc_hash::FxHashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 /// Identifier of a relation symbol (predicate).

@@ -39,7 +39,7 @@ use bddfc_core::{
 };
 use bddfc_rewrite::{kappa, RewriteConfig};
 use bddfc_types::{natural_coloring, Quotient, TypeAnalyzer};
-use rustc_hash::{FxHashMap, FxHashSet};
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 
 /// Budgets and parameters for the pipeline.
 #[derive(Clone, Copy, Debug)]

@@ -9,7 +9,7 @@
 //! whole chase by datalog saturation alone (Lemma 4).
 
 use bddfc_core::{ConstId, Instance, PredId, Theory, Vocabulary};
-use rustc_hash::{FxHashMap, FxHashSet};
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 
 /// Extracts `S(D,T)`: the atoms of `db` plus all TGP atoms of `chased`.
 pub fn skeleton(chased: &Instance, db: &Instance, theory: &Theory) -> Instance {

@@ -122,7 +122,7 @@ pub fn normalize_spade5(theory: &Theory, voc: &mut Vocabulary) -> Result<Theory,
         let second_ok = matches!(head.args[1], Term::Var(v) if ex.contains(&v));
         first_ok && second_ok && ex.len() == 1
     };
-    let mut dirty: rustc_hash::FxHashSet<PredId> = rustc_hash::FxHashSet::default();
+    let mut dirty: bddfc_core::fxhash::FxHashSet<PredId> = bddfc_core::fxhash::FxHashSet::default();
     for rule in &theory.rules {
         if !rule.is_single_head() {
             return Err(TransformError::MultiHead(format!("{:?}", rule.head)));

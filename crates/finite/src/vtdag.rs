@@ -8,7 +8,7 @@
 
 use bddfc_core::{ConstId, Instance, Vocabulary};
 use bddfc_types::predecessors;
-use rustc_hash::{FxHashMap, FxHashSet};
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 
 /// Why a structure fails to be a VTDAG.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -18,7 +18,7 @@
 //! termination argument of Lemma 10's while-loop is executable.
 
 use bddfc_core::{Atom, ConjunctiveQuery, Term, VarId};
-use rustc_hash::{FxHashMap, FxHashSet};
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 
 /// The Section 4 shape classification of a query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

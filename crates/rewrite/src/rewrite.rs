@@ -15,7 +15,7 @@
 use crate::subsume::insert_minimal;
 use crate::unify::{unify_with_all, Subst};
 use bddfc_core::{Atom, ConjunctiveQuery, Rule, Term, Theory, Ucq, VarId, Vocabulary};
-use rustc_hash::FxHashSet;
+use bddfc_core::fxhash::FxHashSet;
 use std::collections::VecDeque;
 
 /// Budgets for a rewriting run.

@@ -13,7 +13,7 @@
 //! engine only compares ids, so this is safe.
 
 use bddfc_core::{hom, Binding, ConjunctiveQuery, ConstId, Fact, Instance, Term, VarId};
-use rustc_hash::FxHashMap;
+use bddfc_core::fxhash::FxHashMap;
 
 /// Base of the ephemeral constant range. Real vocabularies hand out ids
 /// sequentially from 0 and could not practically reach 2³¹ symbols.

@@ -5,7 +5,7 @@
 //! classes with at most one constant each.
 
 use bddfc_core::{Atom, Term, VarId};
-use rustc_hash::FxHashMap;
+use bddfc_core::fxhash::FxHashMap;
 
 /// A triangular substitution: variables map to terms; lookups chase
 /// variable-to-variable links to a representative.

@@ -32,7 +32,7 @@
 //! `≡ₙ`-equivalent only to itself.
 
 use bddfc_core::{hom, Atom, Binding, ConstId, Instance, Term, VarId, Vocabulary};
-use rustc_hash::{FxHashMap, FxHashSet};
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 
 /// Precomputed machinery for positive-type queries over one structure.
 pub struct TypeAnalyzer<'a> {

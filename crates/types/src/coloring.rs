@@ -17,7 +17,7 @@
 //! brute force over the (small, Lemma 3 (iv)) neighbourhood.
 
 use bddfc_core::{ConstId, Fact, Instance, PredId, Vocabulary};
-use rustc_hash::{FxHashMap, FxHashSet};
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 
 /// A color: hue `h` and lightness `l` (the paper's `K^l_h`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]

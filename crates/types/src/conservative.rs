@@ -12,7 +12,7 @@ use crate::analyzer::TypeAnalyzer;
 use crate::coloring::{natural_coloring, Coloring};
 use crate::quotient::Quotient;
 use bddfc_core::{ConstId, Instance, PredId, Vocabulary};
-use rustc_hash::FxHashSet;
+use bddfc_core::fxhash::FxHashSet;
 
 /// The full quotient bundle produced while checking conservativity.
 pub struct ConservativityCheck {
@@ -143,12 +143,12 @@ mod tests {
         let (inst, _) = chain(&mut voc, 12);
         let sigma: FxHashSet<PredId> = inst.used_preds().collect();
         // Trivial coloring: single color.
-        let mut color_of = rustc_hash::FxHashMap::default();
+        let mut color_of = bddfc_core::fxhash::FxHashMap::default();
         let color = crate::coloring::Color { hue: 0, lightness: 0 };
         for e in inst.domain() {
             color_of.insert(e, color);
         }
-        let mut pred_of = rustc_hash::FxHashMap::default();
+        let mut pred_of = bddfc_core::fxhash::FxHashMap::default();
         pred_of.insert(color, voc.pred("K_triv", 1));
         let coloring = Coloring { color_of, pred_of };
         // n = 3, m = 2: the interior class has a self-loop E(x,x) in the
@@ -252,12 +252,12 @@ mod tests {
         let mut voc = Vocabulary::new();
         let (inst, _) = chain(&mut voc, 12);
         let sigma: FxHashSet<PredId> = inst.used_preds().collect();
-        let mut color_of = rustc_hash::FxHashMap::default();
+        let mut color_of = bddfc_core::fxhash::FxHashMap::default();
         let color = crate::coloring::Color { hue: 0, lightness: 0 };
         for e in inst.domain() {
             color_of.insert(e, color);
         }
-        let mut pred_of = rustc_hash::FxHashMap::default();
+        let mut pred_of = bddfc_core::fxhash::FxHashMap::default();
         pred_of.insert(color, voc.pred("K_triv", 1));
         let coloring = Coloring { color_of, pred_of };
         let check = check_conservative(&inst, &coloring, &mut voc, 3, 2, &sigma);

@@ -8,7 +8,7 @@
 //! identity in the quotient, so `D` survives the projection verbatim.
 
 use bddfc_core::{ConstId, Fact, Instance, Vocabulary};
-use rustc_hash::FxHashMap;
+use bddfc_core::fxhash::FxHashMap;
 
 /// A quotient structure together with its projection map.
 #[derive(Clone, Debug)]

@@ -12,7 +12,7 @@
 use crate::analyzer::TypeAnalyzer;
 use crate::quotient::Quotient;
 use bddfc_core::{hom, Binding, ConjunctiveQuery, ConstId, Instance, Vocabulary};
-use rustc_hash::FxHashMap;
+use bddfc_core::fxhash::FxHashMap;
 
 /// A finite segment `M_lo(C̄), …, M_hi(C̄)` of the quotient tower.
 pub struct QuotientTower {

@@ -3,22 +3,21 @@
 //! Everything here is deterministic given the seed, so benchmark rows are
 //! reproducible.
 
+use bddfc_core::prng::SplitMix64;
 use bddfc_core::{Atom, ConstId, Fact, Instance, PredId, Rule, Term, Theory, VarId, Vocabulary};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates a random directed graph instance over one binary predicate
 /// `E` with `nodes` elements and `edges` random edges.
 pub fn random_graph(voc: &mut Vocabulary, nodes: usize, edges: usize, seed: u64) -> Instance {
     let e = voc.pred("E", 2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let elems: Vec<ConstId> = (0..nodes)
         .map(|i| voc.constant(&format!("v{i}")))
         .collect();
     let mut inst = Instance::new();
     while inst.len() < edges {
-        let a = elems[rng.gen_range(0..nodes)];
-        let b = elems[rng.gen_range(0..nodes)];
+        let a = elems[rng.below(nodes)];
+        let b = elems[rng.below(nodes)];
         inst.insert(Fact::new(e, vec![a, b]));
     }
     inst
@@ -33,7 +32,7 @@ pub fn random_linear_theory(
     rules: usize,
     seed: u64,
 ) -> Theory {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let ps: Vec<PredId> = (0..preds)
         .map(|i| voc.pred(&format!("R{i}"), 2))
         .collect();
@@ -42,10 +41,10 @@ pub fn random_linear_theory(
     let z = voc.var("Zg");
     let mut out = Vec::new();
     for _ in 0..rules {
-        let pb = ps[rng.gen_range(0..preds)];
-        let ph = ps[rng.gen_range(0..preds)];
+        let pb = ps[rng.below(preds)];
+        let ph = ps[rng.below(preds)];
         let body = vec![Atom::new(pb, vec![Term::Var(x), Term::Var(y)])];
-        let head = if rng.gen_bool(0.5) {
+        let head = if rng.flip() {
             // Existential: R(x,y) -> ∃z S(y,z).
             Atom::new(ph, vec![Term::Var(y), Term::Var(z)])
         } else {

@@ -55,12 +55,12 @@ fn main() {
     }
 
     // And the trivial single-color coloring is *not* conservative.
-    let mut color_of = rustc_hash::FxHashMap::default();
+    let mut color_of = bddfc_core::fxhash::FxHashMap::default();
     let color = bddfc::types::Color { hue: 0, lightness: 0 };
     for el in chain.domain() {
         color_of.insert(el, color);
     }
-    let mut pred_of = rustc_hash::FxHashMap::default();
+    let mut pred_of = bddfc_core::fxhash::FxHashMap::default();
     pred_of.insert(color, voc.pred("K_trivial", 1));
     let trivial = bddfc::types::Coloring { color_of, pred_of };
     let sigma = chain.used_preds().collect();

@@ -1,0 +1,226 @@
+//! Differential tests for the chase engine: the semi-naive strategy must
+//! be observationally identical to the naive oracle — same facts, same
+//! fresh-null names, same depths, round by round — on every paper program
+//! in the zoo and on seeded random programs, for both the restricted and
+//! the oblivious variant. Additionally, the restricted-chase result must
+//! map homomorphically into the oblivious-chase result (the restricted
+//! chase is the "economical" sub-chase of the blind one).
+
+mod support;
+
+use bddfc::chase::{chase, ChaseConfig, ChaseStepper, ChaseStrategy, ChaseVariant};
+use bddfc::core::{hom, Atom, Binding, Fact, Instance, Program, Term, Theory, Vocabulary};
+use bddfc::core::fxhash::FxHashMap;
+use support::proptest_lite::run_prop;
+
+/// Every ready-made paper program from the zoo.
+fn zoo_programs() -> Vec<(&'static str, Program)> {
+    vec![
+        ("example1", bddfc::zoo::example1()),
+        ("example1_m_prime", bddfc::zoo::example1_m_prime()),
+        ("chain_theory", bddfc::zoo::chain_theory()),
+        ("remark3", bddfc::zoo::remark3()),
+        ("total_order_4", bddfc::zoo::total_order(4)),
+        ("example7", bddfc::zoo::example7()),
+        ("example9", bddfc::zoo::example9()),
+        ("section54", bddfc::zoo::section54()),
+        ("notorious", bddfc::zoo::notorious()),
+        ("order_theory", bddfc::zoo::order_theory()),
+        ("linear_ontology", bddfc::zoo::linear_ontology()),
+        ("guarded_example", bddfc::zoo::guarded_example()),
+        ("sticky_example", bddfc::zoo::sticky_example()),
+    ]
+}
+
+/// A seeded random program: a random linear theory over 3 binary
+/// predicates plus a random instance over those same predicates.
+fn random_program(seed: u64) -> Program {
+    let mut voc = Vocabulary::new();
+    let theory = bddfc::zoo::random_linear_theory(&mut voc, 3, 6, seed);
+    let mut rng = bddfc::core::prng::SplitMix64::new(seed ^ 0x5eed);
+    let preds: Vec<_> = (0..3).map(|i| voc.pred(&format!("R{i}"), 2)).collect();
+    let consts: Vec<_> = (0..5).map(|i| voc.constant(&format!("c{i}"))).collect();
+    let mut instance = Instance::new();
+    for _ in 0..8 {
+        let p = preds[rng.below(preds.len())];
+        let a = consts[rng.below(consts.len())];
+        let b = consts[rng.below(consts.len())];
+        instance.insert(Fact::new(p, vec![a, b]));
+    }
+    Program { voc, theory, instance, queries: vec![] }
+}
+
+const MAX_ROUNDS: u32 = 5;
+const MAX_FACTS: usize = 4_000;
+
+/// Steps naive and semi-naive side by side and asserts byte-identical
+/// behaviour every round: same new facts in the same order (hence the
+/// same fresh-null names), same instances.
+fn assert_strategies_agree_roundwise(
+    name: &str,
+    db: &Instance,
+    theory: &Theory,
+    voc: &Vocabulary,
+    variant: ChaseVariant,
+) {
+    let mut voc_n = voc.clone();
+    let mut voc_s = voc.clone();
+    let mut naive = ChaseStepper::new(db, theory, variant, ChaseStrategy::Naive);
+    let mut semi = ChaseStepper::new(db, theory, variant, ChaseStrategy::SemiNaive);
+    for round in 1..=MAX_ROUNDS {
+        let new_n = naive.step(&mut voc_n);
+        let new_s = semi.step(&mut voc_s);
+        assert_eq!(
+            new_n, new_s,
+            "{name}/{variant:?}: round {round} facts differ (naive vs semi-naive)"
+        );
+        assert_eq!(
+            naive.instance, semi.instance,
+            "{name}/{variant:?}: instances diverged at round {round}"
+        );
+        if new_n.is_empty() || naive.instance.len() > MAX_FACTS {
+            break;
+        }
+    }
+}
+
+/// Full-run comparison through the public `chase` entry point: identical
+/// instance, depth map, round count and status.
+fn assert_chase_results_agree(
+    name: &str,
+    db: &Instance,
+    theory: &Theory,
+    voc: &Vocabulary,
+    variant: ChaseVariant,
+) {
+    let config = ChaseConfig {
+        max_rounds: MAX_ROUNDS,
+        max_facts: MAX_FACTS,
+        variant,
+        ..Default::default()
+    };
+    let res_n = chase(
+        db,
+        theory,
+        &mut voc.clone(),
+        config.with_strategy(ChaseStrategy::Naive),
+    );
+    let res_s = chase(
+        db,
+        theory,
+        &mut voc.clone(),
+        config.with_strategy(ChaseStrategy::SemiNaive),
+    );
+    assert_eq!(res_n.instance, res_s.instance, "{name}/{variant:?}: instance");
+    assert_eq!(res_n.depth, res_s.depth, "{name}/{variant:?}: depth map");
+    assert_eq!(res_n.rounds, res_s.rounds, "{name}/{variant:?}: rounds");
+    assert_eq!(res_n.status, res_s.status, "{name}/{variant:?}: status");
+}
+
+/// Checks that the restricted-chase result maps homomorphically into the
+/// oblivious-chase result (both truncated at the same round bound):
+/// nulls become existential variables, constants must map to themselves.
+fn assert_restricted_embeds_in_oblivious(
+    name: &str,
+    db: &Instance,
+    theory: &Theory,
+    voc: &Vocabulary,
+) {
+    let config = ChaseConfig {
+        max_rounds: MAX_ROUNDS,
+        max_facts: MAX_FACTS,
+        ..Default::default()
+    };
+    let mut voc_r = voc.clone();
+    let restricted = chase(db, theory, &mut voc_r, config.with_variant(ChaseVariant::Restricted));
+    let oblivious = chase(
+        db,
+        theory,
+        &mut voc.clone(),
+        config.with_variant(ChaseVariant::Oblivious),
+    );
+    // Turn the restricted result into one big conjunctive query: each
+    // labelled null becomes a fresh variable, constants stay themselves.
+    let mut null_var = FxHashMap::default();
+    let mut atoms = Vec::new();
+    for fact in restricted.instance.facts() {
+        let args = fact
+            .args
+            .iter()
+            .map(|&c| {
+                if voc_r.is_null(c) {
+                    Term::Var(*null_var.entry(c).or_insert_with(|| voc_r.fresh_var("h")))
+                } else {
+                    Term::Const(c)
+                }
+            })
+            .collect();
+        atoms.push(Atom::new(fact.pred, args));
+    }
+    assert!(
+        hom::hom_exists(&oblivious.instance, &atoms, &Binding::default()),
+        "{name}: restricted chase ({} facts) must embed into oblivious chase ({} facts)",
+        restricted.instance.len(),
+        oblivious.instance.len(),
+    );
+}
+
+#[test]
+fn zoo_programs_naive_equals_seminaive_roundwise() {
+    for (name, prog) in zoo_programs() {
+        for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+            assert_strategies_agree_roundwise(
+                name,
+                &prog.instance,
+                &prog.theory,
+                &prog.voc,
+                variant,
+            );
+        }
+    }
+}
+
+#[test]
+fn zoo_programs_chase_results_identical() {
+    for (name, prog) in zoo_programs() {
+        for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+            assert_chase_results_agree(name, &prog.instance, &prog.theory, &prog.voc, variant);
+        }
+    }
+}
+
+#[test]
+fn zoo_programs_restricted_embeds_in_oblivious() {
+    for (name, prog) in zoo_programs() {
+        assert_restricted_embeds_in_oblivious(name, &prog.instance, &prog.theory, &prog.voc);
+    }
+}
+
+#[test]
+fn random_programs_naive_equals_seminaive() {
+    run_prop("random_programs_naive_equals_seminaive", 24, |g| {
+        let seed = g.u64_in("seed", 0, 1 << 32);
+        let prog = random_program(seed);
+        for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+            assert_strategies_agree_roundwise(
+                "random",
+                &prog.instance,
+                &prog.theory,
+                &prog.voc,
+                variant,
+            );
+            assert_chase_results_agree("random", &prog.instance, &prog.theory, &prog.voc, variant);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn random_programs_restricted_embeds_in_oblivious() {
+    run_prop("random_programs_restricted_embeds_in_oblivious", 16, |g| {
+        let seed = g.u64_in("seed", 0, 1 << 32);
+        let prog = random_program(seed);
+        assert_restricted_embeds_in_oblivious("random", &prog.instance, &prog.theory, &prog.voc);
+        Ok(())
+    });
+}

@@ -3,7 +3,7 @@
 
 use bddfc::prelude::*;
 use bddfc::types::check_conservative;
-use rustc_hash::FxHashSet;
+use bddfc_core::fxhash::FxHashSet;
 
 /// E1 — Example 1: the chase of D = {E(a,b)} is an infinite E-chain
 /// (one new element per round); the 3-cycle image M′ is *not* a model

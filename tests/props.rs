@@ -1,13 +1,13 @@
-//! Property-based tests on the core invariants, spanning crates.
+//! Property-based tests on the core invariants, spanning crates, driven
+//! by the in-tree deterministic harness in `support::proptest_lite`.
 
-use bddfc::prelude::*;
+mod support;
+
 use bddfc::core::{hom, Fact};
-use proptest::prelude::*;
+use bddfc::prelude::*;
+use support::proptest_lite::{ensure, ensure_eq, run_prop, Gen, PropResult};
 
-/// Strategy: a random edge list over `n` nodes.
-fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u8, u8)>> {
-    prop::collection::vec((0..n as u8, 0..n as u8), 1..max_edges)
-}
+const CASES: u64 = 48;
 
 fn graph_of(pairs: &[(u8, u8)]) -> (Vocabulary, Instance) {
     let mut voc = Vocabulary::new();
@@ -21,168 +21,251 @@ fn graph_of(pairs: &[(u8, u8)]) -> (Vocabulary, Instance) {
     (voc, inst)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Same edge list, but over anonymous (labelled-null) elements, so
+/// type-based partitions are allowed to merge them.
+fn anon_graph_of(pairs: &[(u8, u8)]) -> (Vocabulary, Instance) {
+    let mut anon = Vocabulary::new();
+    let e = anon.pred("E", 2);
+    let mut inst = Instance::new();
+    let mut map = std::collections::HashMap::new();
+    for &(a, b) in pairs {
+        let ca = *map.entry(a).or_insert_with(|| anon.fresh_null("x"));
+        let cb = *map.entry(b).or_insert_with(|| anon.fresh_null("x"));
+        inst.insert(Fact::new(e, vec![ca, cb]));
+    }
+    (anon, inst)
+}
 
-    /// The chase result always contains the database and, on fixpoint,
-    /// models the theory.
-    #[test]
-    fn chase_is_sound(pairs in edges(6, 12)) {
+/// The chase result always contains the database and, on fixpoint,
+/// models the theory.
+#[test]
+fn chase_is_sound() {
+    run_prop("chase_is_sound", CASES, |g: &mut Gen| -> PropResult {
+        let pairs = g.edges("pairs", 6, 12);
         let (mut voc, db) = graph_of(&pairs);
         let (theory, _, _) = bddfc::core::parse_into(
             "E(X,Y) -> exists Z . E(Y,Z). E(X,Y), E(Y,Z) -> E(X,Z).",
             &mut voc,
-        ).unwrap();
+        )
+        .unwrap();
         let res = chase(&db, &theory, &mut voc, ChaseConfig::rounds(30));
-        prop_assert!(res.instance.models(&db));
+        ensure(res.instance.models(&db), "chase must contain the database")?;
         if res.is_fixpoint() {
-            prop_assert!(bddfc::core::satisfaction::satisfies_theory(&res.instance, &theory));
+            ensure(
+                bddfc::core::satisfaction::satisfies_theory(&res.instance, &theory),
+                "fixpoint must model the theory",
+            )?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Restricted chase never produces more facts than the oblivious one.
-    #[test]
-    fn restricted_at_most_oblivious(pairs in edges(5, 8)) {
+/// Restricted chase never produces more facts than the oblivious one.
+#[test]
+fn restricted_at_most_oblivious() {
+    run_prop("restricted_at_most_oblivious", CASES, |g| {
+        let pairs = g.edges("pairs", 5, 8);
         let (mut voc, db) = graph_of(&pairs);
-        let (theory, _, _) = bddfc::core::parse_into(
-            "E(X,Y) -> exists Z . E(Y,Z).",
-            &mut voc,
-        ).unwrap();
+        let (theory, _, _) =
+            bddfc::core::parse_into("E(X,Y) -> exists Z . E(Y,Z).", &mut voc).unwrap();
         let (r, o) = bddfc::chase::chase_size_comparison(
-            &db, &theory, &mut voc, ChaseConfig::rounds(5),
+            &db,
+            &theory,
+            &mut voc,
+            ChaseConfig::rounds(5),
         );
-        prop_assert!(r <= o);
-    }
+        ensure(r <= o, &format!("restricted {r} > oblivious {o}"))
+    });
+}
 
-    /// Quotients are homomorphic images: every positive query true in the
-    /// original is true in the quotient.
-    #[test]
-    fn quotient_preserves_positive_queries(pairs in edges(6, 10), qlen in 1usize..4) {
-        let (voc, inst) = graph_of(&pairs);
-        // Make everything anonymous so the partition can merge.
-        let mut anon = Vocabulary::new();
-        let e = anon.pred("E", 2);
-        let mut inst2 = Instance::new();
-        let mut map = std::collections::HashMap::new();
-        for f in inst.facts() {
-            let a = *map.entry(f.args[0]).or_insert_with(|| anon.fresh_null("x"));
-            let b = *map.entry(f.args[1]).or_insert_with(|| anon.fresh_null("x"));
-            inst2.insert(Fact::new(e, vec![a, b]));
-        }
+/// Quotients are homomorphic images: every positive query true in the
+/// original is true in the quotient.
+#[test]
+fn quotient_preserves_positive_queries() {
+    run_prop("quotient_preserves_positive_queries", CASES, |g| {
+        let pairs = g.edges("pairs", 6, 10);
+        let qlen = g.usize_in("qlen", 1, 4);
+        let (mut anon, inst2) = anon_graph_of(&pairs);
         let analyzer = TypeAnalyzer::new(&inst2, &mut anon, 2);
         let quotient = Quotient::new(&inst2, analyzer.partition(), &mut anon);
         let q = bddfc::zoo::path_query(&mut anon, qlen);
         if hom::satisfies_cq(&inst2, &q) {
-            prop_assert!(hom::satisfies_cq(&quotient.instance, &q));
+            ensure(
+                hom::satisfies_cq(&quotient.instance, &q),
+                "quotient must preserve a satisfied positive query",
+            )?;
         }
-        let _ = voc;
-    }
+        Ok(())
+    });
+}
 
-    /// CQ subsumption is reflexive and respected by instance evaluation:
-    /// if general subsumes specific and an instance satisfies specific,
-    /// it satisfies general.
-    #[test]
-    fn subsumption_sound_for_evaluation(pairs in edges(5, 8), l1 in 1usize..4, l2 in 1usize..4) {
+/// CQ subsumption is reflexive and respected by instance evaluation:
+/// if general subsumes specific and an instance satisfies specific,
+/// it satisfies general.
+#[test]
+fn subsumption_sound_for_evaluation() {
+    run_prop("subsumption_sound_for_evaluation", CASES, |g| {
+        let pairs = g.edges("pairs", 5, 8);
+        let l1 = g.usize_in("l1", 1, 4);
+        let l2 = g.usize_in("l2", 1, 4);
         let (_, inst) = graph_of(&pairs);
         let mut voc = Vocabulary::new();
         let _ = voc.pred("E", 2);
         let q1 = bddfc::zoo::path_query(&mut voc, l1);
         let q2 = bddfc::zoo::path_query(&mut voc, l2);
-        prop_assert!(bddfc::rewrite::subsumes(&q1, &q1));
+        ensure(bddfc::rewrite::subsumes(&q1, &q1), "subsumption must be reflexive")?;
         if bddfc::rewrite::subsumes(&q1, &q2) && hom::satisfies_cq(&inst, &q2) {
-            prop_assert!(hom::satisfies_cq(&inst, &q1));
+            ensure(
+                hom::satisfies_cq(&inst, &q1),
+                "subsuming query must hold wherever the subsumed one does",
+            )?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Rewriting soundness: whenever the rewriting of a query holds in D,
-    /// the chase-based certain answer is also true.
-    #[test]
-    fn rewriting_sound(pairs in edges(5, 8), qlen in 1usize..4) {
+/// Rewriting soundness: whenever the rewriting of a query holds in D,
+/// the chase-based certain answer is also true.
+#[test]
+fn rewriting_sound() {
+    run_prop("rewriting_sound", CASES, |g| {
+        let pairs = g.edges("pairs", 5, 8);
+        let qlen = g.usize_in("qlen", 1, 4);
         let (mut voc, db) = graph_of(&pairs);
         let (theory, _, _) = bddfc::core::parse_into(
             "P(X) -> exists Z . E(X,Z). E(X,Y) -> U(Y).",
             &mut voc,
-        ).unwrap();
+        )
+        .unwrap();
         let q = bddfc::zoo::path_query(&mut voc, qlen);
         let rw = rewrite_query(&q, &theory, &mut voc, RewriteConfig::default()).unwrap();
-        prop_assert!(rw.saturated);
+        ensure(rw.saturated, "rewriting must saturate on this theory")?;
         let by_rw = hom::satisfies_ucq(&db, &rw.ucq);
         let by_chase = certain_cq(&db, &theory, &mut voc, &q, ChaseConfig::rounds(20));
         if by_chase.is_decided() {
-            prop_assert_eq!(by_rw, by_chase.is_true());
+            ensure_eq(by_rw, by_chase.is_true(), "rewriting vs chase answer")?;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Datalog saturation is idempotent and monotone.
-    #[test]
-    fn saturation_idempotent(pairs in edges(6, 10)) {
+/// Datalog saturation is idempotent and monotone.
+#[test]
+fn saturation_idempotent() {
+    run_prop("saturation_idempotent", CASES, |g| {
+        let pairs = g.edges("pairs", 6, 10);
         let (mut voc, db) = graph_of(&pairs);
-        let (theory, _, _) = bddfc::core::parse_into(
-            "E(X,Y), E(Y,Z) -> E(X,Z).",
-            &mut voc,
-        ).unwrap();
+        let (theory, _, _) =
+            bddfc::core::parse_into("E(X,Y), E(Y,Z) -> E(X,Z).", &mut voc).unwrap();
         let s1 = saturate_datalog(&db, &theory);
-        prop_assert!(s1.instance.models(&db));
+        ensure(s1.instance.models(&db), "saturation must contain the database")?;
         let s2 = saturate_datalog(&s1.instance, &theory);
-        prop_assert_eq!(s2.instance.len(), s1.instance.len());
-        prop_assert_eq!(s2.derived, 0);
-    }
+        ensure_eq(s2.instance.len(), s1.instance.len(), "saturation idempotence")?;
+        ensure_eq(s2.derived, 0, "re-saturation derives nothing")
+    });
+}
 
-    /// The model finder returns genuine models, and with a forbidden
-    /// query the model avoids it.
-    #[test]
-    fn finder_models_are_models(pairs in edges(3, 4)) {
+/// The model finder returns genuine models, and with a forbidden
+/// query the model avoids it.
+#[test]
+fn finder_models_are_models() {
+    run_prop("finder_models_are_models", CASES, |g| {
+        let pairs = g.edges("pairs", 3, 4);
         let (mut voc, db) = graph_of(&pairs);
-        let (theory, _, _) = bddfc::core::parse_into(
-            "E(X,Y) -> exists Z . E(Y,Z).",
-            &mut voc,
-        ).unwrap();
+        let (theory, _, _) =
+            bddfc::core::parse_into("E(X,Y) -> exists Z . E(Y,Z).", &mut voc).unwrap();
         let out = find_model(&db, &theory, &mut voc, None, FinderConfig::size(6));
         if let SearchOutcome::Found(m) = out {
-            prop_assert!(bddfc::core::satisfaction::satisfies_theory(&m, &theory));
-            prop_assert!(m.models(&db));
+            ensure(
+                bddfc::core::satisfaction::satisfies_theory(&m, &theory),
+                "found model must satisfy the theory",
+            )?;
+            ensure(m.models(&db), "found model must contain the database")
         } else {
-            prop_assert!(false, "a model of ≤ 6 elements exists for any seed graph ≤ 3 nodes");
+            Err("a model of ≤ 6 elements exists for any seed graph ≤ 3 nodes".to_string())
         }
-    }
+    });
+}
 
-    /// Parser round-trip: display then re-parse preserves rule shapes.
-    #[test]
-    fn parser_round_trip(n_rules in 1usize..6, seed in 0u64..1000) {
+/// Parser round-trip: display then re-parse preserves rule shapes.
+#[test]
+fn parser_round_trip() {
+    run_prop("parser_round_trip", CASES, |g| {
+        let n_rules = g.usize_in("n_rules", 1, 6);
+        let seed = g.u64_in("seed", 0, 1000);
         let mut voc = Vocabulary::new();
         let theory = bddfc::zoo::random_linear_theory(&mut voc, 3, n_rules, seed);
         let printed = theory.display(&voc).to_string();
         let mut voc2 = Vocabulary::new();
         let (theory2, _, _) = bddfc::core::parse_into(&printed, &mut voc2).unwrap();
-        prop_assert_eq!(theory2.len(), theory.len());
+        ensure_eq(theory2.len(), theory.len(), "rule count after round-trip")?;
         let printed2 = theory2.display(&voc2).to_string();
-        prop_assert_eq!(printed, printed2);
-    }
+        ensure_eq(printed, printed2, "second print must be a fixpoint")
+    });
+}
 
-    /// Positive-type inclusion is a preorder on random structures.
-    #[test]
-    fn ptp_inclusion_is_preorder(pairs in edges(5, 8)) {
-        let mut anon = Vocabulary::new();
-        let e = anon.pred("E", 2);
-        let mut inst = Instance::new();
-        let mut map = std::collections::HashMap::new();
-        for &(a, b) in &pairs {
-            let ca = *map.entry(a).or_insert_with(|| anon.fresh_null("x"));
-            let cb = *map.entry(b).or_insert_with(|| anon.fresh_null("x"));
-            inst.insert(Fact::new(e, vec![ca, cb]));
-        }
+/// Positive-type inclusion is a preorder on random structures.
+#[test]
+fn ptp_inclusion_is_preorder() {
+    run_prop("ptp_inclusion_is_preorder", CASES, |g| {
+        let pairs = g.edges("pairs", 5, 8);
+        let (mut anon, inst) = anon_graph_of(&pairs);
         let analyzer = TypeAnalyzer::new(&inst, &mut anon, 3);
         let dom = inst.sorted_domain();
-        // Reflexivity.
         for &d in &dom {
-            prop_assert!(analyzer.ptp_included_in(d, &inst, d));
+            ensure(
+                analyzer.ptp_included_in(d, &inst, d),
+                "ptp inclusion must be reflexive",
+            )?;
         }
-        // Transitivity on the first three elements (if present).
         if dom.len() >= 3 {
             let (x, y, z) = (dom[0], dom[1], dom[2]);
             if analyzer.ptp_included_in(x, &inst, y) && analyzer.ptp_included_in(y, &inst, z) {
-                prop_assert!(analyzer.ptp_included_in(x, &inst, z));
+                ensure(
+                    analyzer.ptp_included_in(x, &inst, z),
+                    "ptp inclusion must be transitive",
+                )?;
             }
         }
-    }
+        Ok(())
+    });
+}
+
+/// The harness itself: failures must carry the case seed and the logged
+/// generator inputs, and identical seeds must replay identical inputs.
+#[test]
+fn harness_reports_failing_inputs() {
+    let caught = std::panic::catch_unwind(|| {
+        run_prop("deliberate_failure", 10, |g| {
+            let n = g.usize_in("n", 0, 100);
+            ensure(n < 1000, "fine")?;
+            Err("forced".to_string())
+        });
+    });
+    let msg = match caught {
+        Ok(()) => panic!("deliberately failing property did not fail"),
+        Err(p) => *p.downcast::<String>().expect("panic message is a String"),
+    };
+    assert!(msg.contains("deliberate_failure"), "names the property: {msg}");
+    assert!(msg.contains("case 0/10"), "names the case: {msg}");
+    assert!(msg.contains("n = "), "prints the generator log: {msg}");
+    assert!(msg.contains("forced"), "prints the failure reason: {msg}");
+}
+
+/// Determinism: the same property re-run draws the same inputs.
+#[test]
+fn harness_is_deterministic() {
+    let mut first: Vec<String> = Vec::new();
+    run_prop("determinism_probe", 5, |g| {
+        let _ = g.edges("pairs", 6, 12);
+        first.push(g.log.join(";"));
+        Ok(())
+    });
+    let mut second: Vec<String> = Vec::new();
+    run_prop("determinism_probe", 5, |g| {
+        let _ = g.edges("pairs", 6, 12);
+        second.push(g.log.join(";"));
+        Ok(())
+    });
+    assert_eq!(first, second);
 }

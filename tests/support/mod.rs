@@ -1,0 +1,6 @@
+//! Shared support code for the integration-test crates. Each test file
+//! under `tests/` is its own crate and pulls this in with `mod support;`,
+//! so not every item is used by every crate.
+#![allow(dead_code)]
+
+pub mod proptest_lite;

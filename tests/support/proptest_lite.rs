@@ -1,0 +1,129 @@
+//! A minimal, dependency-free property-testing harness.
+//!
+//! Replaces the external `proptest` crate for this repository's needs:
+//!
+//! * deterministic: every case's seed is derived from a fixed base seed,
+//!   the property name and the case index, so runs are reproducible
+//!   bit-for-bit with no persistence files;
+//! * self-describing failures: generators log every value they produce
+//!   into the [`Gen`], and a failing case prints that log plus the case
+//!   seed, which is all that's needed to replay it;
+//! * panic-safe: both `Err` returns and panics inside the property body
+//!   are caught and reported with the failing input.
+//!
+//! There is no shrinking — generators here draw small inputs by
+//! construction, which keeps counterexamples readable without it.
+
+use bddfc::core::prng::SplitMix64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Base seed for the whole suite. Changing it reshuffles every property's
+/// inputs at once (useful for a soak run); keeping it fixed makes CI
+/// deterministic.
+pub const BASE_SEED: u64 = 0xBDDF_C0DE;
+
+/// A seeded generator handed to each property case. Wraps the PRNG and
+/// records a human-readable log of every drawn value for failure reports.
+pub struct Gen {
+    rng: SplitMix64,
+    /// One entry per generator call: `"edges = [(0, 1), (2, 0)]"` etc.
+    pub log: Vec<String>,
+}
+
+impl Gen {
+    /// A generator for the given case seed.
+    pub fn new(seed: u64) -> Self {
+        Gen { rng: SplitMix64::new(seed), log: Vec::new() }
+    }
+
+    /// Draws a `usize` in `lo..hi` (half-open; `hi > lo`).
+    pub fn usize_in(&mut self, name: &str, lo: usize, hi: usize) -> usize {
+        let v = self.rng.range(lo, hi);
+        self.log.push(format!("{name} = {v}"));
+        v
+    }
+
+    /// Draws a `u64` in `lo..hi`.
+    pub fn u64_in(&mut self, name: &str, lo: u64, hi: u64) -> u64 {
+        let v = lo + self.rng.below((hi - lo) as usize) as u64;
+        self.log.push(format!("{name} = {v}"));
+        v
+    }
+
+    /// A random edge list over nodes `0..n`: between 1 and `max_edges - 1`
+    /// pairs, mirroring proptest's `vec((0..n, 0..n), 1..max_edges)`.
+    pub fn edges(&mut self, name: &str, n: u8, max_edges: usize) -> Vec<(u8, u8)> {
+        let len = self.rng.range(1, max_edges);
+        let pairs: Vec<(u8, u8)> = (0..len)
+            .map(|_| {
+                (
+                    self.rng.below(n as usize) as u8,
+                    self.rng.below(n as usize) as u8,
+                )
+            })
+            .collect();
+        self.log.push(format!("{name} = {pairs:?}"));
+        pairs
+    }
+}
+
+/// `Ok` or a failure message — what a property body returns.
+pub type PropResult = Result<(), String>;
+
+/// Fails the property with `msg` unless `cond` holds.
+pub fn ensure(cond: bool, msg: &str) -> PropResult {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.to_string())
+    }
+}
+
+/// Fails the property unless `a == b`, printing both sides.
+pub fn ensure_eq<T: PartialEq + std::fmt::Debug>(a: T, b: T, msg: &str) -> PropResult {
+    if a == b {
+        Ok(())
+    } else {
+        Err(format!("{msg}: left = {a:?}, right = {b:?}"))
+    }
+}
+
+/// Derives the deterministic seed of one case of one property.
+fn case_seed(name: &str, case: u64) -> u64 {
+    // Fold the property name into the base seed with the same SplitMix64
+    // stream the cases use; the name only needs to decorrelate properties.
+    let mut h = SplitMix64::new(BASE_SEED);
+    let mut acc = h.next_u64();
+    for b in name.bytes() {
+        acc = SplitMix64::new(acc ^ b as u64).next_u64();
+    }
+    SplitMix64::new(acc ^ case).next_u64()
+}
+
+/// Runs `cases` seeded cases of the property; panics with the case seed
+/// and the generator log on the first failure (from an `Err` or a panic).
+pub fn run_prop(name: &str, cases: u64, mut body: impl FnMut(&mut Gen) -> PropResult) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut g = Gen::new(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut g)));
+        let failure = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(msg)) => msg,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic".to_string());
+                format!("panicked: {msg}")
+            }
+        };
+        panic!(
+            "property '{name}' failed at case {case}/{cases} (seed {seed:#x})\n\
+             inputs:\n  {}\n\
+             failure: {failure}",
+            g.log.join("\n  "),
+        );
+    }
+}
