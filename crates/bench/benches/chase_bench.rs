@@ -5,7 +5,7 @@
 
 use bddfc_bench::bench;
 use bddfc_chase::{chase, ChaseConfig, ChaseStrategy, ChaseVariant};
-use bddfc_core::{parse_into, parse_program, Vocabulary};
+use bddfc_core::{par, parse_into, parse_program, Vocabulary};
 
 /// E13 — chase throughput over random graphs, restricted vs. oblivious.
 fn chase_throughput() {
@@ -92,8 +92,60 @@ fn seminaive_work_ratio() {
     );
 }
 
+/// Multi-thread speedup on the E13 throughput workload: 4 worker threads
+/// must beat 1 thread by ≥1.3× on the median. Skipped with a notice on
+/// machines with fewer than 4 cores, where the comparison is meaningless.
+fn thread_speedup() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        println!(
+            "chase_thread_speedup: SKIPPED — {cores} core(s) available, \
+             need >= 4 for the 4-vs-1 thread comparison"
+        );
+        return;
+    }
+    let mut voc = Vocabulary::new();
+    let db = bddfc_zoo::random_graph(&mut voc, 300, 600, 42);
+    let (theory, _, _) = parse_into(
+        "E(X,Y) -> exists Z . E(Y,Z). E(X,Y), E(Y,Z) -> R(X,Z).",
+        &mut voc,
+    )
+    .unwrap();
+    let run = |threads: usize| {
+        par::with_thread_count(threads, || {
+            bench(&format!("chase_thread_speedup/{threads}"), 5, || {
+                let mut v = voc.clone();
+                chase(
+                    &db,
+                    &theory,
+                    &mut v,
+                    ChaseConfig { max_rounds: 3, max_facts: 2_000_000, ..Default::default() },
+                )
+                .instance
+                .len()
+            })
+        })
+    };
+    let single = run(1);
+    let quad = run(4);
+    let (m1, m4) = (single.median().as_nanos() as f64, quad.median().as_nanos() as f64);
+    println!(
+        "chase_thread_speedup: {:.2}x (1 thread {:?}, 4 threads {:?})",
+        m1 / m4,
+        single.median(),
+        quad.median()
+    );
+    assert!(
+        m1 >= 1.3 * m4,
+        "expected a >=1.3x median speedup with 4 threads over 1, got {:.2}x",
+        m1 / m4
+    );
+}
+
 fn main() {
+    bddfc_bench::init_json("chase");
     chase_throughput();
     chase_divergence();
     seminaive_work_ratio();
+    thread_speedup();
 }

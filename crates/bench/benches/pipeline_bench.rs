@@ -37,6 +37,7 @@ fn model_finder() {
 }
 
 fn main() {
+    bddfc_bench::init_json("pipeline");
     fc_pipeline();
     model_finder();
 }

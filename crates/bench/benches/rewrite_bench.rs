@@ -41,6 +41,7 @@ fn kappa_cost() {
 }
 
 fn main() {
+    bddfc_bench::init_json("rewrite");
     rewrite_scaling();
     kappa_cost();
 }

@@ -48,6 +48,7 @@ fn conservative_search() {
 }
 
 fn main() {
+    bddfc_bench::init_json("types");
     pebble_scaling();
     quotient_chain();
     conservative_search();

@@ -6,8 +6,68 @@
 //! min / median / max wall-clock per run. Medians are robust enough for
 //! the coarse "did this get slower by 10×" regressions these benches
 //! guard against; rigorous statistics are out of scope by design.
+//!
+//! ## Machine-readable output
+//!
+//! Passing `--json` to a bench binary (or setting `BDDFC_BENCH_JSON=1`)
+//! makes every [`bench`] row *also* append one JSON line to
+//! `BENCH_<target>.json` in the working directory — `name`, `min_ns`,
+//! `median_ns`, `max_ns` and the worker-thread count — so the perf
+//! trajectory stays comparable across commits. Each binary opts in by
+//! calling [`init_json`] with its target name at the top of `main`.
 
+use std::io::Write;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Destination of JSON rows, set once by [`init_json`].
+static JSON_PATH: Mutex<Option<String>> = Mutex::new(None);
+
+/// Enables the JSON sink for this process when `--json` appears among the
+/// process arguments (unknown cargo-injected flags like `--bench` are
+/// ignored) or `BDDFC_BENCH_JSON` is set. Rows append to
+/// `BENCH_<target>.json`.
+pub fn init_json(target: &str) {
+    let wanted = std::env::args().any(|a| a == "--json")
+        || std::env::var_os("BDDFC_BENCH_JSON").is_some();
+    if wanted {
+        *JSON_PATH.lock().unwrap() = Some(format!("BENCH_{target}.json"));
+    }
+}
+
+/// Minimal JSON string escaping for bench labels.
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Appends one row to the JSON sink, if enabled.
+fn emit_json(row: &BenchRow) {
+    let guard = JSON_PATH.lock().unwrap();
+    let Some(path) = guard.as_deref() else { return };
+    let line = format!(
+        "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},\"max_ns\":{},\"threads\":{}}}\n",
+        escape_json(&row.name),
+        row.times[0].as_nanos(),
+        row.median().as_nanos(),
+        row.times[row.times.len() - 1].as_nanos(),
+        bddfc_core::par::num_threads(),
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("warning: could not append bench row to {path}: {e}");
+    }
+}
 
 /// One benchmark row: timings plus the (blackboxed) result of the last run.
 #[derive(Clone, Debug)]
@@ -38,6 +98,7 @@ pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow 
     }
     times.sort_unstable();
     let row = BenchRow { name: name.to_string(), times };
+    emit_json(&row);
     println!(
         "{:<44} min {:>10.3?}  median {:>10.3?}  max {:>10.3?}  ({} iters)",
         row.name,

@@ -28,11 +28,13 @@
 //! round.
 
 use bddfc_core::fxhash::{FxHashMap, FxHashSet};
+use bddfc_core::par;
 use bddfc_core::satisfaction::{head_satisfied, restrict_binding};
 use bddfc_core::{
     hom, Binding, ConstId, Fact, Instance, PredId, Rule, Term, Theory, VarId, Vocabulary,
 };
 use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
 
 /// Which chase variant to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -125,12 +127,24 @@ pub struct ChaseStats {
     /// Completed body homomorphisms enumerated in each round (including
     /// the final, empty round that certifies a fixpoint).
     pub body_matches_per_round: Vec<u64>,
+    /// Wall-clock time of each round (enumeration + repair application),
+    /// aligned with [`ChaseStats::body_matches_per_round`].
+    pub round_wall_times: Vec<Duration>,
+    /// Worker-thread count the run was configured with (see
+    /// [`bddfc_core::par::num_threads`]); purely informational — outputs
+    /// are identical at any thread count.
+    pub threads_used: usize,
 }
 
 impl ChaseStats {
     /// Total body-match attempts across all rounds.
     pub fn total_body_matches(&self) -> u64 {
         self.body_matches_per_round.iter().sum()
+    }
+
+    /// Total wall-clock time across all rounds.
+    pub fn total_wall_time(&self) -> Duration {
+        self.round_wall_times.iter().sum()
     }
 }
 
@@ -172,36 +186,58 @@ struct Repair {
     binding: Binding,
 }
 
-/// Applies the Restricted/Oblivious admission check to one deduplicated
-/// trigger, pushing a repair if the trigger must fire.
-#[allow(clippy::too_many_arguments)]
-fn consider_trigger(
-    inst: &Instance,
-    rule: &Rule,
+/// One candidate trigger emitted by the parallel enumeration phase: the
+/// canonical key plus the frontier-restricted binding. Deduplication and
+/// admission run later, sequentially, on the merged list — the
+/// frontier-restricted binding of a trigger is a function of its key, so
+/// first-occurrence dedup yields identical values at any shard split.
+struct Candidate {
     rule_idx: usize,
     key: Vec<ConstId>,
-    restricted: Binding,
+    binding: Binding,
+}
+
+/// Applies the Restricted/Oblivious admission check to the deduplicated
+/// candidate triggers, in their merged (shard-boundary-independent)
+/// order. Witness checks (`head_satisfied`) are read-only joins against
+/// the frozen instance and run in parallel; the `fired` bookkeeping of
+/// the oblivious variant mutates shared state and stays sequential.
+fn admit_candidates(
+    inst: &Instance,
+    theory: &Theory,
     variant: ChaseVariant,
     fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
-    out: &mut Vec<Repair>,
-) {
-    match variant {
-        ChaseVariant::Restricted => {
-            if !head_satisfied(inst, rule, &restricted) {
-                out.push(Repair { rule_idx, key, binding: restricted });
+    cands: Vec<Candidate>,
+) -> Vec<Repair> {
+    // unwitnessed[i]: candidate i's head has no witness in the frozen
+    // instance (only consulted where the variant cares).
+    let unwitnessed: Vec<bool> = par::par_map(&cands, |c| {
+        let rule = &theory.rules[c.rule_idx];
+        match variant {
+            ChaseVariant::Restricted => !head_satisfied(inst, rule, &c.binding),
+            // Datalog rules are idempotent; skip if the head is present.
+            ChaseVariant::Oblivious => {
+                rule.is_datalog() && !head_satisfied(inst, rule, &c.binding)
             }
         }
-        ChaseVariant::Oblivious => {
-            if rule.is_datalog() {
-                // Datalog rules are idempotent; skip if head present.
-                if !head_satisfied(inst, rule, &restricted) {
-                    out.push(Repair { rule_idx, key, binding: restricted });
+    });
+    let mut out = Vec::new();
+    for (c, unwit) in cands.into_iter().zip(unwitnessed) {
+        let fire = match variant {
+            ChaseVariant::Restricted => unwit,
+            ChaseVariant::Oblivious => {
+                if theory.rules[c.rule_idx].is_datalog() {
+                    unwit
+                } else {
+                    fired.insert((c.rule_idx, c.key.clone()))
                 }
-            } else if fired.insert((rule_idx, key.clone())) {
-                out.push(Repair { rule_idx, key, binding: restricted });
             }
+        };
+        if fire {
+            out.push(Repair { rule_idx: c.rule_idx, key: c.key, binding: c.binding });
         }
     }
+    out
 }
 
 /// The sorted frontier of a rule (the variables a trigger key ranges over).
@@ -211,8 +247,34 @@ fn sorted_frontier(rule: &Rule) -> Vec<VarId> {
     frontier
 }
 
+/// Enumerates one rule's body homomorphisms over the whole instance,
+/// deduplicating by frontier key. Read-only: safe as a parallel work item.
+fn enumerate_rule_naive(
+    inst: &Instance,
+    theory: &Theory,
+    rule_idx: usize,
+) -> (Vec<Candidate>, u64) {
+    let rule = &theory.rules[rule_idx];
+    let frontier = sorted_frontier(rule);
+    let mut seen: FxHashSet<Vec<ConstId>> = FxHashSet::default();
+    let mut out = Vec::new();
+    let mut matches = 0u64;
+    let _ = hom::for_each_hom(inst, &rule.body, &Binding::default(), |b| {
+        matches += 1;
+        let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
+        if seen.insert(key.clone()) {
+            let binding = restrict_binding(b, &frontier);
+            out.push(Candidate { rule_idx, key, binding });
+        }
+        ControlFlow::Continue(())
+    });
+    (out, matches)
+}
+
 /// Collects this round's repairs against the *frozen* instance by full
-/// re-enumeration, per the simultaneous semantics of `Chase¹`.
+/// re-enumeration, per the simultaneous semantics of `Chase¹`. Rules are
+/// independent work items and enumerate in parallel; admission runs on
+/// the merged candidate list.
 fn collect_repairs_naive(
     inst: &Instance,
     theory: &Theory,
@@ -220,21 +282,20 @@ fn collect_repairs_naive(
     fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
     body_matches: &mut u64,
 ) -> Vec<Repair> {
-    let mut out = Vec::new();
-    for (rule_idx, rule) in theory.rules.iter().enumerate() {
-        let frontier = sorted_frontier(rule);
-        let mut seen: FxHashSet<Vec<ConstId>> = FxHashSet::default();
-        let _ = hom::for_each_hom(inst, &rule.body, &Binding::default(), |b| {
-            *body_matches += 1;
-            let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
-            if seen.insert(key.clone()) {
-                let restricted = restrict_binding(b, &frontier);
-                consider_trigger(inst, rule, rule_idx, key, restricted, variant, fired, &mut out);
-            }
-            ControlFlow::Continue(())
-        });
+    let per_rule: Vec<(Vec<Candidate>, u64)> = par::par_chunks(theory.rules.len(), |range| {
+        range
+            .map(|rule_idx| enumerate_rule_naive(inst, theory, rule_idx))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut cands = Vec::new();
+    for (rule_cands, matches) in per_rule {
+        *body_matches += matches;
+        cands.extend(rule_cands);
     }
-    out
+    admit_candidates(inst, theory, variant, fired, cands)
 }
 
 /// Attempts to bind `atom` against the ground `fact`; returns the binding
@@ -278,48 +339,86 @@ fn collect_repairs_seminaive(
     for f in delta {
         delta_by_pred.entry(f.pred).or_default().push(f);
     }
-    let mut out = Vec::new();
+    // A `(rule, pinned atom, delta fact)` join is an independent, read-only
+    // work item. Flatten them in the canonical (rule, pin, delta-order)
+    // nesting so the merged candidate stream is the sequential one.
+    struct Work<'a> {
+        rule_idx: usize,
+        pin: usize,
+        dfact: &'a Fact,
+    }
+    let frontiers: Vec<Vec<VarId>> = theory.rules.iter().map(sorted_frontier).collect();
+    let mut cands: Vec<Candidate> = Vec::new();
+    let mut work: Vec<Work> = Vec::new();
     for (rule_idx, rule) in theory.rules.iter().enumerate() {
-        let frontier = sorted_frontier(rule);
-        let mut seen: FxHashSet<Vec<ConstId>> = FxHashSet::default();
         if rule.body.is_empty() {
             // A body-less rule has the single empty trigger; it cannot join
             // a delta, so it is only ever *new* on the opening round.
             if first_round {
                 *body_matches += 1;
-                consider_trigger(
-                    inst, rule, rule_idx, Vec::new(), Binding::default(), variant, fired, &mut out,
-                );
+                cands.push(Candidate {
+                    rule_idx,
+                    key: Vec::new(),
+                    binding: Binding::default(),
+                });
             }
             continue;
         }
         for pin in 0..rule.body.len() {
-            let pinned = &rule.body[pin];
-            let Some(dfacts) = delta_by_pred.get(&pinned.pred) else { continue };
-            let rest: Vec<_> = rule
-                .body
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != pin)
-                .map(|(_, a)| a.clone())
-                .collect();
-            for dfact in dfacts {
-                let Some(binding) = bind_atom(pinned, dfact) else { continue };
-                let _ = hom::for_each_hom(inst, &rest, &binding, |b| {
-                    *body_matches += 1;
-                    let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
-                    if seen.insert(key.clone()) {
-                        let restricted = restrict_binding(b, &frontier);
-                        consider_trigger(
-                            inst, rule, rule_idx, key, restricted, variant, fired, &mut out,
-                        );
-                    }
-                    ControlFlow::Continue(())
-                });
+            let Some(dfacts) = delta_by_pred.get(&rule.body[pin].pred) else { continue };
+            work.extend(dfacts.iter().map(|&dfact| Work { rule_idx, pin, dfact }));
+        }
+    }
+    // The pinned atom's residual body, per (rule, pin), shared read-only
+    // across shards.
+    let rests: Vec<Vec<Vec<bddfc_core::Atom>>> = theory
+        .rules
+        .iter()
+        .map(|rule| {
+            (0..rule.body.len())
+                .map(|pin| {
+                    rule.body
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != pin)
+                        .map(|(_, a)| a.clone())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    // Phase 1 (parallel): complete each pinned join against the frozen
+    // instance; every shard emits candidates in work-list order.
+    let shard_out: Vec<(Vec<Candidate>, u64)> = par::par_chunks(work.len(), |range| {
+        let mut out = Vec::new();
+        let mut matches = 0u64;
+        for w in &work[range] {
+            let rule = &theory.rules[w.rule_idx];
+            let Some(binding) = bind_atom(&rule.body[w.pin], w.dfact) else { continue };
+            let frontier = &frontiers[w.rule_idx];
+            let _ = hom::for_each_hom(inst, &rests[w.rule_idx][w.pin], &binding, |b| {
+                matches += 1;
+                let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
+                let binding = restrict_binding(b, frontier);
+                out.push(Candidate { rule_idx: w.rule_idx, key, binding });
+                ControlFlow::Continue(())
+            });
+        }
+        (out, matches)
+    });
+    // Phase 2 (sequential): merge in input order, dedup per (rule, key) —
+    // first occurrence wins, and its restricted binding is determined by
+    // the key, so the surviving set is shard-split-independent.
+    let mut seen: FxHashSet<(usize, Vec<ConstId>)> = FxHashSet::default();
+    for (shard, matches) in shard_out {
+        *body_matches += matches;
+        for c in shard {
+            if seen.insert((c.rule_idx, c.key.clone())) {
+                cands.push(c);
             }
         }
     }
-    out
+    admit_candidates(inst, theory, variant, fired, cands)
 }
 
 /// Applies a repair: grounds the head, inventing one fresh null per
@@ -410,13 +509,14 @@ impl<'t> ChaseStepper<'t> {
             fired: FxHashSet::default(),
             delta: db.facts().to_vec(),
             first_round: true,
-            stats: ChaseStats::default(),
+            stats: ChaseStats { threads_used: par::num_threads(), ..ChaseStats::default() },
         }
     }
 
     /// Runs one `Chase¹` round; returns the facts it added (empty iff the
     /// instance reached a fixpoint of the theory).
     pub fn step(&mut self, voc: &mut Vocabulary) -> Vec<Fact> {
+        let round_start = Instant::now();
         let mut body_matches = 0;
         let repairs = match self.strategy {
             ChaseStrategy::Naive => collect_repairs_naive(
@@ -440,6 +540,7 @@ impl<'t> ChaseStepper<'t> {
         self.stats.body_matches_per_round.push(body_matches);
         let new_facts = apply_repairs(&mut self.instance, self.theory, voc, repairs);
         self.delta = new_facts.clone();
+        self.stats.round_wall_times.push(round_start.elapsed());
         new_facts
     }
 }

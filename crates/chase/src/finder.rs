@@ -17,9 +17,10 @@
 //! This is the tool that demonstrates, computationally, the *failure* of FC
 //! for the Section 5.5 "notorious example".
 
+use bddfc_core::fxhash::FxHashSet;
+use bddfc_core::par;
 use bddfc_core::satisfaction::theory_violations;
 use bddfc_core::{hom, ConjunctiveQuery, ConstId, Fact, Instance, Term, Theory, VarId, Vocabulary};
-use bddfc_core::fxhash::FxHashSet;
 
 /// Limits for the model search.
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +68,11 @@ struct Finder<'a> {
     max_size: usize,
     nodes_left: u64,
     visited: FxHashSet<Vec<Fact>>,
+    /// When this search runs as top-level branch `idx` of a parallel
+    /// [`find_model`], the shared short-circuit flag. A branch abandons
+    /// only once a *strictly earlier* branch has found a model — its own
+    /// result is then discarded, so abandoning cannot change the outcome.
+    cancel: Option<(&'a par::Cancel, usize)>,
 }
 
 enum Dfs {
@@ -83,6 +89,11 @@ impl Finder<'_> {
     }
 
     fn dfs(&mut self, inst: &Instance) -> Dfs {
+        if let Some((cancel, idx)) = self.cancel {
+            if cancel.superseded(idx) {
+                return Dfs::Exhausted; // discarded by the combiner anyway
+            }
+        }
         if self.nodes_left == 0 {
             return Dfs::Budget;
         }
@@ -168,6 +179,14 @@ impl Finder<'_> {
 
 /// Searches for a finite model `M ⊇ db`, `M ⊨ theory`, `M ⊭ forbidden`
 /// with at most `config.max_size` elements.
+///
+/// The root node is expanded sequentially; its child branches are
+/// independent searches (each with a fresh memo table and a node budget of
+/// `max_nodes - 1`) and explore on separate threads. The branch list is in
+/// the canonical odometer order and the combiner reports the
+/// lowest-index found model, so the outcome is identical at any thread
+/// count: every branch below the winner always runs to completion, and a
+/// branch's verdict is a pure function of its instance and budget.
 pub fn find_model(
     db: &Instance,
     theory: &Theory,
@@ -178,18 +197,115 @@ pub fn find_model(
     let base_elems = db.domain_size();
     let pool_size = config.max_size.saturating_sub(base_elems);
     let pool: Vec<ConstId> = (0..pool_size).map(|_| voc.fresh_null("w")).collect();
-    let mut finder = Finder {
-        theory,
-        forbidden,
-        pool,
-        max_size: config.max_size,
-        nodes_left: config.max_nodes,
-        visited: FxHashSet::default(),
+
+    // Expand the root by hand — one `dfs` step's worth of budget and the
+    // same child enumeration — so the branches can fan out.
+    if config.max_nodes == 0 {
+        return SearchOutcome::Budget;
+    }
+    if let Some(q) = forbidden {
+        if hom::satisfies_cq(db, q) {
+            return SearchOutcome::NoModelWithin(config.max_size);
+        }
+    }
+    let violations = theory_violations(db, theory);
+    let Some(violation) = violations.first() else {
+        return SearchOutcome::Found(db.clone());
     };
-    match finder.dfs(db) {
-        Dfs::Found(m) => SearchOutcome::Found(m),
-        Dfs::Exhausted => SearchOutcome::NoModelWithin(config.max_size),
-        Dfs::Budget => SearchOutcome::Budget,
+    let rule = &theory.rules[violation.rule_idx];
+    let mut ex: Vec<VarId> = rule.existential_vars().into_iter().collect();
+    ex.sort_unstable();
+
+    // Candidate witnesses: every current domain element, plus the first
+    // unused pool element (fresh elements are interchangeable).
+    let mut domain = db.sorted_domain();
+    if domain.len() < config.max_size {
+        if let Some(&fresh) = pool.iter().find(|c| !db.in_domain(**c)) {
+            domain.push(fresh);
+        }
+    }
+
+    // Enumerate the root's children in canonical odometer order,
+    // deduplicated among themselves.
+    let mut branches: Vec<Instance> = Vec::new();
+    if !ex.is_empty() && domain.is_empty() {
+        return SearchOutcome::NoModelWithin(config.max_size);
+    }
+    let mut seen: FxHashSet<Vec<Fact>> = FxHashSet::default();
+    let mut assignment = vec![0usize; ex.len()];
+    loop {
+        let mut binding = violation.binding.clone();
+        for (i, &v) in ex.iter().enumerate() {
+            binding.insert(v, domain[assignment[i]]);
+        }
+        let mut next = db.clone();
+        let mut ok = true;
+        for atom in &rule.head {
+            let grounded = atom.apply(&|v| binding.get(&v).map(|&c| Term::Const(c)));
+            match grounded.to_fact() {
+                Some(f) => {
+                    next.insert(f);
+                }
+                None => ok = false,
+            }
+        }
+        if ok && next.domain_size() <= config.max_size && seen.insert(Finder::canonical_key(&next))
+        {
+            branches.push(next);
+        }
+        // Advance the odometer; empty `ex` means a single iteration.
+        if ex.is_empty() {
+            break;
+        }
+        let mut i = 0;
+        loop {
+            assignment[i] += 1;
+            if assignment[i] < domain.len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+            if i == ex.len() {
+                break;
+            }
+        }
+        if i == ex.len() {
+            break;
+        }
+    }
+
+    let branch_budget = config.max_nodes - 1;
+    let outcomes: Vec<Dfs> = par::par_map_cancel(&branches, |idx, inst, cancel| {
+        let mut finder = Finder {
+            theory,
+            forbidden,
+            pool: pool.clone(),
+            max_size: config.max_size,
+            nodes_left: branch_budget,
+            visited: FxHashSet::default(),
+            cancel: Some((cancel, idx)),
+        };
+        let out = finder.dfs(inst);
+        if matches!(out, Dfs::Found(_)) {
+            cancel.win(idx);
+        }
+        out
+    });
+
+    // Combine exactly as the sequential child loop did: the first found
+    // model wins; a budget hit anywhere else taints exhaustion.
+    let mut budget_hit = false;
+    for out in outcomes {
+        match out {
+            Dfs::Found(m) => return SearchOutcome::Found(m),
+            Dfs::Budget => budget_hit = true,
+            Dfs::Exhausted => {}
+        }
+    }
+    if budget_hit {
+        SearchOutcome::Budget
+    } else {
+        SearchOutcome::NoModelWithin(config.max_size)
     }
 }
 

@@ -7,8 +7,9 @@
 //! elements are ever created), using semi-naive evaluation (every derived
 //! fact must use at least one fact from the previous delta).
 
-use bddfc_core::{hom, Binding, Fact, Instance, Rule, Term, Theory};
 use bddfc_core::fxhash::FxHashSet;
+use bddfc_core::par;
+use bddfc_core::{hom, Binding, Fact, Instance, Rule, Term, Theory};
 use std::ops::ControlFlow;
 
 /// The result of a datalog saturation.
@@ -42,64 +43,54 @@ fn ground_head<'a>(rule: &'a Rule, binding: &Binding) -> impl Iterator<Item = Fa
     })
 }
 
-/// Evaluates one rule semi-naively: enumerates body homomorphisms that use
-/// at least one delta fact, by pinning each body atom to delta facts in turn.
-fn rule_round(
+/// Evaluates one semi-naive work item — rule body atom `pin` bound to the
+/// delta fact `dfact`, the join completed against the full instance. Pure
+/// over `inst`, so items shard freely across threads; `seen` is only a
+/// local dedup (the round merge re-dedups globally).
+fn rule_item(
     inst: &Instance,
-    delta: &Instance,
     rule: &Rule,
+    pin: usize,
+    dfact: &Fact,
     out: &mut Vec<Fact>,
     seen: &mut FxHashSet<Fact>,
     matches: &mut u64,
 ) {
-    for pin in 0..rule.body.len() {
-        let pinned = &rule.body[pin];
-        for &didx in delta.facts_with_pred(pinned.pred) {
-            let dfact = delta.fact(didx);
-            // Bind the pinned atom against the delta fact.
-            let mut binding = Binding::default();
-            let mut ok = true;
-            for (term, &c) in pinned.args.iter().zip(dfact.args.iter()) {
-                match term {
-                    Term::Const(k) => {
-                        if *k != c {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    Term::Var(v) => match binding.get(v) {
-                        Some(&b) if b != c => {
-                            ok = false;
-                            break;
-                        }
-                        _ => {
-                            binding.insert(*v, c);
-                        }
-                    },
+    let pinned = &rule.body[pin];
+    // Bind the pinned atom against the delta fact.
+    let mut binding = Binding::default();
+    for (term, &c) in pinned.args.iter().zip(dfact.args.iter()) {
+        match term {
+            Term::Const(k) => {
+                if *k != c {
+                    return;
                 }
             }
-            if !ok {
-                continue;
-            }
-            // Match the remaining atoms in the full instance.
-            let rest: Vec<_> = rule
-                .body
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != pin)
-                .map(|(_, a)| a.clone())
-                .collect();
-            let _ = hom::for_each_hom(inst, &rest, &binding, |b| {
-                *matches += 1;
-                for fact in ground_head(rule, b) {
-                    if !inst.contains(&fact) && seen.insert(fact.clone()) {
-                        out.push(fact);
-                    }
+            Term::Var(v) => match binding.get(v) {
+                Some(&b) if b != c => return,
+                _ => {
+                    binding.insert(*v, c);
                 }
-                ControlFlow::Continue(())
-            });
+            },
         }
     }
+    // Match the remaining atoms in the full instance.
+    let rest: Vec<_> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != pin)
+        .map(|(_, a)| a.clone())
+        .collect();
+    let _ = hom::for_each_hom(inst, &rest, &binding, |b| {
+        *matches += 1;
+        for fact in ground_head(rule, b) {
+            if !inst.contains(&fact) && seen.insert(fact.clone()) {
+                out.push(fact);
+            }
+        }
+        ControlFlow::Continue(())
+    });
 }
 
 /// Evaluates one rule naively: enumerates *all* body homomorphisms over
@@ -131,14 +122,50 @@ fn saturate_impl(inst: &Instance, theory: &Theory, naive: bool) -> SaturationRes
     let mut derived = 0;
     let mut body_matches_per_round = Vec::new();
     loop {
+        // Phase 1 (parallel): every shard derives candidate facts with a
+        // shard-local dedup against the frozen `current`. Work items keep
+        // the sequential (rule, pin, delta-fact) nesting order so the
+        // merged stream is the one the sequential loop would build.
+        let shard_out: Vec<(Vec<Fact>, u64)> = if naive {
+            par::par_chunks(datalog.len(), |range| {
+                let mut out = Vec::new();
+                let mut seen = FxHashSet::default();
+                let mut matches = 0u64;
+                for idx in range {
+                    rule_round_naive(&current, datalog[idx], &mut out, &mut seen, &mut matches);
+                }
+                (out, matches)
+            })
+        } else {
+            let mut work: Vec<(usize, usize, &Fact)> = Vec::new();
+            for (ri, rule) in datalog.iter().enumerate() {
+                for pin in 0..rule.body.len() {
+                    for &didx in delta.facts_with_pred(rule.body[pin].pred) {
+                        work.push((ri, pin, delta.fact(didx)));
+                    }
+                }
+            }
+            par::par_chunks(work.len(), |range| {
+                let mut out = Vec::new();
+                let mut seen = FxHashSet::default();
+                let mut matches = 0u64;
+                for &(ri, pin, dfact) in &work[range] {
+                    rule_item(&current, datalog[ri], pin, dfact, &mut out, &mut seen, &mut matches);
+                }
+                (out, matches)
+            })
+        };
+        // Phase 2 (sequential): merge shards in input order with a global
+        // first-occurrence dedup.
         let mut new_facts = Vec::new();
-        let mut seen = FxHashSet::default();
+        let mut seen: FxHashSet<Fact> = FxHashSet::default();
         let mut matches = 0u64;
-        for rule in &datalog {
-            if naive {
-                rule_round_naive(&current, rule, &mut new_facts, &mut seen, &mut matches);
-            } else {
-                rule_round(&current, &delta, rule, &mut new_facts, &mut seen, &mut matches);
+        for (shard, m) in shard_out {
+            matches += m;
+            for fact in shard {
+                if seen.insert(fact.clone()) {
+                    new_facts.push(fact);
+                }
             }
         }
         body_matches_per_round.push(matches);

@@ -10,6 +10,8 @@
 //!   structure of [`index`];
 //! * the in-tree hasher ([`fxhash`]) and deterministic PRNG ([`prng`])
 //!   that keep the workspace free of external dependencies;
+//! * a deterministic std-only fork-join layer ([`par`]) used by every
+//!   downstream hot loop;
 //! * conjunctive queries and UCQs ([`query`]);
 //! * TGDs, datalog rules and theories ([`rule`]);
 //! * the backtracking homomorphism engine ([`hom`]);
@@ -33,6 +35,7 @@ pub mod fxhash;
 pub mod hom;
 pub mod index;
 pub mod instance;
+pub mod par;
 pub mod parser;
 pub mod prng;
 pub mod query;

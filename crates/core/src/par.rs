@@ -1,0 +1,367 @@
+//! A deterministic fork-join layer over `std::thread::scope`.
+//!
+//! Every hot loop in the workspace — trigger enumeration in the chase,
+//! canonical-query evaluation in the type analyzer, piece-unification
+//! fan-out in the rewriter, branch exploration in the model finder — is
+//! embarrassingly parallel over independent work items, but the paper's
+//! semantics (canonical repair order, reproducible null names) demand
+//! *observational determinism*: a caller's output must be bit-identical
+//! at any thread count. The hermetic-build policy (DESIGN.md) rules out
+//! rayon, so this module provides the minimal fork-join vocabulary on
+//! the standard library alone.
+//!
+//! ## The shard-then-merge contract
+//!
+//! Work is split into *contiguous index shards*, one scoped thread per
+//! shard; each shard's results are collected separately and merged in
+//! input order. Provided the per-item computation is a pure function of
+//! the item (no observable side effects across items), the merged output
+//! is independent of the shard boundaries and therefore of the thread
+//! count. Anything order- or identity-sensitive — applying chase
+//! repairs, interning fresh nulls, mutating a dedup set — stays on the
+//! calling thread, *after* the merge.
+//!
+//! ## Thread count
+//!
+//! [`num_threads`] reads `BDDFC_THREADS` (clamped to ≥ 1), defaulting to
+//! the machine's available parallelism capped at [`MAX_DEFAULT_THREADS`].
+//! [`with_thread_count`] overrides it for the current thread's dynamic
+//! extent — tests use it to pin 1/2/7-thread runs in-process. At one
+//! thread every entry point takes a guaranteed sequential path on the
+//! calling thread: no spawns, no channels, byte-for-byte the reference
+//! semantics.
+//!
+//! Worker threads run their closures with the thread count pinned to 1,
+//! so nested `par_*` calls inside a parallel region degrade to the
+//! sequential path instead of oversubscribing the machine.
+//!
+//! Panics in workers are propagated: the first shard's panic payload (in
+//! shard order, for determinism) is resumed on the calling thread after
+//! all workers have been joined.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on the default thread count when `BDDFC_THREADS` is not
+/// set. Explicit settings may exceed it.
+pub const MAX_DEFAULT_THREADS: usize = 16;
+
+thread_local! {
+    /// Per-thread override installed by [`with_thread_count`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads `par_*` calls on this thread will use:
+/// the innermost [`with_thread_count`] override if one is active, else
+/// `BDDFC_THREADS` if set to a positive integer, else the machine's
+/// available parallelism capped at [`MAX_DEFAULT_THREADS`].
+pub fn num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    match std::env::var("BDDFC_THREADS") {
+        Ok(s) => s.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map_or(1, |n| n.get().min(MAX_DEFAULT_THREADS)),
+    }
+}
+
+/// Runs `f` with the thread count pinned to `n` on the current thread
+/// (restored afterwards, even on panic). This is how the determinism
+/// suites re-run themselves at 1, 2 and 7 threads in-process.
+pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Splits `0..len` into at most `shards` non-empty contiguous ranges of
+/// near-equal size.
+fn split(len: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.min(len).max(1);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let end = start + base + usize::from(i < extra);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Runs `f` on each shard range, one scoped thread per shard, and
+/// returns the per-shard results in shard order. The sequential path
+/// (one thread, or fewer than two items) calls `f(0..len)` directly.
+///
+/// Determinism contract: the caller must combine the returned values in
+/// a *boundary-insensitive* way — `f(a..b)` then `f(b..c)`, combined,
+/// must equal `f(a..c)`. Concatenating per-index output vectors and
+/// summing per-index counters both qualify; anything keyed on the shard
+/// itself does not.
+pub fn par_chunks<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || len <= 1 {
+        return vec![f(0..len)];
+    }
+    let ranges = split(len, threads);
+    run_sharded(ranges, &f)
+}
+
+/// Applies `f` to every item of `items` and returns the results in input
+/// order, computed on up to [`num_threads`] scoped threads.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let shards = par_chunks(items.len(), |range| {
+        items[range].iter().map(&f).collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+/// A cooperative early-exit handle for [`par_map_cancel`]: records the
+/// lowest item index that has produced a "winning" result, so workers on
+/// strictly later items can abandon work whose result is guaranteed to
+/// be discarded.
+pub struct Cancel {
+    min_won: AtomicUsize,
+}
+
+impl Cancel {
+    fn new() -> Self {
+        Cancel { min_won: AtomicUsize::new(usize::MAX) }
+    }
+
+    /// Declares that the item at `idx` produced a winning result.
+    pub fn win(&self, idx: usize) {
+        self.min_won.fetch_min(idx, Ordering::Relaxed);
+    }
+
+    /// May the item at `idx` stop early? True iff a *strictly earlier*
+    /// item has already won — the later item's result can never be the
+    /// canonical winner, so abandoning it cannot change any output
+    /// derived through the lowest-winner rule.
+    pub fn superseded(&self, idx: usize) -> bool {
+        self.min_won.load(Ordering::Relaxed) < idx
+    }
+}
+
+/// Like [`par_map`], but `f` additionally receives the item's index and
+/// a shared [`Cancel`] handle. Callers that select the lowest-index
+/// winning result get sequential-equivalent output at any thread count:
+/// a worker may only bail out once an earlier item has won, and such a
+/// worker's result is discarded by the lowest-winner rule anyway.
+pub fn par_map_cancel<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &Cancel) -> R + Sync,
+{
+    let cancel = Cancel::new();
+    let shards = par_chunks(items.len(), |range| {
+        range
+            .map(|i| f(i, &items[i], &cancel))
+            .collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+/// Spawns one scoped thread per range, pins workers to one thread (so
+/// nested `par_*` calls run sequentially), joins them all, and resumes
+/// the first panic (in shard order) if any worker panicked.
+fn run_sharded<R, F>(ranges: Vec<Range<usize>>, f: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let mut results: Vec<Result<R, Box<dyn std::any::Any + Send>>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        with_thread_count(1, || {
+                            catch_unwind(AssertUnwindSafe(|| f(range)))
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panics are caught inside"))
+                .collect()
+        });
+    if let Some(first) = results.iter().position(Result::is_err) {
+        // Re-raise the earliest shard's payload — deterministic
+        // regardless of worker timing.
+        match results.swap_remove(first) {
+            Err(payload) => {
+                drop(results);
+                resume_unwind(payload);
+            }
+            Ok(_) => unreachable!("position(is_err) found an Err"),
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(_) => unreachable!("errors handled above"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        for threads in [1, 2, 7] {
+            let out = with_thread_count(threads, || par_map(&items, |&x| x * 2));
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u32> = Vec::new();
+        for threads in [1, 4] {
+            with_thread_count(threads, || {
+                assert!(par_map(&empty, |&x: &u32| x).is_empty());
+                let shards = par_chunks(0, |r| r.len());
+                assert_eq!(shards.iter().sum::<usize>(), 0);
+                assert!(par_map_cancel(&empty, |_, &x: &u32, _| x).is_empty());
+            });
+        }
+    }
+
+    #[test]
+    fn single_item_stays_sequential() {
+        // One item never spawns: the closure runs on the calling thread.
+        let caller = std::thread::current().id();
+        let out = with_thread_count(8, || {
+            par_map(&[41], |&x| {
+                assert_eq!(std::thread::current().id(), caller);
+                x + 1
+            })
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn par_chunks_covers_the_range_exactly_once() {
+        for threads in [1, 2, 3, 7, 64] {
+            let shards = with_thread_count(threads, || par_chunks(10, |r| r.collect::<Vec<_>>()));
+            let flat: Vec<usize> = shards.into_iter().flatten().collect();
+            assert_eq!(flat, (0..10).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            with_thread_count(4, || {
+                par_map(&(0..100).collect::<Vec<u32>>(), |&x| {
+                    if x == 57 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("boom at 57"));
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially_inside_workers() {
+        // Inside a parallel region the thread count is pinned to 1, so a
+        // nested par_map must not spawn; outside it is restored.
+        let items: Vec<u32> = (0..64).collect();
+        let out = with_thread_count(4, || {
+            par_map(&items, |&x| {
+                let inner: u32 = par_map(&items, |&y| y).iter().sum();
+                // At 4 threads the outer call runs shards on workers,
+                // where num_threads() reads 1 (except the degenerate
+                // single-shard case, which stays on the caller).
+                inner + x
+            })
+        });
+        let base: u32 = items.iter().sum();
+        assert_eq!(out, items.iter().map(|&x| base + x).collect::<Vec<_>>());
+        assert_eq!(num_threads(), num_threads()); // override fully restored
+    }
+
+    #[test]
+    fn with_thread_count_restores_on_panic() {
+        let before = num_threads();
+        let _ = std::panic::catch_unwind(|| {
+            with_thread_count(3, || panic!("unwind through the guard"))
+        });
+        assert_eq!(num_threads(), before);
+    }
+
+    #[test]
+    fn cancel_only_discardable_work_is_skipped() {
+        // Item 2 wins; items > 2 may observe supersession, items ≤ 2
+        // never do. The lowest winner is stable at any thread count.
+        for threads in [1, 2, 7] {
+            let skipped = AtomicU64::new(0);
+            let items: Vec<usize> = (0..50).collect();
+            let out = with_thread_count(threads, || {
+                par_map_cancel(&items, |i, _, cancel| {
+                    if cancel.superseded(i) {
+                        assert!(i > 2, "items at or before the winner never bail");
+                        skipped.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                    if i == 2 || i == 30 {
+                        cancel.win(i);
+                        return Some(i);
+                    }
+                    None
+                })
+            });
+            let winner = out
+                .iter()
+                .enumerate()
+                .find_map(|(i, r)| r.map(|v| (i, v)))
+                .expect("a winner exists");
+            assert_eq!(winner, (2, 2), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn env_parsing_is_tolerant() {
+        // num_threads never returns 0 whatever the environment says.
+        assert!(num_threads() >= 1);
+        with_thread_count(0, || assert_eq!(num_threads(), 1));
+    }
+}

@@ -14,9 +14,9 @@
 
 use crate::subsume::insert_minimal;
 use crate::unify::{unify_with_all, Subst};
-use bddfc_core::{Atom, ConjunctiveQuery, Rule, Term, Theory, Ucq, VarId, Vocabulary};
 use bddfc_core::fxhash::FxHashSet;
-use std::collections::VecDeque;
+use bddfc_core::par;
+use bddfc_core::{Atom, ConjunctiveQuery, Rule, Term, Theory, Ucq, VarId, Vocabulary};
 
 /// Budgets for a rewriting run.
 #[derive(Clone, Copy, Debug)]
@@ -184,6 +184,15 @@ fn subsets(candidates: &[usize], cap: usize) -> Vec<Vec<usize>> {
 ///
 /// Requires single-head rules (the paper's standing assumption); returns
 /// `None` if the theory has a multi-head rule.
+///
+/// Backward chaining proceeds generation by generation (the same order
+/// the former FIFO queue visited). Per generation, the rules are renamed
+/// apart once sequentially (the vocabulary is mutable state); expanding
+/// each frontier disjunct is then read-only and fans out across threads,
+/// every item emitting its candidates in canonical (rule, piece) order.
+/// Subsumption minimization and the step/disjunct budgets apply on the
+/// merged batch, sequentially, so the retained UCQ is identical at any
+/// thread count.
 pub fn rewrite_query(
     query: &ConjunctiveQuery,
     theory: &Theory,
@@ -194,32 +203,42 @@ pub fn rewrite_query(
         return None;
     }
     let mut disjuncts: Vec<ConjunctiveQuery> = Vec::new();
-    let mut queue: VecDeque<(ConjunctiveQuery, usize)> = VecDeque::new();
-
     insert_minimal(&mut disjuncts, query.clone());
-    queue.push_back((query.clone(), 0));
+    let mut frontier: Vec<(ConjunctiveQuery, usize)> = vec![(query.clone(), 0)];
 
     let mut steps = 0usize;
     let mut max_depth = 0usize;
 
-    while let Some((q, depth)) = queue.pop_front() {
-        for rule in &theory.rules {
-            let rule = rule.rename_apart(voc);
-            let head_pred = rule.head[0].pred;
-            let candidates: Vec<usize> = q
-                .atoms
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| a.pred == head_pred)
-                .map(|(i, _)| i)
-                .collect();
-            // Datalog heads have no existential positions, so unifying two
-            // query atoms with the head at once only *specializes* a
-            // singleton-piece rewriting — singletons are complete and avoid
-            // the subset blow-up. Existential heads genuinely need
-            // multi-atom pieces (atoms sharing a witness variable).
-            let piece_cap = if rule.is_datalog() { 1 } else { config.max_piece };
-            for piece in subsets(&candidates, piece_cap) {
+    while !frontier.is_empty() {
+        let renamed: Vec<Rule> = theory.rules.iter().map(|r| r.rename_apart(voc)).collect();
+        let expansions: Vec<Vec<ConjunctiveQuery>> = par::par_map(&frontier, |(q, _)| {
+            let mut out = Vec::new();
+            for rule in &renamed {
+                let head_pred = rule.head[0].pred;
+                let candidates: Vec<usize> = q
+                    .atoms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.pred == head_pred)
+                    .map(|(i, _)| i)
+                    .collect();
+                // Datalog heads have no existential positions, so unifying
+                // two query atoms with the head at once only *specializes* a
+                // singleton-piece rewriting — singletons are complete and
+                // avoid the subset blow-up. Existential heads genuinely need
+                // multi-atom pieces (atoms sharing a witness variable).
+                let piece_cap = if rule.is_datalog() { 1 } else { config.max_piece };
+                for piece in subsets(&candidates, piece_cap) {
+                    if let Some(new_q) = rewrite_step(q, rule, &piece) {
+                        out.push(new_q);
+                    }
+                }
+            }
+            out
+        });
+        let mut next = Vec::new();
+        for ((_, depth), new_qs) in frontier.iter().zip(expansions) {
+            for new_q in new_qs {
                 if steps >= config.max_steps {
                     return Some(RewriteResult {
                         ucq: Ucq::new(disjuncts),
@@ -228,23 +247,22 @@ pub fn rewrite_query(
                         max_depth,
                     });
                 }
-                if let Some(new_q) = rewrite_step(&q, &rule, &piece) {
-                    steps += 1;
-                    if insert_minimal(&mut disjuncts, new_q.clone()) {
-                        max_depth = max_depth.max(depth + 1);
-                        if disjuncts.len() > config.max_disjuncts {
-                            return Some(RewriteResult {
-                                ucq: Ucq::new(disjuncts),
-                                saturated: false,
-                                steps,
-                                max_depth,
-                            });
-                        }
-                        queue.push_back((new_q, depth + 1));
+                steps += 1;
+                if insert_minimal(&mut disjuncts, new_q.clone()) {
+                    max_depth = max_depth.max(depth + 1);
+                    if disjuncts.len() > config.max_disjuncts {
+                        return Some(RewriteResult {
+                            ucq: Ucq::new(disjuncts),
+                            saturated: false,
+                            steps,
+                            max_depth,
+                        });
                     }
+                    next.push((new_q, depth + 1));
                 }
             }
         }
+        frontier = next;
     }
 
     Some(RewriteResult { ucq: Ucq::new(disjuncts), saturated: true, steps, max_depth })

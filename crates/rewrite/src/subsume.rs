@@ -12,8 +12,8 @@
 //! subsumption path allocates no interner entries. The homomorphism
 //! engine only compares ids, so this is safe.
 
-use bddfc_core::{hom, Binding, ConjunctiveQuery, ConstId, Fact, Instance, Term, VarId};
 use bddfc_core::fxhash::FxHashMap;
+use bddfc_core::{hom, Binding, ConjunctiveQuery, ConstId, Fact, Instance, PredId, Term, VarId};
 
 /// Base of the ephemeral constant range. Real vocabularies hand out ids
 /// sequentially from 0 and could not practically reach 2³¹ symbols.
@@ -36,7 +36,16 @@ fn freeze_ephemeral(cq: &ConjunctiveQuery) -> (Instance, FxHashMap<VarId, ConstI
                 Term::Var(v) => {
                     let c = *map.entry(*v).or_insert_with(|| {
                         let c = ConstId(next);
-                        next += 1;
+                        // Wrapping back to 0 would collide with real
+                        // vocabulary ids and silently corrupt containment
+                        // answers — fail loudly instead.
+                        next = next.checked_add(1).unwrap_or_else(|| {
+                            panic!(
+                                "ephemeral constant counter wrapped past u32::MAX \
+                                 freezing a query with {} atoms",
+                                cq.atoms.len()
+                            )
+                        });
                         c
                     });
                     args.push(c);
@@ -48,10 +57,51 @@ fn freeze_ephemeral(cq: &ConjunctiveQuery) -> (Instance, FxHashMap<VarId, ConstI
     (inst, map)
 }
 
+/// The sorted, deduplicated predicate list of a query — the cheap
+/// signature the subsumption prefilter compares.
+fn signature(cq: &ConjunctiveQuery) -> Vec<PredId> {
+    let mut preds: Vec<PredId> = cq.atoms.iter().map(|a| a.pred).collect();
+    preds.sort_unstable();
+    preds.dedup();
+    preds
+}
+
+/// Is the sorted-deduplicated set `general` contained in `specific`?
+fn sig_included(general: &[PredId], specific: &[PredId]) -> bool {
+    let mut rest = specific;
+    'outer: for g in general {
+        while let Some((s, tail)) = rest.split_first() {
+            rest = tail;
+            if s == g {
+                continue 'outer;
+            }
+            if s > g {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
 /// Does every instance satisfying `specific` also satisfy `general`?
 /// (I.e. `specific ⊑ general`; `general` homomorphically maps into
 /// `specific`.) Free variable tuples are matched positionally.
+///
+/// A homomorphism sends every atom of `general` onto a same-predicate
+/// atom of `specific`, so predicate-*set* containment is a sound, cheap
+/// prefilter before the backtracking search. Atom counts carry no such
+/// condition: distinct atoms of `general` may collapse onto one atom of
+/// `specific` (a larger query can subsume a smaller one).
 pub fn subsumes(general: &ConjunctiveQuery, specific: &ConjunctiveQuery) -> bool {
+    sig_included(&signature(general), &signature(specific))
+        && subsumes_unfiltered(general, specific)
+}
+
+/// [`subsumes`] without the signature prefilter — the oracle the
+/// differential test pins the prefiltered path against.
+#[doc(hidden)]
+pub fn subsumes_unfiltered(general: &ConjunctiveQuery, specific: &ConjunctiveQuery) -> bool {
     if general.free.len() != specific.free.len() {
         return false;
     }
@@ -83,12 +133,16 @@ pub fn equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
 /// subsumed by an existing disjunct, else removes disjuncts it subsumes
 /// and appends it. Returns `true` if the query was inserted.
 pub fn insert_minimal(disjuncts: &mut Vec<ConjunctiveQuery>, cq: ConjunctiveQuery) -> bool {
+    let sig = signature(&cq);
     for existing in disjuncts.iter() {
-        if subsumes(existing, &cq) {
+        if sig_included(&signature(existing), &sig) && subsumes_unfiltered(existing, &cq) {
             return false;
         }
     }
-    disjuncts.retain(|existing| !subsumes(&cq, existing));
+    disjuncts
+        .retain(|existing| {
+            !(sig_included(&sig, &signature(existing)) && subsumes_unfiltered(&cq, existing))
+        });
     disjuncts.push(cq);
     true
 }
@@ -169,6 +223,41 @@ mod tests {
         q1.free = vec![voc.var("X")];
         let q2 = parse_query("E(X,Y)", &mut voc).unwrap();
         assert!(!subsumes(&q1, &q2));
+    }
+
+    #[test]
+    fn prefilter_agrees_with_unfiltered_oracle() {
+        // Differential pin: `subsumes` (signature-prefiltered) must answer
+        // exactly like the raw homomorphism check on every ordered pair of
+        // a diverse query zoo — including pairs the prefilter rejects.
+        let mut voc = Vocabulary::new();
+        let sources = [
+            "E(X,Y)",
+            "E(X,Y), E(Y,Z)",
+            "E(W,W)",
+            "E(X,Y), E(X2,Y2)",
+            "E(a,Y)",
+            "E(X,Y), F(Y,Z)",
+            "F(X,Y)",
+            "F(X,X), E(X,Y), G(Y)",
+            "G(X), G(Y)",
+            "E(X,Y), E(Y,X), F(X,X)",
+        ];
+        let mut zoo: Vec<ConjunctiveQuery> =
+            sources.iter().map(|s| parse_query(s, &mut voc).unwrap()).collect();
+        // A few with answer variables, to exercise the anchored path.
+        let mut anchored = parse_query("E(U,V), E(V,W)", &mut voc).unwrap();
+        anchored.free = vec![voc.var("U")];
+        zoo.push(anchored);
+        for general in &zoo {
+            for specific in &zoo {
+                assert_eq!(
+                    subsumes(general, specific),
+                    subsumes_unfiltered(general, specific),
+                    "prefilter changed the answer for {general:?} vs {specific:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,8 +31,9 @@
 //! constant appears in its own canonical queries as a constant, so it is
 //! `≡ₙ`-equivalent only to itself.
 
-use bddfc_core::{hom, Atom, Binding, ConstId, Instance, Term, VarId, Vocabulary};
 use bddfc_core::fxhash::{FxHashMap, FxHashSet};
+use bddfc_core::par;
+use bddfc_core::{hom, Atom, Binding, ConstId, Instance, Term, VarId, Vocabulary};
 
 /// Precomputed machinery for positive-type queries over one structure.
 pub struct TypeAnalyzer<'a> {
@@ -314,27 +315,36 @@ impl<'a> TypeAnalyzer<'a> {
     /// classes (Remark 1). Classes and their members are sorted for
     /// determinism. Elements are pre-bucketed by a sound invariant so the
     /// quadratic pairwise phase only runs within buckets.
+    ///
+    /// Bucket keys and the per-element representative comparisons are
+    /// read-only and computed in parallel. Class representatives are
+    /// pairwise inequivalent and `≡ₙ` is an equivalence relation, so at
+    /// most one representative can match any element — the parallel
+    /// comparisons cannot disagree with the sequential scan — and the
+    /// greedy merge itself runs sequentially over the sorted domain, so
+    /// class order and membership are thread-count-independent.
     pub fn partition(&self) -> Vec<Vec<ConstId>> {
         let domain = self.inst.sorted_domain();
+        let keys: Vec<Option<Vec<u64>>> = par::par_map(&domain, |&d| {
+            if self.is_constant(d) {
+                None
+            } else {
+                Some(self.bucket_key(d))
+            }
+        });
         let mut classes: Vec<Vec<ConstId>> = Vec::new();
         let mut by_bucket: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
-        for &d in &domain {
-            if self.is_constant(d) {
+        for (&d, key) in domain.iter().zip(keys) {
+            let Some(key) = key else {
                 classes.push(vec![d]);
                 continue;
-            }
-            let key = self.bucket_key(d);
+            };
             let candidates = by_bucket.entry(key).or_default();
-            let mut placed = false;
-            for &ci in candidates.iter() {
-                let rep = classes[ci][0];
-                if self.equivalent(d, rep) {
-                    classes[ci].push(d);
-                    placed = true;
-                    break;
-                }
-            }
-            if !placed {
+            let reps: Vec<ConstId> = candidates.iter().map(|&ci| classes[ci][0]).collect();
+            let hits = par::par_map(&reps, |&rep| self.equivalent(d, rep));
+            if let Some(pos) = hits.iter().position(|&hit| hit) {
+                classes[candidates[pos]].push(d);
+            } else {
                 candidates.push(classes.len());
                 classes.push(vec![d]);
             }

@@ -1,0 +1,226 @@
+//! Thread-count determinism suite: every parallelized component — chase,
+//! datalog saturation, type analyzer, UCQ rewriter and bounded model
+//! finder — must produce byte-identical outputs for `BDDFC_THREADS` in
+//! {1, 2, 7}, across the paper zoo and seeded random programs. The
+//! shard-then-merge contract of `bddfc_core::par` (results collected
+//! per shard, merged in input order, order-sensitive phases sequential)
+//! is what makes this hold; this suite is the executable statement of
+//! that contract.
+
+mod support;
+
+use bddfc::chase::{
+    chase, find_model, saturate_datalog, ChaseConfig, ChaseResult, ChaseStrategy, ChaseVariant,
+    FinderConfig,
+};
+use bddfc::core::par;
+use bddfc::core::{Fact, Instance, Program, Theory, Vocabulary};
+use bddfc::rewrite::{rewrite_query, RewriteConfig};
+use bddfc::types::TypeAnalyzer;
+use support::proptest_lite::run_prop;
+
+/// The thread counts the suite compares: the sequential baseline, the
+/// smallest genuine fork-join, and an odd count that never divides the
+/// work evenly (so shard boundaries move).
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn zoo_programs() -> Vec<(&'static str, Program)> {
+    vec![
+        ("example1", bddfc::zoo::example1()),
+        ("example1_m_prime", bddfc::zoo::example1_m_prime()),
+        ("chain_theory", bddfc::zoo::chain_theory()),
+        ("remark3", bddfc::zoo::remark3()),
+        ("total_order_4", bddfc::zoo::total_order(4)),
+        ("example7", bddfc::zoo::example7()),
+        ("example9", bddfc::zoo::example9()),
+        ("section54", bddfc::zoo::section54()),
+        ("notorious", bddfc::zoo::notorious()),
+        ("order_theory", bddfc::zoo::order_theory()),
+        ("linear_ontology", bddfc::zoo::linear_ontology()),
+        ("guarded_example", bddfc::zoo::guarded_example()),
+        ("sticky_example", bddfc::zoo::sticky_example()),
+    ]
+}
+
+/// A seeded random program (same construction as tests/differential.rs).
+fn random_program(seed: u64) -> Program {
+    let mut voc = Vocabulary::new();
+    let theory = bddfc::zoo::random_linear_theory(&mut voc, 3, 6, seed);
+    let mut rng = bddfc::core::prng::SplitMix64::new(seed ^ 0x5eed);
+    let preds: Vec<_> = (0..3).map(|i| voc.pred(&format!("R{i}"), 2)).collect();
+    let consts: Vec<_> = (0..5).map(|i| voc.constant(&format!("c{i}"))).collect();
+    let mut instance = Instance::new();
+    for _ in 0..8 {
+        let p = preds[rng.below(preds.len())];
+        let a = consts[rng.below(consts.len())];
+        let b = consts[rng.below(consts.len())];
+        instance.insert(Fact::new(p, vec![a, b]));
+    }
+    Program { voc, theory, instance, queries: vec![] }
+}
+
+fn assert_chase_identical(name: &str, db: &Instance, theory: &Theory, voc: &Vocabulary) {
+    for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+        for strategy in [ChaseStrategy::SemiNaive, ChaseStrategy::Naive] {
+            let config = ChaseConfig {
+                max_rounds: 4,
+                max_facts: 4_000,
+                variant,
+                strategy,
+            };
+            let run = |threads: usize| -> ChaseResult {
+                par::with_thread_count(threads, || chase(db, theory, &mut voc.clone(), config))
+            };
+            let base = run(THREADS[0]);
+            for &t in &THREADS[1..] {
+                let other = run(t);
+                let ctx = format!("{name}/{variant:?}/{strategy:?} at {t} threads");
+                assert_eq!(base.instance, other.instance, "{ctx}: instance");
+                assert_eq!(base.depth, other.depth, "{ctx}: depth map");
+                assert_eq!(base.rounds, other.rounds, "{ctx}: rounds");
+                assert_eq!(base.status, other.status, "{ctx}: status");
+                assert_eq!(
+                    base.stats.body_matches_per_round, other.stats.body_matches_per_round,
+                    "{ctx}: work counters"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chase_is_thread_count_invariant_on_zoo() {
+    for (name, prog) in zoo_programs() {
+        assert_chase_identical(name, &prog.instance, &prog.theory, &prog.voc);
+    }
+}
+
+#[test]
+fn chase_is_thread_count_invariant_on_random_programs() {
+    run_prop("chase_is_thread_count_invariant_on_random_programs", 12, |g| {
+        let seed = g.u64_in("seed", 0, 1 << 32);
+        let prog = random_program(seed);
+        assert_chase_identical("random", &prog.instance, &prog.theory, &prog.voc);
+        Ok(())
+    });
+}
+
+#[test]
+fn saturation_is_thread_count_invariant() {
+    for (name, prog) in zoo_programs() {
+        let base =
+            par::with_thread_count(1, || saturate_datalog(&prog.instance, &prog.theory));
+        for &t in &THREADS[1..] {
+            let other =
+                par::with_thread_count(t, || saturate_datalog(&prog.instance, &prog.theory));
+            assert_eq!(base.instance, other.instance, "{name} at {t} threads: instance");
+            assert_eq!(base.rounds, other.rounds, "{name} at {t} threads: rounds");
+            assert_eq!(base.derived, other.derived, "{name} at {t} threads: derived");
+            assert_eq!(
+                base.body_matches_per_round, other.body_matches_per_round,
+                "{name} at {t} threads: work counters"
+            );
+        }
+    }
+}
+
+#[test]
+fn analyzer_partition_is_thread_count_invariant() {
+    for (name, prog) in zoo_programs() {
+        // Chase a little first so the instance has nulls to classify.
+        let mut voc = prog.voc.clone();
+        let chased = chase(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            ChaseConfig { max_rounds: 3, max_facts: 500, ..Default::default() },
+        );
+        for n in [2usize, 3] {
+            let run = |threads: usize| {
+                par::with_thread_count(threads, || {
+                    TypeAnalyzer::new(&chased.instance, &mut voc.clone(), n).partition()
+                })
+            };
+            let base = run(THREADS[0]);
+            for &t in &THREADS[1..] {
+                assert_eq!(base, run(t), "{name}, n = {n}, at {t} threads: partition");
+            }
+        }
+    }
+}
+
+#[test]
+fn rewriter_is_thread_count_invariant() {
+    // Zoo programs with single-head theories, plus budget-capped
+    // divergent cases; queries are the programs' own where present.
+    let mut cases: Vec<(String, Theory, bddfc::core::ConjunctiveQuery, Vocabulary, RewriteConfig)> =
+        Vec::new();
+    for (name, prog) in zoo_programs() {
+        if !prog.theory.is_single_head() {
+            continue;
+        }
+        for (qi, q) in prog.queries.iter().enumerate() {
+            cases.push((
+                format!("{name}/q{qi}"),
+                prog.theory.clone(),
+                q.clone(),
+                prog.voc.clone(),
+                RewriteConfig { max_disjuncts: 15, max_steps: 300, max_piece: 2 },
+            ));
+        }
+    }
+    let mut voc = Vocabulary::new();
+    let th = Theory::new(vec![
+        bddfc::core::parse_rule("E(X,Y), E(Y,Z) -> E(X,Z)", &mut voc).unwrap(),
+    ]);
+    let mut q = bddfc::core::parse_query("E(U,V)", &mut voc).unwrap();
+    q.free = vec![voc.var("U"), voc.var("V")];
+    cases.push((
+        "transitivity_capped".into(),
+        th,
+        q,
+        voc,
+        RewriteConfig { max_disjuncts: 25, max_steps: 5_000, max_piece: 2 },
+    ));
+    assert!(!cases.is_empty(), "expected at least one single-head rewriting case");
+
+    for (name, theory, query, voc, config) in cases {
+        let run = |threads: usize| {
+            par::with_thread_count(threads, || {
+                rewrite_query(&query, &theory, &mut voc.clone(), config).expect("single-head")
+            })
+        };
+        let base = run(THREADS[0]);
+        for &t in &THREADS[1..] {
+            let other = run(t);
+            let ctx = format!("{name} at {t} threads");
+            assert_eq!(base.ucq, other.ucq, "{ctx}: rewritten UCQ");
+            assert_eq!(base.saturated, other.saturated, "{ctx}: saturation flag");
+            assert_eq!(base.steps, other.steps, "{ctx}: step count");
+            assert_eq!(base.max_depth, other.max_depth, "{ctx}: depth witness");
+        }
+    }
+}
+
+#[test]
+fn model_finder_is_thread_count_invariant() {
+    for (name, prog) in zoo_programs() {
+        let forbidden = prog.queries.first();
+        let run = |threads: usize| {
+            par::with_thread_count(threads, || {
+                find_model(
+                    &prog.instance,
+                    &prog.theory,
+                    &mut prog.voc.clone(),
+                    forbidden,
+                    FinderConfig { max_size: 3, max_nodes: 20_000 },
+                )
+            })
+        };
+        let base = run(THREADS[0]);
+        for &t in &THREADS[1..] {
+            // SearchOutcome equality covers the certified model itself.
+            assert_eq!(base, run(t), "{name} at {t} threads: finder outcome");
+        }
+    }
+}

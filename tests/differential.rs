@@ -196,6 +196,35 @@ fn zoo_programs_restricted_embeds_in_oblivious() {
     }
 }
 
+/// The whole naive-vs-semi-naive agreement suite, re-run in-process with
+/// the fork-join layer genuinely sharding (2 threads, then an odd 7 so
+/// shard boundaries move): the oracle equality must be thread-blind.
+#[test]
+fn zoo_programs_agree_multithreaded() {
+    for threads in [2usize, 7] {
+        bddfc::core::par::with_thread_count(threads, || {
+            for (name, prog) in zoo_programs() {
+                for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+                    assert_strategies_agree_roundwise(
+                        name,
+                        &prog.instance,
+                        &prog.theory,
+                        &prog.voc,
+                        variant,
+                    );
+                    assert_chase_results_agree(
+                        name,
+                        &prog.instance,
+                        &prog.theory,
+                        &prog.voc,
+                        variant,
+                    );
+                }
+            }
+        });
+    }
+}
+
 #[test]
 fn random_programs_naive_equals_seminaive() {
     run_prop("random_programs_naive_equals_seminaive", 24, |g| {
