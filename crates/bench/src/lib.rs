@@ -15,4 +15,4 @@ pub mod experiments;
 pub mod timing;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
-pub use timing::{bench, black_box, init_json, BenchRow};
+pub use timing::{bench, black_box, format_row, init_json, BenchRow, SCHEMA_VERSION};

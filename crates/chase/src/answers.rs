@@ -10,6 +10,7 @@
 //! * otherwise — unknown.
 
 use crate::engine::{chase, ChaseConfig, ChaseStepper, ChaseVariant};
+use bddfc_core::obs::{EventSink, NULL};
 use bddfc_core::{hom, ConjunctiveQuery, Instance, Theory, Ucq, Vocabulary};
 
 /// Outcome of a budgeted certain-answer computation.
@@ -58,10 +59,25 @@ pub fn certain_ucq(
     query: &Ucq,
     config: ChaseConfig,
 ) -> Certainty {
+    certain_ucq_with(db, theory, voc, query, config, &NULL)
+}
+
+/// Like [`certain_ucq`], but the underlying chase reports per-round
+/// telemetry into `sink` (`chase`/`round` events) — this is where a
+/// budgeted [`Certainty::Unknown`] shows *where* the work went.
+pub fn certain_ucq_with<S: EventSink>(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    query: &Ucq,
+    config: ChaseConfig,
+    sink: &S,
+) -> Certainty {
     if hom::satisfies_ucq(db, query) {
         return Certainty::True(0);
     }
-    let mut stepper = ChaseStepper::new(db, theory, config.variant, config.strategy);
+    let mut stepper =
+        ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink);
     for round in 1..=config.max_rounds {
         let new_facts = stepper.step(voc);
         if new_facts.is_empty() {

@@ -28,13 +28,14 @@
 //! round.
 
 use bddfc_core::fxhash::{FxHashMap, FxHashSet};
+use bddfc_core::obs::{Event, EventSink, Null, SpanTimer, NULL};
 use bddfc_core::par;
 use bddfc_core::satisfaction::{head_satisfied, restrict_binding};
 use bddfc_core::{
     hom, Binding, ConstId, Fact, Instance, PredId, Rule, Term, Theory, VarId, Vocabulary,
 };
 use std::ops::ControlFlow;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which chase variant to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -122,6 +123,14 @@ pub enum ChaseStatus {
 
 /// Work counters for a chase run — the trigger counter the benchmarks
 /// compare across strategies.
+///
+/// **Deprecation note:** these ad-hoc fields predate the unified
+/// telemetry layer and are subsumed by the per-round `chase`/`round`
+/// events emitted into any [`EventSink`] (see [`chase_with`] and
+/// [`bddfc_core::obs`]), which additionally report candidates, witness
+/// checks, triggers pruned and nulls created. The fields are kept for
+/// the existing work-ratio assertions; new instrumentation should
+/// attach a sink instead of growing this struct.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ChaseStats {
     /// Completed body homomorphisms enumerated in each round (including
@@ -197,6 +206,20 @@ struct Candidate {
     binding: Binding,
 }
 
+/// Per-round work counters accumulated by the enumeration and admission
+/// phases; the deterministic *fields* of the round's telemetry event.
+#[derive(Default)]
+struct RoundWork {
+    /// Completed body homomorphisms enumerated.
+    body_matches: u64,
+    /// Deduplicated candidate triggers reaching admission.
+    candidates: u64,
+    /// Candidates whose head was actually joined against the instance
+    /// (`head_satisfied`) — all of them under Restricted, only datalog
+    /// rules under Oblivious.
+    witness_checks: u64,
+}
+
 /// Applies the Restricted/Oblivious admission check to the deduplicated
 /// candidate triggers, in their merged (shard-boundary-independent)
 /// order. Witness checks (`head_satisfied`) are read-only joins against
@@ -208,7 +231,15 @@ fn admit_candidates(
     variant: ChaseVariant,
     fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
     cands: Vec<Candidate>,
+    work: &mut RoundWork,
 ) -> Vec<Repair> {
+    work.candidates += cands.len() as u64;
+    work.witness_checks += match variant {
+        ChaseVariant::Restricted => cands.len() as u64,
+        ChaseVariant::Oblivious => {
+            cands.iter().filter(|c| theory.rules[c.rule_idx].is_datalog()).count() as u64
+        }
+    };
     // unwitnessed[i]: candidate i's head has no witness in the frozen
     // instance (only consulted where the variant cares).
     let unwitnessed: Vec<bool> = par::par_map(&cands, |c| {
@@ -280,7 +311,7 @@ fn collect_repairs_naive(
     theory: &Theory,
     variant: ChaseVariant,
     fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
-    body_matches: &mut u64,
+    work: &mut RoundWork,
 ) -> Vec<Repair> {
     let per_rule: Vec<(Vec<Candidate>, u64)> = par::par_chunks(theory.rules.len(), |range| {
         range
@@ -292,10 +323,10 @@ fn collect_repairs_naive(
     .collect();
     let mut cands = Vec::new();
     for (rule_cands, matches) in per_rule {
-        *body_matches += matches;
+        work.body_matches += matches;
         cands.extend(rule_cands);
     }
-    admit_candidates(inst, theory, variant, fired, cands)
+    admit_candidates(inst, theory, variant, fired, cands, work)
 }
 
 /// Attempts to bind `atom` against the ground `fact`; returns the binding
@@ -333,7 +364,7 @@ fn collect_repairs_seminaive(
     fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
     delta: &[Fact],
     first_round: bool,
-    body_matches: &mut u64,
+    work: &mut RoundWork,
 ) -> Vec<Repair> {
     let mut delta_by_pred: FxHashMap<PredId, Vec<&Fact>> = FxHashMap::default();
     for f in delta {
@@ -349,13 +380,13 @@ fn collect_repairs_seminaive(
     }
     let frontiers: Vec<Vec<VarId>> = theory.rules.iter().map(sorted_frontier).collect();
     let mut cands: Vec<Candidate> = Vec::new();
-    let mut work: Vec<Work> = Vec::new();
+    let mut items: Vec<Work> = Vec::new();
     for (rule_idx, rule) in theory.rules.iter().enumerate() {
         if rule.body.is_empty() {
             // A body-less rule has the single empty trigger; it cannot join
             // a delta, so it is only ever *new* on the opening round.
             if first_round {
-                *body_matches += 1;
+                work.body_matches += 1;
                 cands.push(Candidate {
                     rule_idx,
                     key: Vec::new(),
@@ -366,7 +397,7 @@ fn collect_repairs_seminaive(
         }
         for pin in 0..rule.body.len() {
             let Some(dfacts) = delta_by_pred.get(&rule.body[pin].pred) else { continue };
-            work.extend(dfacts.iter().map(|&dfact| Work { rule_idx, pin, dfact }));
+            items.extend(dfacts.iter().map(|&dfact| Work { rule_idx, pin, dfact }));
         }
     }
     // The pinned atom's residual body, per (rule, pin), shared read-only
@@ -389,10 +420,10 @@ fn collect_repairs_seminaive(
         .collect();
     // Phase 1 (parallel): complete each pinned join against the frozen
     // instance; every shard emits candidates in work-list order.
-    let shard_out: Vec<(Vec<Candidate>, u64)> = par::par_chunks(work.len(), |range| {
+    let shard_out: Vec<(Vec<Candidate>, u64)> = par::par_chunks(items.len(), |range| {
         let mut out = Vec::new();
         let mut matches = 0u64;
-        for w in &work[range] {
+        for w in &items[range] {
             let rule = &theory.rules[w.rule_idx];
             let Some(binding) = bind_atom(&rule.body[w.pin], w.dfact) else { continue };
             let frontier = &frontiers[w.rule_idx];
@@ -411,53 +442,61 @@ fn collect_repairs_seminaive(
     // the key, so the surviving set is shard-split-independent.
     let mut seen: FxHashSet<(usize, Vec<ConstId>)> = FxHashSet::default();
     for (shard, matches) in shard_out {
-        *body_matches += matches;
+        work.body_matches += matches;
         for c in shard {
             if seen.insert((c.rule_idx, c.key.clone())) {
                 cands.push(c);
             }
         }
     }
-    admit_candidates(inst, theory, variant, fired, cands)
+    admit_candidates(inst, theory, variant, fired, cands, work)
 }
 
 /// Applies a repair: grounds the head, inventing one fresh null per
-/// existential variable (the paper's `c_{t,x̄}`). Returns the new facts.
-fn apply_repair(rule: &Rule, binding: &Binding, voc: &mut Vocabulary) -> Vec<Fact> {
+/// existential variable (the paper's `c_{t,x̄}`). Returns the new facts
+/// and the number of nulls invented.
+fn apply_repair(rule: &Rule, binding: &Binding, voc: &mut Vocabulary) -> (Vec<Fact>, u64) {
     let mut ext = binding.clone();
     let mut ex: Vec<VarId> = rule.existential_vars().into_iter().collect();
     ex.sort_unstable();
+    let nulls = ex.len() as u64;
     for v in ex {
         ext.insert(v, voc.fresh_null("n"));
     }
-    rule.head
+    let facts = rule
+        .head
         .iter()
         .map(|atom| {
             let grounded = atom.apply(&|v| ext.get(&v).map(|&c| Term::Const(c)));
             grounded.to_fact().expect("head fully grounded by repair")
         })
-        .collect()
+        .collect();
+    (facts, nulls)
 }
 
 /// Applies repairs in the canonical `(rule, frontier tuple)` order — the
 /// order both strategies share, so fresh-null naming is reproducible and
-/// strategy-independent.
+/// strategy-independent. Returns the new facts and the number of fresh
+/// nulls invented.
 fn apply_repairs(
     inst: &mut Instance,
     theory: &Theory,
     voc: &mut Vocabulary,
     mut repairs: Vec<Repair>,
-) -> Vec<Fact> {
+) -> (Vec<Fact>, u64) {
     repairs.sort_by(|a, b| (a.rule_idx, &a.key).cmp(&(b.rule_idx, &b.key)));
     let mut new_facts = Vec::new();
+    let mut nulls_created = 0u64;
     for repair in repairs {
-        for fact in apply_repair(&theory.rules[repair.rule_idx], &repair.binding, voc) {
+        let (facts, nulls) = apply_repair(&theory.rules[repair.rule_idx], &repair.binding, voc);
+        nulls_created += nulls;
+        for fact in facts {
             if inst.insert(fact.clone()) {
                 new_facts.push(fact);
             }
         }
     }
-    new_facts
+    (new_facts, nulls_created)
 }
 
 /// Runs one naive `Chase¹` round: one simultaneous round, enumerated
@@ -471,16 +510,23 @@ pub fn chase_round(
     variant: ChaseVariant,
     fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
 ) -> Vec<Fact> {
-    let mut body_matches = 0;
-    let repairs = collect_repairs_naive(inst, theory, variant, fired, &mut body_matches);
-    apply_repairs(inst, theory, voc, repairs)
+    let mut work = RoundWork::default();
+    let repairs = collect_repairs_naive(inst, theory, variant, fired, &mut work);
+    apply_repairs(inst, theory, voc, repairs).0
 }
 
 /// A resumable round-by-round chase driver: owns the growing instance,
 /// the previous round's delta and the work counters, so callers (like the
 /// certain-answer loop) can interleave their own checks between rounds
 /// while still getting semi-naive evaluation.
-pub struct ChaseStepper<'t> {
+///
+/// The driver is generic over an [`EventSink`]; the default [`Null`]
+/// sink compiles the telemetry away entirely (see [`bddfc_core::obs`]).
+/// Each completed [`ChaseStepper::step`] emits one `chase`/`round`
+/// event whose fields are round, body_matches, candidates,
+/// witness_checks, triggers_fired, triggers_pruned, new_facts,
+/// nulls_created and facts_total, with wall_ns/threads gauges.
+pub struct ChaseStepper<'t, S: EventSink = Null> {
     theory: &'t Theory,
     /// The instance chased so far.
     pub instance: Instance,
@@ -489,17 +535,33 @@ pub struct ChaseStepper<'t> {
     fired: FxHashSet<(usize, Vec<ConstId>)>,
     delta: Vec<Fact>,
     first_round: bool,
+    rounds_done: u64,
+    sink: &'t S,
     /// Work counters, one entry per completed [`ChaseStepper::step`].
     pub stats: ChaseStats,
 }
 
-impl<'t> ChaseStepper<'t> {
-    /// Starts a chase of `db` under `theory`.
+impl<'t> ChaseStepper<'t, Null> {
+    /// Starts a chase of `db` under `theory` with telemetry disabled.
     pub fn new(
         db: &Instance,
         theory: &'t Theory,
         variant: ChaseVariant,
         strategy: ChaseStrategy,
+    ) -> Self {
+        ChaseStepper::with_sink(db, theory, variant, strategy, &NULL)
+    }
+}
+
+impl<'t, S: EventSink> ChaseStepper<'t, S> {
+    /// Starts a chase of `db` under `theory`, reporting per-round
+    /// telemetry into `sink`.
+    pub fn with_sink(
+        db: &Instance,
+        theory: &'t Theory,
+        variant: ChaseVariant,
+        strategy: ChaseStrategy,
+        sink: &'t S,
     ) -> Self {
         ChaseStepper {
             theory,
@@ -509,6 +571,8 @@ impl<'t> ChaseStepper<'t> {
             fired: FxHashSet::default(),
             delta: db.facts().to_vec(),
             first_round: true,
+            rounds_done: 0,
+            sink,
             stats: ChaseStats { threads_used: par::num_threads(), ..ChaseStats::default() },
         }
     }
@@ -516,15 +580,15 @@ impl<'t> ChaseStepper<'t> {
     /// Runs one `Chase¹` round; returns the facts it added (empty iff the
     /// instance reached a fixpoint of the theory).
     pub fn step(&mut self, voc: &mut Vocabulary) -> Vec<Fact> {
-        let round_start = Instant::now();
-        let mut body_matches = 0;
+        let timer = SpanTimer::start();
+        let mut work = RoundWork::default();
         let repairs = match self.strategy {
             ChaseStrategy::Naive => collect_repairs_naive(
                 &self.instance,
                 self.theory,
                 self.variant,
                 &mut self.fired,
-                &mut body_matches,
+                &mut work,
             ),
             ChaseStrategy::SemiNaive => collect_repairs_seminaive(
                 &self.instance,
@@ -533,14 +597,39 @@ impl<'t> ChaseStepper<'t> {
                 &mut self.fired,
                 &self.delta,
                 self.first_round,
-                &mut body_matches,
+                &mut work,
             ),
         };
         self.first_round = false;
-        self.stats.body_matches_per_round.push(body_matches);
-        let new_facts = apply_repairs(&mut self.instance, self.theory, voc, repairs);
+        let triggers_fired = repairs.len() as u64;
+        self.stats.body_matches_per_round.push(work.body_matches);
+        let (new_facts, nulls_created) =
+            apply_repairs(&mut self.instance, self.theory, voc, repairs);
         self.delta = new_facts.clone();
-        self.stats.round_wall_times.push(round_start.elapsed());
+        let wall = timer.elapsed();
+        self.stats.round_wall_times.push(wall);
+        self.rounds_done += 1;
+        if S::ENABLED {
+            self.sink.record(Event {
+                engine: "chase",
+                name: "round",
+                fields: &[
+                    ("round", self.rounds_done),
+                    ("body_matches", work.body_matches),
+                    ("candidates", work.candidates),
+                    ("witness_checks", work.witness_checks),
+                    ("triggers_fired", triggers_fired),
+                    ("triggers_pruned", work.candidates - triggers_fired),
+                    ("new_facts", new_facts.len() as u64),
+                    ("nulls_created", nulls_created),
+                    ("facts_total", self.instance.len() as u64),
+                ],
+                gauges: &[
+                    ("wall_ns", u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX)),
+                    ("threads", par::num_threads() as u64),
+                ],
+            });
+        }
         new_facts
     }
 }
@@ -552,7 +641,20 @@ pub fn chase(
     voc: &mut Vocabulary,
     config: ChaseConfig,
 ) -> ChaseResult {
-    let mut stepper = ChaseStepper::new(db, theory, config.variant, config.strategy);
+    chase_with(db, theory, voc, config, &NULL)
+}
+
+/// Like [`chase`], but reports per-round telemetry into `sink` (one
+/// `chase`/`round` event per completed [`ChaseStepper::step`]).
+pub fn chase_with<S: EventSink>(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    config: ChaseConfig,
+    sink: &S,
+) -> ChaseResult {
+    let mut stepper =
+        ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink);
     let mut depth: FxHashMap<Fact, u32> = db.facts().iter().map(|f| (f.clone(), 0)).collect();
     let mut rounds = 0;
     let status = loop {
@@ -582,6 +684,62 @@ pub fn chase_k(
     k: u32,
 ) -> ChaseResult {
     chase(db, theory, voc, ChaseConfig { max_rounds: k, max_facts: usize::MAX, ..Default::default() })
+}
+
+/// The telemetry-free chase loop `tests/overhead.rs` uses as its
+/// wall-clock baseline: the same enumeration / admission / application
+/// kernel and depth bookkeeping as [`chase`], driven without the
+/// stepper's stats vectors or any [`EventSink`] plumbing. If someone
+/// adds always-on telemetry work to the public path, the public
+/// Null-sink chase drifts away from this baseline and the overhead
+/// guard fails. Not part of the supported API.
+#[doc(hidden)]
+pub fn chase_uninstrumented_baseline(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    config: ChaseConfig,
+) -> Instance {
+    let mut inst = db.clone();
+    let mut fired: FxHashSet<(usize, Vec<ConstId>)> = FxHashSet::default();
+    let mut delta = db.facts().to_vec();
+    let mut first_round = true;
+    let mut depth: FxHashMap<Fact, u32> = db.facts().iter().map(|f| (f.clone(), 0)).collect();
+    let mut rounds = 0;
+    loop {
+        if rounds >= config.max_rounds {
+            break;
+        }
+        let mut work = RoundWork::default();
+        let repairs = match config.strategy {
+            ChaseStrategy::Naive => {
+                collect_repairs_naive(&inst, theory, config.variant, &mut fired, &mut work)
+            }
+            ChaseStrategy::SemiNaive => collect_repairs_seminaive(
+                &inst,
+                theory,
+                config.variant,
+                &mut fired,
+                &delta,
+                first_round,
+                &mut work,
+            ),
+        };
+        first_round = false;
+        let (new_facts, _nulls) = apply_repairs(&mut inst, theory, voc, repairs);
+        delta = new_facts.clone();
+        if new_facts.is_empty() {
+            break;
+        }
+        rounds += 1;
+        for f in new_facts {
+            depth.entry(f).or_insert(rounds);
+        }
+        if inst.len() > config.max_facts {
+            break;
+        }
+    }
+    inst
 }
 
 #[cfg(test)]
@@ -808,6 +966,30 @@ mod tests {
         // 4 productive rounds, each enumerating at least one body match.
         assert_eq!(res.stats.body_matches_per_round.len(), 4);
         assert!(res.stats.body_matches_per_round.iter().all(|&m| m > 0));
+    }
+
+    #[test]
+    fn chase_with_memory_sink_counts_rounds_and_matches_null_run() {
+        use bddfc_core::obs::Memory;
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b).").unwrap();
+        let sink = Memory::new(64);
+        let mut voc1 = prog.voc.clone();
+        let observed =
+            chase_with(&prog.instance, &prog.theory, &mut voc1, ChaseConfig::rounds(4), &sink);
+        let mut voc2 = prog.voc.clone();
+        let plain = chase(&prog.instance, &prog.theory, &mut voc2, ChaseConfig::rounds(4));
+        // Attaching a sink never changes the output.
+        assert_eq!(observed.instance, plain.instance);
+        // One event per round; the chain adds one fact and one null per
+        // round, and the counters mirror the legacy ChaseStats.
+        assert_eq!(sink.event_counts(), vec![(("chase", "round"), 4)]);
+        assert_eq!(sink.counter("chase", "round", "new_facts"), 4);
+        assert_eq!(sink.counter("chase", "round", "nulls_created"), 4);
+        assert_eq!(
+            sink.counter("chase", "round", "body_matches"),
+            observed.stats.total_body_matches()
+        );
+        assert_eq!(sink.counter("chase", "round", "triggers_fired"), 4);
     }
 
     #[test]

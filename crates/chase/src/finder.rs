@@ -18,6 +18,7 @@
 //! for the Section 5.5 "notorious example".
 
 use bddfc_core::fxhash::FxHashSet;
+use bddfc_core::obs::{Event, EventSink, SpanTimer, NULL};
 use bddfc_core::par;
 use bddfc_core::satisfaction::theory_violations;
 use bddfc_core::{hom, ConjunctiveQuery, ConstId, Fact, Instance, Term, Theory, VarId, Vocabulary};
@@ -194,6 +195,57 @@ pub fn find_model(
     forbidden: Option<&ConjunctiveQuery>,
     config: FinderConfig,
 ) -> SearchOutcome {
+    find_model_with(db, theory, voc, forbidden, config, &NULL)
+}
+
+/// Like [`find_model`], but reports one `finder`/`search` event into
+/// `sink` when the search concludes. Fields: `branches` (root branches
+/// opened), `cancelled` (branches whose results the lowest-winner rule
+/// discards, i.e. those after the winning index — a deterministic count,
+/// unlike the timing-dependent mid-run cancellations), `winner` (1-based
+/// winning branch index, 0 if none), `found`, `budget_hit`; gauges:
+/// `wall_ns`, `threads`.
+pub fn find_model_with<S: EventSink>(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    forbidden: Option<&ConjunctiveQuery>,
+    config: FinderConfig,
+    sink: &S,
+) -> SearchOutcome {
+    let timer = SpanTimer::start();
+    let (outcome, branches, winner) = find_model_impl(db, theory, voc, forbidden, config);
+    if S::ENABLED {
+        let cancelled = winner.map_or(0, |w| branches.saturating_sub(w as u64 + 1));
+        sink.record(Event {
+            engine: "finder",
+            name: "search",
+            fields: &[
+                ("branches", branches),
+                ("cancelled", cancelled),
+                ("winner", winner.map_or(0, |w| w as u64 + 1)),
+                ("found", u64::from(matches!(outcome, SearchOutcome::Found(_)))),
+                ("budget_hit", u64::from(matches!(outcome, SearchOutcome::Budget))),
+            ],
+            gauges: &[
+                ("wall_ns", timer.elapsed_ns()),
+                ("threads", par::num_threads() as u64),
+            ],
+        });
+    }
+    outcome
+}
+
+/// The search body shared by [`find_model`] and [`find_model_with`];
+/// besides the outcome it reports how many root branches were opened and
+/// which one (if any) produced the winning model.
+fn find_model_impl(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    forbidden: Option<&ConjunctiveQuery>,
+    config: FinderConfig,
+) -> (SearchOutcome, u64, Option<usize>) {
     let base_elems = db.domain_size();
     let pool_size = config.max_size.saturating_sub(base_elems);
     let pool: Vec<ConstId> = (0..pool_size).map(|_| voc.fresh_null("w")).collect();
@@ -201,16 +253,16 @@ pub fn find_model(
     // Expand the root by hand — one `dfs` step's worth of budget and the
     // same child enumeration — so the branches can fan out.
     if config.max_nodes == 0 {
-        return SearchOutcome::Budget;
+        return (SearchOutcome::Budget, 0, None);
     }
     if let Some(q) = forbidden {
         if hom::satisfies_cq(db, q) {
-            return SearchOutcome::NoModelWithin(config.max_size);
+            return (SearchOutcome::NoModelWithin(config.max_size), 0, None);
         }
     }
     let violations = theory_violations(db, theory);
     let Some(violation) = violations.first() else {
-        return SearchOutcome::Found(db.clone());
+        return (SearchOutcome::Found(db.clone()), 0, None);
     };
     let rule = &theory.rules[violation.rule_idx];
     let mut ex: Vec<VarId> = rule.existential_vars().into_iter().collect();
@@ -229,7 +281,7 @@ pub fn find_model(
     // deduplicated among themselves.
     let mut branches: Vec<Instance> = Vec::new();
     if !ex.is_empty() && domain.is_empty() {
-        return SearchOutcome::NoModelWithin(config.max_size);
+        return (SearchOutcome::NoModelWithin(config.max_size), 0, None);
     }
     let mut seen: FxHashSet<Vec<Fact>> = FxHashSet::default();
     let mut assignment = vec![0usize; ex.len()];
@@ -294,19 +346,21 @@ pub fn find_model(
 
     // Combine exactly as the sequential child loop did: the first found
     // model wins; a budget hit anywhere else taints exhaustion.
+    let opened = branches.len() as u64;
     let mut budget_hit = false;
-    for out in outcomes {
+    for (idx, out) in outcomes.into_iter().enumerate() {
         match out {
-            Dfs::Found(m) => return SearchOutcome::Found(m),
+            Dfs::Found(m) => return (SearchOutcome::Found(m), opened, Some(idx)),
             Dfs::Budget => budget_hit = true,
             Dfs::Exhausted => {}
         }
     }
-    if budget_hit {
+    let outcome = if budget_hit {
         SearchOutcome::Budget
     } else {
         SearchOutcome::NoModelWithin(config.max_size)
-    }
+    };
+    (outcome, opened, None)
 }
 
 /// Convenience wrapper asking the FC question at a fixed size: is there a
@@ -417,6 +471,33 @@ mod tests {
         let out = find_model(&prog.instance, &prog.theory, &mut voc, None, FinderConfig::size(4));
         let m = out.model().expect("model exists");
         assert!(satisfies_theory(m, &prog.theory));
+    }
+
+    #[test]
+    fn sink_reports_branches_and_winner() {
+        use bddfc_core::obs::Memory;
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b).").unwrap();
+        let sink = Memory::new(8);
+        let mut voc = prog.voc.clone();
+        let out = find_model_with(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            None,
+            FinderConfig::size(3),
+            &sink,
+        );
+        assert!(out.model().is_some());
+        assert_eq!(sink.event_counts(), vec![(("finder", "search"), 1)]);
+        assert_eq!(sink.counter("finder", "search", "found"), 1);
+        let branches = sink.counter("finder", "search", "branches");
+        let winner = sink.counter("finder", "search", "winner");
+        let cancelled = sink.counter("finder", "search", "cancelled");
+        assert!(branches >= 1);
+        assert!(winner >= 1 && winner <= branches);
+        // Deterministic definition: everything after the winner counts as
+        // cancelled, regardless of actual mid-run timing.
+        assert_eq!(cancelled, branches - winner);
     }
 
     #[test]

@@ -20,11 +20,15 @@ pub mod finder;
 pub mod saturate;
 pub mod trace;
 
-pub use answers::{certain_cq, certain_ucq, chase_size_comparison, probe_depth, Certainty};
+pub use answers::{
+    certain_cq, certain_ucq, certain_ucq_with, chase_size_comparison, probe_depth, Certainty,
+};
 pub use engine::{
-    chase, chase_k, chase_round, ChaseConfig, ChaseResult, ChaseStats, ChaseStatus,
+    chase, chase_k, chase_round, chase_with, ChaseConfig, ChaseResult, ChaseStats, ChaseStatus,
     ChaseStepper, ChaseStrategy, ChaseVariant,
 };
-pub use finder::{countermodel, find_model, FinderConfig, SearchOutcome};
-pub use saturate::{saturate_datalog, saturate_datalog_naive, SaturationResult};
+pub use finder::{countermodel, find_model, find_model_with, FinderConfig, SearchOutcome};
+pub use saturate::{
+    saturate_datalog, saturate_datalog_naive, saturate_datalog_with, SaturationResult,
+};
 pub use trace::{traced_chase, Derivation, DerivationTree, TracedChase};

@@ -8,6 +8,7 @@
 //! fact must use at least one fact from the previous delta).
 
 use bddfc_core::fxhash::FxHashSet;
+use bddfc_core::obs::{Event, EventSink, SpanTimer, NULL};
 use bddfc_core::par;
 use bddfc_core::{hom, Binding, Fact, Instance, Rule, Term, Theory};
 use std::ops::ControlFlow;
@@ -114,7 +115,12 @@ fn rule_round_naive(
     });
 }
 
-fn saturate_impl(inst: &Instance, theory: &Theory, naive: bool) -> SaturationResult {
+fn saturate_impl<S: EventSink>(
+    inst: &Instance,
+    theory: &Theory,
+    naive: bool,
+    sink: &S,
+) -> SaturationResult {
     let datalog: Vec<&Rule> = theory.datalog_rules().collect();
     let mut current = inst.clone();
     let mut delta = inst.clone();
@@ -122,6 +128,7 @@ fn saturate_impl(inst: &Instance, theory: &Theory, naive: bool) -> SaturationRes
     let mut derived = 0;
     let mut body_matches_per_round = Vec::new();
     loop {
+        let timer = SpanTimer::start();
         // Phase 1 (parallel): every shard derives candidate facts with a
         // shard-local dedup against the frozen `current`. Work items keep
         // the sequential (rule, pin, delta-fact) nesting order so the
@@ -169,18 +176,39 @@ fn saturate_impl(inst: &Instance, theory: &Theory, naive: bool) -> SaturationRes
             }
         }
         body_matches_per_round.push(matches);
-        if new_facts.is_empty() {
+        let fixpoint = new_facts.is_empty();
+        let mut round_derived = 0u64;
+        if !fixpoint {
+            rounds += 1;
+            let mut next_delta = Instance::new();
+            for fact in new_facts {
+                if current.insert(fact.clone()) {
+                    derived += 1;
+                    round_derived += 1;
+                    next_delta.insert(fact);
+                }
+            }
+            delta = next_delta;
+        }
+        if S::ENABLED {
+            sink.record(Event {
+                engine: "saturate",
+                name: "round",
+                fields: &[
+                    ("round", body_matches_per_round.len() as u64),
+                    ("body_matches", matches),
+                    ("derived", round_derived),
+                    ("facts_total", current.len() as u64),
+                ],
+                gauges: &[
+                    ("wall_ns", timer.elapsed_ns()),
+                    ("threads", par::num_threads() as u64),
+                ],
+            });
+        }
+        if fixpoint {
             break;
         }
-        rounds += 1;
-        let mut next_delta = Instance::new();
-        for fact in new_facts {
-            if current.insert(fact.clone()) {
-                derived += 1;
-                next_delta.insert(fact);
-            }
-        }
-        delta = next_delta;
     }
     SaturationResult { instance: current, rounds, derived, body_matches_per_round }
 }
@@ -188,14 +216,27 @@ fn saturate_impl(inst: &Instance, theory: &Theory, naive: bool) -> SaturationRes
 /// Saturates `inst` under the *datalog rules* of `theory` (existential
 /// TGDs are ignored), using semi-naive evaluation. Always terminates.
 pub fn saturate_datalog(inst: &Instance, theory: &Theory) -> SaturationResult {
-    saturate_impl(inst, theory, false)
+    saturate_impl(inst, theory, false, &NULL)
+}
+
+/// Like [`saturate_datalog`], but reports one `saturate`/`round` event
+/// per round into `sink` (fields: round, body_matches, derived,
+/// facts_total; gauges: wall_ns, threads). The final, empty round that
+/// certifies the fixpoint also emits an event, aligning the event count
+/// with `body_matches_per_round`.
+pub fn saturate_datalog_with<S: EventSink>(
+    inst: &Instance,
+    theory: &Theory,
+    sink: &S,
+) -> SaturationResult {
+    saturate_impl(inst, theory, false, sink)
 }
 
 /// Naive-evaluation oracle for [`saturate_datalog`]: every round
 /// re-enumerates all body homomorphisms over the full instance. Same
 /// result, more work — kept for differential testing.
 pub fn saturate_datalog_naive(inst: &Instance, theory: &Theory) -> SaturationResult {
-    saturate_impl(inst, theory, true)
+    saturate_impl(inst, theory, true, &NULL)
 }
 
 #[cfg(test)]
@@ -291,6 +332,28 @@ mod tests {
         let res = saturate_datalog(&prog.instance, &Default::default());
         assert_eq!(res.instance.len(), 1);
         assert_eq!(res.rounds, 0);
+    }
+
+    #[test]
+    fn sink_counters_mirror_saturation_result() {
+        use bddfc_core::obs::Memory;
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(a1,a2). E(a2,a3). E(a3,a4). E(a4,a5).",
+        )
+        .unwrap();
+        let sink = Memory::new(64);
+        let res = saturate_datalog_with(&prog.instance, &prog.theory, &sink);
+        assert_eq!(res.instance, saturate_datalog(&prog.instance, &prog.theory).instance);
+        assert_eq!(sink.counter("saturate", "round", "derived"), res.derived as u64);
+        assert_eq!(
+            sink.counter("saturate", "round", "body_matches"),
+            res.total_body_matches()
+        );
+        assert_eq!(
+            sink.event_counts(),
+            vec![(("saturate", "round"), res.body_matches_per_round.len() as u64)]
+        );
     }
 
     #[test]

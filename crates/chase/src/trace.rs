@@ -40,7 +40,12 @@ pub struct TracedChase {
 }
 
 /// A derivation tree, rooted at a fact.
-#[derive(Clone, Debug)]
+///
+/// Chains of existential rules routinely produce derivations tens of
+/// thousands of steps deep, so every operation on this type — including
+/// `Clone` and `Drop` — is implemented iteratively with explicit
+/// worklists; none of them recurses on tree depth.
+#[derive(Debug)]
 pub struct DerivationTree {
     /// The derived fact.
     pub fact: Fact,
@@ -54,35 +59,91 @@ impl DerivationTree {
     /// Height of the tree: 0 for database facts. This is the quantity
     /// the BDD property bounds.
     pub fn height(&self) -> u32 {
-        self.premises
-            .iter()
-            .map(|p| p.height() + 1)
-            .max()
-            .unwrap_or(0)
+        // The height is the maximum node depth, so a depth-annotated
+        // traversal suffices — no post-order bookkeeping needed.
+        let mut max = 0u32;
+        let mut stack: Vec<(&DerivationTree, u32)> = vec![(self, 0)];
+        while let Some((t, depth)) = stack.pop() {
+            max = max.max(depth);
+            for p in &t.premises {
+                stack.push((p, depth + 1));
+            }
+        }
+        max
     }
 
     /// Total number of rule applications in the tree.
     pub fn size(&self) -> usize {
-        usize::from(self.rule_idx.is_some())
-            + self.premises.iter().map(|p| p.size()).sum::<usize>()
+        let mut n = 0usize;
+        let mut stack: Vec<&DerivationTree> = vec![self];
+        while let Some(t) = stack.pop() {
+            n += usize::from(t.rule_idx.is_some());
+            stack.extend(t.premises.iter());
+        }
+        n
     }
 
-    /// Renders the tree, indented.
+    /// Renders the tree, indented, in pre-order. Indentation saturates
+    /// at 64 levels so the rendering of an n-deep chain stays O(n), not
+    /// O(n²), in output size.
     pub fn display(&self, voc: &Vocabulary) -> String {
-        fn go(t: &DerivationTree, voc: &Vocabulary, indent: usize, out: &mut String) {
-            out.push_str(&"  ".repeat(indent));
+        const MAX_INDENT: usize = 64;
+        let mut out = String::new();
+        let mut stack: Vec<(&DerivationTree, usize)> = vec![(self, 0)];
+        while let Some((t, indent)) = stack.pop() {
+            out.push_str(&"  ".repeat(indent.min(MAX_INDENT)));
             out.push_str(&t.fact.display(voc).to_string());
             match t.rule_idx {
                 Some(r) => out.push_str(&format!("   [rule #{r}]\n")),
                 None => out.push_str("   [database]\n"),
             }
-            for p in &t.premises {
-                go(p, voc, indent + 1, out);
+            // Reversed so the leftmost premise is rendered first.
+            for p in t.premises.iter().rev() {
+                stack.push((p, indent + 1));
             }
         }
-        let mut s = String::new();
-        go(self, voc, 0, &mut s);
-        s
+        out
+    }
+}
+
+impl Clone for DerivationTree {
+    fn clone(&self) -> Self {
+        // Breadth-first flatten: each node records the contiguous index
+        // range its children occupy, then clones assemble bottom-up.
+        let mut nodes: Vec<&DerivationTree> = vec![self];
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < nodes.len() {
+            let node = nodes[i];
+            let start = nodes.len();
+            nodes.extend(node.premises.iter());
+            ranges.push((start, nodes.len()));
+            i += 1;
+        }
+        let mut built: Vec<Option<DerivationTree>> = (0..nodes.len()).map(|_| None).collect();
+        for idx in (0..nodes.len()).rev() {
+            let (start, end) = ranges[idx];
+            let premises = (start..end)
+                .map(|c| built[c].take().expect("child built before parent"))
+                .collect();
+            built[idx] = Some(DerivationTree {
+                fact: nodes[idx].fact.clone(),
+                rule_idx: nodes[idx].rule_idx,
+                premises,
+            });
+        }
+        built[0].take().expect("root built last")
+    }
+}
+
+impl Drop for DerivationTree {
+    fn drop(&mut self) {
+        // Detach the subtrees into a flat worklist so the compiler's
+        // recursive drop glue only ever sees leaf nodes.
+        let mut stack = std::mem::take(&mut self.premises);
+        while let Some(mut t) = stack.pop() {
+            stack.append(&mut t.premises);
+        }
     }
 }
 
@@ -174,22 +235,41 @@ pub fn traced_chase(
 impl TracedChase {
     /// Extracts the derivation tree of a fact (database facts are
     /// leaves). Returns `None` if the fact is not in the instance.
+    ///
+    /// Iterative on derivation depth (a chained existential rule makes
+    /// derivations as deep as the run is long, far beyond what the call
+    /// stack tolerates): a breadth-first pass flattens the provenance
+    /// graph into an indexed node list, then the tree is assembled
+    /// bottom-up. Facts shared between derivations are expanded once per
+    /// occurrence — the result is a tree, exactly as the recursive
+    /// definition reads.
     pub fn explain(&self, fact: &Fact) -> Option<DerivationTree> {
         if !self.instance.contains(fact) {
             return None;
         }
-        Some(self.explain_inner(fact))
-    }
-
-    fn explain_inner(&self, fact: &Fact) -> DerivationTree {
-        match self.provenance.get(fact) {
-            None => DerivationTree { fact: fact.clone(), rule_idx: None, premises: vec![] },
-            Some(d) => DerivationTree {
-                fact: fact.clone(),
-                rule_idx: Some(d.rule_idx),
-                premises: d.premises.iter().map(|p| self.explain_inner(p)).collect(),
-            },
+        let mut facts: Vec<Fact> = vec![fact.clone()];
+        let mut ranges: Vec<(usize, usize, Option<usize>)> = Vec::new();
+        let mut i = 0;
+        while i < facts.len() {
+            let (rule_idx, premises): (Option<usize>, &[Fact]) =
+                match self.provenance.get(&facts[i]) {
+                    None => (None, &[]),
+                    Some(d) => (Some(d.rule_idx), &d.premises),
+                };
+            let start = facts.len();
+            facts.extend(premises.iter().cloned());
+            ranges.push((start, facts.len(), rule_idx));
+            i += 1;
         }
+        let mut built: Vec<Option<DerivationTree>> = (0..facts.len()).map(|_| None).collect();
+        for idx in (0..facts.len()).rev() {
+            let (start, end, rule_idx) = ranges[idx];
+            let premises = (start..end)
+                .map(|c| built[c].take().expect("child built before parent"))
+                .collect();
+            built[idx] = Some(DerivationTree { fact: facts[idx].clone(), rule_idx, premises });
+        }
+        Some(built[0].take().expect("root built last"))
     }
 }
 
@@ -275,6 +355,53 @@ mod tests {
         for (fact, deriv) in &traced.provenance {
             assert_eq!(plain.depth[fact], deriv.round);
         }
+    }
+
+    #[test]
+    fn hundred_thousand_deep_chain_does_not_overflow_the_stack() {
+        // A hand-built provenance chain P(n_0) ⊢ P(n_1) ⊢ … ⊢ P(n_N):
+        // running traced_chase for 100k rounds would dominate the test's
+        // runtime, but the tree machinery must survive such depths either
+        // way (the restricted chase on `E(X,Y) -> exists Z . E(Y,Z)`
+        // produces exactly this shape, one round per level).
+        const N: usize = 100_000;
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("P", 1);
+        let mut inst = Instance::new();
+        let mut provenance: FxHashMap<Fact, Derivation> = FxHashMap::default();
+        let mut prev: Option<Fact> = None;
+        let mut deepest = None;
+        for i in 0..=N {
+            let fact = Fact::new(p, vec![voc.fresh_null("n")]);
+            inst.insert(fact.clone());
+            if let Some(prev) = prev.take() {
+                provenance.insert(
+                    fact.clone(),
+                    Derivation { rule_idx: 0, premises: vec![prev], round: i as u32 },
+                );
+            }
+            deepest = Some(fact.clone());
+            prev = Some(fact);
+        }
+        let traced = TracedChase {
+            instance: inst,
+            provenance,
+            rounds: N as u32,
+            fixpoint: true,
+        };
+        let deepest = deepest.unwrap();
+        // Construction, height, size, display, clone and drop all run on
+        // a 100k-deep tree without recursing on depth.
+        let tree = traced.explain(&deepest).unwrap();
+        assert_eq!(tree.height(), N as u32);
+        assert_eq!(tree.size(), N);
+        let copy = tree.clone();
+        assert_eq!(copy.height(), N as u32);
+        let rendered = tree.display(&voc);
+        assert_eq!(rendered.lines().count(), N + 1);
+        assert!(rendered.ends_with("[database]\n"));
+        drop(copy);
+        drop(tree);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   that keep the workspace free of external dependencies;
 //! * a deterministic std-only fork-join layer ([`par`]) used by every
 //!   downstream hot loop;
+//! * the unified telemetry layer ([`obs`]) — counters, span timers and
+//!   a bounded structured event log — that every engine reports into;
 //! * conjunctive queries and UCQs ([`query`]);
 //! * TGDs, datalog rules and theories ([`rule`]);
 //! * the backtracking homomorphism engine ([`hom`]);
@@ -35,6 +37,7 @@ pub mod fxhash;
 pub mod hom;
 pub mod index;
 pub mod instance;
+pub mod obs;
 pub mod par;
 pub mod parser;
 pub mod prng;

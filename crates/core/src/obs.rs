@@ -1,0 +1,359 @@
+//! Unified engine telemetry: counters, span timers and a bounded
+//! structured event log, std-only and dependency-free.
+//!
+//! Every engine in the workspace (chase, datalog saturation, UCQ
+//! rewriter, type analyzer, model finder) reports its work as
+//! [`Event`]s pushed into an [`EventSink`]. The sink is a **generic**
+//! parameter on the hot paths — never a `dyn` object — so that the
+//! default [`Null`] sink compiles away entirely: `EventSink::ENABLED`
+//! is an associated `const`, and every call site is guarded by
+//! `if S::ENABLED { ... }`, which the compiler eliminates statically
+//! for `Null`. With the `Null` sink the engines are byte-for-byte the
+//! pre-telemetry engines; `tests/overhead.rs` pins this with a wall
+//! clock and `tests/determinism.rs` with output comparison.
+//!
+//! ## Determinism contract: fields vs gauges
+//!
+//! An event carries two kinds of payload:
+//!
+//! * **fields** — algorithmic counts (body matches, triggers fired,
+//!   nulls created, …). These are *thread-count invariant*: the
+//!   deterministic shard-then-merge contract of [`crate::par`]
+//!   guarantees identical values at any `BDDFC_THREADS` setting.
+//!   [`Memory`] aggregates them into counters, and the determinism
+//!   suite asserts they are identical across thread counts.
+//! * **gauges** — environmental measurements (`wall_ns`, `threads`).
+//!   These legitimately vary run to run and are **excluded** from
+//!   counter aggregation and from determinism assertions.
+//!
+//! ## Sinks
+//!
+//! * [`Null`] — discards everything, statically free (the default);
+//! * [`Memory`] — aggregates fields into counters and keeps a bounded
+//!   log of owned events, for tests and interactive inspection;
+//! * [`JsonLines`] — writes one JSON object per event to any
+//!   [`std::io::Write`], matching the `BENCH_<target>.json` row
+//!   discipline (`{"schema":1,...}`); I/O errors panic rather than
+//!   being swallowed.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The schema version stamped on every JSON-lines event (and on every
+/// `BENCH_<target>.json` row emitted by `bddfc_bench::timing`).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One structured telemetry event, borrowed from the emitting engine's
+/// stack frame (no allocation on the hot path).
+///
+/// `engine` and `name` identify the event kind (e.g. `chase`/`round`,
+/// `rewrite`/`generation`); `fields` are deterministic counts, `gauges`
+/// are environmental measurements — see the module docs for the
+/// determinism contract separating the two.
+#[derive(Clone, Copy, Debug)]
+pub struct Event<'a> {
+    /// Emitting engine: `"chase"`, `"saturate"`, `"rewrite"`,
+    /// `"analyzer"` or `"finder"`.
+    pub engine: &'static str,
+    /// Event kind within the engine, e.g. `"round"` or `"generation"`.
+    pub name: &'static str,
+    /// Deterministic, thread-count-invariant counts.
+    pub fields: &'a [(&'static str, u64)],
+    /// Environmental measurements (wall times, thread counts); excluded
+    /// from counter aggregation and determinism assertions.
+    pub gauges: &'a [(&'static str, u64)],
+}
+
+/// A destination for telemetry events.
+///
+/// Implementations must be cheap and callable from the sequential merge
+/// phase of any engine (sinks are only ever invoked outside the
+/// fork-join worker closures, so `&self` methods need not be lock-free
+/// — but they must be `Sync`, since engine entry points may be driven
+/// from scoped worker threads).
+pub trait EventSink: Sync {
+    /// Whether this sink observes anything at all. Call sites guard
+    /// event construction with `if S::ENABLED { ... }`, so a `false`
+    /// here erases telemetry from the generated code entirely.
+    const ENABLED: bool = true;
+
+    /// Records one event. With `ENABLED == false` this is never called.
+    fn record(&self, event: Event<'_>);
+}
+
+/// The no-op sink: statically disabled, zero cost, the default for
+/// every engine entry point that does not take an explicit sink.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Null;
+
+/// A shared [`Null`] sink for default entry points to borrow.
+pub static NULL: Null = Null;
+
+impl EventSink for Null {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&self, _event: Event<'_>) {}
+}
+
+/// An owned copy of an [`Event`], as stored by the [`Memory`] sink.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedEvent {
+    /// Emitting engine.
+    pub engine: &'static str,
+    /// Event kind.
+    pub name: &'static str,
+    /// Deterministic counts.
+    pub fields: Vec<(&'static str, u64)>,
+    /// Environmental measurements.
+    pub gauges: Vec<(&'static str, u64)>,
+}
+
+#[derive(Default)]
+struct MemoryInner {
+    /// `(engine, name, field) -> summed value`; BTreeMap so snapshots
+    /// iterate in a deterministic order.
+    counters: BTreeMap<(&'static str, &'static str, &'static str), u64>,
+    /// `(engine, name) -> number of events recorded`.
+    event_counts: BTreeMap<(&'static str, &'static str), u64>,
+    /// Bounded log of owned events (oldest first).
+    events: Vec<OwnedEvent>,
+    /// Events not logged because the bound was hit (still counted).
+    dropped: u64,
+}
+
+/// An in-memory sink: aggregates event *fields* into counters keyed by
+/// `(engine, event, field)` and keeps a bounded log of owned events.
+///
+/// Counter aggregation is unbounded (it is a small fixed-size map);
+/// only the event *log* is bounded by `cap` — once full, further events
+/// still update counters and event counts but are not stored, and
+/// [`Memory::dropped`] reports how many were elided.
+pub struct Memory {
+    cap: usize,
+    inner: Mutex<MemoryInner>,
+}
+
+impl Memory {
+    /// Creates a memory sink whose event log holds at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Memory { cap, inner: Mutex::new(MemoryInner::default()) }
+    }
+
+    /// Snapshot of all counters, sorted by `(engine, event, field)`.
+    pub fn counters(&self) -> Vec<((&'static str, &'static str, &'static str), u64)> {
+        let inner = self.inner.lock().unwrap();
+        inner.counters.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// The summed value of one counter (0 if never recorded).
+    pub fn counter(&self, engine: &str, name: &str, field: &str) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .counters
+            .iter()
+            .find(|((e, n, f), _)| *e == engine && *n == name && *f == field)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Snapshot of per-kind event counts, sorted by `(engine, event)`.
+    pub fn event_counts(&self) -> Vec<((&'static str, &'static str), u64)> {
+        let inner = self.inner.lock().unwrap();
+        inner.event_counts.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Snapshot of the bounded event log, oldest first.
+    pub fn events(&self) -> Vec<OwnedEvent> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// How many events were recorded in total (logged or dropped).
+    pub fn len(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.events.len() as u64 + inner.dropped
+    }
+
+    /// Whether no event was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events the bounded log elided.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+}
+
+impl EventSink for Memory {
+    fn record(&self, event: Event<'_>) {
+        let mut inner = self.inner.lock().unwrap();
+        for &(field, value) in event.fields {
+            *inner.counters.entry((event.engine, event.name, field)).or_insert(0) += value;
+        }
+        *inner.event_counts.entry((event.engine, event.name)).or_insert(0) += 1;
+        if inner.events.len() < self.cap {
+            inner.events.push(OwnedEvent {
+                engine: event.engine,
+                name: event.name,
+                fields: event.fields.to_vec(),
+                gauges: event.gauges.to_vec(),
+            });
+        } else {
+            inner.dropped += 1;
+        }
+    }
+}
+
+/// A sink writing one JSON object per event — the same JSON-lines
+/// discipline as `BENCH_<target>.json`:
+///
+/// ```json
+/// {"schema":1,"engine":"chase","event":"round","round":3,"body_matches":17,...,"wall_ns":12345}
+/// ```
+///
+/// Fields come first, then gauges; keys are engine-chosen `static`
+/// identifiers, so no escaping is needed. I/O errors **panic**: a
+/// telemetry stream that silently drops lines is worse than none.
+pub struct JsonLines<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLines<W> {
+    /// Wraps a writer; each recorded event becomes one `\n`-terminated
+    /// JSON line.
+    pub fn new(writer: W) -> Self {
+        JsonLines { writer: Mutex::new(writer) }
+    }
+
+    /// Unwraps the inner writer (e.g. to inspect an in-memory buffer).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().unwrap()
+    }
+}
+
+/// Formats one event as a single JSON line (without the trailing
+/// newline). Exposed so tests and the bench harness can share the
+/// exact encoding.
+pub fn event_json(event: &Event<'_>) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!(
+        "{{\"schema\":{SCHEMA_VERSION},\"engine\":\"{}\",\"event\":\"{}\"",
+        event.engine, event.name
+    );
+    for &(key, value) in event.fields.iter().chain(event.gauges) {
+        let _ = write!(line, ",\"{key}\":{value}");
+    }
+    line.push('}');
+    line
+}
+
+impl<W: Write + Send> EventSink for JsonLines<W> {
+    fn record(&self, event: Event<'_>) {
+        let line = event_json(&event);
+        let mut w = self.writer.lock().unwrap();
+        w.write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .expect("obs::JsonLines: failed to write telemetry event");
+    }
+}
+
+/// A wall-clock span timer for per-round / per-generation gauges.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanTimer(Instant);
+
+impl SpanTimer {
+    /// Starts the span now.
+    pub fn start() -> Self {
+        SpanTimer(Instant::now())
+    }
+
+    /// Elapsed wall time since [`SpanTimer::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed wall time in nanoseconds, saturated into a `u64` gauge.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev<'a>(
+        engine: &'static str,
+        name: &'static str,
+        fields: &'a [(&'static str, u64)],
+        gauges: &'a [(&'static str, u64)],
+    ) -> Event<'a> {
+        Event { engine, name, fields, gauges }
+    }
+
+    #[test]
+    fn null_sink_is_statically_disabled() {
+        assert!(!Null::ENABLED);
+        // And records nothing, trivially.
+        NULL.record(ev("chase", "round", &[("x", 1)], &[]));
+    }
+
+    #[test]
+    fn memory_aggregates_fields_not_gauges() {
+        let sink = Memory::new(16);
+        sink.record(ev("chase", "round", &[("body_matches", 3)], &[("wall_ns", 999)]));
+        sink.record(ev("chase", "round", &[("body_matches", 4)], &[("wall_ns", 1)]));
+        assert_eq!(sink.counter("chase", "round", "body_matches"), 7);
+        // Gauges never become counters.
+        assert_eq!(sink.counter("chase", "round", "wall_ns"), 0);
+        assert_eq!(sink.event_counts(), vec![(("chase", "round"), 2)]);
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn memory_log_is_bounded_but_counters_are_not() {
+        let sink = Memory::new(2);
+        for i in 0..5 {
+            sink.record(ev("finder", "search", &[("branches", i)], &[]));
+        }
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.len(), 5);
+        // 0+1+2+3+4: the counter saw every event.
+        assert_eq!(sink.counter("finder", "search", "branches"), 10);
+    }
+
+    #[test]
+    fn memory_counters_iterate_deterministically() {
+        let sink = Memory::new(16);
+        sink.record(ev("rewrite", "generation", &[("inserted", 1)], &[]));
+        sink.record(ev("chase", "round", &[("new_facts", 2)], &[]));
+        let keys: Vec<_> = sink.counters().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![("chase", "round", "new_facts"), ("rewrite", "generation", "inserted")]
+        );
+    }
+
+    #[test]
+    fn json_lines_schema() {
+        let sink = JsonLines::new(Vec::new());
+        sink.record(ev("saturate", "round", &[("derived", 5)], &[("wall_ns", 42)]));
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            out,
+            "{\"schema\":1,\"engine\":\"saturate\",\"event\":\"round\",\"derived\":5,\"wall_ns\":42}\n"
+        );
+    }
+
+    #[test]
+    fn span_timer_reports_monotone_ns() {
+        let t = SpanTimer::start();
+        let a = t.elapsed_ns();
+        let b = t.elapsed_ns();
+        assert!(b >= a);
+    }
+}

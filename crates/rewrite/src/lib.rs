@@ -25,6 +25,6 @@ pub use query_graph::{
     find_fork, has_directed_cycle, is_undirected_tree, measure, resolve_fork_by_unification,
     resolve_fork_with, shape, Fork, QueryShape,
 };
-pub use rewrite::{rewrite_query, RewriteConfig, RewriteResult};
-pub use subsume::{equivalent, insert_minimal, subsumes};
+pub use rewrite::{rewrite_query, rewrite_query_with, RewriteConfig, RewriteResult};
+pub use subsume::{equivalent, insert_minimal, insert_minimal_counted, subsumes, SubsumeStats};
 pub use unify::{unify_with_all, Subst};

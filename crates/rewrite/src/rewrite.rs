@@ -12,9 +12,10 @@
 //! process terminates, and its output is exactly the `Φ'` used throughout
 //! Section 3 of the paper.
 
-use crate::subsume::insert_minimal;
+use crate::subsume::{insert_minimal, insert_minimal_counted, SubsumeStats};
 use crate::unify::{unify_with_all, Subst};
 use bddfc_core::fxhash::FxHashSet;
+use bddfc_core::obs::{Event, EventSink, SpanTimer, NULL};
 use bddfc_core::par;
 use bddfc_core::{Atom, ConjunctiveQuery, Rule, Term, Theory, Ucq, VarId, Vocabulary};
 
@@ -199,6 +200,25 @@ pub fn rewrite_query(
     voc: &mut Vocabulary,
     config: RewriteConfig,
 ) -> Option<RewriteResult> {
+    rewrite_query_with(query, theory, voc, config, &NULL)
+}
+
+/// Like [`rewrite_query`], but reports one `rewrite`/`generation` event
+/// per frontier generation into `sink`. Fields: `generation`, `frontier`
+/// (disjuncts expanded this generation), `expanded` (candidate disjuncts
+/// processed), `inserted` (candidates that survived subsumption),
+/// `subsume_pairs` / `prefilter_rejects` / `hom_checks` (the prefilter
+/// hit rate is `prefilter_rejects / subsume_pairs`), `steps_total` and
+/// `disjuncts_total` (budget consumption), `budget_truncated`; gauges:
+/// `wall_ns`, `threads`. Generations cut short by a budget still emit
+/// their event before returning.
+pub fn rewrite_query_with<S: EventSink>(
+    query: &ConjunctiveQuery,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    config: RewriteConfig,
+    sink: &S,
+) -> Option<RewriteResult> {
     if !theory.is_single_head() {
         return None;
     }
@@ -208,8 +228,11 @@ pub fn rewrite_query(
 
     let mut steps = 0usize;
     let mut max_depth = 0usize;
+    let mut generation = 0u64;
 
     while !frontier.is_empty() {
+        let timer = SpanTimer::start();
+        generation += 1;
         let renamed: Vec<Rule> = theory.rules.iter().map(|r| r.rename_apart(voc)).collect();
         let expansions: Vec<Vec<ConjunctiveQuery>> = par::par_map(&frontier, |(q, _)| {
             let mut out = Vec::new();
@@ -237,30 +260,58 @@ pub fn rewrite_query(
             out
         });
         let mut next = Vec::new();
-        for ((_, depth), new_qs) in frontier.iter().zip(expansions) {
+        let mut gen_stats = SubsumeStats::default();
+        let mut expanded = 0u64;
+        let mut inserted = 0u64;
+        let mut truncated = false;
+        'generation: for ((_, depth), new_qs) in frontier.iter().zip(expansions) {
             for new_q in new_qs {
                 if steps >= config.max_steps {
-                    return Some(RewriteResult {
-                        ucq: Ucq::new(disjuncts),
-                        saturated: false,
-                        steps,
-                        max_depth,
-                    });
+                    truncated = true;
+                    break 'generation;
                 }
                 steps += 1;
-                if insert_minimal(&mut disjuncts, new_q.clone()) {
+                expanded += 1;
+                if insert_minimal_counted(&mut disjuncts, new_q.clone(), &mut gen_stats) {
+                    inserted += 1;
                     max_depth = max_depth.max(depth + 1);
                     if disjuncts.len() > config.max_disjuncts {
-                        return Some(RewriteResult {
-                            ucq: Ucq::new(disjuncts),
-                            saturated: false,
-                            steps,
-                            max_depth,
-                        });
+                        truncated = true;
+                        break 'generation;
                     }
                     next.push((new_q, depth + 1));
                 }
             }
+        }
+        if S::ENABLED {
+            sink.record(Event {
+                engine: "rewrite",
+                name: "generation",
+                fields: &[
+                    ("generation", generation),
+                    ("frontier", frontier.len() as u64),
+                    ("expanded", expanded),
+                    ("inserted", inserted),
+                    ("subsume_pairs", gen_stats.pairs),
+                    ("prefilter_rejects", gen_stats.prefilter_rejects),
+                    ("hom_checks", gen_stats.hom_checks),
+                    ("steps_total", steps as u64),
+                    ("disjuncts_total", disjuncts.len() as u64),
+                    ("budget_truncated", u64::from(truncated)),
+                ],
+                gauges: &[
+                    ("wall_ns", timer.elapsed_ns()),
+                    ("threads", par::num_threads() as u64),
+                ],
+            });
+        }
+        if truncated {
+            return Some(RewriteResult {
+                ucq: Ucq::new(disjuncts),
+                saturated: false,
+                steps,
+                max_depth,
+            });
         }
         frontier = next;
     }
@@ -385,6 +436,34 @@ mod tests {
         let th = Theory::new(vec![parse_rule("P(X) -> E(X,Z), U(Z)", &mut voc).unwrap()]);
         let q = parse_query("E(U,V)", &mut voc).unwrap();
         assert!(rewrite_query(&q, &th, &mut voc, RewriteConfig::default()).is_none());
+    }
+
+    #[test]
+    fn sink_reports_generations_and_prefilter_split() {
+        use bddfc_core::obs::Memory;
+        let mut voc = Vocabulary::new();
+        let th = Theory::new(vec![
+            parse_rule("A(X) -> B(X)", &mut voc).unwrap(),
+            parse_rule("B(X) -> C(X)", &mut voc).unwrap(),
+        ]);
+        let q = parse_query("C(W)", &mut voc).unwrap();
+        let sink = Memory::new(64);
+        let res =
+            rewrite_query_with(&q, &th, &mut voc, RewriteConfig::default(), &sink).unwrap();
+        assert!(res.saturated);
+        // C → B → A, then one empty-frontier exit: 3 productive-or-final
+        // generations, each emitting one event.
+        let gens = sink.counter("rewrite", "generation", "generation");
+        assert!(gens >= 1 + 2 + 3, "triangular generation sum, got {gens}");
+        assert_eq!(sink.counter("rewrite", "generation", "inserted"), 2);
+        assert_eq!(sink.counter("rewrite", "generation", "expanded"), res.steps as u64);
+        let pairs = sink.counter("rewrite", "generation", "subsume_pairs");
+        assert_eq!(
+            pairs,
+            sink.counter("rewrite", "generation", "prefilter_rejects")
+                + sink.counter("rewrite", "generation", "hom_checks")
+        );
+        assert_eq!(sink.counter("rewrite", "generation", "budget_truncated"), 0);
     }
 
     #[test]

@@ -129,20 +129,66 @@ pub fn equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
     subsumes(a, b) && subsumes(b, a)
 }
 
+/// Work counters for the subsumption machinery: how often the cheap
+/// predicate-signature prefilter answered a pair, versus falling through
+/// to the backtracking homomorphism check. The prefilter hit rate is
+/// `prefilter_rejects / pairs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubsumeStats {
+    /// Ordered (candidate, existing) pairs examined.
+    pub pairs: u64,
+    /// Pairs the signature prefilter rejected without a hom check.
+    pub prefilter_rejects: u64,
+    /// Pairs that needed the full backtracking homomorphism check.
+    pub hom_checks: u64,
+}
+
+impl SubsumeStats {
+    /// Accumulates another batch of counts into `self`.
+    pub fn absorb(&mut self, other: SubsumeStats) {
+        self.pairs += other.pairs;
+        self.prefilter_rejects += other.prefilter_rejects;
+        self.hom_checks += other.hom_checks;
+    }
+}
+
 /// Inserts `cq` into a set of pairwise-incomparable disjuncts: drops it if
 /// subsumed by an existing disjunct, else removes disjuncts it subsumes
 /// and appends it. Returns `true` if the query was inserted.
 pub fn insert_minimal(disjuncts: &mut Vec<ConjunctiveQuery>, cq: ConjunctiveQuery) -> bool {
+    let mut stats = SubsumeStats::default();
+    insert_minimal_counted(disjuncts, cq, &mut stats)
+}
+
+/// [`insert_minimal`] with work counters: every subsumption pair examined
+/// bumps `stats`, splitting prefilter rejections from full hom checks.
+pub fn insert_minimal_counted(
+    disjuncts: &mut Vec<ConjunctiveQuery>,
+    cq: ConjunctiveQuery,
+    stats: &mut SubsumeStats,
+) -> bool {
     let sig = signature(&cq);
     for existing in disjuncts.iter() {
-        if sig_included(&signature(existing), &sig) && subsumes_unfiltered(existing, &cq) {
-            return false;
+        stats.pairs += 1;
+        if sig_included(&signature(existing), &sig) {
+            stats.hom_checks += 1;
+            if subsumes_unfiltered(existing, &cq) {
+                return false;
+            }
+        } else {
+            stats.prefilter_rejects += 1;
         }
     }
-    disjuncts
-        .retain(|existing| {
-            !(sig_included(&sig, &signature(existing)) && subsumes_unfiltered(&cq, existing))
-        });
+    disjuncts.retain(|existing| {
+        stats.pairs += 1;
+        if sig_included(&sig, &signature(existing)) {
+            stats.hom_checks += 1;
+            !subsumes_unfiltered(&cq, existing)
+        } else {
+            stats.prefilter_rejects += 1;
+            true
+        }
+    });
     disjuncts.push(cq);
     true
 }
@@ -214,6 +260,32 @@ mod tests {
         // Edge subsumes path: set collapses to {edge}.
         assert_eq!(set.len(), 1);
         assert_eq!(set[0].atoms.len(), 1);
+    }
+
+    #[test]
+    fn counted_insert_splits_prefilter_from_hom_checks() {
+        let mut voc = Vocabulary::new();
+        let edge = parse_query("E(X,Y)", &mut voc).unwrap();
+        let other = parse_query("F(X,Y)", &mut voc).unwrap();
+        let longer = parse_query("E(X,Y), E(Y,Z)", &mut voc).unwrap();
+        let mut set = Vec::new();
+        let mut stats = SubsumeStats::default();
+        assert!(insert_minimal_counted(&mut set, edge, &mut stats));
+        // Empty set: nothing to compare against.
+        assert_eq!(stats, SubsumeStats::default());
+        assert!(insert_minimal_counted(&mut set, other, &mut stats));
+        // F(X,Y) vs E(X,Y): disjoint signatures, both directions answered
+        // by the prefilter.
+        assert_eq!(stats.pairs, 2);
+        assert_eq!(stats.prefilter_rejects, 2);
+        assert_eq!(stats.hom_checks, 0);
+        // The 2-path is subsumed by the edge — the very first pair passes
+        // the prefilter (E ⊆ E), the hom check answers, and the scan
+        // returns early without ever reaching F(X,Y).
+        assert!(!insert_minimal_counted(&mut set, longer, &mut stats));
+        assert_eq!(stats.pairs, 3);
+        assert_eq!(stats.hom_checks, 1);
+        assert_eq!(stats.pairs, stats.prefilter_rejects + stats.hom_checks);
     }
 
     #[test]

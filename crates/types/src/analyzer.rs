@@ -32,6 +32,7 @@
 //! `≡ₙ`-equivalent only to itself.
 
 use bddfc_core::fxhash::{FxHashMap, FxHashSet};
+use bddfc_core::obs::{Event, EventSink, SpanTimer, NULL};
 use bddfc_core::par;
 use bddfc_core::{hom, Atom, Binding, ConstId, Instance, Term, VarId, Vocabulary};
 
@@ -324,6 +325,17 @@ impl<'a> TypeAnalyzer<'a> {
     /// greedy merge itself runs sequentially over the sorted domain, so
     /// class order and membership are thread-count-independent.
     pub fn partition(&self) -> Vec<Vec<ConstId>> {
+        self.partition_with(&NULL)
+    }
+
+    /// Like [`TypeAnalyzer::partition`], but emits one
+    /// `analyzer`/`partition` summary event into `sink` when done.
+    /// Fields: `elements` (domain size), `constants` (forced singleton
+    /// classes), `buckets` (invariant buckets the quadratic phase was
+    /// confined to), `eq_checks` (pairwise `≡ₙ` representative
+    /// comparisons), `classes`; gauges: `wall_ns`, `threads`.
+    pub fn partition_with<S: EventSink>(&self, sink: &S) -> Vec<Vec<ConstId>> {
+        let timer = SpanTimer::start();
         let domain = self.inst.sorted_domain();
         let keys: Vec<Option<Vec<u64>>> = par::par_map(&domain, |&d| {
             if self.is_constant(d) {
@@ -334,13 +346,17 @@ impl<'a> TypeAnalyzer<'a> {
         });
         let mut classes: Vec<Vec<ConstId>> = Vec::new();
         let mut by_bucket: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
+        let mut constants = 0u64;
+        let mut eq_checks = 0u64;
         for (&d, key) in domain.iter().zip(keys) {
             let Some(key) = key else {
+                constants += 1;
                 classes.push(vec![d]);
                 continue;
             };
             let candidates = by_bucket.entry(key).or_default();
             let reps: Vec<ConstId> = candidates.iter().map(|&ci| classes[ci][0]).collect();
+            eq_checks += reps.len() as u64;
             let hits = par::par_map(&reps, |&rep| self.equivalent(d, rep));
             if let Some(pos) = hits.iter().position(|&hit| hit) {
                 classes[candidates[pos]].push(d);
@@ -348,6 +364,23 @@ impl<'a> TypeAnalyzer<'a> {
                 candidates.push(classes.len());
                 classes.push(vec![d]);
             }
+        }
+        if S::ENABLED {
+            sink.record(Event {
+                engine: "analyzer",
+                name: "partition",
+                fields: &[
+                    ("elements", domain.len() as u64),
+                    ("constants", constants),
+                    ("buckets", by_bucket.len() as u64),
+                    ("eq_checks", eq_checks),
+                    ("classes", classes.len() as u64),
+                ],
+                gauges: &[
+                    ("wall_ns", timer.elapsed_ns()),
+                    ("threads", par::num_threads() as u64),
+                ],
+            });
         }
         classes
     }
@@ -414,6 +447,25 @@ mod tests {
             let analyzer = TypeAnalyzer::new(&inst, &mut voc, n);
             assert_eq!(analyzer.partition().len(), 2 * (n - 1) + 1, "n = {n}");
         }
+    }
+
+    #[test]
+    fn partition_sink_reports_elements_constants_and_classes() {
+        use bddfc_core::obs::Memory;
+        let mut voc = Vocabulary::new();
+        let inst = chain(&mut voc, 10, 2);
+        let analyzer = TypeAnalyzer::new(&inst, &mut voc, 3);
+        let sink = Memory::new(16);
+        let classes = analyzer.partition_with(&sink);
+        assert_eq!(sink.event_counts(), vec![(("analyzer", "partition"), 1)]);
+        assert_eq!(sink.counter("analyzer", "partition", "elements"), 11);
+        assert_eq!(sink.counter("analyzer", "partition", "constants"), 2);
+        assert_eq!(
+            sink.counter("analyzer", "partition", "classes"),
+            classes.len() as u64
+        );
+        // The instrumented entry point computes the same partition.
+        assert_eq!(classes, analyzer.partition());
     }
 
     #[test]

@@ -10,12 +10,13 @@
 mod support;
 
 use bddfc::chase::{
-    chase, find_model, saturate_datalog, ChaseConfig, ChaseResult, ChaseStrategy, ChaseVariant,
-    FinderConfig,
+    chase, chase_with, find_model, find_model_with, saturate_datalog, saturate_datalog_with,
+    ChaseConfig, ChaseResult, ChaseStrategy, ChaseVariant, FinderConfig,
 };
+use bddfc::core::obs::Memory;
 use bddfc::core::par;
 use bddfc::core::{Fact, Instance, Program, Theory, Vocabulary};
-use bddfc::rewrite::{rewrite_query, RewriteConfig};
+use bddfc::rewrite::{rewrite_query, rewrite_query_with, RewriteConfig};
 use bddfc::types::TypeAnalyzer;
 use support::proptest_lite::run_prop;
 
@@ -198,6 +199,77 @@ fn rewriter_is_thread_count_invariant() {
             assert_eq!(base.saturated, other.saturated, "{ctx}: saturation flag");
             assert_eq!(base.steps, other.steps, "{ctx}: step count");
             assert_eq!(base.max_depth, other.max_depth, "{ctx}: depth witness");
+        }
+    }
+}
+
+/// Telemetry determinism: with a `Memory` sink attached, every engine's
+/// aggregated counters and per-event-kind counts — not just its outputs
+/// — must be identical across thread counts. This is the executable form
+/// of the fields-vs-gauges contract in `bddfc_core::obs`: event *fields*
+/// are algorithmic work counts and thread-blind; only *gauges*
+/// (`wall_ns`, `threads`) may vary, and they are excluded from
+/// aggregation.
+#[test]
+fn telemetry_counters_are_thread_count_invariant() {
+    for (name, prog) in zoo_programs() {
+        let run = |threads: usize| {
+            par::with_thread_count(threads, || {
+                let sink = Memory::new(4096);
+                let mut voc = prog.voc.clone();
+                let chased = chase_with(
+                    &prog.instance,
+                    &prog.theory,
+                    &mut voc,
+                    ChaseConfig { max_rounds: 3, max_facts: 2_000, ..Default::default() },
+                    &sink,
+                );
+                let sat = saturate_datalog_with(&prog.instance, &prog.theory, &sink);
+                let outcome = find_model_with(
+                    &prog.instance,
+                    &prog.theory,
+                    &mut prog.voc.clone(),
+                    prog.queries.first(),
+                    FinderConfig { max_size: 3, max_nodes: 20_000 },
+                    &sink,
+                );
+                let partition = TypeAnalyzer::new(&chased.instance, &mut voc, 2)
+                    .partition_with(&sink);
+                let rewritten = prog.queries.first().and_then(|q| {
+                    rewrite_query_with(
+                        q,
+                        &prog.theory,
+                        &mut prog.voc.clone(),
+                        RewriteConfig { max_disjuncts: 15, max_steps: 300, max_piece: 2 },
+                        &sink,
+                    )
+                });
+                (
+                    chased.instance,
+                    sat.instance,
+                    outcome,
+                    partition,
+                    rewritten.map(|r| r.ucq),
+                    sink.counters(),
+                    sink.event_counts(),
+                )
+            })
+        };
+        let base = run(THREADS[0]);
+        assert!(
+            !base.6.is_empty(),
+            "{name}: expected telemetry events from the instrumented engines"
+        );
+        for &t in &THREADS[1..] {
+            let other = run(t);
+            let ctx = format!("{name} at {t} threads");
+            assert_eq!(base.0, other.0, "{ctx}: chase instance");
+            assert_eq!(base.1, other.1, "{ctx}: saturated instance");
+            assert_eq!(base.2, other.2, "{ctx}: finder outcome");
+            assert_eq!(base.3, other.3, "{ctx}: partition");
+            assert_eq!(base.4, other.4, "{ctx}: rewritten UCQ");
+            assert_eq!(base.5, other.5, "{ctx}: telemetry counters");
+            assert_eq!(base.6, other.6, "{ctx}: telemetry event counts");
         }
     }
 }

@@ -8,8 +8,10 @@
 
 mod support;
 
-use bddfc::chase::{chase, ChaseConfig, ChaseStepper, ChaseStrategy, ChaseVariant};
-use bddfc::core::{hom, Atom, Binding, Fact, Instance, Program, Term, Theory, Vocabulary};
+use bddfc::chase::{certain_ucq, chase, ChaseConfig, ChaseStepper, ChaseStrategy, ChaseVariant};
+use bddfc::core::{
+    hom, Atom, Binding, ConjunctiveQuery, Fact, Instance, Program, Term, Theory, Ucq, Vocabulary,
+};
 use bddfc::core::fxhash::FxHashMap;
 use support::proptest_lite::run_prop;
 
@@ -223,6 +225,86 @@ fn zoo_programs_agree_multithreaded() {
             }
         });
     }
+}
+
+/// The certain-answer layer on top of the steppers: the witnessing depth
+/// `k` reported in `Certainty::True(k)` (and the `False`/`Unknown`
+/// verdicts) must be strategy-blind — the `k` is the empirical `k_Ψ` of
+/// the BDD definition, and a strategy-dependent value would make the
+/// depth probes meaningless.
+fn assert_certainty_depths_agree(name: &str, prog: &Program, voc: &Vocabulary, query: &Ucq) {
+    let config = ChaseConfig {
+        max_rounds: MAX_ROUNDS,
+        max_facts: MAX_FACTS,
+        ..Default::default()
+    };
+    for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+        let c_n = certain_ucq(
+            &prog.instance,
+            &prog.theory,
+            &mut voc.clone(),
+            query,
+            config.with_variant(variant).with_strategy(ChaseStrategy::Naive),
+        );
+        let c_s = certain_ucq(
+            &prog.instance,
+            &prog.theory,
+            &mut voc.clone(),
+            query,
+            config.with_variant(variant).with_strategy(ChaseStrategy::SemiNaive),
+        );
+        assert_eq!(
+            c_n, c_s,
+            "{name}/{variant:?}: Certainty (and depth k) diverged between strategies"
+        );
+    }
+}
+
+#[test]
+fn zoo_programs_certain_depths_strategy_blind() {
+    for (name, prog) in zoo_programs() {
+        // The program's own queries, plus generic E-path queries of
+        // lengths 1..=3 (false or unknown on E-less programs — the
+        // verdicts must still agree).
+        let mut voc = prog.voc.clone();
+        let mut queries: Vec<Ucq> =
+            prog.queries.iter().cloned().map(Ucq::single).collect();
+        for len in 1..=3 {
+            queries.push(Ucq::single(bddfc::zoo::path_query(&mut voc, len)));
+        }
+        for query in &queries {
+            assert_certainty_depths_agree(name, &prog, &voc, query);
+        }
+    }
+}
+
+#[test]
+fn random_programs_certain_depths_strategy_blind() {
+    run_prop("random_programs_certain_depths_strategy_blind", 12, |g| {
+        let seed = g.u64_in("seed", 0, 1 << 32);
+        let prog = random_program(seed);
+        let mut voc = prog.voc.clone();
+        // Two-step path queries over every ordered pair of the three
+        // R-predicates the random theories and instances range over.
+        let preds: Vec<_> = (0..3)
+            .map(|i| voc.find_pred(&format!("R{i}")).expect("R-predicate"))
+            .collect();
+        let mut queries = Vec::new();
+        for &p in &preds {
+            for &q in &preds {
+                let (x, y, z) =
+                    (voc.fresh_var("dx"), voc.fresh_var("dy"), voc.fresh_var("dz"));
+                queries.push(Ucq::single(ConjunctiveQuery::boolean(vec![
+                    Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                    Atom::new(q, vec![Term::Var(y), Term::Var(z)]),
+                ])));
+            }
+        }
+        for query in &queries {
+            assert_certainty_depths_agree("random", &prog, &voc, query);
+        }
+        Ok(())
+    });
 }
 
 #[test]
