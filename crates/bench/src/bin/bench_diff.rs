@@ -1,0 +1,92 @@
+//! `bench_diff` — compares two `BENCH_<target>.json` files and fails on
+//! regressions.
+//!
+//! ```text
+//! bench_diff old.json new.json [--metric median_ns] [--threshold 10]
+//! ```
+//!
+//! Rows are matched by `(name, threads)`; when a file contains several
+//! rows for a pair (benches append), the last one wins. Exits 1 when any
+//! matched row's metric grew by more than `--threshold` percent, 2 on
+//! usage or parse errors — so CI can gate on perf with
+//! `bench_diff baseline.json current.json --threshold 25`.
+
+use bddfc_bench::diff::diff_files;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff <old.json> <new.json> [--metric median_ns] [--threshold PCT]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut metric = "median_ns".to_string();
+    let mut threshold: u64 = 10;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metric" => metric = it.next().unwrap_or_else(|| usage()),
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with("--") => files.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    if files.len() != 2 {
+        usage()
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read {path}: {e}");
+            std::process::exit(2)
+        })
+    };
+    let (old_text, new_text) = (read(&files[0]), read(&files[1]));
+    let report = match diff_files(&old_text, &new_text, &metric) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("comparing {} -> {} on {metric} (threshold {threshold}%)", files[0], files[1]);
+    for row in &report.compared {
+        let ratio = row
+            .ratio_permille()
+            .map(|p| format!("{}.{:03}x", p / 1000, p % 1000))
+            .unwrap_or_else(|| "-".to_string());
+        let flag = if row.regressed(threshold) { "  REGRESSION" } else { "" };
+        println!(
+            "  {:<44} t={} {:>12} -> {:>12}  {}{}",
+            row.name, row.threads, row.old, row.new, ratio, flag
+        );
+    }
+    for (name, threads) in &report.only_old {
+        println!("  {name:<44} t={threads} only in old file");
+    }
+    for (name, threads) in &report.only_new {
+        println!("  {name:<44} t={threads} only in new file");
+    }
+
+    let regressions = report.regressions(threshold);
+    if regressions.is_empty() {
+        println!("ok: {} rows compared, no regression past {threshold}%", report.compared.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "FAIL: {}/{} rows regressed past {threshold}%",
+            regressions.len(),
+            report.compared.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,271 @@
+//! Comparison of two schema-versioned `BENCH_<target>.json` files for
+//! the `bench_diff` CLI: a minimal flat-JSON row parser, `(name,
+//! threads)` row matching, and integer-only regression arithmetic.
+//!
+//! The committed bench files are JSON *lines*: one flat object per row,
+//! values either unsigned integers or strings. Early rows predate the
+//! `schema`/`target` stamping, so the parser treats both keys as
+//! optional — a reader that rejected the legacy prefix could never
+//! compare against the first committed baselines. When a file contains
+//! several rows for the same `(name, threads)` pair (benches append),
+//! the **last** occurrence wins: it is the most recent measurement.
+
+use std::collections::BTreeMap;
+
+/// One parsed bench row: the identifying pair plus every numeric metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Bench label, e.g. `chase_throughput/Restricted/30`.
+    pub name: String,
+    /// Worker-thread count the row was measured with.
+    pub threads: u64,
+    /// Numeric fields (`min_ns`, `median_ns`, `max_ns`, `schema`, …).
+    pub metrics: BTreeMap<String, u64>,
+}
+
+/// Parses one flat JSON object line (`{"k":123,"s":"text",...}`) into
+/// string and numeric fields. Only the shapes the bench harness writes
+/// are accepted; anything else is a descriptive error.
+fn parse_flat_object(line: &str) -> Result<(BTreeMap<String, String>, BTreeMap<String, u64>), String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line}"))?;
+    let mut strings = BTreeMap::new();
+    let mut numbers = BTreeMap::new();
+    let mut rest = inner;
+    while !rest.trim().is_empty() {
+        rest = rest.trim_start_matches([',', ' ']);
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected a quoted key at: {rest}"))?;
+        let (key, after_key) = scan_string(after_quote)?;
+        let after_colon = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after key {key:?}"))?
+            .trim_start();
+        if let Some(after_quote) = after_colon.strip_prefix('"') {
+            let (value, tail) = scan_string(after_quote)?;
+            strings.insert(key, value);
+            rest = tail;
+        } else {
+            let end = after_colon
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(after_colon.len());
+            if end == 0 {
+                return Err(format!("expected a number or string after key {key:?}"));
+            }
+            let value: u64 = after_colon[..end]
+                .parse()
+                .map_err(|e| format!("bad number for key {key:?}: {e}"))?;
+            numbers.insert(key, value);
+            rest = &after_colon[end..];
+        }
+    }
+    Ok((strings, numbers))
+}
+
+/// Scans a JSON string body (opening quote already consumed); returns
+/// the unescaped content and the remainder after the closing quote.
+fn scan_string(s: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 'u')) => {
+                    let hex: String = chars.by_ref().take(4).map(|(_, c)| c).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                Some((_, other)) => out.push(other),
+                None => return Err("dangling escape at end of string".to_string()),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(format!("unterminated string: {s}"))
+}
+
+/// Parses a whole `BENCH_<target>.json` file (JSON lines; blank lines
+/// skipped). Rows lacking a `name` are an error; rows lacking `threads`
+/// default to 1 (the legacy prefix has both, but be permissive once).
+pub fn parse_bench_file(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (strings, numbers) =
+            parse_flat_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let name = strings
+            .get("name")
+            .cloned()
+            .ok_or_else(|| format!("line {}: row has no \"name\"", lineno + 1))?;
+        let threads = numbers.get("threads").copied().unwrap_or(1);
+        rows.push(BenchRecord { name, threads, metrics: numbers });
+    }
+    Ok(rows)
+}
+
+/// Deduplicates rows by `(name, threads)`, keeping the last occurrence
+/// of each pair in file order.
+pub fn latest_by_key(rows: Vec<BenchRecord>) -> BTreeMap<(String, u64), BenchRecord> {
+    let mut map = BTreeMap::new();
+    for r in rows {
+        map.insert((r.name.clone(), r.threads), r);
+    }
+    map
+}
+
+/// One compared `(name, threads)` pair.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Bench label.
+    pub name: String,
+    /// Worker-thread count.
+    pub threads: u64,
+    /// Metric value in the old file.
+    pub old: u64,
+    /// Metric value in the new file.
+    pub new: u64,
+}
+
+impl DiffRow {
+    /// `new / old` as a permille ratio (1000 = unchanged); `None` when
+    /// the old value is 0.
+    pub fn ratio_permille(&self) -> Option<u64> {
+        if self.old == 0 {
+            return None;
+        }
+        Some((u128::from(self.new) * 1000 / u128::from(self.old)) as u64)
+    }
+
+    /// Is `new` more than `threshold_pct` percent above `old`?
+    /// Integer-only: `new * 100 > old * (100 + threshold_pct)`.
+    pub fn regressed(&self, threshold_pct: u64) -> bool {
+        u128::from(self.new) * 100 > u128::from(self.old) * u128::from(100 + threshold_pct)
+    }
+}
+
+/// The full comparison of two parsed bench files on one metric.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Pairs present in both files with the metric on both sides.
+    pub compared: Vec<DiffRow>,
+    /// Pairs only in the old file (removed benches).
+    pub only_old: Vec<(String, u64)>,
+    /// Pairs only in the new file (added benches).
+    pub only_new: Vec<(String, u64)>,
+}
+
+impl DiffReport {
+    /// Rows exceeding the regression threshold.
+    pub fn regressions(&self, threshold_pct: u64) -> Vec<&DiffRow> {
+        self.compared.iter().filter(|r| r.regressed(threshold_pct)).collect()
+    }
+}
+
+/// Compares `old` and `new` bench files on `metric` (e.g. `median_ns`).
+/// Pairs missing the metric on either side are silently incomparable —
+/// they appear in neither `compared` nor the only-lists.
+pub fn diff_files(old: &str, new: &str, metric: &str) -> Result<DiffReport, String> {
+    let old = latest_by_key(parse_bench_file(old)?);
+    let new = latest_by_key(parse_bench_file(new)?);
+    let mut report = DiffReport::default();
+    for (key, o) in &old {
+        match new.get(key) {
+            None => report.only_old.push(key.clone()),
+            Some(n) => {
+                if let (Some(&o_val), Some(&n_val)) =
+                    (o.metrics.get(metric), n.metrics.get(metric))
+                {
+                    report.compared.push(DiffRow {
+                        name: key.0.clone(),
+                        threads: key.1,
+                        old: o_val,
+                        new: n_val,
+                    });
+                }
+            }
+        }
+    }
+    for key in new.keys() {
+        if !old.contains_key(key) {
+            report.only_new.push(key.clone());
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEGACY: &str = "{\"name\":\"tc/30\",\"min_ns\":10,\"median_ns\":20,\"max_ns\":30,\"threads\":1}\n";
+    const STAMPED: &str = "{\"schema\":1,\"target\":\"chase\",\"name\":\"tc/30\",\"min_ns\":9,\"median_ns\":22,\"max_ns\":31,\"threads\":1}\n";
+
+    #[test]
+    fn parses_legacy_and_stamped_rows() {
+        let rows = parse_bench_file(&format!("{LEGACY}{STAMPED}")).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "tc/30");
+        assert!(rows[0].metrics.get("schema").is_none());
+        assert_eq!(rows[1].metrics.get("schema"), Some(&1));
+        // Last occurrence wins.
+        let latest = latest_by_key(rows);
+        assert_eq!(latest[&("tc/30".to_string(), 1)].metrics["median_ns"], 22);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let rows =
+            parse_bench_file("{\"name\":\"a\\\"b\\\\c\\u0041\",\"median_ns\":5,\"threads\":2}")
+                .unwrap();
+        assert_eq!(rows[0].name, "a\"b\\cA");
+        assert_eq!(rows[0].threads, 2);
+    }
+
+    #[test]
+    fn malformed_rows_are_descriptive_errors() {
+        assert!(parse_bench_file("not json").unwrap_err().contains("line 1"));
+        assert!(parse_bench_file("{\"median_ns\":5}").unwrap_err().contains("no \"name\""));
+    }
+
+    #[test]
+    fn diff_detects_regressions_with_integer_threshold() {
+        let old = "{\"name\":\"a\",\"median_ns\":100,\"threads\":1}\n\
+                   {\"name\":\"b\",\"median_ns\":100,\"threads\":1}\n";
+        let new = "{\"name\":\"a\",\"median_ns\":104,\"threads\":1}\n\
+                   {\"name\":\"b\",\"median_ns\":130,\"threads\":1}\n\
+                   {\"name\":\"c\",\"median_ns\":1,\"threads\":1}\n";
+        let report = diff_files(old, new, "median_ns").unwrap();
+        assert_eq!(report.compared.len(), 2);
+        assert_eq!(report.only_new, vec![("c".to_string(), 1)]);
+        let regs = report.regressions(5);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "b");
+        assert_eq!(regs[0].ratio_permille(), Some(1300));
+        // Exactly at the threshold is not a regression.
+        let at = DiffRow { name: "x".into(), threads: 1, old: 100, new: 105 };
+        assert!(!at.regressed(5));
+        assert!(at.regressed(4));
+    }
+
+    #[test]
+    fn rows_match_on_name_and_threads() {
+        let old = "{\"name\":\"a\",\"median_ns\":100,\"threads\":1}\n";
+        let new = "{\"name\":\"a\",\"median_ns\":500,\"threads\":2}\n";
+        let report = diff_files(old, new, "median_ns").unwrap();
+        assert!(report.compared.is_empty());
+        assert_eq!(report.only_old.len(), 1);
+        assert_eq!(report.only_new.len(), 1);
+    }
+}

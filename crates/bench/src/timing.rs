@@ -44,17 +44,7 @@ pub fn init_json(target: &str) {
     }
 }
 
-/// Minimal JSON string escaping for bench labels.
-fn escape_json(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
+use bddfc_core::obs::json_escape as escape_json;
 
 /// Formats one schema-versioned JSON row for `row`, as appended to
 /// `BENCH_<target>.json`. Separated from the I/O so the exact wire

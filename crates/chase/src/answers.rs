@@ -76,21 +76,29 @@ pub fn certain_ucq_with<S: EventSink>(
     if hom::satisfies_ucq(db, query) {
         return Certainty::True(0);
     }
+    let run_span = if S::ENABLED { sink.span_open("chase", "run", 0, None) } else { 0 };
     let mut stepper =
-        ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink);
+        ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink)
+            .under_span(run_span);
+    let mut outcome = Certainty::Unknown;
     for round in 1..=config.max_rounds {
         let new_facts = stepper.step(voc);
         if new_facts.is_empty() {
-            return Certainty::False;
+            outcome = Certainty::False;
+            break;
         }
         if hom::satisfies_ucq(&stepper.instance, query) {
-            return Certainty::True(round);
+            outcome = Certainty::True(round);
+            break;
         }
         if stepper.instance.len() > config.max_facts {
-            return Certainty::Unknown;
+            break;
         }
     }
-    Certainty::Unknown
+    if S::ENABLED {
+        sink.span_close(run_span);
+    }
+    outcome
 }
 
 /// Empirically probes the derivation depth of a query over a family of

@@ -206,6 +206,21 @@ struct Candidate {
     binding: Binding,
 }
 
+/// Per-rule attribution counters for one round, filled only when a
+/// recording sink is installed (`S::ENABLED`); each becomes one
+/// `chase`/`trigger` event keyed by rule index.
+#[derive(Clone, Copy, Default)]
+struct RuleWork {
+    /// Completed body homomorphisms of this rule.
+    body_matches: u64,
+    /// Deduplicated candidate triggers of this rule reaching admission.
+    candidates: u64,
+    /// Repairs of this rule that actually fired.
+    triggers_fired: u64,
+    /// Wall time spent enumerating this rule's body joins (a gauge).
+    enum_ns: u64,
+}
+
 /// Per-round work counters accumulated by the enumeration and admission
 /// phases; the deterministic *fields* of the round's telemetry event.
 #[derive(Default)]
@@ -218,6 +233,19 @@ struct RoundWork {
     /// (`head_satisfied`) — all of them under Restricted, only datalog
     /// rules under Oblivious.
     witness_checks: u64,
+    /// Per-rule attribution, indexed by rule; **empty** when telemetry
+    /// is disabled (the collectors size it iff `S::ENABLED`).
+    rule_work: Vec<RuleWork>,
+    /// Per-predicate hom candidate-scan attribution (empty when
+    /// telemetry is disabled).
+    scans: hom::ScanStats,
+}
+
+impl RoundWork {
+    /// Whether per-rule attribution is being collected this round.
+    fn tracking(&self) -> bool {
+        !self.rule_work.is_empty()
+    }
 }
 
 /// Applies the Restricted/Oblivious admission check to the deduplicated
@@ -252,6 +280,11 @@ fn admit_candidates(
             }
         }
     });
+    if work.tracking() {
+        for c in &cands {
+            work.rule_work[c.rule_idx].candidates += 1;
+        }
+    }
     let mut out = Vec::new();
     for (c, unwit) in cands.into_iter().zip(unwitnessed) {
         let fire = match variant {
@@ -265,6 +298,9 @@ fn admit_candidates(
             }
         };
         if fire {
+            if work.tracking() {
+                work.rule_work[c.rule_idx].triggers_fired += 1;
+            }
             out.push(Repair { rule_idx: c.rule_idx, key: c.key, binding: c.binding });
         }
     }
@@ -279,18 +315,21 @@ fn sorted_frontier(rule: &Rule) -> Vec<VarId> {
 }
 
 /// Enumerates one rule's body homomorphisms over the whole instance,
-/// deduplicating by frontier key. Read-only: safe as a parallel work item.
+/// deduplicating by frontier key. Read-only: safe as a parallel work
+/// item. When `scans` is given, candidate-list walks are charged to
+/// their predicates for `hom/scan` attribution.
 fn enumerate_rule_naive(
     inst: &Instance,
     theory: &Theory,
     rule_idx: usize,
+    scans: Option<&mut hom::ScanStats>,
 ) -> (Vec<Candidate>, u64) {
     let rule = &theory.rules[rule_idx];
     let frontier = sorted_frontier(rule);
     let mut seen: FxHashSet<Vec<ConstId>> = FxHashSet::default();
     let mut out = Vec::new();
     let mut matches = 0u64;
-    let _ = hom::for_each_hom(inst, &rule.body, &Binding::default(), |b| {
+    let mut visit = |b: &Binding| {
         matches += 1;
         let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
         if seen.insert(key.clone()) {
@@ -298,32 +337,60 @@ fn enumerate_rule_naive(
             out.push(Candidate { rule_idx, key, binding });
         }
         ControlFlow::Continue(())
-    });
+    };
+    let _ = match scans {
+        Some(s) => {
+            hom::for_each_hom_scanned(inst, &rule.body, &Binding::default(), s, &mut visit)
+        }
+        None => hom::for_each_hom(inst, &rule.body, &Binding::default(), &mut visit),
+    };
     (out, matches)
 }
 
 /// Collects this round's repairs against the *frozen* instance by full
 /// re-enumeration, per the simultaneous semantics of `Chase¹`. Rules are
 /// independent work items and enumerate in parallel; admission runs on
-/// the merged candidate list.
-fn collect_repairs_naive(
+/// the merged candidate list. Generic over the sink *type* only: with
+/// `S::ENABLED == false` (the `Null` sink) every attribution branch is
+/// statically eliminated and the kernel is the PR-3 one.
+fn collect_repairs_naive<S: EventSink>(
     inst: &Instance,
     theory: &Theory,
     variant: ChaseVariant,
     fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
     work: &mut RoundWork,
 ) -> Vec<Repair> {
-    let per_rule: Vec<(Vec<Candidate>, u64)> = par::par_chunks(theory.rules.len(), |range| {
-        range
-            .map(|rule_idx| enumerate_rule_naive(inst, theory, rule_idx))
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    if S::ENABLED && work.rule_work.is_empty() {
+        work.rule_work = vec![RuleWork::default(); theory.rules.len()];
+    }
+    let per_rule: Vec<(Vec<Candidate>, u64, u64, hom::ScanStats)> =
+        par::par_chunks(theory.rules.len(), |range| {
+            range
+                .map(|rule_idx| {
+                    if S::ENABLED {
+                        let timer = SpanTimer::start();
+                        let mut scans = hom::ScanStats::default();
+                        let (c, m) =
+                            enumerate_rule_naive(inst, theory, rule_idx, Some(&mut scans));
+                        (c, m, timer.elapsed_ns(), scans)
+                    } else {
+                        let (c, m) = enumerate_rule_naive(inst, theory, rule_idx, None);
+                        (c, m, 0, hom::ScanStats::default())
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let mut cands = Vec::new();
-    for (rule_cands, matches) in per_rule {
+    for (rule_idx, (rule_cands, matches, enum_ns, scans)) in per_rule.into_iter().enumerate() {
         work.body_matches += matches;
+        if S::ENABLED {
+            work.rule_work[rule_idx].body_matches += matches;
+            work.rule_work[rule_idx].enum_ns += enum_ns;
+            work.scans.merge(&scans);
+        }
         cands.extend(rule_cands);
     }
     admit_candidates(inst, theory, variant, fired, cands, work)
@@ -357,7 +424,7 @@ fn bind_atom(atom: &bddfc_core::Atom, fact: &Fact) -> Option<Binding> {
 /// completing the join against the full frozen instance. Witness checks
 /// also consult the full instance. `first_round` makes body-less rules
 /// (which join nothing) fire on the opening round.
-fn collect_repairs_seminaive(
+fn collect_repairs_seminaive<S: EventSink>(
     inst: &Instance,
     theory: &Theory,
     variant: ChaseVariant,
@@ -366,6 +433,9 @@ fn collect_repairs_seminaive(
     first_round: bool,
     work: &mut RoundWork,
 ) -> Vec<Repair> {
+    if S::ENABLED && work.rule_work.is_empty() {
+        work.rule_work = vec![RuleWork::default(); theory.rules.len()];
+    }
     let mut delta_by_pred: FxHashMap<PredId, Vec<&Fact>> = FxHashMap::default();
     for f in delta {
         delta_by_pred.entry(f.pred).or_default().push(f);
@@ -378,6 +448,13 @@ fn collect_repairs_seminaive(
         pin: usize,
         dfact: &'a Fact,
     }
+    // Per-shard attribution (rule wall/matches + predicate scans),
+    // merged sequentially; `None` when telemetry is disabled.
+    struct ShardAttr {
+        rule_matches: Vec<u64>,
+        rule_ns: Vec<u64>,
+        scans: hom::ScanStats,
+    }
     let frontiers: Vec<Vec<VarId>> = theory.rules.iter().map(sorted_frontier).collect();
     let mut cands: Vec<Candidate> = Vec::new();
     let mut items: Vec<Work> = Vec::new();
@@ -387,6 +464,9 @@ fn collect_repairs_seminaive(
             // a delta, so it is only ever *new* on the opening round.
             if first_round {
                 work.body_matches += 1;
+                if S::ENABLED {
+                    work.rule_work[rule_idx].body_matches += 1;
+                }
                 cands.push(Candidate {
                     rule_idx,
                     key: Vec::new(),
@@ -420,29 +500,71 @@ fn collect_repairs_seminaive(
         .collect();
     // Phase 1 (parallel): complete each pinned join against the frozen
     // instance; every shard emits candidates in work-list order.
-    let shard_out: Vec<(Vec<Candidate>, u64)> = par::par_chunks(items.len(), |range| {
-        let mut out = Vec::new();
-        let mut matches = 0u64;
-        for w in &items[range] {
-            let rule = &theory.rules[w.rule_idx];
-            let Some(binding) = bind_atom(&rule.body[w.pin], w.dfact) else { continue };
-            let frontier = &frontiers[w.rule_idx];
-            let _ = hom::for_each_hom(inst, &rests[w.rule_idx][w.pin], &binding, |b| {
-                matches += 1;
-                let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
-                let binding = restrict_binding(b, frontier);
-                out.push(Candidate { rule_idx: w.rule_idx, key, binding });
-                ControlFlow::Continue(())
-            });
-        }
-        (out, matches)
-    });
+    let shard_out: Vec<(Vec<Candidate>, u64, Option<ShardAttr>)> =
+        par::par_chunks(items.len(), |range| {
+            let mut out = Vec::new();
+            let mut matches = 0u64;
+            let mut attr = if S::ENABLED {
+                Some(ShardAttr {
+                    rule_matches: vec![0; theory.rules.len()],
+                    rule_ns: vec![0; theory.rules.len()],
+                    scans: hom::ScanStats::default(),
+                })
+            } else {
+                None
+            };
+            for w in &items[range] {
+                let rule = &theory.rules[w.rule_idx];
+                let Some(binding) = bind_atom(&rule.body[w.pin], w.dfact) else { continue };
+                let frontier = &frontiers[w.rule_idx];
+                let before = matches;
+                let mut visit = |b: &Binding| {
+                    matches += 1;
+                    let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
+                    let binding = restrict_binding(b, frontier);
+                    out.push(Candidate { rule_idx: w.rule_idx, key, binding });
+                    ControlFlow::Continue(())
+                };
+                match attr.as_mut() {
+                    Some(a) => {
+                        let timer = SpanTimer::start();
+                        let _ = hom::for_each_hom_scanned(
+                            inst,
+                            &rests[w.rule_idx][w.pin],
+                            &binding,
+                            &mut a.scans,
+                            &mut visit,
+                        );
+                        a.rule_ns[w.rule_idx] += timer.elapsed_ns();
+                        a.rule_matches[w.rule_idx] += matches - before;
+                    }
+                    None => {
+                        let _ = hom::for_each_hom(
+                            inst,
+                            &rests[w.rule_idx][w.pin],
+                            &binding,
+                            &mut visit,
+                        );
+                    }
+                }
+            }
+            (out, matches, attr)
+        });
     // Phase 2 (sequential): merge in input order, dedup per (rule, key) —
     // first occurrence wins, and its restricted binding is determined by
     // the key, so the surviving set is shard-split-independent.
     let mut seen: FxHashSet<(usize, Vec<ConstId>)> = FxHashSet::default();
-    for (shard, matches) in shard_out {
+    for (shard, matches, attr) in shard_out {
         work.body_matches += matches;
+        if let Some(a) = attr {
+            for (rw, (&m, &ns)) in
+                work.rule_work.iter_mut().zip(a.rule_matches.iter().zip(&a.rule_ns))
+            {
+                rw.body_matches += m;
+                rw.enum_ns += ns;
+            }
+            work.scans.merge(&a.scans);
+        }
         for c in shard {
             if seen.insert((c.rule_idx, c.key.clone())) {
                 cands.push(c);
@@ -511,7 +633,7 @@ pub fn chase_round(
     fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
 ) -> Vec<Fact> {
     let mut work = RoundWork::default();
-    let repairs = collect_repairs_naive(inst, theory, variant, fired, &mut work);
+    let repairs = collect_repairs_naive::<Null>(inst, theory, variant, fired, &mut work);
     apply_repairs(inst, theory, voc, repairs).0
 }
 
@@ -537,6 +659,7 @@ pub struct ChaseStepper<'t, S: EventSink = Null> {
     first_round: bool,
     rounds_done: u64,
     sink: &'t S,
+    parent_span: u64,
     /// Work counters, one entry per completed [`ChaseStepper::step`].
     pub stats: ChaseStats,
 }
@@ -573,24 +696,49 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
             first_round: true,
             rounds_done: 0,
             sink,
+            parent_span: 0,
             stats: ChaseStats { threads_used: par::num_threads(), ..ChaseStats::default() },
         }
     }
 
+    /// Parents every span and event this stepper emits under `span`
+    /// (typically a `chase`/`run` span the caller opened on the same
+    /// sink). 0 — the default — means "no enclosing span".
+    pub fn under_span(mut self, span: u64) -> Self {
+        self.parent_span = span;
+        self
+    }
+
     /// Runs one `Chase¹` round; returns the facts it added (empty iff the
     /// instance reached a fixpoint of the theory).
+    ///
+    /// With a recording sink, each round opens a `chase`/`round` span
+    /// (keyed by round number) under which it emits one `chase`/`trigger`
+    /// event per active rule (keyed by rule index), one `hom`/`scan`
+    /// event per scanned predicate (keyed by predicate id) and the
+    /// round summary event.
     pub fn step(&mut self, voc: &mut Vocabulary) -> Vec<Fact> {
         let timer = SpanTimer::start();
+        let round_span = if S::ENABLED {
+            self.sink.span_open(
+                "chase",
+                "round",
+                self.parent_span,
+                Some(("round", self.rounds_done + 1)),
+            )
+        } else {
+            0
+        };
         let mut work = RoundWork::default();
         let repairs = match self.strategy {
-            ChaseStrategy::Naive => collect_repairs_naive(
+            ChaseStrategy::Naive => collect_repairs_naive::<S>(
                 &self.instance,
                 self.theory,
                 self.variant,
                 &mut self.fired,
                 &mut work,
             ),
-            ChaseStrategy::SemiNaive => collect_repairs_seminaive(
+            ChaseStrategy::SemiNaive => collect_repairs_seminaive::<S>(
                 &self.instance,
                 self.theory,
                 self.variant,
@@ -610,9 +758,38 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
         self.stats.round_wall_times.push(wall);
         self.rounds_done += 1;
         if S::ENABLED {
+            for (rule_idx, rw) in work.rule_work.iter().enumerate() {
+                if rw.body_matches == 0 && rw.candidates == 0 && rw.triggers_fired == 0 {
+                    continue;
+                }
+                self.sink.record(Event {
+                    engine: "chase",
+                    name: "trigger",
+                    parent: round_span,
+                    key: Some(("rule", rule_idx as u64)),
+                    fields: &[
+                        ("body_matches", rw.body_matches),
+                        ("candidates", rw.candidates),
+                        ("triggers_fired", rw.triggers_fired),
+                    ],
+                    gauges: &[("wall_ns", rw.enum_ns)],
+                });
+            }
+            for (pred, scans, candidates) in work.scans.sorted() {
+                self.sink.record(Event {
+                    engine: "hom",
+                    name: "scan",
+                    parent: round_span,
+                    key: Some(("pred", u64::from(pred.0))),
+                    fields: &[("scans", scans), ("candidates", candidates)],
+                    gauges: &[],
+                });
+            }
             self.sink.record(Event {
                 engine: "chase",
                 name: "round",
+                parent: round_span,
+                key: None,
                 fields: &[
                     ("round", self.rounds_done),
                     ("body_matches", work.body_matches),
@@ -629,6 +806,7 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
                     ("threads", par::num_threads() as u64),
                 ],
             });
+            self.sink.span_close(round_span);
         }
         new_facts
     }
@@ -645,7 +823,8 @@ pub fn chase(
 }
 
 /// Like [`chase`], but reports per-round telemetry into `sink` (one
-/// `chase`/`round` event per completed [`ChaseStepper::step`]).
+/// `chase`/`round` span + event per completed [`ChaseStepper::step`],
+/// all nested under one `chase`/`run` span).
 pub fn chase_with<S: EventSink>(
     db: &Instance,
     theory: &Theory,
@@ -653,8 +832,10 @@ pub fn chase_with<S: EventSink>(
     config: ChaseConfig,
     sink: &S,
 ) -> ChaseResult {
+    let run_span = if S::ENABLED { sink.span_open("chase", "run", 0, None) } else { 0 };
     let mut stepper =
-        ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink);
+        ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink)
+            .under_span(run_span);
     let mut depth: FxHashMap<Fact, u32> = db.facts().iter().map(|f| (f.clone(), 0)).collect();
     let mut rounds = 0;
     let status = loop {
@@ -673,6 +854,9 @@ pub fn chase_with<S: EventSink>(
             break ChaseStatus::FactBudget;
         }
     };
+    if S::ENABLED {
+        sink.span_close(run_span);
+    }
     ChaseResult { instance: stepper.instance, depth, rounds, status, stats: stepper.stats }
 }
 
@@ -713,9 +897,9 @@ pub fn chase_uninstrumented_baseline(
         let mut work = RoundWork::default();
         let repairs = match config.strategy {
             ChaseStrategy::Naive => {
-                collect_repairs_naive(&inst, theory, config.variant, &mut fired, &mut work)
+                collect_repairs_naive::<Null>(&inst, theory, config.variant, &mut fired, &mut work)
             }
-            ChaseStrategy::SemiNaive => collect_repairs_seminaive(
+            ChaseStrategy::SemiNaive => collect_repairs_seminaive::<Null>(
                 &inst,
                 theory,
                 config.variant,
@@ -980,9 +1164,14 @@ mod tests {
         let plain = chase(&prog.instance, &prog.theory, &mut voc2, ChaseConfig::rounds(4));
         // Attaching a sink never changes the output.
         assert_eq!(observed.instance, plain.instance);
-        // One event per round; the chain adds one fact and one null per
-        // round, and the counters mirror the legacy ChaseStats.
-        assert_eq!(sink.event_counts(), vec![(("chase", "round"), 4)]);
+        // One round event + one per-rule trigger event per round (the
+        // single-atom body joins against an empty residual, so no
+        // hom/scan events here); the chain adds one fact and one null
+        // per round, and the counters mirror the legacy ChaseStats.
+        assert_eq!(
+            sink.event_counts(),
+            vec![(("chase", "round"), 4), (("chase", "trigger"), 4)]
+        );
         assert_eq!(sink.counter("chase", "round", "new_facts"), 4);
         assert_eq!(sink.counter("chase", "round", "nulls_created"), 4);
         assert_eq!(
@@ -990,6 +1179,22 @@ mod tests {
             observed.stats.total_body_matches()
         );
         assert_eq!(sink.counter("chase", "round", "triggers_fired"), 4);
+        // Per-rule attribution reconciles with the round totals.
+        assert_eq!(
+            sink.counter("chase", "trigger", "body_matches"),
+            observed.stats.total_body_matches()
+        );
+        assert_eq!(sink.counter("chase", "trigger", "triggers_fired"), 4);
+        // One run span enclosing four round spans, ids 1..=5, all closed.
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 5);
+        assert_eq!((spans[0].engine, spans[0].name, spans[0].id), ("chase", "run", 1));
+        assert!(spans.iter().all(|s| s.is_closed()));
+        for (i, s) in spans[1..].iter().enumerate() {
+            assert_eq!((s.name, s.parent, s.key), ("round", 1, Some(("round", i as u64 + 1))));
+        }
+        // Every event is parented under a round span.
+        assert!(sink.events().iter().all(|e| e.parent >= 2));
     }
 
     #[test]

@@ -214,12 +214,15 @@ pub fn find_model_with<S: EventSink>(
     sink: &S,
 ) -> SearchOutcome {
     let timer = SpanTimer::start();
+    let span = if S::ENABLED { sink.span_open("finder", "search", 0, None) } else { 0 };
     let (outcome, branches, winner) = find_model_impl(db, theory, voc, forbidden, config);
     if S::ENABLED {
         let cancelled = winner.map_or(0, |w| branches.saturating_sub(w as u64 + 1));
         sink.record(Event {
             engine: "finder",
             name: "search",
+            parent: span,
+            key: None,
             fields: &[
                 ("branches", branches),
                 ("cancelled", cancelled),
@@ -232,6 +235,7 @@ pub fn find_model_with<S: EventSink>(
                 ("threads", par::num_threads() as u64),
             ],
         });
+        sink.span_close(span);
     }
     outcome
 }

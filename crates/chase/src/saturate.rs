@@ -56,6 +56,7 @@ fn rule_item(
     out: &mut Vec<Fact>,
     seen: &mut FxHashSet<Fact>,
     matches: &mut u64,
+    scans: Option<&mut hom::ScanStats>,
 ) {
     let pinned = &rule.body[pin];
     // Bind the pinned atom against the delta fact.
@@ -83,7 +84,7 @@ fn rule_item(
         .filter(|(i, _)| *i != pin)
         .map(|(_, a)| a.clone())
         .collect();
-    let _ = hom::for_each_hom(inst, &rest, &binding, |b| {
+    let mut visit = |b: &Binding| {
         *matches += 1;
         for fact in ground_head(rule, b) {
             if !inst.contains(&fact) && seen.insert(fact.clone()) {
@@ -91,20 +92,25 @@ fn rule_item(
             }
         }
         ControlFlow::Continue(())
-    });
+    };
+    let _ = match scans {
+        Some(s) => hom::for_each_hom_scanned(inst, &rest, &binding, s, &mut visit),
+        None => hom::for_each_hom(inst, &rest, &binding, &mut visit),
+    };
 }
 
 /// Evaluates one rule naively: enumerates *all* body homomorphisms over
 /// the full instance, ignoring the delta. Differential-testing oracle for
-/// [`rule_round`].
+/// [`rule_item`].
 fn rule_round_naive(
     inst: &Instance,
     rule: &Rule,
     out: &mut Vec<Fact>,
     seen: &mut FxHashSet<Fact>,
     matches: &mut u64,
+    scans: Option<&mut hom::ScanStats>,
 ) {
-    let _ = hom::for_each_hom(inst, &rule.body, &Binding::default(), |b| {
+    let mut visit = |b: &Binding| {
         *matches += 1;
         for fact in ground_head(rule, b) {
             if !inst.contains(&fact) && seen.insert(fact.clone()) {
@@ -112,7 +118,13 @@ fn rule_round_naive(
             }
         }
         ControlFlow::Continue(())
-    });
+    };
+    let _ = match scans {
+        Some(s) => {
+            hom::for_each_hom_scanned(inst, &rule.body, &Binding::default(), s, &mut visit)
+        }
+        None => hom::for_each_hom(inst, &rule.body, &Binding::default(), &mut visit),
+    };
 }
 
 fn saturate_impl<S: EventSink>(
@@ -121,7 +133,29 @@ fn saturate_impl<S: EventSink>(
     naive: bool,
     sink: &S,
 ) -> SaturationResult {
-    let datalog: Vec<&Rule> = theory.datalog_rules().collect();
+    // Keep each datalog rule's index in the *theory* — the attribution
+    // key shared with the chase's `chase`/`trigger` events.
+    let datalog: Vec<(usize, &Rule)> =
+        theory.rules.iter().enumerate().filter(|(_, r)| r.is_datalog()).collect();
+    // Per-shard attribution (indexed by datalog position), merged
+    // sequentially; only built when a recording sink is installed.
+    struct ShardAttr {
+        rule_matches: Vec<u64>,
+        rule_ns: Vec<u64>,
+        scans: hom::ScanStats,
+    }
+    let new_attr = || {
+        if S::ENABLED {
+            Some(ShardAttr {
+                rule_matches: vec![0; datalog.len()],
+                rule_ns: vec![0; datalog.len()],
+                scans: hom::ScanStats::default(),
+            })
+        } else {
+            None
+        }
+    };
+    let run_span = if S::ENABLED { sink.span_open("saturate", "run", 0, None) } else { 0 };
     let mut current = inst.clone();
     let mut delta = inst.clone();
     let mut rounds = 0;
@@ -129,26 +163,60 @@ fn saturate_impl<S: EventSink>(
     let mut body_matches_per_round = Vec::new();
     loop {
         let timer = SpanTimer::start();
+        let round_span = if S::ENABLED {
+            sink.span_open(
+                "saturate",
+                "round",
+                run_span,
+                Some(("round", body_matches_per_round.len() as u64 + 1)),
+            )
+        } else {
+            0
+        };
         // Phase 1 (parallel): every shard derives candidate facts with a
         // shard-local dedup against the frozen `current`. Work items keep
         // the sequential (rule, pin, delta-fact) nesting order so the
         // merged stream is the one the sequential loop would build.
-        let shard_out: Vec<(Vec<Fact>, u64)> = if naive {
+        let shard_out: Vec<(Vec<Fact>, u64, Option<ShardAttr>)> = if naive {
             par::par_chunks(datalog.len(), |range| {
                 let mut out = Vec::new();
                 let mut seen = FxHashSet::default();
                 let mut matches = 0u64;
-                for idx in range {
-                    rule_round_naive(&current, datalog[idx], &mut out, &mut seen, &mut matches);
+                let mut attr = new_attr();
+                for di in range {
+                    match attr.as_mut() {
+                        Some(a) => {
+                            let t = SpanTimer::start();
+                            let before = matches;
+                            rule_round_naive(
+                                &current,
+                                datalog[di].1,
+                                &mut out,
+                                &mut seen,
+                                &mut matches,
+                                Some(&mut a.scans),
+                            );
+                            a.rule_ns[di] += t.elapsed_ns();
+                            a.rule_matches[di] += matches - before;
+                        }
+                        None => rule_round_naive(
+                            &current,
+                            datalog[di].1,
+                            &mut out,
+                            &mut seen,
+                            &mut matches,
+                            None,
+                        ),
+                    }
                 }
-                (out, matches)
+                (out, matches, attr)
             })
         } else {
             let mut work: Vec<(usize, usize, &Fact)> = Vec::new();
-            for (ri, rule) in datalog.iter().enumerate() {
+            for (di, (_, rule)) in datalog.iter().enumerate() {
                 for pin in 0..rule.body.len() {
                     for &didx in delta.facts_with_pred(rule.body[pin].pred) {
-                        work.push((ri, pin, delta.fact(didx)));
+                        work.push((di, pin, delta.fact(didx)));
                     }
                 }
             }
@@ -156,10 +224,38 @@ fn saturate_impl<S: EventSink>(
                 let mut out = Vec::new();
                 let mut seen = FxHashSet::default();
                 let mut matches = 0u64;
-                for &(ri, pin, dfact) in &work[range] {
-                    rule_item(&current, datalog[ri], pin, dfact, &mut out, &mut seen, &mut matches);
+                let mut attr = new_attr();
+                for &(di, pin, dfact) in &work[range] {
+                    match attr.as_mut() {
+                        Some(a) => {
+                            let t = SpanTimer::start();
+                            let before = matches;
+                            rule_item(
+                                &current,
+                                datalog[di].1,
+                                pin,
+                                dfact,
+                                &mut out,
+                                &mut seen,
+                                &mut matches,
+                                Some(&mut a.scans),
+                            );
+                            a.rule_ns[di] += t.elapsed_ns();
+                            a.rule_matches[di] += matches - before;
+                        }
+                        None => rule_item(
+                            &current,
+                            datalog[di].1,
+                            pin,
+                            dfact,
+                            &mut out,
+                            &mut seen,
+                            &mut matches,
+                            None,
+                        ),
+                    }
                 }
-                (out, matches)
+                (out, matches, attr)
             })
         };
         // Phase 2 (sequential): merge shards in input order with a global
@@ -167,8 +263,16 @@ fn saturate_impl<S: EventSink>(
         let mut new_facts = Vec::new();
         let mut seen: FxHashSet<Fact> = FxHashSet::default();
         let mut matches = 0u64;
-        for (shard, m) in shard_out {
+        let mut merged_attr = new_attr();
+        for (shard, m, attr) in shard_out {
             matches += m;
+            if let (Some(total), Some(a)) = (merged_attr.as_mut(), attr) {
+                for (di, (&rm, &ns)) in a.rule_matches.iter().zip(&a.rule_ns).enumerate() {
+                    total.rule_matches[di] += rm;
+                    total.rule_ns[di] += ns;
+                }
+                total.scans.merge(&a.scans);
+            }
             for fact in shard {
                 if seen.insert(fact.clone()) {
                     new_facts.push(fact);
@@ -191,9 +295,38 @@ fn saturate_impl<S: EventSink>(
             delta = next_delta;
         }
         if S::ENABLED {
+            if let Some(a) = merged_attr {
+                for (di, &(theory_idx, _)) in datalog.iter().enumerate() {
+                    // Skip rules that never completed a match this round;
+                    // the skip decision only reads deterministic fields.
+                    if a.rule_matches[di] == 0 {
+                        continue;
+                    }
+                    sink.record(Event {
+                        engine: "saturate",
+                        name: "rule",
+                        parent: round_span,
+                        key: Some(("rule", theory_idx as u64)),
+                        fields: &[("body_matches", a.rule_matches[di])],
+                        gauges: &[("wall_ns", a.rule_ns[di])],
+                    });
+                }
+                for (pred, scans, candidates) in a.scans.sorted() {
+                    sink.record(Event {
+                        engine: "hom",
+                        name: "scan",
+                        parent: round_span,
+                        key: Some(("pred", u64::from(pred.0))),
+                        fields: &[("scans", scans), ("candidates", candidates)],
+                        gauges: &[],
+                    });
+                }
+            }
             sink.record(Event {
                 engine: "saturate",
                 name: "round",
+                parent: round_span,
+                key: None,
                 fields: &[
                     ("round", body_matches_per_round.len() as u64),
                     ("body_matches", matches),
@@ -205,10 +338,14 @@ fn saturate_impl<S: EventSink>(
                     ("threads", par::num_threads() as u64),
                 ],
             });
+            sink.span_close(round_span);
         }
         if fixpoint {
             break;
         }
+    }
+    if S::ENABLED {
+        sink.span_close(run_span);
     }
     SaturationResult { instance: current, rounds, derived, body_matches_per_round }
 }
@@ -350,10 +487,25 @@ mod tests {
             sink.counter("saturate", "round", "body_matches"),
             res.total_body_matches()
         );
+        let round_events = sink
+            .event_counts()
+            .into_iter()
+            .find(|&((e, n), _)| (e, n) == ("saturate", "round"))
+            .map(|(_, c)| c);
+        assert_eq!(round_events, Some(res.body_matches_per_round.len() as u64));
+        // Per-rule attribution (keyed by theory rule index) reconciles
+        // with the round totals, and candidate scans are charged to E.
         assert_eq!(
-            sink.event_counts(),
-            vec![(("saturate", "round"), res.body_matches_per_round.len() as u64)]
+            sink.counter("saturate", "rule", "body_matches"),
+            res.total_body_matches()
         );
+        assert!(sink.counter("hom", "scan", "scans") > 0);
+        // One run span + one span per round, all closed.
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 1 + res.body_matches_per_round.len());
+        assert_eq!((spans[0].engine, spans[0].name), ("saturate", "run"));
+        assert!(spans.iter().all(|s| s.is_closed()));
+        assert!(spans[1..].iter().all(|s| s.parent == spans[0].id));
     }
 
     #[test]

@@ -222,6 +222,16 @@ pub fn rewrite_query_with<S: EventSink>(
     if !theory.is_single_head() {
         return None;
     }
+    // Per-frontier-item attribution: piece-unification attempts and
+    // produced rewritings per rule and per piece size, plus per-rule
+    // wall time. Only built when a recording sink is installed.
+    struct ItemAttr {
+        rule_tried: Vec<u64>,
+        rule_produced: Vec<u64>,
+        rule_ns: Vec<u64>,
+        piece_tried: Vec<u64>,
+        piece_produced: Vec<u64>,
+    }
     let mut disjuncts: Vec<ConjunctiveQuery> = Vec::new();
     insert_minimal(&mut disjuncts, query.clone());
     let mut frontier: Vec<(ConjunctiveQuery, usize)> = vec![(query.clone(), 0)];
@@ -229,36 +239,129 @@ pub fn rewrite_query_with<S: EventSink>(
     let mut steps = 0usize;
     let mut max_depth = 0usize;
     let mut generation = 0u64;
+    let run_span = if S::ENABLED { sink.span_open("rewrite", "run", 0, None) } else { 0 };
 
     while !frontier.is_empty() {
         let timer = SpanTimer::start();
         generation += 1;
+        let gen_span = if S::ENABLED {
+            sink.span_open("rewrite", "generation", run_span, Some(("generation", generation)))
+        } else {
+            0
+        };
         let renamed: Vec<Rule> = theory.rules.iter().map(|r| r.rename_apart(voc)).collect();
-        let expansions: Vec<Vec<ConjunctiveQuery>> = par::par_map(&frontier, |(q, _)| {
-            let mut out = Vec::new();
-            for rule in &renamed {
-                let head_pred = rule.head[0].pred;
-                let candidates: Vec<usize> = q
-                    .atoms
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, a)| a.pred == head_pred)
-                    .map(|(i, _)| i)
-                    .collect();
-                // Datalog heads have no existential positions, so unifying
-                // two query atoms with the head at once only *specializes* a
-                // singleton-piece rewriting — singletons are complete and
-                // avoid the subset blow-up. Existential heads genuinely need
-                // multi-atom pieces (atoms sharing a witness variable).
-                let piece_cap = if rule.is_datalog() { 1 } else { config.max_piece };
-                for piece in subsets(&candidates, piece_cap) {
-                    if let Some(new_q) = rewrite_step(q, rule, &piece) {
-                        out.push(new_q);
+        let expansions: Vec<(Vec<ConjunctiveQuery>, Option<ItemAttr>)> =
+            par::par_map(&frontier, |(q, _)| {
+                let mut out = Vec::new();
+                let mut attr = if S::ENABLED {
+                    Some(ItemAttr {
+                        rule_tried: vec![0; renamed.len()],
+                        rule_produced: vec![0; renamed.len()],
+                        rule_ns: vec![0; renamed.len()],
+                        piece_tried: vec![0; config.max_piece + 1],
+                        piece_produced: vec![0; config.max_piece + 1],
+                    })
+                } else {
+                    None
+                };
+                for (rule_idx, rule) in renamed.iter().enumerate() {
+                    let rule_timer = if S::ENABLED { Some(SpanTimer::start()) } else { None };
+                    let head_pred = rule.head[0].pred;
+                    let candidates: Vec<usize> = q
+                        .atoms
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.pred == head_pred)
+                        .map(|(i, _)| i)
+                        .collect();
+                    // Datalog heads have no existential positions, so unifying
+                    // two query atoms with the head at once only *specializes* a
+                    // singleton-piece rewriting — singletons are complete and
+                    // avoid the subset blow-up. Existential heads genuinely need
+                    // multi-atom pieces (atoms sharing a witness variable).
+                    let piece_cap = if rule.is_datalog() { 1 } else { config.max_piece };
+                    for piece in subsets(&candidates, piece_cap) {
+                        let rewritten = rewrite_step(q, rule, &piece);
+                        if let Some(a) = attr.as_mut() {
+                            let size = piece.len().min(config.max_piece);
+                            a.rule_tried[rule_idx] += 1;
+                            a.piece_tried[size] += 1;
+                            if rewritten.is_some() {
+                                a.rule_produced[rule_idx] += 1;
+                                a.piece_produced[size] += 1;
+                            }
+                        }
+                        if let Some(new_q) = rewritten {
+                            out.push(new_q);
+                        }
+                    }
+                    if let (Some(a), Some(t)) = (attr.as_mut(), rule_timer) {
+                        a.rule_ns[rule_idx] += t.elapsed_ns();
+                    }
+                }
+                (out, attr)
+            });
+        let (expansions, item_attrs): (Vec<Vec<ConjunctiveQuery>>, Vec<Option<ItemAttr>>) =
+            expansions.into_iter().unzip();
+        if S::ENABLED {
+            // Merge the per-item attribution (par_map preserves frontier
+            // order, so the merge — and every count — is deterministic)
+            // and emit per-rule / per-piece-size events under this
+            // generation's span.
+            let mut merged: Option<ItemAttr> = None;
+            for a in item_attrs.into_iter().flatten() {
+                match merged.as_mut() {
+                    None => merged = Some(a),
+                    Some(m) => {
+                        for (dst, src) in [
+                            (&mut m.rule_tried, &a.rule_tried),
+                            (&mut m.rule_produced, &a.rule_produced),
+                            (&mut m.rule_ns, &a.rule_ns),
+                            (&mut m.piece_tried, &a.piece_tried),
+                            (&mut m.piece_produced, &a.piece_produced),
+                        ] {
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += s;
+                            }
+                        }
                     }
                 }
             }
-            out
-        });
+            if let Some(m) = merged {
+                for rule_idx in 0..m.rule_tried.len() {
+                    if m.rule_tried[rule_idx] == 0 {
+                        continue;
+                    }
+                    sink.record(Event {
+                        engine: "rewrite",
+                        name: "rule",
+                        parent: gen_span,
+                        key: Some(("rule", rule_idx as u64)),
+                        fields: &[
+                            ("pieces_tried", m.rule_tried[rule_idx]),
+                            ("rewrites", m.rule_produced[rule_idx]),
+                        ],
+                        gauges: &[("wall_ns", m.rule_ns[rule_idx])],
+                    });
+                }
+                for size in 0..m.piece_tried.len() {
+                    if m.piece_tried[size] == 0 {
+                        continue;
+                    }
+                    sink.record(Event {
+                        engine: "rewrite",
+                        name: "piece",
+                        parent: gen_span,
+                        key: Some(("piece", size as u64)),
+                        fields: &[
+                            ("tried", m.piece_tried[size]),
+                            ("rewrites", m.piece_produced[size]),
+                        ],
+                        gauges: &[],
+                    });
+                }
+            }
+        }
         let mut next = Vec::new();
         let mut gen_stats = SubsumeStats::default();
         let mut expanded = 0u64;
@@ -287,6 +390,8 @@ pub fn rewrite_query_with<S: EventSink>(
             sink.record(Event {
                 engine: "rewrite",
                 name: "generation",
+                parent: gen_span,
+                key: None,
                 fields: &[
                     ("generation", generation),
                     ("frontier", frontier.len() as u64),
@@ -304,8 +409,12 @@ pub fn rewrite_query_with<S: EventSink>(
                     ("threads", par::num_threads() as u64),
                 ],
             });
+            sink.span_close(gen_span);
         }
         if truncated {
+            if S::ENABLED {
+                sink.span_close(run_span);
+            }
             return Some(RewriteResult {
                 ucq: Ucq::new(disjuncts),
                 saturated: false,
@@ -316,6 +425,9 @@ pub fn rewrite_query_with<S: EventSink>(
         frontier = next;
     }
 
+    if S::ENABLED {
+        sink.span_close(run_span);
+    }
     Some(RewriteResult { ucq: Ucq::new(disjuncts), saturated: true, steps, max_depth })
 }
 

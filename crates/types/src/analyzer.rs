@@ -336,6 +336,7 @@ impl<'a> TypeAnalyzer<'a> {
     /// comparisons), `classes`; gauges: `wall_ns`, `threads`.
     pub fn partition_with<S: EventSink>(&self, sink: &S) -> Vec<Vec<ConstId>> {
         let timer = SpanTimer::start();
+        let span = if S::ENABLED { sink.span_open("analyzer", "partition", 0, None) } else { 0 };
         let domain = self.inst.sorted_domain();
         let keys: Vec<Option<Vec<u64>>> = par::par_map(&domain, |&d| {
             if self.is_constant(d) {
@@ -369,6 +370,8 @@ impl<'a> TypeAnalyzer<'a> {
             sink.record(Event {
                 engine: "analyzer",
                 name: "partition",
+                parent: span,
+                key: None,
                 fields: &[
                     ("elements", domain.len() as u64),
                     ("constants", constants),
@@ -381,6 +384,7 @@ impl<'a> TypeAnalyzer<'a> {
                     ("threads", par::num_threads() as u64),
                 ],
             });
+            sink.span_close(span);
         }
         classes
     }

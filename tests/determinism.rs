@@ -274,6 +274,108 @@ fn telemetry_counters_are_thread_count_invariant() {
     }
 }
 
+/// Bounded-capacity semantics of the `Memory` sink: with a tiny cap the
+/// event and span *logs* stop growing, but counters keep accumulating
+/// over every event, and `dropped()` / `spans_dropped()` report the
+/// elided tail exactly — at any thread count. The drop decision happens
+/// in the sink's sequential record path, so even which events survive in
+/// the log is deterministic.
+#[test]
+fn memory_sink_bounded_cap_is_thread_count_invariant() {
+    let prog = bddfc::zoo::example1();
+    let config = ChaseConfig { max_rounds: 4, max_facts: 2_000, ..Default::default() };
+    let run = |threads: usize, cap: usize| {
+        par::with_thread_count(threads, || {
+            let sink = Memory::new(cap);
+            let _ = chase_with(&prog.instance, &prog.theory, &mut prog.voc.clone(), config, &sink);
+            (
+                sink.len(),
+                sink.dropped(),
+                // Deterministic event payload only: gauges (wall_ns) vary
+                // run to run and are excluded by the obs contract.
+                sink.events()
+                    .iter()
+                    .map(|e| (e.engine, e.name, e.parent, e.key, e.fields.clone()))
+                    .collect::<Vec<_>>(),
+                sink.counters(),
+                sink.spans_opened(),
+                sink.spans_dropped(),
+                sink.spans()
+                    .iter()
+                    .map(|s| (s.id, s.parent, s.engine, s.name, s.key))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    };
+    let unbounded = run(1, 1 << 16);
+    assert_eq!(unbounded.1, 0, "cap 65536 must not drop anything here");
+    let total_events = unbounded.0;
+    let total_spans = unbounded.4;
+    assert!(total_events > 3, "workload too small to exercise the bound");
+    assert!(total_spans > 3);
+
+    const CAP: usize = 3;
+    let base = run(THREADS[0], CAP);
+    assert_eq!(base.2.len(), CAP, "event log must stop at the cap");
+    assert_eq!(base.1, total_events - CAP as u64, "dropped() must be exact");
+    assert_eq!(base.3, unbounded.3, "counters must keep accumulating past the cap");
+    assert_eq!(base.4, total_spans, "span ids must keep advancing past the cap");
+    assert_eq!(base.5, total_spans - CAP as u64, "spans_dropped() must be exact");
+    // The surviving log prefix matches the unbounded run's prefix.
+    assert_eq!(base.2[..], unbounded.2[..CAP]);
+    assert_eq!(base.6[..], unbounded.6[..CAP]);
+    for &t in &THREADS[1..] {
+        assert_eq!(run(t, CAP), base, "bounded Memory sink at {t} threads");
+    }
+}
+
+/// Span-id determinism: the deterministic half of a span — id, parent,
+/// engine, name, attribution key — is byte-identical across thread
+/// counts for every engine, on the whole zoo. Only `start_ns`/`end_ns`
+/// are gauges.
+#[test]
+fn span_identities_are_thread_count_invariant() {
+    for (name, prog) in zoo_programs() {
+        let run = |threads: usize| {
+            par::with_thread_count(threads, || {
+                let sink = Memory::new(1 << 14);
+                let mut voc = prog.voc.clone();
+                let _ = chase_with(
+                    &prog.instance,
+                    &prog.theory,
+                    &mut voc,
+                    ChaseConfig { max_rounds: 3, max_facts: 2_000, ..Default::default() },
+                    &sink,
+                );
+                let _ = saturate_datalog_with(&prog.instance, &prog.theory, &sink);
+                let _ = find_model_with(
+                    &prog.instance,
+                    &prog.theory,
+                    &mut prog.voc.clone(),
+                    prog.queries.first(),
+                    FinderConfig { max_size: 3, max_nodes: 20_000 },
+                    &sink,
+                );
+                let spans = sink.spans();
+                assert!(spans.iter().all(|s| s.is_closed()), "{name}: span left open");
+                spans
+                    .iter()
+                    .map(|s| (s.id, s.parent, s.engine, s.name, s.key))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let base = run(THREADS[0]);
+        assert!(!base.is_empty(), "{name}: expected spans from the instrumented engines");
+        // Sequential ids starting at 1, by construction.
+        for (i, s) in base.iter().enumerate() {
+            assert_eq!(s.0, i as u64 + 1, "{name}: span ids must be sequential");
+        }
+        for &t in &THREADS[1..] {
+            assert_eq!(base, run(t), "{name} at {t} threads: span identities");
+        }
+    }
+}
+
 #[test]
 fn model_finder_is_thread_count_invariant() {
     for (name, prog) in zoo_programs() {
