@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# The repository's CI gate: build, test, telemetry self-check, perf
+# regression diff against the committed baselines, and lint the zoo
+# corpus. Everything here is hermetic (no network, no extra tools
+# beyond cargo + coreutils) and leaves the tree exactly as it found it.
+#
+# Usage:  ./ci.sh
+# Env:    BDDFC_BENCH_THRESHOLD  max allowed median_ns growth in percent
+#                                before bench_diff fails (default 100,
+#                                i.e. 2x — the in-tree harness guards
+#                                coarse regressions, and shared-runner
+#                                medians over 10 iterations routinely
+#                                swing tens of percent; tighten locally
+#                                on quiet hardware).
+#         BDDFC_SKIP_BENCH=1     skip the bench regression step (the
+#                                slowest stage) for a quick pre-push run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> bddfc-prof --check (deterministic telemetry self-check)"
+cargo run -q --release -p bddfc-bench --bin bddfc-prof -- --workload e13 --check
+
+if [ "${BDDFC_SKIP_BENCH:-0}" != "1" ]; then
+    echo "==> benches vs committed BENCH_*.json baselines"
+    threshold="${BDDFC_BENCH_THRESHOLD:-100}"
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    targets="chase rewrite types pipeline"
+    for t in $targets; do
+        cp "crates/bench/BENCH_$t.json" "$tmp/BENCH_$t.baseline.json"
+    done
+    # The bench binaries append fresh rows to the committed files (their
+    # cwd under cargo is crates/bench/); bench_diff matches rows by
+    # (name, threads) with last-occurrence-wins, so diffing the saved
+    # baseline against the appended file compares old vs fresh.
+    BDDFC_BENCH_JSON=1 cargo bench --workspace
+    for t in $targets; do
+        cargo run -q --release -p bddfc-bench --bin bench_diff -- \
+            "$tmp/BENCH_$t.baseline.json" "crates/bench/BENCH_$t.json" \
+            --threshold "$threshold"
+        # Restore the committed baseline so the gate leaves a clean tree.
+        cp "$tmp/BENCH_$t.baseline.json" "crates/bench/BENCH_$t.json"
+    done
+else
+    echo "==> benches skipped (BDDFC_SKIP_BENCH=1)"
+fi
+
+echo "==> bddfc-lint --zoo --deny error"
+cargo run -q --release -p bddfc-lint --bin bddfc-lint -- --zoo --deny error
+
+echo "ci: ok"

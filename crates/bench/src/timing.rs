@@ -121,15 +121,10 @@ pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> BenchRow 
 }
 
 /// An identity function the optimizer must assume reads and writes its
-/// argument (same trick `std::hint::black_box` uses; spelled out here to
-/// keep the MSRV window wide).
+/// argument (`std::hint::black_box`, re-exported under the historical
+/// local name; the workspace MSRV of 1.75 has it stabilized).
 pub fn black_box<T>(x: T) -> T {
-    // SAFETY: a no-op asm block that claims to read `x` via a pointer.
-    unsafe {
-        let ret = std::ptr::read_volatile(&x);
-        std::mem::forget(x);
-        ret
-    }
+    std::hint::black_box(x)
 }
 
 #[cfg(test)]

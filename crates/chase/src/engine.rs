@@ -833,6 +833,25 @@ pub fn chase_with<S: EventSink>(
     sink: &S,
 ) -> ChaseResult {
     let run_span = if S::ENABLED { sink.span_open("chase", "run", 0, None) } else { 0 };
+    // A run with no finite budget at all only terminates if the chase
+    // does; when the position dependency graph has a special-edge cycle
+    // that cannot be proven, so say so up front (`bddfc-lint` reports the
+    // same finding as B103, with the full cycle witness).
+    if S::ENABLED && config.max_rounds == u32::MAX && config.max_facts == usize::MAX {
+        if let Some(cycle) = bddfc_core::posgraph::PosGraph::new(theory).special_cycle() {
+            sink.record(Event {
+                engine: "chase",
+                name: "warning",
+                parent: run_span,
+                key: Some(("rule", cycle[0].rule as u64)),
+                fields: &[
+                    ("not_weakly_acyclic", 1),
+                    ("cycle_edges", cycle.len() as u64),
+                ],
+                gauges: &[],
+            });
+        }
+    }
     let mut stepper =
         ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink)
             .under_span(run_span);
@@ -1195,6 +1214,41 @@ mod tests {
         }
         // Every event is parented under a round span.
         assert!(sink.events().iter().all(|e| e.parent >= 2));
+    }
+
+    #[test]
+    fn unbudgeted_run_on_unprovable_theory_emits_a_warning() {
+        use bddfc_core::obs::Memory;
+        // Not weakly acyclic, but the self-loop witnesses the head, so
+        // the restricted chase still reaches a fixpoint immediately.
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,a).").unwrap();
+        let unbudgeted =
+            ChaseConfig { max_rounds: u32::MAX, max_facts: usize::MAX, ..Default::default() };
+        let sink = Memory::new(64);
+        let mut voc = prog.voc.clone();
+        let res = chase_with(&prog.instance, &prog.theory, &mut voc, unbudgeted, &sink);
+        assert!(res.is_fixpoint());
+        let warnings: Vec<_> = sink
+            .events()
+            .iter()
+            .filter(|e| (e.engine, e.name) == ("chase", "warning"))
+            .cloned()
+            .collect();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].key, Some(("rule", 0)));
+        assert!(warnings[0].fields.iter().any(|&(k, v)| k == "not_weakly_acyclic" && v == 1));
+
+        // A budgeted run of the same theory stays silent, and so does an
+        // unbudgeted run of a weakly acyclic theory.
+        let sink2 = Memory::new(64);
+        let mut voc2 = prog.voc.clone();
+        let _ = chase_with(&prog.instance, &prog.theory, &mut voc2, ChaseConfig::default(), &sink2);
+        assert!(sink2.events().iter().all(|e| e.name != "warning"));
+        let wa = parse_program("P(X) -> exists Z . E(X,Z). P(a).").unwrap();
+        let sink3 = Memory::new(64);
+        let mut voc3 = wa.voc.clone();
+        let _ = chase_with(&wa.instance, &wa.theory, &mut voc3, unbudgeted, &sink3);
+        assert!(sink3.events().iter().all(|e| e.name != "warning"));
     }
 
     #[test]

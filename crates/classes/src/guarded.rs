@@ -28,31 +28,69 @@ use crate::recognize::guard_of;
 use bddfc_core::{Atom, PredId, Rule, Term, Theory, VarId, Vocabulary};
 use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 
+/// Names the rule an error is about: its theory index plus the
+/// human-facing label from [`Rule::describe`] — the pretty-printed rule
+/// with its source span when the rule was parsed from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleRef {
+    /// Index of the rule in the theory.
+    pub idx: usize,
+    /// `` `E(X,Y) -> E(Y,Z)` at 3:1 `` (span omitted for programmatic
+    /// rules).
+    pub label: String,
+}
+
+impl RuleRef {
+    /// Builds the reference for `theory.rules[idx]`.
+    pub fn new(theory: &Theory, idx: usize, voc: &Vocabulary) -> Self {
+        RuleRef { idx, label: theory.rules[idx].describe(voc) }
+    }
+}
+
+impl std::fmt::Display for RuleRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rule #{} {}", self.idx, self.label)
+    }
+}
+
 /// Why a theory is outside the supported guarded fragment.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GuardedError {
     /// Some rule has no guard.
-    NotGuarded(usize),
+    NotGuarded(RuleRef),
     /// A rule is multi-head.
-    MultiHead(usize),
+    MultiHead(RuleRef),
     /// Constants occur in rules.
-    HasConstants(usize),
+    HasConstants(RuleRef),
     /// A TGD does not have exactly one existential variable in the last
     /// head position.
-    BadTgdHead(usize),
+    BadTgdHead(RuleRef),
     /// A TGP also heads a datalog rule (run TGP separation first).
     TgpInDatalogHead(String),
+}
+
+impl GuardedError {
+    /// The offending rule, when the error concerns a single rule.
+    pub fn rule(&self) -> Option<&RuleRef> {
+        match self {
+            GuardedError::NotGuarded(r)
+            | GuardedError::MultiHead(r)
+            | GuardedError::HasConstants(r)
+            | GuardedError::BadTgdHead(r) => Some(r),
+            GuardedError::TgpInDatalogHead(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for GuardedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GuardedError::NotGuarded(i) => write!(f, "rule #{i} has no guard"),
-            GuardedError::MultiHead(i) => write!(f, "rule #{i} is multi-head"),
-            GuardedError::HasConstants(i) => write!(f, "rule #{i} mentions constants"),
-            GuardedError::BadTgdHead(i) => write!(
+            GuardedError::NotGuarded(r) => write!(f, "{r} has no guard"),
+            GuardedError::MultiHead(r) => write!(f, "{r} is multi-head"),
+            GuardedError::HasConstants(r) => write!(f, "{r} mentions constants"),
+            GuardedError::BadTgdHead(r) => write!(
                 f,
-                "rule #{i}: TGD must have exactly one existential variable, last in the head"
+                "{r}: TGD must have exactly one existential variable, last in the head"
             ),
             GuardedError::TgpInDatalogHead(p) => {
                 write!(f, "predicate {p} heads both a TGD and a datalog rule")
@@ -148,14 +186,15 @@ pub fn guarded_to_binary(
     // Validation.
     let tgps: FxHashSet<PredId> = theory.tgps();
     for (i, rule) in theory.rules.iter().enumerate() {
+        let rule_ref = || RuleRef::new(theory, i, voc);
         if !rule.is_single_head() {
-            return Err(GuardedError::MultiHead(i));
+            return Err(GuardedError::MultiHead(rule_ref()));
         }
         if guard_of(rule).is_none() {
-            return Err(GuardedError::NotGuarded(i));
+            return Err(GuardedError::NotGuarded(rule_ref()));
         }
         if !rule.constants().is_empty() {
-            return Err(GuardedError::HasConstants(i));
+            return Err(GuardedError::HasConstants(rule_ref()));
         }
         match rule.kind() {
             bddfc_core::RuleKind::ExistentialTgd => {
@@ -166,7 +205,7 @@ pub fn guarded_to_binary(
                     Some(Term::Var(v)) if ex.contains(v)
                 );
                 if ex.len() != 1 || !last_ok {
-                    return Err(GuardedError::BadTgdHead(i));
+                    return Err(GuardedError::BadTgdHead(rule_ref()));
                 }
             }
             bddfc_core::RuleKind::Datalog => {
@@ -425,10 +464,18 @@ mod tests {
     fn unguarded_rejected() {
         let mut voc = Vocabulary::new();
         let (theory, _, _) = parse_into("E(X,Y), E(Y,Z) -> E(X,Z).", &mut voc).unwrap();
-        assert!(matches!(
-            guarded_to_binary(&theory, &mut voc),
-            Err(GuardedError::NotGuarded(0))
-        ));
+        let err = guarded_to_binary(&theory, &mut voc).unwrap_err();
+        let GuardedError::NotGuarded(r) = &err else {
+            panic!("expected NotGuarded, got {err:?}")
+        };
+        assert_eq!(r.idx, 0);
+        // The error names the rule by its text and source position, not
+        // just its index.
+        assert_eq!(
+            err.to_string(),
+            "rule #0 `E(X,Y), E(Y,Z) -> E(X,Z)` at 1:1 has no guard"
+        );
+        assert_eq!(err.rule(), Some(r));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //!
 //! * recognizers for binary / linear / guarded / sticky / weakly-acyclic
 //!   theories and the Theorem 3 fragment ([`recognize`]);
+//! * witness-producing upgrades of those recognizers, whose *no* answers
+//!   carry independently checkable evidence ([`witness`]);
 //! * multi-head elimination, §5.3 ([`multihead`]);
 //! * the ternary reduction of Theorem 4, §5.2 ([`ternary`]);
 //! * the guarded→binary translation of §5.6 ([`guarded`]).
@@ -16,6 +18,7 @@ pub mod orderprobe;
 pub mod recognize;
 pub mod ternary;
 pub mod theorem3;
+pub mod witness;
 
 pub use guarded::{guarded_to_binary, GuardedError, GuardedToBinary};
 pub use multihead::eliminate_multi_heads;
@@ -26,3 +29,7 @@ pub use recognize::{
 pub use orderprobe::{order_probe, OrderWitness};
 pub use ternary::{to_ternary, ChainEncoding, TernaryReduction};
 pub use theorem3::{split_theorem3, Theorem3Error};
+pub use witness::{
+    guard_violations, sticky_violations, theorem3_violations, weak_acyclicity_violation,
+    GuardViolation, MarkStep, StickyViolation, Theorem3Violation, WaViolation,
+};

@@ -305,6 +305,103 @@ mod tests {
     }
 
     #[test]
+    fn empty_theory_is_in_every_class() {
+        // Vacuous quantification: with no rules, every recognizer accepts.
+        let (t, voc) = theory("");
+        assert_eq!(
+            classify(&t, &voc),
+            ClassReport {
+                binary: true,
+                linear: true,
+                guarded: true,
+                sticky: true,
+                weakly_acyclic: true,
+                theorem3: true,
+            }
+        );
+    }
+
+    #[test]
+    fn zero_ary_predicates() {
+        // A 0-ary body atom contributes no variables, so it can only be a
+        // guard when the body has no variables at all.
+        let (t, voc) = theory("Start() -> exists Z . P(Z). Start().");
+        let report = classify(&t, &voc);
+        assert!(report.binary && report.linear && report.guarded);
+        // No frontier variable at all (0 ≤ 1), and nothing feeds back
+        // into Start: weakly acyclic and in the Theorem 3 fragment.
+        assert!(report.weakly_acyclic && report.theorem3 && report.sticky);
+
+        // A 0-ary atom next to a variable-carrying one is NOT a guard for
+        // that variable.
+        let mut voc2 = Vocabulary::new();
+        let r = parse_rule("Start(), P(X) -> U(X)", &mut voc2).unwrap();
+        let g = guard_of(&r).unwrap();
+        assert_eq!(voc2.pred_name(g.pred), "P");
+    }
+
+    #[test]
+    fn constants_in_bodies_and_heads() {
+        // Constants occupy positions but are not variables: they never
+        // join, never mark, and never induce position-graph edges.
+        let (t, voc) = theory("P(a,X) -> Q(X,b). P(a,a).");
+        let report = classify(&t, &voc);
+        assert!(report.binary && report.linear && report.guarded);
+        assert!(report.sticky && report.weakly_acyclic && report.theorem3);
+
+        // A constant repeated in the body is not a join variable, so the
+        // marking has nothing to poison.
+        let (t2, _) = theory("E(a,Y), E(a,Z) -> R(Y).");
+        assert!(is_sticky(&t2));
+
+        // A constant-only head position never receives an existential, so
+        // it cannot close a special cycle on its own.
+        let (t3, _) = theory("P(X) -> exists Z . E(Z,c). E(X,Y) -> P(X).");
+        assert!(!is_weakly_acyclic(&t3)); // E[0] is existential, feeds P[0] -> E via Z? no:
+        // special edge P[0] -> E[0]; regular E[0] -> P[0]; cycle through the
+        // special edge, hence not WA — the constant at E[1] is inert.
+    }
+
+    #[test]
+    fn single_rule_self_loops() {
+        // Datalog self-loop: E feeds E with no existential — weakly
+        // acyclic (no special edge), sticky, guarded, linear.
+        let (t, voc) = theory("E(X,Y) -> E(Y,X).");
+        assert_eq!(
+            classify(&t, &voc),
+            ClassReport {
+                binary: true,
+                linear: true,
+                guarded: true,
+                sticky: true,
+                weakly_acyclic: true,
+                theorem3: true,
+            }
+        );
+
+        // Existential self-loop: the special edge E[0]→E[1] sits on a
+        // cycle (E[1] regular-feeds E[0] via Y) — not weakly acyclic.
+        let (t2, voc2) = theory("E(X,Y) -> exists Z . E(Y,Z).");
+        assert_eq!(
+            classify(&t2, &voc2),
+            ClassReport {
+                binary: true,
+                linear: true,
+                guarded: true,
+                sticky: true,
+                weakly_acyclic: false,
+                theorem3: true,
+            }
+        );
+
+        // Self-join on the same predicate inside one rule: X is lost in
+        // the head and sits in a marked joined position — not sticky.
+        let (t3, voc3) = theory("E(X,Y), E(Y,Z) -> E(X,Z). E(X,Y) -> exists W . E(Y,W).");
+        let report = classify(&t3, &voc3);
+        assert!(!report.sticky && !report.weakly_acyclic && !report.linear && !report.guarded);
+    }
+
+    #[test]
     fn example1_classification() {
         let (t, voc) = theory(
             "E(X,Y) -> exists Z . E(Y,Z).

@@ -1,0 +1,509 @@
+//! Witness-producing upgrades of the [`crate::recognize`] recognizers.
+//!
+//! Each checker here answers the same question as its boolean oracle —
+//! guardedness, stickiness, weak acyclicity, the Theorem 3 fragment —
+//! but a *no* comes with evidence: the offending rule, the body variable
+//! each candidate guard misses, the marking derivation that poisons a
+//! join position, or an explicit special-edge cycle. Every witness type
+//! has a [`validate`](GuardViolation::validate)-style method that
+//! re-checks the claim against the theory *without* re-running the
+//! analysis, so a reported witness can be trusted (and tested)
+//! independently.
+//!
+//! The boolean recognizers in [`crate::recognize`] are kept untouched as
+//! oracles; `tests/lint.rs` proves agreement differentially.
+//!
+//! All outputs are deterministic functions of the theory: rules, atoms
+//! and argument positions are walked in declaration order and every
+//! intermediate set is ordered.
+
+use bddfc_core::posgraph::{Edge, EdgeKind, Pos, PosGraph};
+use bddfc_core::{Term, Theory, VarId};
+use std::collections::BTreeMap;
+
+/// Evidence that a rule has no guard: for every body atom, one body
+/// variable that the atom fails to cover.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuardViolation {
+    /// Index of the unguarded rule in [`Theory::rules`].
+    pub rule: usize,
+    /// `missing[i]` is a body variable of the rule absent from body atom
+    /// `i` — so no atom can serve as guard.
+    pub missing: Vec<VarId>,
+}
+
+impl GuardViolation {
+    /// Re-checks the witness against `theory`: every `missing[i]` must be
+    /// a body variable of the rule that does not occur in body atom `i`.
+    pub fn validate(&self, theory: &Theory) -> Result<(), String> {
+        let rule = theory
+            .rules
+            .get(self.rule)
+            .ok_or_else(|| format!("rule index {} out of range", self.rule))?;
+        if self.missing.len() != rule.body.len() {
+            return Err(format!(
+                "witness names {} atoms but the body has {}",
+                self.missing.len(),
+                rule.body.len()
+            ));
+        }
+        let body_vars = rule.body_vars();
+        for (i, (atom, &miss)) in rule.body.iter().zip(&self.missing).enumerate() {
+            if !body_vars.contains(&miss) {
+                return Err(format!("missing[{i}] is not a body variable"));
+            }
+            if atom.vars().any(|v| v == miss) {
+                return Err(format!("body atom {i} does contain missing[{i}]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// All unguarded rules of the theory, in declaration order.
+pub fn guard_violations(theory: &Theory) -> Vec<GuardViolation> {
+    let mut out = Vec::new();
+    for (ri, rule) in theory.rules.iter().enumerate() {
+        let mut body_vars: Vec<VarId> = rule.body_vars().into_iter().collect();
+        body_vars.sort_unstable();
+        let missing: Option<Vec<VarId>> = rule
+            .body
+            .iter()
+            .map(|atom| {
+                let atom_vars: Vec<VarId> = atom.vars().collect();
+                body_vars.iter().copied().find(|v| !atom_vars.contains(v))
+            })
+            .collect();
+        if let Some(missing) = missing {
+            out.push(GuardViolation { rule: ri, missing });
+        }
+    }
+    out
+}
+
+/// One step of a sticky-marking derivation.
+///
+/// Initial steps (`because == None`) mark a body position whose variable
+/// is dropped by the rule's head; propagation steps mark a body position
+/// feeding an already-marked head position (`because == Some(head_pos)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MarkStep {
+    /// The position being marked.
+    pub pos: Pos,
+    /// Index of the rule justifying this marking.
+    pub rule: usize,
+    /// `None` for an initial marking; `Some(p)` when the marking
+    /// propagates from head position `p`, marked by an earlier step.
+    pub because: Option<Pos>,
+}
+
+/// Evidence that the theory is not sticky: a marked body position holding
+/// a join variable, with the derivation that marked it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StickyViolation {
+    /// Index of the rule whose body contains the poisoned join.
+    pub rule: usize,
+    /// Index of the body atom.
+    pub atom: usize,
+    /// Argument position within that atom.
+    pub arg: usize,
+    /// The join variable sitting there.
+    pub var: VarId,
+    /// Its occurrence count across the rule body (always ≥ 2).
+    pub occurrences: usize,
+    /// Derivation of the marking, initial step first; the final step
+    /// marks this violation's `(pred, arg)` position.
+    pub marking: Vec<MarkStep>,
+}
+
+impl StickyViolation {
+    /// Re-checks the witness: replays every marking step against the
+    /// theory (each propagation must cite a position marked earlier in
+    /// the chain) and recounts the join variable's occurrences.
+    pub fn validate(&self, theory: &Theory) -> Result<(), String> {
+        let rule = theory
+            .rules
+            .get(self.rule)
+            .ok_or_else(|| format!("rule index {} out of range", self.rule))?;
+        let atom = rule
+            .body
+            .get(self.atom)
+            .ok_or_else(|| format!("body atom {} out of range", self.atom))?;
+        match atom.args.get(self.arg) {
+            Some(Term::Var(v)) if *v == self.var => {}
+            _ => return Err("flagged position does not hold the flagged variable".into()),
+        }
+        let occurrences = rule
+            .body
+            .iter()
+            .flat_map(|a| a.vars())
+            .filter(|v| *v == self.var)
+            .count();
+        if occurrences != self.occurrences || occurrences < 2 {
+            return Err(format!(
+                "variable occurs {occurrences}× in the body, witness claims {}",
+                self.occurrences
+            ));
+        }
+        // Replay the derivation.
+        let mut marked: Vec<Pos> = Vec::new();
+        for (k, step) in self.marking.iter().enumerate() {
+            let srule = theory
+                .rules
+                .get(step.rule)
+                .ok_or_else(|| format!("step {k}: rule index out of range"))?;
+            let justified = match step.because {
+                None => {
+                    // Some body atom of `srule` holds a head-dropped
+                    // variable at this position.
+                    let head_vars = srule.head_vars();
+                    srule.body.iter().any(|a| {
+                        a.pred == step.pos.pred
+                            && matches!(
+                                a.args.get(step.pos.arg),
+                                Some(Term::Var(v)) if !head_vars.contains(v)
+                            )
+                    })
+                }
+                Some(hp) => {
+                    if !marked.contains(&hp) {
+                        return Err(format!(
+                            "step {k} cites a position not marked earlier in the chain"
+                        ));
+                    }
+                    // Some head atom of `srule` holds a variable at `hp`
+                    // that also sits at `step.pos` in the body.
+                    srule.head.iter().any(|h| {
+                        h.pred == hp.pred
+                            && match h.args.get(hp.arg) {
+                                Some(Term::Var(v)) => srule.body.iter().any(|a| {
+                                    a.pred == step.pos.pred
+                                        && a.args.get(step.pos.arg)
+                                            == Some(&Term::Var(*v))
+                                }),
+                                _ => false,
+                            }
+                    })
+                }
+            };
+            if !justified {
+                return Err(format!("step {k} is not justified by its rule"));
+            }
+            marked.push(step.pos);
+        }
+        match self.marking.last() {
+            Some(last) if last.pos == (Pos { pred: atom.pred, arg: self.arg }) => Ok(()),
+            _ => Err("derivation does not end at the flagged position".into()),
+        }
+    }
+}
+
+/// All sticky-marking violations, in (rule, atom, arg) order.
+///
+/// Runs the Calì–Gottlob–Pieris marking fixpoint exactly as
+/// [`crate::recognize::is_sticky`] does, but records for every marked
+/// position the first step that marked it, so each violation carries a
+/// replayable derivation.
+pub fn sticky_violations(theory: &Theory) -> Vec<StickyViolation> {
+    // first_mark: position -> the step that first marked it.
+    let mut first_mark: BTreeMap<Pos, MarkStep> = BTreeMap::new();
+
+    for (ri, rule) in theory.rules.iter().enumerate() {
+        let head_vars = rule.head_vars();
+        for atom in &rule.body {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    if !head_vars.contains(v) {
+                        let pos = Pos { pred: atom.pred, arg: i };
+                        first_mark
+                            .entry(pos)
+                            .or_insert(MarkStep { pos, rule: ri, because: None });
+                    }
+                }
+            }
+        }
+    }
+
+    loop {
+        let mut changed = false;
+        for (ri, rule) in theory.rules.iter().enumerate() {
+            for head in &rule.head {
+                for (i, t) in head.args.iter().enumerate() {
+                    let hp = Pos { pred: head.pred, arg: i };
+                    if !first_mark.contains_key(&hp) {
+                        continue;
+                    }
+                    if let Term::Var(v) = t {
+                        for atom in &rule.body {
+                            for (j, bt) in atom.args.iter().enumerate() {
+                                if *bt != Term::Var(*v) {
+                                    continue;
+                                }
+                                let pos = Pos { pred: atom.pred, arg: j };
+                                if !first_mark.contains_key(&pos) {
+                                    first_mark.insert(
+                                        pos,
+                                        MarkStep { pos, rule: ri, because: Some(hp) },
+                                    );
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Chain extraction: follow `because` links back to an initial step.
+    let chain_to = |target: Pos| -> Vec<MarkStep> {
+        let mut chain = Vec::new();
+        let mut cur = Some(target);
+        while let Some(p) = cur {
+            let step = first_mark[&p];
+            chain.push(step);
+            cur = step.because;
+        }
+        chain.reverse();
+        chain
+    };
+
+    let mut out = Vec::new();
+    for (ri, rule) in theory.rules.iter().enumerate() {
+        let mut occurrences: BTreeMap<VarId, usize> = BTreeMap::new();
+        for atom in &rule.body {
+            for t in &atom.args {
+                if let Term::Var(v) = t {
+                    *occurrences.entry(*v).or_default() += 1;
+                }
+            }
+        }
+        for (ai, atom) in rule.body.iter().enumerate() {
+            for (i, t) in atom.args.iter().enumerate() {
+                let Term::Var(v) = t else { continue };
+                let pos = Pos { pred: atom.pred, arg: i };
+                if first_mark.contains_key(&pos) && occurrences[v] > 1 {
+                    out.push(StickyViolation {
+                        rule: ri,
+                        atom: ai,
+                        arg: i,
+                        var: *v,
+                        occurrences: occurrences[v],
+                        marking: chain_to(pos),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evidence that the theory is not weakly acyclic: a cycle in the
+/// position dependency graph passing through a special edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaViolation {
+    /// The cycle, as a chained edge sequence (`cycle[k].to ==
+    /// cycle[k+1].from`, wrapping around); the first edge is special.
+    pub cycle: Vec<Edge>,
+}
+
+impl WaViolation {
+    /// Re-checks the witness: the edges must chain into a cycle, contain
+    /// a special edge, and each edge must genuinely be induced by the
+    /// rule it names.
+    pub fn validate(&self, theory: &Theory) -> Result<(), String> {
+        if self.cycle.is_empty() {
+            return Err("empty cycle".into());
+        }
+        if !self.cycle.iter().any(|e| e.kind == EdgeKind::Special) {
+            return Err("cycle has no special edge".into());
+        }
+        for (k, e) in self.cycle.iter().enumerate() {
+            let next = &self.cycle[(k + 1) % self.cycle.len()];
+            if e.to != next.from {
+                return Err(format!("edge {k} does not chain into its successor"));
+            }
+            let rule = theory
+                .rules
+                .get(e.rule)
+                .ok_or_else(|| format!("edge {k}: rule index out of range"))?;
+            let ex = rule.existential_vars();
+            let induced = rule.body.iter().any(|atom| {
+                atom.pred == e.from.pred
+                    && match atom.args.get(e.from.arg) {
+                        Some(Term::Var(v)) => rule.head.iter().any(|h| {
+                            h.pred == e.to.pred
+                                && match h.args.get(e.to.arg) {
+                                    Some(Term::Var(w)) => match e.kind {
+                                        EdgeKind::Regular => w == v,
+                                        EdgeKind::Special => ex.contains(w),
+                                    },
+                                    _ => false,
+                                }
+                        }),
+                        _ => false,
+                    }
+            });
+            if !induced {
+                return Err(format!("edge {k} is not induced by rule {}", e.rule));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic special-edge cycle of the theory's position
+/// dependency graph, or `None` when the theory is weakly acyclic.
+pub fn weak_acyclicity_violation(theory: &Theory) -> Option<WaViolation> {
+    PosGraph::new(theory).special_cycle().map(|cycle| WaViolation { cycle })
+}
+
+/// Evidence that a TGD falls outside the Theorem 3 fragment: its
+/// frontier has more than one variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Theorem3Violation {
+    /// Index of the offending TGD in [`Theory::rules`].
+    pub rule: usize,
+    /// Its frontier variables, sorted (always ≥ 2 of them).
+    pub frontier: Vec<VarId>,
+}
+
+impl Theorem3Violation {
+    /// Re-checks the witness: the rule must be an existential TGD whose
+    /// recomputed frontier matches and exceeds one variable.
+    pub fn validate(&self, theory: &Theory) -> Result<(), String> {
+        let rule = theory
+            .rules
+            .get(self.rule)
+            .ok_or_else(|| format!("rule index {} out of range", self.rule))?;
+        if rule.is_datalog() {
+            return Err("rule is plain datalog, not a TGD".into());
+        }
+        let mut frontier: Vec<VarId> = rule.frontier().into_iter().collect();
+        frontier.sort_unstable();
+        if frontier != self.frontier {
+            return Err("frontier mismatch".into());
+        }
+        if frontier.len() <= 1 {
+            return Err("frontier has at most one variable".into());
+        }
+        Ok(())
+    }
+}
+
+/// All TGDs outside the Theorem 3 fragment, in declaration order.
+pub fn theorem3_violations(theory: &Theory) -> Vec<Theorem3Violation> {
+    let mut out = Vec::new();
+    for (ri, rule) in theory.rules.iter().enumerate() {
+        if rule.is_datalog() {
+            continue;
+        }
+        let mut frontier: Vec<VarId> = rule.frontier().into_iter().collect();
+        if frontier.len() > 1 {
+            frontier.sort_unstable();
+            out.push(Theorem3Violation { rule: ri, frontier });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognize::{is_guarded, is_sticky, is_theorem3_fragment, is_weakly_acyclic};
+    use bddfc_core::{parse_into, Vocabulary};
+
+    fn theory(src: &str) -> Theory {
+        let mut voc = Vocabulary::new();
+        let (t, _, _) = parse_into(src, &mut voc).unwrap();
+        t
+    }
+
+    #[test]
+    fn guard_witness_agrees_and_validates() {
+        let t = theory("E(X,Y), E(Y,Z) -> E(X,Z). R(X,Y,Z), P(X) -> U(Z).");
+        let vs = guard_violations(&t);
+        assert_eq!(vs.len(), 1, "only the transitivity rule is unguarded");
+        assert_eq!(vs[0].rule, 0);
+        vs[0].validate(&t).unwrap();
+        assert_eq!(vs.is_empty(), is_guarded(&t));
+    }
+
+    #[test]
+    fn guarded_theory_has_no_witness() {
+        let t = theory("E(X,Y) -> exists Z . E(Y,Z).");
+        assert!(guard_violations(&t).is_empty());
+        assert!(is_guarded(&t));
+    }
+
+    #[test]
+    fn sticky_witness_agrees_and_validates() {
+        let t = theory("E(X,Y), E(Y,Z) -> R(X,Z).");
+        let vs = sticky_violations(&t);
+        assert!(!vs.is_empty());
+        assert!(!is_sticky(&t));
+        for v in &vs {
+            v.validate(&t).unwrap();
+            // Initial marking only: one-step derivations.
+            assert!(v.marking.len() == 1 && v.marking[0].because.is_none());
+        }
+    }
+
+    #[test]
+    fn sticky_propagation_witness_has_a_chain() {
+        let t = theory(
+            "E(X,Y), E(Y,Z) -> R(X,Y,Z).
+             R(X,Y,Z) -> S(X,Z).",
+        );
+        let vs = sticky_violations(&t);
+        assert!(!vs.is_empty());
+        assert!(!is_sticky(&t));
+        let longest = vs.iter().map(|v| v.marking.len()).max().unwrap();
+        assert!(longest >= 2, "propagation must show up in some chain");
+        for v in &vs {
+            v.validate(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn wa_witness_agrees_and_validates() {
+        let t = theory("E(X,Y) -> exists Z . E(Y,Z).");
+        let v = weak_acyclicity_violation(&t).unwrap();
+        assert!(!is_weakly_acyclic(&t));
+        v.validate(&t).unwrap();
+        let t2 = theory("P(X) -> exists Z . E(X,Z). E(X,Y) -> U(Y).");
+        assert!(weak_acyclicity_violation(&t2).is_none());
+        assert!(is_weakly_acyclic(&t2));
+    }
+
+    #[test]
+    fn theorem3_witness_agrees_and_validates() {
+        let t = theory("E(X,Y) -> exists Z . R(X,Y,Z). P(X), E(X,Y) -> exists Z . U(Y,Z).");
+        let vs = theorem3_violations(&t);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, 0);
+        vs[0].validate(&t).unwrap();
+        assert!(!is_theorem3_fragment(&t));
+    }
+
+    #[test]
+    fn corrupted_witnesses_fail_validation() {
+        let t = theory("E(X,Y), E(Y,Z) -> E(X,Z).");
+        let mut g = guard_violations(&t).remove(0);
+        g.missing.swap(0, 1); // now each atom *contains* its "missing" var
+        assert!(g.validate(&t).is_err());
+
+        let t2 = theory("E(X,Y) -> exists Z . E(Y,Z).");
+        let mut w = weak_acyclicity_violation(&t2).unwrap();
+        w.cycle[0].kind = EdgeKind::Regular;
+        assert!(w.validate(&t2).is_err());
+
+        let t3 = theory("E(X,Y), E(Y,Z) -> R(X,Z).");
+        let mut s = sticky_violations(&t3).remove(0);
+        s.occurrences += 1;
+        assert!(s.validate(&t3).is_err());
+    }
+}

@@ -40,10 +40,12 @@ pub mod instance;
 pub mod obs;
 pub mod par;
 pub mod parser;
+pub mod posgraph;
 pub mod prng;
 pub mod query;
 pub mod rule;
 pub mod satisfaction;
+pub mod span;
 pub mod symbols;
 pub mod term;
 
@@ -53,5 +55,6 @@ pub use instance::Instance;
 pub use parser::{parse_into, parse_program, parse_query, parse_rule, ParseError, Program};
 pub use query::{ConjunctiveQuery, Ucq};
 pub use rule::{Rule, RuleKind, Theory};
+pub use span::{RuleSpans, SrcSpan};
 pub use symbols::{ConstId, PredId, VarId, Vocabulary};
 pub use term::{Atom, Fact, Term};

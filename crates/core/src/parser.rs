@@ -21,6 +21,7 @@
 use crate::instance::Instance;
 use crate::query::ConjunctiveQuery;
 use crate::rule::{Rule, Theory};
+use crate::span::{RuleSpans, SrcSpan};
 use crate::symbols::Vocabulary;
 use crate::term::{Atom, Term};
 use std::fmt;
@@ -117,11 +118,14 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next_tok(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+    /// Lexes the next token, returning it with the 1-based start
+    /// position of its first character and the position just past its
+    /// last character (the spans of [`crate::span::SrcSpan`]).
+    fn next_tok(&mut self) -> Result<Lexed, ParseError> {
         self.skip_trivia();
         let (line, col) = (self.line, self.col);
         let Some(c) = self.peek() else {
-            return Ok((Tok::Eof, line, col));
+            return Ok(Lexed { tok: Tok::Eof, line, col, end_line: line, end_col: col });
         };
         let tok = match c {
             b'(' => {
@@ -175,37 +179,67 @@ impl<'a> Lexer<'a> {
                 })
             }
         };
-        Ok((tok, line, col))
+        Ok(Lexed { tok, line, col, end_line: self.line, end_col: self.col })
+    }
+}
+
+/// One lexed token with its source extent (start and one-past-end
+/// positions, both 1-based).
+struct Lexed {
+    tok: Tok,
+    line: usize,
+    col: usize,
+    end_line: usize,
+    end_col: usize,
+}
+
+impl Lexed {
+    fn start(&self) -> (usize, usize) {
+        (self.line, self.col)
+    }
+
+    fn end(&self) -> (usize, usize) {
+        (self.end_line, self.end_col)
     }
 }
 
 struct Parser<'a> {
     lexer: Lexer<'a>,
-    lookahead: (Tok, usize, usize),
+    lookahead: Lexed,
+    /// One-past-end position of the last consumed token; with the
+    /// lookahead's start this brackets whatever was just parsed.
+    last_end: (usize, usize),
     voc: &'a mut Vocabulary,
+}
+
+/// Builds a [`SrcSpan`] from 1-based `(line, col)` start/end pairs.
+fn span(start: (usize, usize), end: (usize, usize)) -> SrcSpan {
+    let clamp = |n: usize| u32::try_from(n).unwrap_or(u32::MAX);
+    SrcSpan::new(clamp(start.0), clamp(start.1), clamp(end.0), clamp(end.1))
 }
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str, voc: &'a mut Vocabulary) -> Result<Self, ParseError> {
         let mut lexer = Lexer::new(src);
         let lookahead = lexer.next_tok()?;
-        Ok(Parser { lexer, lookahead, voc })
+        Ok(Parser { lexer, lookahead, last_end: (1, 1), voc })
     }
 
     fn peek(&self) -> &Tok {
-        &self.lookahead.0
+        &self.lookahead.tok
     }
 
     fn advance(&mut self) -> Result<Tok, ParseError> {
         let next = self.lexer.next_tok()?;
-        Ok(std::mem::replace(&mut self.lookahead, next).0)
+        self.last_end = self.lookahead.end();
+        Ok(std::mem::replace(&mut self.lookahead, next).tok)
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             message: message.into(),
-            line: self.lookahead.1,
-            col: self.lookahead.2,
+            line: self.lookahead.line,
+            col: self.lookahead.col,
         }
     }
 
@@ -238,9 +272,10 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn atom(&mut self) -> Result<Atom, ParseError> {
+    fn atom(&mut self) -> Result<(Atom, SrcSpan), ParseError> {
         // Predicate names may be any identifier (the paper's relations are
         // uppercase); the following '(' disambiguates them from terms.
+        let start = self.lookahead.start();
         let name = self.ident("predicate name")?;
         self.expect(Tok::LParen, "'('")?;
         let mut args = Vec::new();
@@ -255,26 +290,34 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect(Tok::RParen, "')'")?;
+        let atom_span = span(start, self.last_end);
         if let Some(existing) = self.voc.find_pred(&name) {
             if self.voc.arity(existing) != args.len() {
-                return Err(self.err(format!(
-                    "predicate {name} used with arity {} but declared {}",
-                    args.len(),
-                    self.voc.arity(existing)
-                )));
+                return Err(ParseError {
+                    message: format!(
+                        "predicate {name} used with arity {} but declared {}",
+                        args.len(),
+                        self.voc.arity(existing)
+                    ),
+                    line: atom_span.line as usize,
+                    col: atom_span.col as usize,
+                });
             }
         }
         let pred = self.voc.pred(&name, args.len());
-        Ok(Atom::new(pred, args))
+        Ok((Atom::new(pred, args), atom_span))
     }
 
-    fn atom_list(&mut self) -> Result<Vec<Atom>, ParseError> {
-        let mut atoms = vec![self.atom()?];
+    fn atom_list(&mut self) -> Result<(Vec<Atom>, Vec<SrcSpan>), ParseError> {
+        let (first, first_span) = self.atom()?;
+        let (mut atoms, mut spans) = (vec![first], vec![first_span]);
         while *self.peek() == Tok::Comma {
             self.advance()?;
-            atoms.push(self.atom()?);
+            let (atom, span) = self.atom()?;
+            atoms.push(atom);
+            spans.push(span);
         }
-        Ok(atoms)
+        Ok((atoms, spans))
     }
 
     /// Parses one statement, pushing into the program parts. Returns false
@@ -309,12 +352,12 @@ impl<'a> Parser<'a> {
                 if *self.peek() == Tok::Dash {
                     self.advance()?;
                 }
-                let atoms = self.atom_list()?;
+                let (atoms, _) = self.atom_list()?;
                 self.expect(Tok::Dot, "'.'")?;
                 queries.push(ConjunctiveQuery::with_free(atoms, free));
             }
             _ => {
-                let atoms = self.atom_list()?;
+                let (atoms, body_spans) = self.atom_list()?;
                 match self.peek() {
                     Tok::Dot => {
                         self.advance()?;
@@ -355,9 +398,16 @@ impl<'a> Parser<'a> {
                                 self.expect(Tok::Dot, "'.' after exists clause")?;
                             }
                         }
-                        let head = self.atom_list()?;
+                        let (head, head_spans) = self.atom_list()?;
                         self.expect(Tok::Dot, "'.'")?;
-                        theory.push(Rule::new(atoms, head));
+                        let first = body_spans.first().expect("nonempty body");
+                        let last = head_spans.last().expect("nonempty head");
+                        let spans = RuleSpans {
+                            rule: first.to(*last),
+                            body: body_spans,
+                            head: head_spans,
+                        };
+                        theory.push(Rule::new(atoms, head).with_spans(spans));
                     }
                     other => {
                         return Err(self.err(format!(
@@ -518,5 +568,38 @@ mod tests {
     #[test]
     fn unexpected_char_reports_error() {
         assert!(parse_program("E(a;b).").is_err());
+    }
+
+    #[test]
+    fn rules_carry_spans() {
+        let src = "% comment\nE(X,Y) -> exists Z . E(Y,Z).\nE(X,Y), E(Y,Z) -> E(X,Z).\n";
+        let prog = parse_program(src).unwrap();
+        let r0 = &prog.theory.rules[0];
+        // `E(X,Y) -> exists Z . E(Y,Z).` on line 2: body atom at col 1,
+        // head atom ending just past `E(Y,Z)` (col 28 one-past-end).
+        assert_eq!(r0.span().unwrap(), SrcSpan::new(2, 1, 2, 28));
+        assert_eq!(r0.body_span(0).unwrap(), SrcSpan::new(2, 1, 2, 7));
+        assert_eq!(r0.head_span(0).unwrap(), SrcSpan::new(2, 22, 2, 28));
+        let r1 = &prog.theory.rules[1];
+        assert_eq!(r1.span().unwrap().line, 3);
+        assert_eq!(r1.body_span(1).unwrap(), SrcSpan::new(3, 9, 3, 15));
+    }
+
+    #[test]
+    fn spans_align_with_atom_counts() {
+        let mut voc = Vocabulary::new();
+        let r = parse_rule("E(X,Y), E(Y,Z) -> E(X,Z), U(Z)", &mut voc).unwrap();
+        let spans = r.spans.as_ref().unwrap();
+        assert_eq!(spans.body.len(), r.body.len());
+        assert_eq!(spans.head.len(), r.head.len());
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let mut voc = Vocabulary::new();
+        let parsed = parse_rule("E(X,Y) -> E(Y,X)", &mut voc).unwrap();
+        let programmatic = Rule::new(parsed.body.clone(), parsed.head.clone());
+        assert!(programmatic.spans.is_none());
+        assert_eq!(parsed, programmatic);
     }
 }

@@ -1,0 +1,284 @@
+//! The position dependency graph of a theory, with witnesses.
+//!
+//! Weak acyclicity (Fagin, Kolaitis, Miller & Popa) is the classical
+//! chase-termination condition: build a graph over predicate *positions*
+//! with a **regular** edge wherever a rule copies a body variable into a
+//! head position and a **special** edge from every body variable position
+//! into every existentially quantified head position; the theory is
+//! weakly acyclic iff no cycle passes through a special edge.
+//!
+//! `bddfc_classes::recognize::is_weakly_acyclic` answers that question
+//! with a bare boolean. This module keeps the whole graph around — every
+//! edge remembers the rule that induced it — so a failure can be reported
+//! as an explicit special-edge cycle, checkable by anyone without
+//! re-running the analysis. It lives in `bddfc_core` (rather than the
+//! classes crate) so the chase engine can consult it before an unbounded
+//! run without creating a dependency cycle.
+//!
+//! All derived artefacts (edge order, the chosen cycle) are deterministic
+//! functions of the theory: construction sorts edges and the cycle search
+//! walks them in that order, so repeated runs — at any thread count —
+//! report the identical witness.
+
+use crate::rule::Theory;
+use crate::symbols::{PredId, Vocabulary};
+use crate::term::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A predicate position: the `arg`-th argument slot of `pred` (0-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// The predicate.
+    pub pred: PredId,
+    /// The 0-based argument position.
+    pub arg: usize,
+}
+
+impl Pos {
+    /// Renders the position as `P[i]` using names from `voc`.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> DisplayPos<'a> {
+        DisplayPos { pos: self, voc }
+    }
+}
+
+/// Helper for [`Pos::display`].
+pub struct DisplayPos<'a> {
+    pos: &'a Pos,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for DisplayPos<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.voc.pred_name(self.pos.pred), self.pos.arg)
+    }
+}
+
+/// Whether an edge copies a variable (regular) or feeds an existential
+/// witness (special).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// A body variable is copied into this head position.
+    Regular,
+    /// The head position holds an existentially quantified variable.
+    Special,
+}
+
+/// One labeled edge of the position dependency graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source position (a body occurrence of some variable).
+    pub from: Pos,
+    /// Target position (a head occurrence).
+    pub to: Pos,
+    /// Regular (variable copy) or special (existential witness).
+    pub kind: EdgeKind,
+    /// Index into [`Theory::rules`] of the (first) rule inducing the edge.
+    pub rule: usize,
+}
+
+/// The position dependency graph of a theory.
+///
+/// Edges are deduplicated by `(from, to, kind)` — keeping the smallest
+/// inducing rule index — and stored sorted, so everything derived from
+/// the graph is a deterministic function of the theory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PosGraph {
+    edges: Vec<Edge>,
+}
+
+impl PosGraph {
+    /// Builds the graph of `theory`.
+    ///
+    /// For every rule, every body position `(p, i)` holding a variable
+    /// `v` contributes a regular edge to each head position holding `v`
+    /// and a special edge to each head position holding an existential
+    /// variable of the rule — the exact edge set walked by
+    /// `bddfc_classes::recognize::is_weakly_acyclic`.
+    pub fn new(theory: &Theory) -> Self {
+        let mut dedup: BTreeMap<(Pos, Pos, EdgeKind), usize> = BTreeMap::new();
+        for (ri, rule) in theory.rules.iter().enumerate() {
+            let ex = rule.existential_vars();
+            for atom in &rule.body {
+                for (i, t) in atom.args.iter().enumerate() {
+                    let Term::Var(v) = t else { continue };
+                    let from = Pos { pred: atom.pred, arg: i };
+                    for head in &rule.head {
+                        for (j, ht) in head.args.iter().enumerate() {
+                            let to = Pos { pred: head.pred, arg: j };
+                            match ht {
+                                Term::Var(w) if w == v => {
+                                    dedup
+                                        .entry((from, to, EdgeKind::Regular))
+                                        .or_insert(ri);
+                                }
+                                Term::Var(w) if ex.contains(w) => {
+                                    dedup
+                                        .entry((from, to, EdgeKind::Special))
+                                        .or_insert(ri);
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let edges = dedup
+            .into_iter()
+            .map(|((from, to, kind), rule)| Edge { from, to, kind, rule })
+            .collect();
+        PosGraph { edges }
+    }
+
+    /// All edges, sorted by `(from, to, kind)`.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Is the theory weakly acyclic (no cycle through a special edge)?
+    pub fn is_weakly_acyclic(&self) -> bool {
+        self.special_cycle().is_none()
+    }
+
+    /// A cycle through a special edge, as a chained edge sequence
+    /// (`e[k].to == e[k+1].from`, wrapping around), or `None` when the
+    /// theory is weakly acyclic.
+    ///
+    /// The first edge is always special. Among the candidates, the
+    /// lexicographically smallest special edge whose target reaches its
+    /// source wins, and the return path is a BFS-shortest path — so the
+    /// witness is deterministic.
+    pub fn special_cycle(&self) -> Option<Vec<Edge>> {
+        // Adjacency over the sorted edge list keeps the BFS deterministic.
+        let mut adj: BTreeMap<Pos, Vec<usize>> = BTreeMap::new();
+        for (idx, e) in self.edges.iter().enumerate() {
+            adj.entry(e.from).or_default().push(idx);
+        }
+        for e in &self.edges {
+            if e.kind != EdgeKind::Special {
+                continue;
+            }
+            if let Some(path) = self.bfs_path(&adj, e.to, e.from) {
+                let mut cycle = vec![*e];
+                cycle.extend(path);
+                return Some(cycle);
+            }
+        }
+        None
+    }
+
+    /// BFS-shortest edge path `from →* to` (empty when `from == to`).
+    fn bfs_path(
+        &self,
+        adj: &BTreeMap<Pos, Vec<usize>>,
+        from: Pos,
+        to: Pos,
+    ) -> Option<Vec<Edge>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        // parent[pos] = edge index that first reached pos.
+        let mut parent: BTreeMap<Pos, usize> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(p) = queue.pop_front() {
+            for &idx in adj.get(&p).into_iter().flatten() {
+                let e = &self.edges[idx];
+                if e.to == from || parent.contains_key(&e.to) {
+                    continue;
+                }
+                parent.insert(e.to, idx);
+                if e.to == to {
+                    let mut path = Vec::new();
+                    let mut cur = to;
+                    while cur != from {
+                        let idx = parent[&cur];
+                        path.push(self.edges[idx]);
+                        cur = self.edges[idx].from;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(e.to);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_into;
+
+    fn theory(src: &str) -> (Theory, Vocabulary) {
+        let mut voc = Vocabulary::new();
+        let (t, _, _) = parse_into(src, &mut voc).unwrap();
+        (t, voc)
+    }
+
+    fn assert_chained(cycle: &[Edge]) {
+        assert!(!cycle.is_empty());
+        assert_eq!(cycle[0].kind, EdgeKind::Special);
+        for k in 0..cycle.len() {
+            let next = &cycle[(k + 1) % cycle.len()];
+            assert_eq!(cycle[k].to, next.from, "cycle edges must chain");
+        }
+    }
+
+    #[test]
+    fn successor_rule_has_special_self_cycle() {
+        let (t, _) = theory("E(X,Y) -> exists Z . E(Y,Z).");
+        let g = PosGraph::new(&t);
+        assert!(!g.is_weakly_acyclic());
+        let cycle = g.special_cycle().unwrap();
+        assert_chained(&cycle);
+    }
+
+    #[test]
+    fn datalog_only_theory_is_weakly_acyclic() {
+        let (t, _) = theory("E(X,Y), E(Y,Z) -> E(X,Z).");
+        let g = PosGraph::new(&t);
+        assert!(g.is_weakly_acyclic());
+        // Regular edges still exist and name their inducing rule.
+        assert!(!g.edges().is_empty());
+        assert!(g.edges().iter().all(|e| e.kind == EdgeKind::Regular && e.rule == 0));
+    }
+
+    #[test]
+    fn acyclic_generation_is_weakly_acyclic() {
+        let (t, _) = theory("P(X) -> exists Z . E(X,Z). E(X,Y) -> U(Y).");
+        assert!(PosGraph::new(&t).is_weakly_acyclic());
+    }
+
+    #[test]
+    fn cycle_through_two_rules_is_found() {
+        // Special edge E[1] -> U[1]; regular path U[1] -> E[1] via rule 1.
+        let (t, _) = theory("E(X,Y) -> exists Z . U(Y,Z). U(X,Y) -> E(X,Y).");
+        let g = PosGraph::new(&t);
+        let cycle = g.special_cycle().unwrap();
+        assert_chained(&cycle);
+        assert!(cycle.len() >= 2);
+        assert!(cycle.iter().any(|e| e.rule == 0) && cycle.iter().any(|e| e.rule == 1));
+    }
+
+    #[test]
+    fn witness_is_deterministic() {
+        let src = "E(X,Y) -> exists Z . E(Y,Z).
+                   E(X,Y), E(Y,Z) -> E(X,Z).
+                   U(X) -> exists Z . E(X,Z).";
+        let (t, _) = theory(src);
+        let a = PosGraph::new(&t).special_cycle().unwrap();
+        let b = PosGraph::new(&t).special_cycle().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pos_display_uses_pred_names() {
+        let (t, voc) = theory("E(X,Y) -> exists Z . E(Y,Z).");
+        let g = PosGraph::new(&t);
+        let e = g.edges()[0];
+        let s = format!("{} -> {}", e.from.display(&voc), e.to.display(&voc));
+        assert!(s.contains("E["), "{s}");
+    }
+}

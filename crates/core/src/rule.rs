@@ -8,19 +8,35 @@
 //! single-head rules validate this explicitly.
 
 use crate::query::ConjunctiveQuery;
+use crate::span::{RuleSpans, SrcSpan};
 use crate::symbols::{ConstId, PredId, VarId, Vocabulary};
 use crate::term::{Atom, Term};
 use crate::fxhash::FxHashSet;
 use std::fmt;
 
 /// A rule `body ⇒ ∃(head-only vars) head₁ ∧ … ∧ headₖ`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Equality compares the logical content (`body`, `head`) only; the
+/// source [`RuleSpans`] are provenance and two rules differing only in
+/// where they were parsed from compare equal.
+#[derive(Clone, Debug)]
 pub struct Rule {
     /// The body conjunction (must be non-empty for a safe rule).
     pub body: Vec<Atom>,
     /// The head conjunction (singleton for the paper's TGDs).
     pub head: Vec<Atom>,
+    /// Source positions, when the rule came out of the parser. Boxed so
+    /// the common programmatic (span-free) rule stays small.
+    pub spans: Option<Box<RuleSpans>>,
 }
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.body == other.body && self.head == other.head
+    }
+}
+
+impl Eq for Rule {}
 
 /// The kind of a rule, derived from its variable usage.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -32,14 +48,37 @@ pub enum RuleKind {
 }
 
 impl Rule {
-    /// Creates a rule.
+    /// Creates a rule (without source positions).
     pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Self {
-        Rule { body, head }
+        Rule { body, head, spans: None }
     }
 
-    /// Creates a single-head rule.
+    /// Creates a single-head rule (without source positions).
     pub fn single(body: Vec<Atom>, head: Atom) -> Self {
-        Rule { body, head: vec![head] }
+        Rule { body, head: vec![head], spans: None }
+    }
+
+    /// Attaches source positions (used by the parser).
+    pub fn with_spans(mut self, spans: RuleSpans) -> Self {
+        debug_assert_eq!(spans.body.len(), self.body.len());
+        debug_assert_eq!(spans.head.len(), self.head.len());
+        self.spans = Some(Box::new(spans));
+        self
+    }
+
+    /// The source span of the whole rule, if it was parsed from text.
+    pub fn span(&self) -> Option<SrcSpan> {
+        self.spans.as_ref().map(|s| s.rule)
+    }
+
+    /// The source span of the `i`-th body atom, if known.
+    pub fn body_span(&self, i: usize) -> Option<SrcSpan> {
+        self.spans.as_ref().and_then(|s| s.body.get(i).copied())
+    }
+
+    /// The source span of the `i`-th head atom, if known.
+    pub fn head_span(&self, i: usize) -> Option<SrcSpan> {
+        self.spans.as_ref().and_then(|s| s.head.get(i).copied())
     }
 
     /// Variables occurring in the body.
@@ -133,6 +172,17 @@ impl Rule {
         Rule {
             body: self.body.iter().map(|a| a.apply(&subst)).collect(),
             head: self.head.iter().map(|a| a.apply(&subst)).collect(),
+            spans: self.spans.clone(),
+        }
+    }
+
+    /// A one-line human label: the pretty-printed rule, with its source
+    /// position appended when known — `` `E(X,Y) -> E(Y,Z)` at 3:1 ``.
+    /// The canonical way to name a rule in a diagnostic or error.
+    pub fn describe(&self, voc: &Vocabulary) -> String {
+        match self.span() {
+            Some(span) => format!("`{}` at {span}", self.display(voc)),
+            None => format!("`{}`", self.display(voc)),
         }
     }
 

@@ -1,0 +1,94 @@
+//! Source positions for parsed rules and atoms.
+//!
+//! The parser has always tracked 1-based line/column positions for its
+//! *errors*; this module makes the same positions available on every
+//! successfully parsed [`crate::Rule`] (and on each of its atoms), so
+//! downstream analyses — most prominently the `bddfc-lint` diagnostics
+//! — can point at the offending source text instead of naming bare rule
+//! indices.
+//!
+//! Spans are pure provenance: they never participate in equality,
+//! hashing or any engine decision. A [`crate::Rule`] built
+//! programmatically simply has none, and every analysis must degrade
+//! gracefully to that case.
+
+use std::fmt;
+
+/// A half-open region of source text, in 1-based lines and columns.
+///
+/// `start` is the first character of the region; `end` is the position
+/// *just past* its last character (the start of the following token's
+/// trivia). A zero value anywhere marks an unknown position and never
+/// comes out of the parser.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SrcSpan {
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+    /// 1-based line just past the last character.
+    pub end_line: u32,
+    /// 1-based column just past the last character.
+    pub end_col: u32,
+}
+
+impl SrcSpan {
+    /// Builds a span from 1-based start/end positions.
+    pub fn new(line: u32, col: u32, end_line: u32, end_col: u32) -> Self {
+        SrcSpan { line, col, end_line, end_col }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: SrcSpan) -> SrcSpan {
+        let (line, col) = if (self.line, self.col) <= (other.line, other.col) {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        let (end_line, end_col) =
+            if (self.end_line, self.end_col) >= (other.end_line, other.end_col) {
+                (self.end_line, self.end_col)
+            } else {
+                (other.end_line, other.end_col)
+            };
+        SrcSpan { line, col, end_line, end_col }
+    }
+}
+
+impl fmt::Display for SrcSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Source positions of one parsed rule: the whole rule plus each atom,
+/// aligned index-for-index with [`crate::Rule::body`] and
+/// [`crate::Rule::head`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleSpans {
+    /// The whole rule, from the first body atom to the last head atom.
+    pub rule: SrcSpan,
+    /// One span per body atom.
+    pub body: Vec<SrcSpan>,
+    /// One span per head atom.
+    pub head: Vec<SrcSpan>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both_spans() {
+        let a = SrcSpan::new(1, 5, 1, 11);
+        let b = SrcSpan::new(2, 1, 2, 7);
+        assert_eq!(a.to(b), SrcSpan::new(1, 5, 2, 7));
+        assert_eq!(b.to(a), SrcSpan::new(1, 5, 2, 7));
+        assert_eq!(a.to(a), a);
+    }
+
+    #[test]
+    fn display_is_line_colon_col() {
+        assert_eq!(SrcSpan::new(3, 14, 3, 20).to_string(), "3:14");
+    }
+}

@@ -1,0 +1,101 @@
+//! `bddfc-lint` — lint Datalog∃ programs.
+//!
+//! ```text
+//! bddfc-lint FILE...                    # lint files, rustc-style output
+//! bddfc-lint --zoo                      # lint the embedded zoo corpus
+//! bddfc-lint FILE --json                # one-line deterministic JSON
+//! bddfc-lint FILE --deny warning       # exit 1 on warnings or worse
+//! ```
+//!
+//! The exit code is 0 when every diagnostic is below the `--deny` level
+//! (default `error`), 1 otherwise, 2 on usage errors. JSON output is
+//! byte-identical across runs and `BDDFC_THREADS` settings.
+
+use bddfc_lint::{lint_source, reports_json, LintReport, Severity};
+use std::process::ExitCode;
+
+struct Args {
+    files: Vec<String>,
+    zoo: bool,
+    json: bool,
+    deny: Severity,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bddfc-lint [FILE]... [--zoo] [--json] [--deny <note|warning|error>]\n\
+         \n\
+         FILE...            Datalog∃ source files to lint\n\
+         --zoo              also lint the embedded zoo corpus\n\
+         --json             print one deterministic JSON document instead of text\n\
+         --deny LEVEL       exit nonzero if any diagnostic is at or above LEVEL\n\
+         \x20                  (default: error)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { files: Vec::new(), zoo: false, json: false, deny: Severity::Error };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--zoo" => args.zoo = true,
+            "--json" => args.json = true,
+            "--deny" => {
+                let level = it.next().unwrap_or_else(|| {
+                    eprintln!("--deny needs a value");
+                    usage()
+                });
+                args.deny = Severity::parse(&level).unwrap_or_else(|| {
+                    eprintln!("unknown deny level {level:?}");
+                    usage()
+                });
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown argument: {flag}");
+                usage()
+            }
+            file => args.files.push(file.to_owned()),
+        }
+    }
+    if args.files.is_empty() && !args.zoo {
+        eprintln!("no input: pass FILE arguments or --zoo");
+        usage()
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut reports: Vec<LintReport> = Vec::new();
+
+    for path in &args.files {
+        match std::fs::read_to_string(path) {
+            Ok(src) => reports.push(lint_source(path, &src)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.zoo {
+        for &(name, src) in bddfc_zoo::corpus() {
+            reports.push(lint_source(&format!("zoo:{name}"), src));
+        }
+    }
+
+    if args.json {
+        println!("{}", reports_json(&reports));
+    } else {
+        for r in &reports {
+            print!("{}", r.render());
+        }
+    }
+
+    let worst = reports.iter().filter_map(|r| r.max_severity()).max();
+    match worst {
+        Some(s) if s >= args.deny => ExitCode::FAILURE,
+        _ => ExitCode::SUCCESS,
+    }
+}

@@ -1,0 +1,215 @@
+//! Class-membership lints `B101..B105`, built on the witness-producing
+//! recognizers of [`bddfc_classes::witness`].
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | B101 | note     | rule has no guard (outside guarded Datalog∃, §5.6) |
+//! | B102 | note     | sticky marking poisons a join variable (Calì–Gottlob–Pieris) |
+//! | B103 | warning  | special-edge cycle: weak acyclicity unprovable, chase may not terminate |
+//! | B104 | note     | TGD outside the Theorem 3 fragment (> 1 frontier variable) |
+//! | B105 | note     | predicate arity > 2: outside the binary scope of Theorem 1 |
+//!
+//! Only B103 is a warning — it is the one finding with an operational
+//! consequence (an unbounded chase may diverge). The rest report where a
+//! theory sits relative to the paper's syntactic classes.
+
+use crate::diag::{Diagnostic, Severity};
+use bddfc_classes::witness::{
+    guard_violations, sticky_violations, theorem3_violations, weak_acyclicity_violation,
+    MarkStep,
+};
+use bddfc_core::posgraph::EdgeKind;
+use bddfc_core::Program;
+
+/// Runs every class lint over `prog`.
+pub fn class_lints(prog: &Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if prog.theory.is_empty() {
+        return out;
+    }
+    not_binary(prog, &mut out);
+    not_guarded(prog, &mut out);
+    not_sticky(prog, &mut out);
+    not_weakly_acyclic(prog, &mut out);
+    outside_theorem3(prog, &mut out);
+    out
+}
+
+fn not_binary(prog: &Program, out: &mut Vec<Diagnostic>) {
+    let mut preds: Vec<_> = prog.theory.preds().into_iter().collect();
+    preds.sort_unstable();
+    for p in preds {
+        let arity = prog.voc.arity(p);
+        if arity > 2 {
+            out.push(Diagnostic::new(
+                "B105",
+                Severity::Note,
+                format!(
+                    "predicate `{}` has arity {arity}: the signature is not binary \
+                     (outside the scope of Theorem 1)",
+                    prog.voc.pred_name(p)
+                ),
+                None,
+            ));
+        }
+    }
+}
+
+fn not_guarded(prog: &Program, out: &mut Vec<Diagnostic>) {
+    for v in guard_violations(&prog.theory) {
+        let rule = &prog.theory.rules[v.rule];
+        let mut d = Diagnostic::new(
+            "B101",
+            Severity::Note,
+            format!(
+                "rule {} has no guard: no body atom covers all body variables",
+                rule.describe(&prog.voc)
+            ),
+            rule.span(),
+        );
+        for (i, (atom, &miss)) in rule.body.iter().zip(&v.missing).enumerate() {
+            d = d.with_note(format!(
+                "body atom #{i} `{}` misses `{}`",
+                atom.display(&prog.voc),
+                prog.voc.var_name(miss)
+            ));
+        }
+        out.push(d);
+    }
+}
+
+fn render_mark_step(step: &MarkStep, prog: &Program) -> String {
+    let rule = &prog.theory.rules[step.rule];
+    match step.because {
+        None => format!(
+            "position {} is marked: rule {} drops the variable there",
+            step.pos.display(&prog.voc),
+            rule.describe(&prog.voc)
+        ),
+        Some(hp) => format!(
+            "position {} is marked: it feeds the marked head position {} in rule {}",
+            step.pos.display(&prog.voc),
+            hp.display(&prog.voc),
+            rule.describe(&prog.voc)
+        ),
+    }
+}
+
+fn not_sticky(prog: &Program, out: &mut Vec<Diagnostic>) {
+    for v in sticky_violations(&prog.theory) {
+        let rule = &prog.theory.rules[v.rule];
+        let name = prog.voc.var_name(v.var);
+        let mut d = Diagnostic::new(
+            "B102",
+            Severity::Note,
+            format!(
+                "sticky marking poisons join variable `{name}` in rule {}",
+                rule.describe(&prog.voc)
+            ),
+            rule.body_span(v.atom).or_else(|| rule.span()),
+        )
+        .with_note(format!("`{name}` occurs {}x in the body", v.occurrences));
+        for step in &v.marking {
+            d = d.with_note(render_mark_step(step, prog));
+        }
+        out.push(d);
+    }
+}
+
+fn not_weakly_acyclic(prog: &Program, out: &mut Vec<Diagnostic>) {
+    let Some(v) = weak_acyclicity_violation(&prog.theory) else { return };
+    let first = &v.cycle[0];
+    let rule = &prog.theory.rules[first.rule];
+    let mut d = Diagnostic::new(
+        "B103",
+        Severity::Warning,
+        format!(
+            "the theory cannot be proven weakly acyclic: the position dependency \
+             graph has a {}-edge cycle through {}",
+            v.cycle.len(),
+            first.to.display(&prog.voc)
+        ),
+        rule.span(),
+    )
+    .with_note("an unbounded chase over this theory may not terminate".to_string());
+    for e in &v.cycle {
+        d = d.with_note(format!(
+            "{} edge {} -> {} induced by rule {}",
+            match e.kind {
+                EdgeKind::Special => "special",
+                EdgeKind::Regular => "regular",
+            },
+            e.from.display(&prog.voc),
+            e.to.display(&prog.voc),
+            prog.theory.rules[e.rule].describe(&prog.voc)
+        ));
+    }
+    out.push(d);
+}
+
+fn outside_theorem3(prog: &Program, out: &mut Vec<Diagnostic>) {
+    for v in theorem3_violations(&prog.theory) {
+        let rule = &prog.theory.rules[v.rule];
+        let names: Vec<&str> = v.frontier.iter().map(|&x| prog.voc.var_name(x)).collect();
+        out.push(Diagnostic::new(
+            "B104",
+            Severity::Note,
+            format!(
+                "TGD {} falls outside the Theorem 3 fragment: its frontier \
+                 {{{}}} has {} variables (at most 1 allowed)",
+                rule.describe(&prog.voc),
+                names.join(", "),
+                names.len()
+            ),
+            rule.span(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    fn lints(src: &str) -> Vec<Diagnostic> {
+        let prog = parse_program(src).unwrap();
+        let mut ds = class_lints(&prog);
+        crate::diag::LintReport::sort(&mut ds);
+        ds
+    }
+
+    #[test]
+    fn empty_theory_has_no_class_lints() {
+        assert!(lints("E(a,b).").is_empty());
+    }
+
+    #[test]
+    fn chain_theory_warns_on_weak_acyclicity_only_once() {
+        let ds = lints("E(X,Y) -> exists Z . E(Y,Z). E(a,b).");
+        let wa: Vec<_> = ds.iter().filter(|d| d.code == "B103").collect();
+        assert_eq!(wa.len(), 1);
+        assert_eq!(wa[0].severity, Severity::Warning);
+        assert!(wa[0].notes.iter().any(|n| n.starts_with("special edge")), "{:?}", wa[0]);
+    }
+
+    #[test]
+    fn transitivity_gets_a_guard_note_with_witness() {
+        let ds = lints("E(X,Y), E(Y,Z) -> E(X,Z). E(a,b).");
+        let g: Vec<_> = ds.iter().filter(|d| d.code == "B101").collect();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].notes.len(), 2, "one note per body atom");
+    }
+
+    #[test]
+    fn lost_join_gets_a_sticky_note() {
+        let ds = lints("E(X,Y), E(Y,Z) -> R(X,Z). E(a,b). ?- R(X,Y).");
+        assert!(ds.iter().any(|d| d.code == "B102" && d.message.contains("`Y`")));
+    }
+
+    #[test]
+    fn quaternary_pred_and_wide_frontier() {
+        let ds = lints("E(X,Y) -> exists Z1, Z2 . R(X,Y,Z1,Z2). E(a,b). ?- R(X,Y,Z,T).");
+        assert!(ds.iter().any(|d| d.code == "B105"));
+        assert!(ds.iter().any(|d| d.code == "B104"));
+    }
+}

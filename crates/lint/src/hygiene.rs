@@ -1,0 +1,444 @@
+//! Hygiene lints `B001..B006`: program defects independent of any
+//! Datalog∃ class.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | B001 | error    | unsafe rule (empty body) |
+//! | B002 | warning  | singleton variable (dropped, not `_`-prefixed) |
+//! | B003 | note     | head-only predicate (derived but never used) |
+//! | B004 | warning  | body-only predicate (can never hold a fact) |
+//! | B005 | warning  | unreachable rule (body predicate in a dependency component unreachable from any fact) |
+//! | B006 | warning  | duplicate rule (equal up to variable renaming) |
+
+use crate::diag::{Diagnostic, Severity};
+use bddfc_core::{ConstId, PredId, Program, Rule, Term};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs every hygiene lint over `prog`.
+pub fn hygiene_lints(prog: &Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    unsafe_rules(prog, &mut out);
+    singleton_variables(prog, &mut out);
+    predicate_roles(prog, &mut out);
+    unreachable_rules(prog, &mut out);
+    duplicate_rules(prog, &mut out);
+    out
+}
+
+/// B001: a rule with an empty body holds vacuously of everything — the
+/// classical safety violation. The parser cannot produce one, but
+/// programmatically built theories can.
+fn unsafe_rules(prog: &Program, out: &mut Vec<Diagnostic>) {
+    for rule in &prog.theory.rules {
+        if !rule.is_safe() {
+            out.push(Diagnostic::new(
+                "B001",
+                Severity::Error,
+                format!("unsafe rule {}: the body is empty", rule.describe(&prog.voc)),
+                rule.span(),
+            ));
+        }
+    }
+}
+
+/// B002: a variable occurring exactly once in its rule is either a typo
+/// or an intentional drop; the `_` prefix documents the latter.
+fn singleton_variables(prog: &Program, out: &mut Vec<Diagnostic>) {
+    for rule in &prog.theory.rules {
+        let mut count: BTreeMap<bddfc_core::VarId, usize> = BTreeMap::new();
+        for atom in rule.body.iter().chain(&rule.head) {
+            for v in atom.vars() {
+                *count.entry(v).or_default() += 1;
+            }
+        }
+        let head_vars = rule.head_vars();
+        for (v, n) in count {
+            // Existential variables legitimately occur once (the witness
+            // position); only body-side singletons are suspicious.
+            if n != 1 || head_vars.contains(&v) {
+                continue;
+            }
+            let name = prog.voc.var_name(v);
+            if name.starts_with('_') {
+                continue;
+            }
+            // Point at the body atom containing the singleton.
+            let span = rule
+                .body
+                .iter()
+                .position(|a| a.vars().any(|w| w == v))
+                .and_then(|i| rule.body_span(i))
+                .or_else(|| rule.span());
+            out.push(
+                Diagnostic::new(
+                    "B002",
+                    Severity::Warning,
+                    format!(
+                        "variable `{name}` occurs only once in {}",
+                        rule.describe(&prog.voc)
+                    ),
+                    span,
+                )
+                .with_note(format!("rename it `_{name}` if the drop is intentional")),
+            );
+        }
+    }
+}
+
+/// B003 (head-only: derived but never used) and B004 (body-only: can
+/// never hold a fact, so its rules can never fire).
+fn predicate_roles(prog: &Program, out: &mut Vec<Diagnostic>) {
+    let mut in_body: BTreeSet<PredId> = BTreeSet::new();
+    let mut in_head: BTreeSet<PredId> = BTreeSet::new();
+    for rule in &prog.theory.rules {
+        in_body.extend(rule.body.iter().map(|a| a.pred));
+        in_head.extend(rule.head.iter().map(|a| a.pred));
+    }
+    let in_query: BTreeSet<PredId> = prog
+        .queries
+        .iter()
+        .flat_map(|q| q.atoms.iter().map(|a| a.pred))
+        .collect();
+    let in_facts: BTreeSet<PredId> = prog.instance.facts().iter().map(|f| f.pred).collect();
+
+    for &p in &in_head {
+        if !in_body.contains(&p) && !in_query.contains(&p) {
+            out.push(Diagnostic::new(
+                "B003",
+                Severity::Note,
+                format!(
+                    "predicate `{}` is derived but never used in any rule body or query",
+                    prog.voc.pred_name(p)
+                ),
+                first_body_or_head_span(prog, p, false),
+            ));
+        }
+    }
+    for &p in &in_body {
+        if !in_head.contains(&p) && !in_facts.contains(&p) {
+            out.push(
+                Diagnostic::new(
+                    "B004",
+                    Severity::Warning,
+                    format!(
+                        "predicate `{}` occurs in rule bodies but no fact or rule head \
+                         can ever populate it",
+                        prog.voc.pred_name(p)
+                    ),
+                    first_body_or_head_span(prog, p, true),
+                )
+                .with_note("every rule using it is dead"),
+            );
+        }
+    }
+}
+
+/// The span of the first body (or head) atom over `p`, if known.
+fn first_body_or_head_span(
+    prog: &Program,
+    p: PredId,
+    body: bool,
+) -> Option<bddfc_core::SrcSpan> {
+    for rule in &prog.theory.rules {
+        let atoms = if body { &rule.body } else { &rule.head };
+        if let Some(i) = atoms.iter().position(|a| a.pred == p) {
+            return if body { rule.body_span(i) } else { rule.head_span(i) };
+        }
+    }
+    None
+}
+
+/// B005: condense the predicate-dependency graph (body pred → head pred)
+/// into strongly connected components and walk the DAG from the fact
+/// predicates; a rule whose body mentions a predicate in an unreachable
+/// component can never fire. (Reachability over-approximates
+/// derivability, so every report is sound.)
+fn unreachable_rules(prog: &Program, out: &mut Vec<Diagnostic>) {
+    let mut preds: BTreeSet<PredId> = prog.theory.preds().into_iter().collect();
+    preds.extend(prog.instance.facts().iter().map(|f| f.pred));
+    let preds: Vec<PredId> = preds.into_iter().collect();
+    if preds.is_empty() {
+        return;
+    }
+    let index: BTreeMap<PredId, usize> =
+        preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+
+    let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); preds.len()];
+    for rule in &prog.theory.rules {
+        for b in &rule.body {
+            for h in &rule.head {
+                succ[index[&b.pred]].insert(index[&h.pred]);
+            }
+        }
+    }
+
+    let comp = condense(&succ);
+    let ncomp = comp.iter().copied().max().map_or(0, |m| m + 1);
+    let mut comp_succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ncomp];
+    for (u, ss) in succ.iter().enumerate() {
+        for &v in ss {
+            if comp[u] != comp[v] {
+                comp_succ[comp[u]].insert(comp[v]);
+            }
+        }
+    }
+
+    // Seeds: components holding a fact predicate, or the head of a
+    // body-less rule.
+    let mut reachable = vec![false; ncomp];
+    let mut queue: Vec<usize> = Vec::new();
+    let seed = |c: usize, reachable: &mut Vec<bool>, queue: &mut Vec<usize>| {
+        if !reachable[c] {
+            reachable[c] = true;
+            queue.push(c);
+        }
+    };
+    for f in prog.instance.facts() {
+        seed(comp[index[&f.pred]], &mut reachable, &mut queue);
+    }
+    for rule in &prog.theory.rules {
+        if rule.body.is_empty() {
+            for h in &rule.head {
+                seed(comp[index[&h.pred]], &mut reachable, &mut queue);
+            }
+        }
+    }
+    while let Some(c) = queue.pop() {
+        for &d in &comp_succ[c] {
+            if !reachable[d] {
+                reachable[d] = true;
+                queue.push(d);
+            }
+        }
+    }
+
+    for rule in &prog.theory.rules {
+        let dead = rule
+            .body
+            .iter()
+            .enumerate()
+            .find(|(_, a)| !reachable[comp[index[&a.pred]]]);
+        if let Some((i, atom)) = dead {
+            let members: Vec<&str> = preds
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| comp[j] == comp[index[&atom.pred]])
+                .map(|(_, &p)| prog.voc.pred_name(p))
+                .collect();
+            out.push(
+                Diagnostic::new(
+                    "B005",
+                    Severity::Warning,
+                    format!(
+                        "rule {} can never fire: `{}` is unreachable from the facts",
+                        rule.describe(&prog.voc),
+                        prog.voc.pred_name(atom.pred)
+                    ),
+                    rule.body_span(i).or_else(|| rule.span()),
+                )
+                .with_note(format!(
+                    "its dependency component {{{}}} contains no fact predicate and \
+                     is fed by none",
+                    members.join(", ")
+                )),
+            );
+        }
+    }
+}
+
+/// Kosaraju condensation: returns, for each node, its component id;
+/// ids are assigned deterministically from the sorted node order.
+fn condense(succ: &[BTreeSet<usize>]) -> Vec<usize> {
+    let n = succ.len();
+    let mut pred: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (u, ss) in succ.iter().enumerate() {
+        for &v in ss {
+            pred[v].insert(u);
+        }
+    }
+    // Pass 1: finish order on the forward graph (iterative DFS).
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut stack: Vec<(usize, Vec<usize>)> =
+            vec![(start, succ[start].iter().copied().collect())];
+        visited[start] = true;
+        while let Some((u, todo)) = stack.last_mut() {
+            match todo.pop() {
+                Some(v) if !visited[v] => {
+                    visited[v] = true;
+                    stack.push((v, succ[v].iter().copied().collect()));
+                }
+                Some(_) => {}
+                None => {
+                    order.push(*u);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    // Pass 2: components on the reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = next;
+        while let Some(u) = stack.pop() {
+            for &v in &pred[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// B006: two rules equal up to variable renaming (atom order
+/// sensitive). The later rule is flagged, pointing back at the first.
+fn duplicate_rules(prog: &Program, out: &mut Vec<Diagnostic>) {
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    enum Key {
+        Var(usize),
+        Const(ConstId),
+    }
+    let canonical = |rule: &Rule| -> Vec<(bool, PredId, Vec<Key>)> {
+        let mut renumber: BTreeMap<bddfc_core::VarId, usize> = BTreeMap::new();
+        let mut shape = Vec::new();
+        for (is_head, atom) in rule
+            .body
+            .iter()
+            .map(|a| (false, a))
+            .chain(rule.head.iter().map(|a| (true, a)))
+        {
+            let args = atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => {
+                        let next = renumber.len();
+                        Key::Var(*renumber.entry(*v).or_insert(next))
+                    }
+                    Term::Const(c) => Key::Const(*c),
+                })
+                .collect();
+            shape.push((is_head, atom.pred, args));
+        }
+        shape
+    };
+
+    let mut seen: BTreeMap<Vec<(bool, PredId, Vec<Key>)>, usize> = BTreeMap::new();
+    for (ri, rule) in prog.theory.rules.iter().enumerate() {
+        match seen.entry(canonical(rule)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(ri);
+            }
+            std::collections::btree_map::Entry::Occupied(e) => {
+                let first = &prog.theory.rules[*e.get()];
+                out.push(
+                    Diagnostic::new(
+                        "B006",
+                        Severity::Warning,
+                        format!(
+                            "rule {} duplicates an earlier rule (up to variable renaming)",
+                            rule.describe(&prog.voc)
+                        ),
+                        rule.span(),
+                    )
+                    .with_note(format!("first occurrence: {}", first.describe(&prog.voc))),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let prog = parse_program(src).unwrap();
+        let mut ds = hygiene_lints(&prog);
+        crate::diag::LintReport::sort(&mut ds);
+        ds.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        assert!(codes("E(X,Y), E(Y,Z) -> E(X,Z). E(a,b). ?- E(X,Y).").is_empty());
+    }
+
+    #[test]
+    fn singleton_variable_fires_but_not_for_underscore_or_existential() {
+        let prog = parse_program("E(X,Y) -> exists Z . U(Y,Z). E(a,b). ?- U(X,Y).").unwrap();
+        let ds = hygiene_lints(&prog);
+        // X is a body singleton; Z (existential) and Y are not flagged.
+        assert_eq!(ds.iter().filter(|d| d.code == "B002").count(), 1);
+        assert!(ds[0].message.contains("`X`"), "{}", ds[0].message);
+        assert!(codes("E(_X,Y) -> exists Z . U(Y,Z). E(a,b). ?- U(X,Y).").is_empty());
+    }
+
+    #[test]
+    fn head_only_and_body_only_predicates() {
+        let cs = codes("E(X,Y) -> U(X,Y). E(a,b).");
+        assert!(cs.contains(&"B003"), "{cs:?}"); // U derived, never used
+        let cs = codes("P(X), E(X,Y) -> E(Y,X). E(a,b). ?- E(X,Y).");
+        assert!(cs.contains(&"B004"), "{cs:?}"); // P never populated
+        assert!(cs.contains(&"B005"), "{cs:?}"); // so the rule is dead
+    }
+
+    #[test]
+    fn unreachable_cycle_is_reported() {
+        // U and V feed each other but nothing seeds them.
+        let cs = codes(
+            "U(X,Y) -> V(Y,X). V(X,Y) -> U(Y,X). E(a,b). ?- E(X,Y), U(X,Y), V(X,Y).",
+        );
+        assert_eq!(cs.iter().filter(|c| **c == "B005").count(), 2, "{cs:?}");
+        // Once seeded by a fact, the same cycle is alive.
+        let cs = codes("U(X,Y) -> V(Y,X). V(X,Y) -> U(Y,X). U(a,b). ?- U(X,Y), V(X,Y).");
+        assert!(!cs.contains(&"B005"), "{cs:?}");
+    }
+
+    #[test]
+    fn duplicate_rules_up_to_renaming() {
+        let cs = codes(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(A,B), E(B,C) -> E(A,C).
+             E(a,b). ?- E(X,Y).",
+        );
+        assert_eq!(cs.iter().filter(|c| **c == "B006").count(), 1, "{cs:?}");
+        // Different join structure is not a duplicate.
+        let cs = codes(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(X,Y), E(X,Z) -> E(Y,Z).
+             E(a,b). ?- E(X,Y).",
+        );
+        assert!(!cs.contains(&"B006"), "{cs:?}");
+    }
+
+    #[test]
+    fn unsafe_rule_fires_on_programmatic_theory() {
+        use bddfc_core::{Atom, Instance, Rule, Term, Theory, Vocabulary};
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("P", 1);
+        let x = voc.var("X");
+        let theory = Theory::new(vec![Rule::new(vec![], vec![Atom::new(p, vec![Term::Var(x)])])]);
+        let prog = Program {
+            voc,
+            theory,
+            instance: Instance::new(),
+            queries: Vec::new(),
+        };
+        let ds = hygiene_lints(&prog);
+        assert!(ds.iter().any(|d| d.code == "B001" && d.severity == Severity::Error));
+    }
+}

@@ -14,6 +14,6 @@ pub use generate::{
     random_linear_theory,
 };
 pub use paper::{
-    chain_theory, example1, example1_m_prime, example7, example9, guarded_example,
+    chain_theory, corpus, example1, example1_m_prime, example7, example9, guarded_example,
     linear_ontology, notorious, order_theory, remark3, section54, sticky_example, total_order,
 };

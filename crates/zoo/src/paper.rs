@@ -10,42 +10,123 @@ fn parse(src: &str) -> Program {
     parse_program(src).expect("zoo source parses")
 }
 
-/// **Example 1**: the triangle theory whose chase is an infinite E-chain
-/// but whose 3-cycle homomorphic image triggers a diverging U-chain.
-pub fn example1() -> Program {
-    parse(
-        "% Example 1
+/// Source of [`example1`].
+pub const EXAMPLE1_SRC: &str = "% Example 1
          E(X,Y) -> exists Z . E(Y,Z).
          E(X,Y), E(Y,Z), E(Z,X) -> exists T . U(X,T).
          U(X,Y) -> exists Z . U(Y,Z).
-         E(a,b).",
-    )
+         E(a,b).";
+
+/// Source of [`example1_m_prime`].
+pub const EXAMPLE1_M_PRIME_SRC: &str = "E(a,b). E(b,c). E(c,a).";
+
+/// Source of [`chain_theory`].
+pub const CHAIN_THEORY_SRC: &str = "E(X,Y) -> exists Z . E(Y,Z).
+         E(a,b).";
+
+/// Source of [`remark3`].
+pub const REMARK3_SRC: &str = "% Remark 3
+         E(X,Y) -> exists Z . E(Y,Z).
+         E(X,Y), E(Y,Z) -> E(X,Z).
+         E(a,a). E(b,c).";
+
+/// Source of [`example7`].
+pub const EXAMPLE7_SRC: &str = "% Example 7
+         E(X,Y) -> exists Z . E(Y,Z).
+         E(X,Y), E(X2,Y) -> R(X,X2).
+         E(a,b).";
+
+/// Source of [`example9`].
+pub const EXAMPLE9_SRC: &str = "% Example 9
+         F(X,Y) -> exists Z . F(Y,Z).
+         F(X,Y) -> exists Z . G(Y,Z).
+         G(X,Y) -> exists Z . F(Y,Z).
+         G(X,Y) -> exists Z . G(Y,Z).
+         F(a,b).";
+
+/// Source of [`section54`].
+pub const SECTION54_SRC: &str = "% Section 5.4
+         R(X,X2,Y,Z) -> E(Y,Z).
+         E(X,Y), E(T,Y) -> exists Z . R(X,T,Y,Z).
+         E(a,b).";
+
+/// Source of [`notorious`].
+pub const NOTORIOUS_SRC: &str = "% Section 5.5
+         E(X,Y) -> exists Z . E(Y,Z).
+         R(X,Y), E(X,X2), E(Y,Z), E(Z,Y2) -> R(X2,Y2).
+         E(a0,a1). R(a0,a0).
+         ?- E(X,Y), R(Y,Y).";
+
+/// Source of [`order_theory`].
+pub const ORDER_THEORY_SRC: &str = "% §5.5 intro: defines an ordering
+         Lt(X,Y) -> exists Z . Lt(Y,Z).
+         Lt(X,Y), Lt(Y,Z) -> Lt(X,Z).
+         Lt(a,b).
+         ?- Lt(X,X).";
+
+/// Source of [`linear_ontology`].
+pub const LINEAR_ONTOLOGY_SRC: &str = "% linear ontology
+         Person(X) -> exists Z . HasParent(X,Z).
+         HasParent(X,Y) -> Person(Y).
+         Person(X) -> Named(X).
+         Person(alice). HasParent(bob,carol).";
+
+/// Source of [`guarded_example`].
+pub const GUARDED_EXAMPLE_SRC: &str = "% guarded
+         Mentors(X,Y) -> exists Z . Mentors(Y,Z).
+         Mentors(X,Y), Senior(X) -> Senior(Y).
+         Mentors(a,b). Senior(a).";
+
+/// Source of [`sticky_example`].
+pub const STICKY_EXAMPLE_SRC: &str =
+    "% sticky: the join variable P always survives into the head
+         WorksOn(X,P), LeaderOf(Y,P) -> ReportsTo(X,Y,P).
+         ReportsTo(X,Y,P) -> exists Q . Delegates(Y,P,Q).
+         WorksOn(ann,db). LeaderOf(tom,db).";
+
+/// The fixed-source zoo corpus as `(name, source)` pairs, in a stable
+/// order — the input set for `bddfc-lint --zoo`, the CI gate and the
+/// determinism tests. (The parameterised [`total_order`] is generated,
+/// not a fixed source, so it is not listed.)
+pub fn corpus() -> &'static [(&'static str, &'static str)] {
+    &[
+        ("example1", EXAMPLE1_SRC),
+        ("example1_m_prime", EXAMPLE1_M_PRIME_SRC),
+        ("chain_theory", CHAIN_THEORY_SRC),
+        ("remark3", REMARK3_SRC),
+        ("example7", EXAMPLE7_SRC),
+        ("example9", EXAMPLE9_SRC),
+        ("section54", SECTION54_SRC),
+        ("notorious", NOTORIOUS_SRC),
+        ("order_theory", ORDER_THEORY_SRC),
+        ("linear_ontology", LINEAR_ONTOLOGY_SRC),
+        ("guarded_example", GUARDED_EXAMPLE_SRC),
+        ("sticky_example", STICKY_EXAMPLE_SRC),
+    ]
+}
+
+/// **Example 1**: the triangle theory whose chase is an infinite E-chain
+/// but whose 3-cycle homomorphic image triggers a diverging U-chain.
+pub fn example1() -> Program {
+    parse(EXAMPLE1_SRC)
 }
 
 /// The 3-cycle `M'` of Examples 1 and 2 — a homomorphic image of the
 /// chase that is *not* a model of the theory.
 pub fn example1_m_prime() -> Program {
-    parse("E(a,b). E(b,c). E(c,a).")
+    parse(EXAMPLE1_M_PRIME_SRC)
 }
 
 /// **Example 3 / Example 4 substrate**: the plain successor rule whose
 /// chase from `E(a,b)` is the infinite chain.
 pub fn chain_theory() -> Program {
-    parse(
-        "E(X,Y) -> exists Z . E(Y,Z).
-         E(a,b).",
-    )
+    parse(CHAIN_THEORY_SRC)
 }
 
 /// **Remark 3**: satisfies (♠3) without being ptp-conservative — the
 /// chase contains an infinite irreflexive total order next to a loop.
 pub fn remark3() -> Program {
-    parse(
-        "% Remark 3
-         E(X,Y) -> exists Z . E(Y,Z).
-         E(X,Y), E(Y,Z) -> E(X,Z).
-         E(a,a). E(b,c).",
-    )
+    parse(REMARK3_SRC)
 }
 
 /// **Example 6 substrate**: a finite prefix of a strict total order with
@@ -63,94 +144,49 @@ pub fn total_order(len: usize) -> Program {
 /// **Example 7**: BDD theory whose quotient needs datalog saturation —
 /// `E(x,y) → ∃z E(y,z)` and `E(x,y) ∧ E(x',y) → R(x,x')`.
 pub fn example7() -> Program {
-    parse(
-        "% Example 7
-         E(X,Y) -> exists Z . E(Y,Z).
-         E(X,Y), E(X2,Y) -> R(X,X2).
-         E(a,b).",
-    )
+    parse(EXAMPLE7_SRC)
 }
 
 /// **Example 9**: the F/G binary-tree theory whose quotients contain
 /// undirected (but no short directed) cycles.
 pub fn example9() -> Program {
-    parse(
-        "% Example 9
-         F(X,Y) -> exists Z . F(Y,Z).
-         F(X,Y) -> exists Z . G(Y,Z).
-         G(X,Y) -> exists Z . F(Y,Z).
-         G(X,Y) -> exists Z . G(Y,Z).
-         F(a,b).",
-    )
+    parse(EXAMPLE9_SRC)
 }
 
 /// **Section 5.4**: the quaternary obstruction — BDD, but no analogue of
 /// Lemma 5 can hold (witnesses depend on whole tuples).
 pub fn section54() -> Program {
-    parse(
-        "% Section 5.4
-         R(X,X2,Y,Z) -> E(Y,Z).
-         E(X,Y), E(T,Y) -> exists Z . R(X,T,Y,Z).
-         E(a,b).",
-    )
+    parse(SECTION54_SRC)
 }
 
 /// **Section 5.5, the "notorious example"**: a theory that does not
 /// define an ordering yet is not FC. `Chase ⊭ E(x,y) ∧ R(y,y)`, but every
 /// finite model satisfies it.
 pub fn notorious() -> Program {
-    parse(
-        "% Section 5.5
-         E(X,Y) -> exists Z . E(Y,Z).
-         R(X,Y), E(X,X2), E(Y,Z), E(Z,Y2) -> R(X2,Y2).
-         E(a0,a1). R(a0,a0).
-         ?- E(X,Y), R(Y,Y).",
-    )
+    parse(NOTORIOUS_SRC)
 }
 
 /// The infinite-order theory from the introduction of §5.5 (the "most
 /// natural" non-FC theory): a strict total order with a maximal element
 /// demanded forever.
 pub fn order_theory() -> Program {
-    parse(
-        "% §5.5 intro: defines an ordering
-         Lt(X,Y) -> exists Z . Lt(Y,Z).
-         Lt(X,Y), Lt(Y,Z) -> Lt(X,Z).
-         Lt(a,b).
-         ?- Lt(X,X).",
-    )
+    parse(ORDER_THEORY_SRC)
 }
 
 /// A linear (hence BDD and FC) ontology used as the well-behaved
 /// comparison point in benchmarks.
 pub fn linear_ontology() -> Program {
-    parse(
-        "% linear ontology
-         Person(X) -> exists Z . HasParent(X,Z).
-         HasParent(X,Y) -> Person(Y).
-         Person(X) -> Named(X).
-         Person(alice). HasParent(bob,carol).",
-    )
+    parse(LINEAR_ONTOLOGY_SRC)
 }
 
 /// A guarded, non-linear theory (for the §5.6 translation demos).
 pub fn guarded_example() -> Program {
-    parse(
-        "% guarded
-         Mentors(X,Y) -> exists Z . Mentors(Y,Z).
-         Mentors(X,Y), Senior(X) -> Senior(Y).
-         Mentors(a,b). Senior(a).",
-    )
+    parse(GUARDED_EXAMPLE_SRC)
 }
 
 /// A sticky but unguarded theory (Calì–Gottlob–Pieris flavour).
 pub fn sticky_example() -> Program {
-    parse(
-        "% sticky: the join variable P always survives into the head
-         WorksOn(X,P), LeaderOf(Y,P) -> ReportsTo(X,Y,P).
-         ReportsTo(X,Y,P) -> exists Q . Delegates(Y,P,Q).
-         WorksOn(ann,db). LeaderOf(tom,db).",
-    )
+    parse(STICKY_EXAMPLE_SRC)
 }
 
 #[cfg(test)]
@@ -200,6 +236,37 @@ mod tests {
 
         let st = sticky_example();
         assert!(bddfc_classes::is_sticky(&st.theory));
+    }
+
+    #[test]
+    fn full_classification_is_pinned_for_every_corpus_program() {
+        // The complete recognizer verdict for each corpus program, as
+        // (binary, linear, guarded, sticky, weakly_acyclic, theorem3).
+        // A recognizer change that re-classifies a paper example must
+        // update this table deliberately.
+        let expected: &[(&str, [bool; 6])] = &[
+            ("example1", [true, false, false, false, false, true]),
+            ("example1_m_prime", [true, true, true, true, true, true]),
+            ("chain_theory", [true, true, true, true, false, true]),
+            ("remark3", [true, false, false, false, false, true]),
+            ("example7", [true, false, false, false, false, true]),
+            ("example9", [true, true, true, true, false, true]),
+            ("section54", [false, false, false, false, false, false]),
+            ("notorious", [true, false, false, false, false, true]),
+            ("order_theory", [true, false, false, false, false, true]),
+            ("linear_ontology", [true, true, true, true, false, true]),
+            ("guarded_example", [true, false, true, false, false, true]),
+            ("sticky_example", [false, false, false, true, true, false]),
+        ];
+        let corpus = corpus();
+        assert_eq!(corpus.len(), expected.len(), "corpus/table drift");
+        for (&(name, src), &(ename, flags)) in corpus.iter().zip(expected) {
+            assert_eq!(name, ename, "corpus order changed");
+            let p = bddfc_core::parse_program(src).unwrap();
+            let r = classify(&p.theory, &p.voc);
+            let got = [r.binary, r.linear, r.guarded, r.sticky, r.weakly_acyclic, r.theorem3];
+            assert_eq!(got, flags, "classification of {name} drifted: {r:?}");
+        }
     }
 
     #[test]

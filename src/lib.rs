@@ -16,6 +16,7 @@
 //! | [`finite`] | skeletons, VTDAGs, (♠4)/(♠5) transforms, the certified FC pipeline |
 //! | [`classes`] | linear/guarded/sticky/weakly-acyclic recognizers, §5.2/§5.3/§5.6 reductions |
 //! | [`zoo`] | the paper's examples 1–9 and workload generators |
+//! | [`lint`] | span-carrying diagnostics and the `bddfc-lint` program linter |
 //!
 //! ## Quick start
 //!
@@ -41,6 +42,7 @@ pub use bddfc_chase as chase;
 pub use bddfc_classes as classes;
 pub use bddfc_core as core;
 pub use bddfc_finite as finite;
+pub use bddfc_lint as lint;
 pub use bddfc_rewrite as rewrite;
 pub use bddfc_types as types;
 pub use bddfc_zoo as zoo;
