@@ -54,4 +54,10 @@ fi
 echo "==> bddfc-lint --zoo --deny error"
 cargo run -q --release -p bddfc-lint --bin bddfc-lint -- --zoo --deny error
 
+echo "==> bddfc-fuzz --replay tests/corpus (committed differential corpus)"
+cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- --replay tests/corpus
+
+echo "==> bddfc-fuzz --budget-ms 5000 (fresh-seed differential smoke)"
+cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- --seed 1 --budget-ms 5000
+
 echo "ci: ok"

@@ -356,6 +356,11 @@ impl<'a> Parser<'a> {
                 self.expect(Tok::Dot, "'.'")?;
                 queries.push(ConjunctiveQuery::with_free(atoms, free));
             }
+            Tok::Arrow => {
+                return Err(
+                    self.err("rule has an empty body: expected at least one body atom before '->'")
+                )
+            }
             _ => {
                 let (atoms, body_spans) = self.atom_list()?;
                 match self.peek() {
@@ -377,18 +382,45 @@ impl<'a> Parser<'a> {
                     }
                     Tok::Arrow => {
                         self.advance()?;
-                        // Optional `exists X,Y .` documentation prefix.
+                        // Optional `exists X,Y .` documentation prefix. The
+                        // declared names must be distinct, must not occur in
+                        // the body (they would not be existential), and must
+                        // all be used in the head.
+                        let mut declared: Vec<(String, usize, usize)> = Vec::new();
                         if let Tok::Ident(kw) = self.peek() {
                             if kw == "exists" {
                                 self.advance()?;
                                 loop {
+                                    let (line, col) = self.lookahead.start();
                                     let name = self.ident("existential variable")?;
                                     if !Self::is_var_name(&name) {
                                         return Err(
                                             self.err("existential positions must be variables")
                                         );
                                     }
-                                    self.voc.var(&name);
+                                    if declared.iter().any(|(n, _, _)| *n == name) {
+                                        return Err(ParseError {
+                                            message: format!(
+                                                "duplicate existential variable {name} in exists clause"
+                                            ),
+                                            line,
+                                            col,
+                                        });
+                                    }
+                                    let var = self.voc.var(&name);
+                                    let in_body = atoms.iter().any(|a| {
+                                        a.args.iter().any(|t| *t == Term::Var(var))
+                                    });
+                                    if in_body {
+                                        return Err(ParseError {
+                                            message: format!(
+                                                "existential variable {name} already occurs in the rule body"
+                                            ),
+                                            line,
+                                            col,
+                                        });
+                                    }
+                                    declared.push((name, line, col));
                                     if *self.peek() == Tok::Comma {
                                         self.advance()?;
                                     } else {
@@ -398,8 +430,28 @@ impl<'a> Parser<'a> {
                                 self.expect(Tok::Dot, "'.' after exists clause")?;
                             }
                         }
+                        if *self.peek() == Tok::Dot {
+                            return Err(self.err(
+                                "rule has an empty head: expected at least one head atom after '->'",
+                            ));
+                        }
                         let (head, head_spans) = self.atom_list()?;
                         self.expect(Tok::Dot, "'.'")?;
+                        for (name, line, col) in &declared {
+                            let var = self.voc.var(name);
+                            let used = head
+                                .iter()
+                                .any(|a| a.args.iter().any(|t| *t == Term::Var(var)));
+                            if !used {
+                                return Err(ParseError {
+                                    message: format!(
+                                        "existential variable {name} declared in the exists clause but not used in the head"
+                                    ),
+                                    line: *line,
+                                    col: *col,
+                                });
+                            }
+                        }
                         let first = body_spans.first().expect("nonempty body");
                         let last = head_spans.last().expect("nonempty head");
                         let spans = RuleSpans {
@@ -568,6 +620,54 @@ mod tests {
     #[test]
     fn unexpected_char_reports_error() {
         assert!(parse_program("E(a;b).").is_err());
+    }
+
+    #[test]
+    fn empty_body_reports_spanned_error() {
+        let err = parse_program("E(a,b).\n -> P(X).").unwrap_err();
+        assert!(err.message.contains("empty body"), "{err}");
+        assert_eq!((err.line, err.col), (2, 2));
+    }
+
+    #[test]
+    fn empty_head_reports_spanned_error() {
+        let err = parse_program("P(X) -> .").unwrap_err();
+        assert!(err.message.contains("empty head"), "{err}");
+        assert_eq!((err.line, err.col), (1, 9));
+        // Also after an exists clause: the head is still missing.
+        let err = parse_program("P(X) -> exists Y . .").unwrap_err();
+        assert!(err.message.contains("empty head"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_existential_variable_rejected() {
+        let err = parse_program("P(X) -> exists Y, Y . Q(X,Y).").unwrap_err();
+        assert!(err.message.contains("duplicate existential variable Y"), "{err}");
+        assert_eq!((err.line, err.col), (1, 19));
+    }
+
+    #[test]
+    fn existential_variable_shadowing_body_rejected() {
+        let err = parse_program("P(X) -> exists X . Q(X).").unwrap_err();
+        assert!(
+            err.message.contains("existential variable X already occurs in the rule body"),
+            "{err}"
+        );
+        assert_eq!((err.line, err.col), (1, 16));
+    }
+
+    #[test]
+    fn unused_existential_variable_rejected() {
+        let err = parse_program("P(X) -> exists Z . Q(X).").unwrap_err();
+        assert!(err.message.contains("not used in the head"), "{err}");
+        assert_eq!((err.line, err.col), (1, 16));
+    }
+
+    #[test]
+    fn wellformed_exists_clause_still_parses() {
+        let prog = parse_program("P(X) -> exists Y, Z . Q(X,Y), Q(Y,Z).").unwrap();
+        assert_eq!(prog.theory.len(), 1);
+        assert_eq!(prog.theory.rules[0].kind(), RuleKind::ExistentialTgd);
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! `bddfc-fuzz` — seeded differential fuzzing across every engine pair.
+//!
+//! ```text
+//! bddfc-fuzz --budget-ms 5000                  # fuzz fresh seeds for ~5s
+//! bddfc-fuzz --seed 0x2a --cases 100           # fuzz 100 cases from a base seed
+//! bddfc-fuzz --seed 0x1f2e --prop lint_stability   # replay one reported case
+//! bddfc-fuzz --replay tests/corpus             # re-run the committed corpus
+//! bddfc-fuzz --list-props                      # show the property registry
+//! ```
+//!
+//! Exit codes: 0 clean, 1 a property was violated (the report carries a
+//! minimized reproducer and a ready-to-paste rerun line), 2 usage/IO
+//! errors (including a corrupt corpus file).
+//!
+//! The stdout report is a pure function of the seed, the property
+//! selection and the verdicts — case throughput and timing go to stderr
+//! — so a fixed invocation is byte-identical across runs, machines and
+//! `BDDFC_THREADS` settings. `--mutate <name>` injects a deliberate
+//! engine defect (see `bddfc_fuzz::props::Mutation`) to prove the
+//! harness catches and shrinks real discrepancies; it is for testing
+//! the fuzzer itself and is hidden from the usage text.
+
+use bddfc_fuzz::props::{find_prop, Mutation, Prop, PropCtx, PROPS};
+use bddfc_fuzz::{fuzz, replay_sources, run_single_seed, FuzzOptions};
+use std::process::ExitCode;
+
+struct Args {
+    seed: Option<u64>,
+    budget_ms: Option<u64>,
+    cases: Option<u64>,
+    props: Vec<&'static Prop>,
+    replay: Option<String>,
+    list_props: bool,
+    json: bool,
+    mutation: Mutation,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bddfc-fuzz [--seed N] [--budget-ms MS | --cases N] [--prop NAME]...\n\
+         \x20                 [--replay PATH] [--list-props] [--json]\n\
+         \n\
+         --seed N           base seed (decimal or 0x-hex; default 1); with neither\n\
+         \x20                  --budget-ms nor --cases, replays exactly that one case\n\
+         --budget-ms MS     fuzz fresh seeds for MS milliseconds (MS > 0)\n\
+         --cases N          fuzz exactly N cases (N > 0; overrides --budget-ms)\n\
+         --prop NAME        check only this property (repeatable; default all)\n\
+         --replay PATH      re-run a corpus: PATH is a .dlg file or a directory of them\n\
+         --list-props       print the property registry and exit\n\
+         --json             print one deterministic JSON document instead of text"
+    );
+    std::process::exit(2)
+}
+
+fn parse_u64(what: &str, s: &str) -> u64 {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| {
+        eprintln!("{what} needs an unsigned integer, got {s:?}");
+        usage()
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: None,
+        budget_ms: None,
+        cases: None,
+        props: Vec::new(),
+        replay: None,
+        list_props: false,
+        json: false,
+        mutation: Mutation::None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--seed" => args.seed = Some(parse_u64("--seed", &value("--seed"))),
+            "--budget-ms" => {
+                let ms = parse_u64("--budget-ms", &value("--budget-ms"));
+                if ms == 0 {
+                    eprintln!("--budget-ms must be positive");
+                    usage()
+                }
+                args.budget_ms = Some(ms);
+            }
+            "--cases" => {
+                let n = parse_u64("--cases", &value("--cases"));
+                if n == 0 {
+                    eprintln!("--cases must be positive");
+                    usage()
+                }
+                args.cases = Some(n);
+            }
+            "--prop" => {
+                let name = value("--prop");
+                let prop = find_prop(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown prop {name:?}; see bddfc-fuzz --list-props"
+                    );
+                    usage()
+                });
+                if !args.props.iter().any(|p| p.name == prop.name) {
+                    args.props.push(prop);
+                }
+            }
+            "--replay" => args.replay = Some(value("--replay")),
+            "--mutate" => {
+                let name = value("--mutate");
+                args.mutation = Mutation::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown mutation {name:?}");
+                    usage()
+                });
+            }
+            "--list-props" => args.list_props = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// Collects `(path, source)` pairs for `--replay`: one `.dlg` file, or
+/// every `*.dlg` under a directory, in sorted path order.
+fn read_corpus(path: &str) -> Result<Vec<(String, String)>, String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut paths = Vec::new();
+    if meta.is_dir() {
+        let entries =
+            std::fs::read_dir(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read {path}: {e}"))?;
+            let p = entry.path();
+            if p.extension().is_some_and(|ext| ext == "dlg") {
+                paths.push(p.to_string_lossy().into_owned());
+            }
+        }
+        paths.sort();
+        if paths.is_empty() {
+            return Err(format!("no .dlg files under {path}"));
+        }
+    } else {
+        paths.push(path.to_string());
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            std::fs::read_to_string(&p)
+                .map(|src| (p.clone(), src))
+                .map_err(|e| format!("cannot read {p}: {e}"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.list_props {
+        for p in PROPS {
+            println!("{:<36} {}", p.name, p.describe);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let props: Vec<&'static Prop> = if args.props.is_empty() {
+        PROPS.iter().collect()
+    } else {
+        args.props.clone()
+    };
+    let ctx = PropCtx { mutation: args.mutation, ..PropCtx::default() };
+
+    let (report, stats) = if let Some(path) = &args.replay {
+        let files = match read_corpus(path) {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        match replay_sources(&files, &props, &ctx) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.budget_ms.is_some() || args.cases.is_some() {
+        let opts = FuzzOptions {
+            seed: args.seed.unwrap_or(1),
+            budget_ms: args.budget_ms,
+            cases: args.cases,
+            props,
+            ctx,
+        };
+        fuzz(&opts)
+    } else if let Some(seed) = args.seed {
+        run_single_seed(seed, &props, &ctx)
+    } else {
+        eprintln!("nothing to do: pass --seed, --budget-ms, --cases or --replay");
+        usage()
+    };
+
+    if args.json {
+        println!("{}", report.json());
+    } else {
+        print!("{}", report.render());
+    }
+    eprintln!(
+        "bddfc-fuzz: {} cases, {} checks, {} shrink evals",
+        stats.cases, stats.checks, stats.shrink_evals
+    );
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,538 @@
+//! The differential property registry: every cross-engine invariant the
+//! repository pins, as named, Result-returning checks over one parsed
+//! program.
+//!
+//! Each [`Prop`] is a pure function of the case (plus the explicit
+//! [`PropCtx`] budgets), so a failure replays from its seed alone. The
+//! registry consolidates the oracle pairs that used to live scattered
+//! across `tests/{differential,lint,determinism}.rs`:
+//!
+//! | property | engine pair |
+//! |---|---|
+//! | `chase_strategy_agreement` | naive vs semi-naive chase, both variants, roundwise + full-run |
+//! | `chase_restricted_embeds` | restricted chase embeds homomorphically into oblivious |
+//! | `chase_certainty_strategy_blind` | `certain_ucq` verdicts + depth `k` across strategies |
+//! | `chase_thread_invariance` | chase outputs + obs counters at `BDDFC_THREADS` ∈ {1,2,7} |
+//! | `classes_witness_oracle` | witness-producing recognizers vs legacy boolean oracles |
+//! | `rewrite_vs_chase` | UCQ-rewriting certain answers vs chase certain answers |
+//! | `lint_stability` | linting is deterministic and panic-free |
+//!
+//! [`Mutation`] deliberately breaks one engine side — the seeded
+//! known-bad mutations behind `bddfc-fuzz --mutate` that prove the
+//! harness catches and shrinks real discrepancies.
+
+use crate::gen::FuzzCase;
+use crate::proptest_lite::{ensure, ensure_eq, PropResult};
+use bddfc_chase::{
+    certain_ucq, chase, chase_with, ChaseConfig, ChaseStepper, ChaseStrategy, ChaseVariant,
+};
+use bddfc_classes::{
+    guard_violations, is_guarded, is_sticky, is_theorem3_fragment, is_weakly_acyclic,
+    sticky_violations, theorem3_violations, weak_acyclicity_violation,
+};
+use bddfc_core::fxhash::FxHashMap;
+use bddfc_core::obs::Memory;
+use bddfc_core::{
+    hom, par, Atom, Binding, ConjunctiveQuery, Instance, PredId, Program, Term, Theory, Ucq,
+    Vocabulary,
+};
+use bddfc_lint::lint_source;
+use bddfc_rewrite::{certainly_entailed_rewriting, RewriteConfig};
+
+/// A deliberate, deterministic engine defect, injected on the
+/// *secondary* side of a differential pair (`bddfc-fuzz --mutate`).
+/// [`Mutation::None`] is the production configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// Healthy engines.
+    #[default]
+    None,
+    /// The secondary engine silently forgets the last rule of the theory
+    /// (models a lost delta batch).
+    SkipLastRule,
+    /// The secondary engine reorders the first two body atoms of every
+    /// multi-atom rule (perturbs the canonical repair order, so fresh
+    /// null names drift).
+    SwapBodyAtoms,
+}
+
+impl Mutation {
+    /// Parses a `--mutate` argument.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "none" => Some(Mutation::None),
+            "skip-last-rule" => Some(Mutation::SkipLastRule),
+            "swap-body-atoms" => Some(Mutation::SwapBodyAtoms),
+            _ => None,
+        }
+    }
+
+    /// Stable name (inverse of [`Mutation::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::SkipLastRule => "skip-last-rule",
+            Mutation::SwapBodyAtoms => "swap-body-atoms",
+        }
+    }
+
+    /// The mutated theory the secondary engine side runs with.
+    pub fn apply(self, theory: &Theory) -> Theory {
+        match self {
+            Mutation::None => theory.clone(),
+            Mutation::SkipLastRule => {
+                let mut rules = theory.rules.clone();
+                rules.pop();
+                Theory::new(rules)
+            }
+            Mutation::SwapBodyAtoms => {
+                let rules = theory
+                    .rules
+                    .iter()
+                    .map(|r| {
+                        let mut body = r.body.clone();
+                        if body.len() >= 2 {
+                            body.swap(0, 1);
+                        }
+                        bddfc_core::Rule::new(body, r.head.clone())
+                    })
+                    .collect();
+                Theory::new(rules)
+            }
+        }
+    }
+}
+
+/// Budgets and mutation configuration shared by every property check.
+#[derive(Clone, Copy, Debug)]
+pub struct PropCtx {
+    /// Round cap for chase comparisons.
+    pub max_rounds: u32,
+    /// Fact cap for chase comparisons.
+    pub max_facts: usize,
+    /// Injected engine defect ([`Mutation::None`] in production).
+    pub mutation: Mutation,
+}
+
+impl Default for PropCtx {
+    fn default() -> Self {
+        PropCtx { max_rounds: 5, max_facts: 4_000, mutation: Mutation::None }
+    }
+}
+
+/// One registered differential property.
+pub struct Prop {
+    /// Stable CLI-addressable name (`bddfc-fuzz --prop <name>`).
+    pub name: &'static str,
+    /// One-line description for `--list-props`.
+    pub describe: &'static str,
+    /// The check itself. `Err` is a finding; panics inside are caught by
+    /// the runner and reported the same way.
+    pub check: fn(&FuzzCase, &Program, &PropCtx) -> PropResult,
+}
+
+/// The registry, in fixed execution order.
+pub static PROPS: &[Prop] = &[
+    Prop {
+        name: "chase_strategy_agreement",
+        describe: "naive and semi-naive chase agree round-by-round and end-to-end",
+        check: chase_strategy_agreement,
+    },
+    Prop {
+        name: "chase_restricted_embeds",
+        describe: "the restricted chase result embeds homomorphically into the oblivious one",
+        check: chase_restricted_embeds,
+    },
+    Prop {
+        name: "chase_certainty_strategy_blind",
+        describe: "certain-answer verdicts and depth k are identical across chase strategies",
+        check: chase_certainty_strategy_blind,
+    },
+    Prop {
+        name: "chase_thread_invariance",
+        describe: "chase outputs and obs counters are byte-identical at 1/2/7 threads",
+        check: chase_thread_invariance,
+    },
+    Prop {
+        name: "classes_witness_oracle",
+        describe: "witness-producing class recognizers agree with the boolean oracles",
+        check: classes_witness_oracle,
+    },
+    Prop {
+        name: "rewrite_vs_chase",
+        describe: "UCQ-rewriting certain answers agree with chase certain answers",
+        check: rewrite_vs_chase,
+    },
+    Prop {
+        name: "lint_stability",
+        describe: "linting is deterministic (identical reports on identical input)",
+        check: lint_stability,
+    },
+];
+
+/// Looks a property up by its stable name.
+pub fn find_prop(name: &str) -> Option<&'static Prop> {
+    PROPS.iter().find(|p| p.name == name)
+}
+
+fn chase_config(ctx: &PropCtx, variant: ChaseVariant, strategy: ChaseStrategy) -> ChaseConfig {
+    ChaseConfig {
+        max_rounds: ctx.max_rounds,
+        max_facts: ctx.max_facts,
+        variant,
+        strategy,
+    }
+}
+
+/// Compact instance comparison: equality or a bounded message naming one
+/// differing fact (full instances can be thousands of facts — the
+/// shrinker, not the message, is the readable artifact).
+fn ensure_same_instance(a: &Instance, b: &Instance, voc: &Vocabulary, what: &str) -> PropResult {
+    if a == b {
+        return Ok(());
+    }
+    let missing = a
+        .facts()
+        .iter()
+        .find(|f| !b.contains(f))
+        .or_else(|| b.facts().iter().find(|f| !a.contains(f)));
+    Err(format!(
+        "{what}: instances differ ({} vs {} facts; e.g. {})",
+        a.len(),
+        b.len(),
+        missing.map_or_else(|| "same fact set?".into(), |f| f.display(voc).to_string()),
+    ))
+}
+
+/// `chase_strategy_agreement`: naive vs semi-naive, both variants,
+/// stepped round-by-round (same new facts in the same order, hence the
+/// same fresh-null names) and through the public `chase` entry point.
+/// The mutation runs on the semi-naive side.
+fn chase_strategy_agreement(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResult {
+    let mutated = ctx.mutation.apply(&prog.theory);
+    for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+        let mut voc_n = prog.voc.clone();
+        let mut voc_s = prog.voc.clone();
+        let mut naive =
+            ChaseStepper::new(&prog.instance, &prog.theory, variant, ChaseStrategy::Naive);
+        let mut semi =
+            ChaseStepper::new(&prog.instance, &mutated, variant, ChaseStrategy::SemiNaive);
+        for round in 1..=ctx.max_rounds {
+            let new_n = naive.step(&mut voc_n);
+            let new_s = semi.step(&mut voc_s);
+            if new_n != new_s {
+                return Err(format!(
+                    "{variant:?}: round {round} facts differ (naive {} vs semi-naive {})",
+                    new_n.len(),
+                    new_s.len()
+                ));
+            }
+            ensure_same_instance(
+                &naive.instance,
+                &semi.instance,
+                &voc_n,
+                &format!("{variant:?}: round {round}"),
+            )?;
+            if new_n.is_empty() || naive.instance.len() > ctx.max_facts {
+                break;
+            }
+        }
+
+        let res_n = chase(
+            &prog.instance,
+            &prog.theory,
+            &mut prog.voc.clone(),
+            chase_config(ctx, variant, ChaseStrategy::Naive),
+        );
+        let res_s = chase(
+            &prog.instance,
+            &mutated,
+            &mut prog.voc.clone(),
+            chase_config(ctx, variant, ChaseStrategy::SemiNaive),
+        );
+        ensure_same_instance(&res_n.instance, &res_s.instance, &prog.voc, &format!("{variant:?}: full run"))?;
+        ensure_eq(&res_n.depth, &res_s.depth, &format!("{variant:?}: depth map"))?;
+        ensure_eq(res_n.rounds, res_s.rounds, &format!("{variant:?}: rounds"))?;
+        ensure_eq(res_n.status, res_s.status, &format!("{variant:?}: status"))?;
+    }
+    Ok(())
+}
+
+/// `chase_restricted_embeds`: the restricted-chase result (nulls turned
+/// into existential variables) maps homomorphically into the oblivious
+/// result at the same budget. The mutation runs on the oblivious side.
+fn chase_restricted_embeds(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResult {
+    let mutated = ctx.mutation.apply(&prog.theory);
+    let mut voc_r = prog.voc.clone();
+    let restricted = chase(
+        &prog.instance,
+        &prog.theory,
+        &mut voc_r,
+        chase_config(ctx, ChaseVariant::Restricted, ChaseStrategy::SemiNaive),
+    );
+    let oblivious = chase(
+        &prog.instance,
+        &mutated,
+        &mut prog.voc.clone(),
+        chase_config(ctx, ChaseVariant::Oblivious, ChaseStrategy::SemiNaive),
+    );
+    let mut null_var = FxHashMap::default();
+    let mut atoms = Vec::new();
+    for fact in restricted.instance.facts() {
+        let args = fact
+            .args
+            .iter()
+            .map(|&c| {
+                if voc_r.is_null(c) {
+                    Term::Var(*null_var.entry(c).or_insert_with(|| voc_r.fresh_var("h")))
+                } else {
+                    Term::Const(c)
+                }
+            })
+            .collect();
+        atoms.push(Atom::new(fact.pred, args));
+    }
+    ensure(
+        hom::hom_exists(&oblivious.instance, &atoms, &Binding::default()),
+        &format!(
+            "restricted chase ({} facts) does not embed into oblivious chase ({} facts)",
+            restricted.instance.len(),
+            oblivious.instance.len()
+        ),
+    )
+}
+
+/// The queries a case is probed with: its own `?-` queries plus two-atom
+/// join queries over the (at most three first) binary predicates it
+/// mentions.
+fn derived_queries(prog: &Program) -> (Vocabulary, Vec<Ucq>) {
+    let mut voc = prog.voc.clone();
+    let mut queries: Vec<Ucq> = prog.queries.iter().cloned().map(Ucq::single).collect();
+    let mut binary: Vec<PredId> = voc
+        .preds()
+        .filter(|&(_, arity)| arity == 2)
+        .map(|(p, _)| p)
+        .collect();
+    binary.truncate(3);
+    for &p in &binary {
+        for &q in &binary {
+            let (x, y, z) = (voc.fresh_var("dx"), voc.fresh_var("dy"), voc.fresh_var("dz"));
+            queries.push(Ucq::single(ConjunctiveQuery::boolean(vec![
+                Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(q, vec![Term::Var(y), Term::Var(z)]),
+            ])));
+        }
+    }
+    (voc, queries)
+}
+
+/// `chase_certainty_strategy_blind`: the `Certainty` verdict — including
+/// the witnessing depth `k` in `True(k)` — must not depend on the chase
+/// strategy. The mutation runs on the semi-naive side.
+fn chase_certainty_strategy_blind(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResult {
+    let mutated = ctx.mutation.apply(&prog.theory);
+    let (voc, queries) = derived_queries(prog);
+    for (qi, query) in queries.iter().enumerate() {
+        for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+            let c_n = certain_ucq(
+                &prog.instance,
+                &prog.theory,
+                &mut voc.clone(),
+                query,
+                chase_config(ctx, variant, ChaseStrategy::Naive),
+            );
+            let c_s = certain_ucq(
+                &prog.instance,
+                &mutated,
+                &mut voc.clone(),
+                query,
+                chase_config(ctx, variant, ChaseStrategy::SemiNaive),
+            );
+            ensure_eq(
+                c_n,
+                c_s,
+                &format!("{variant:?}: Certainty diverged between strategies on query #{qi}"),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// `chase_thread_invariance`: the chase result *and* the aggregated obs
+/// counters/event counts are identical at 1, 2 and 7 worker threads —
+/// the executable form of the fields-vs-gauges contract. The mutation
+/// runs at every thread count above 1.
+fn chase_thread_invariance(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResult {
+    let mutated = ctx.mutation.apply(&prog.theory);
+    let run = |threads: usize, theory: &Theory| {
+        par::with_thread_count(threads, || {
+            let sink = Memory::new(1 << 14);
+            let res = chase_with(
+                &prog.instance,
+                theory,
+                &mut prog.voc.clone(),
+                chase_config(ctx, ChaseVariant::Restricted, ChaseStrategy::SemiNaive),
+                &sink,
+            );
+            (res, sink.counters(), sink.event_counts())
+        })
+    };
+    let base = run(1, &prog.theory);
+    for threads in [2usize, 7] {
+        let other = run(threads, &mutated);
+        ensure_same_instance(
+            &base.0.instance,
+            &other.0.instance,
+            &prog.voc,
+            &format!("{threads} threads"),
+        )?;
+        ensure_eq(&base.0.depth, &other.0.depth, &format!("{threads} threads: depth map"))?;
+        ensure_eq(base.0.rounds, other.0.rounds, &format!("{threads} threads: rounds"))?;
+        ensure_eq(base.0.status, other.0.status, &format!("{threads} threads: status"))?;
+        ensure_eq(base.1.clone(), other.1, &format!("{threads} threads: obs counters"))?;
+        ensure_eq(base.2.clone(), other.2, &format!("{threads} threads: obs event counts"))?;
+    }
+    Ok(())
+}
+
+/// `classes_witness_oracle`: every witness-producing recognizer agrees
+/// with its legacy boolean oracle, and every witness re-validates
+/// against the theory from scratch. The mutation checks the *mutated*
+/// theory both ways (witnesses must stay self-consistent on any input).
+fn classes_witness_oracle(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResult {
+    let theory = ctx.mutation.apply(&prog.theory);
+
+    let guards = guard_violations(&theory);
+    ensure(
+        is_guarded(&theory) == guards.is_empty(),
+        "guard witness/oracle disagree",
+    )?;
+    for v in &guards {
+        v.validate(&theory).map_err(|e| format!("bogus guard witness: {e}"))?;
+    }
+
+    let sticky = sticky_violations(&theory);
+    ensure(
+        is_sticky(&theory) == sticky.is_empty(),
+        "sticky witness/oracle disagree",
+    )?;
+    for v in &sticky {
+        v.validate(&theory).map_err(|e| format!("bogus sticky witness: {e}"))?;
+    }
+
+    let wa = weak_acyclicity_violation(&theory);
+    ensure(
+        is_weakly_acyclic(&theory) == wa.is_none(),
+        "weak-acyclicity witness/oracle disagree",
+    )?;
+    if let Some(v) = &wa {
+        v.validate(&theory).map_err(|e| format!("bogus WA witness: {e}"))?;
+    }
+
+    let t3 = theorem3_violations(&theory);
+    ensure(
+        is_theorem3_fragment(&theory) == t3.is_empty(),
+        "theorem3 witness/oracle disagree",
+    )?;
+    for v in &t3 {
+        v.validate(&theory).map_err(|e| format!("bogus theorem3 witness: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `rewrite_vs_chase`: where the UCQ rewriting saturates (Definition 2
+/// applies), evaluating the rewriting over `D` must agree with the
+/// chase-based certain answer whenever the chase decides within budget.
+/// Single-head theories only (the rewriter's contract). The mutation
+/// runs on the rewriting side.
+fn rewrite_vs_chase(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResult {
+    if !prog.theory.is_single_head() {
+        return Ok(());
+    }
+    let mutated = ctx.mutation.apply(&prog.theory);
+    let (voc, queries) = derived_queries(prog);
+    let config = RewriteConfig { max_disjuncts: 15, max_steps: 300, max_piece: 2 };
+    for (qi, ucq) in queries.iter().enumerate() {
+        // The rewriter takes single CQs; probe each disjunct separately.
+        for cq in &ucq.disjuncts {
+            let via_rw = certainly_entailed_rewriting(
+                &prog.instance,
+                &mutated,
+                &mut voc.clone(),
+                cq,
+                config,
+            );
+            let Some(rw) = via_rw else { continue }; // did not saturate
+            let chase_verdict = certain_ucq(
+                &prog.instance,
+                &prog.theory,
+                &mut voc.clone(),
+                &Ucq::single(cq.clone()),
+                chase_config(ctx, ChaseVariant::Restricted, ChaseStrategy::SemiNaive),
+            );
+            if !chase_verdict.is_decided() {
+                continue;
+            }
+            ensure_eq(
+                rw,
+                chase_verdict.is_true(),
+                &format!("rewriting and chase disagree on query #{qi}"),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// `lint_stability`: linting the case source twice gives byte-identical
+/// reports (text and JSON) and never panics. (Panic-freedom is enforced
+/// by the runner's catch-unwind; this check makes it a named property.)
+fn lint_stability(case: &FuzzCase, _prog: &Program, _ctx: &PropCtx) -> PropResult {
+    let a = lint_source("fuzz-case", &case.src);
+    let b = lint_source("fuzz-case", &case.src);
+    ensure(a.json() == b.json(), "lint JSON output is unstable")?;
+    ensure(a.render() == b.render(), "lint rendered output is unstable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_case;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        for p in PROPS {
+            assert!(std::ptr::eq(find_prop(p.name).unwrap(), p));
+        }
+        let mut names: Vec<_> = PROPS.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PROPS.len());
+    }
+
+    #[test]
+    fn healthy_engines_pass_all_props_on_sample_seeds() {
+        let ctx = PropCtx::default();
+        for seed in 0..30 {
+            let case = gen_case(seed);
+            let prog = case.program().unwrap();
+            for prop in PROPS {
+                (prop.check)(&case, &prog, &ctx).unwrap_or_else(|e| {
+                    panic!("seed {seed}, prop {}: {e}\n{}", prop.name, case.src)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn skip_last_rule_mutation_is_caught_somewhere() {
+        let ctx = PropCtx { mutation: Mutation::SkipLastRule, ..PropCtx::default() };
+        let caught = (0..40).any(|seed| {
+            let case = gen_case(seed);
+            let prog = case.program().unwrap();
+            PROPS.iter().any(|p| {
+                crate::proptest_lite::run_case_caught(|| (p.check)(&case, &prog, &ctx)).is_err()
+            })
+        });
+        assert!(caught, "the known-bad mutation must be caught within 40 seeds");
+    }
+}

@@ -1,20 +1,23 @@
 //! A minimal, dependency-free property-testing harness.
 //!
-//! Replaces the external `proptest` crate for this repository's needs:
+//! Promoted from `tests/support/proptest_lite.rs` so the integration
+//! tests and the `bddfc-fuzz` binary share one seeding discipline:
 //!
 //! * deterministic: every case's seed is derived from a fixed base seed,
 //!   the property name and the case index, so runs are reproducible
 //!   bit-for-bit with no persistence files;
 //! * self-describing failures: generators log every value they produce
 //!   into the [`Gen`], and a failing case prints that log plus the case
-//!   seed, which is all that's needed to replay it;
+//!   seed and a ready-to-paste `bddfc-fuzz --seed <n> --prop <name>`
+//!   reproduction line;
 //! * panic-safe: both `Err` returns and panics inside the property body
 //!   are caught and reported with the failing input.
 //!
-//! There is no shrinking — generators here draw small inputs by
-//! construction, which keeps counterexamples readable without it.
+//! There is no shrinking *here* — registry properties replayed through
+//! `bddfc-fuzz` get the delta-debugging shrinker of [`crate::shrink`];
+//! ad-hoc test properties draw small inputs by construction.
 
-use bddfc::core::prng::SplitMix64;
+use bddfc_core::prng::SplitMix64;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Base seed for the whole suite. Changing it reshuffles every property's
@@ -100,30 +103,93 @@ fn case_seed(name: &str, case: u64) -> u64 {
     SplitMix64::new(acc ^ case).next_u64()
 }
 
-/// Runs `cases` seeded cases of the property; panics with the case seed
-/// and the generator log on the first failure (from an `Err` or a panic).
+/// Runs one case body, catching both `Err` returns and panics.
+pub fn run_case_caught(body: impl FnOnce() -> PropResult) -> PropResult {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(r) => r,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs `cases` seeded cases of the property; panics with the case seed,
+/// the generator log and a `bddfc-fuzz` reproduction line on the first
+/// failure (from an `Err` or a panic).
+///
+/// The reproduction line replays exactly when `name` is a registered
+/// `bddfc-fuzz` property ([`crate::props::PROPS`]) driven through
+/// [`crate::run_seeded_case`]; for ad-hoc test-local properties it still
+/// names the seed that the printed generator log was drawn from.
 pub fn run_prop(name: &str, cases: u64, mut body: impl FnMut(&mut Gen) -> PropResult) {
     for case in 0..cases {
         let seed = case_seed(name, case);
         let mut g = Gen::new(seed);
-        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut g)));
-        let failure = match outcome {
-            Ok(Ok(())) => continue,
-            Ok(Err(msg)) => msg,
-            Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic".to_string());
-                format!("panicked: {msg}")
-            }
+        let failure = match run_case_caught(AssertUnwindSafe(|| body(&mut g))) {
+            Ok(()) => continue,
+            Err(msg) => msg,
         };
         panic!(
             "property '{name}' failed at case {case}/{cases} (seed {seed:#x})\n\
              inputs:\n  {}\n\
-             failure: {failure}",
+             failure: {failure}\n\
+             rerun: bddfc-fuzz --seed {seed:#x} --prop {name}",
             g.log.join("\n  "),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0;
+        run_prop("always_ok", 5, |_g| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn failure_message_carries_seed_and_repro_line() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_prop("always_fails", 3, |g| {
+                let v = g.usize_in("v", 0, 10);
+                Err(format!("boom {v}"))
+            });
+        }));
+        let payload = caught.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("property 'always_fails' failed at case 0/3"), "{msg}");
+        assert!(msg.contains("rerun: bddfc-fuzz --seed 0x"), "{msg}");
+        assert!(msg.contains("--prop always_fails"), "{msg}");
+        assert!(msg.contains("v = "), "{msg}");
+    }
+
+    #[test]
+    fn panics_are_reported_as_failures() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_prop("panicky", 1, |_g| panic!("kaboom"));
+        }));
+        let payload = caught.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("panicked: kaboom"), "{msg}");
+    }
+
+    #[test]
+    fn case_seeds_are_stable() {
+        // Pin the derivation so `bddfc-fuzz --seed` repro lines stay
+        // valid across refactors.
+        assert_eq!(case_seed("x", 0), case_seed("x", 0));
+        assert_ne!(case_seed("x", 0), case_seed("x", 1));
+        assert_ne!(case_seed("x", 0), case_seed("y", 0));
     }
 }

@@ -1,0 +1,195 @@
+//! Deterministic fuzz-run reports.
+//!
+//! The stdout report is a **pure function of the run's inputs and
+//! verdicts** — base seed, property selection, mutation, corpus file
+//! verdicts, failures. Anything timing- or speed-dependent (cases
+//! executed within a wall-clock budget, elapsed time) is deliberately
+//! excluded; the runner prints those to stderr. That is what makes
+//! `bddfc-fuzz --seed S --budget-ms T` byte-identical across
+//! `BDDFC_THREADS` settings and machine speeds whenever the engines are
+//! healthy, and it is pinned by `tests/fuzz_cli.rs`.
+
+use crate::props::Mutation;
+use bddfc_core::obs::json_escape;
+
+/// One minimized, replayable finding.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The violated property's registry name.
+    pub prop: &'static str,
+    /// Where the case came from: `seed 0x…` or a corpus path.
+    pub origin: String,
+    /// Failure message of the minimized case.
+    pub message: String,
+    /// Minimized, parseable program source.
+    pub shrunk: String,
+    /// Ready-to-paste reproduction command.
+    pub repro: String,
+}
+
+/// The full report of one `bddfc-fuzz` invocation.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// `fuzz`, `case` or `replay`.
+    pub mode: &'static str,
+    /// Base seed (absent in pure replay mode).
+    pub seed: Option<u64>,
+    /// `--budget-ms` value, when one was set.
+    pub budget_ms: Option<u64>,
+    /// Names of the properties checked, in registry order.
+    pub props: Vec<&'static str>,
+    /// Injected mutation (`none` in production).
+    pub mutation: Mutation,
+    /// Per-file replay verdicts, in replay order: `(path, "ok"/"fail")`.
+    pub corpus: Vec<(String, &'static str)>,
+    /// Minimized findings, in discovery order.
+    pub failures: Vec<Failure>,
+}
+
+impl FuzzReport {
+    /// `true` iff no property was violated.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The human-readable report (the default stdout format).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("bddfc-fuzz report\n");
+        out.push_str(&format!("mode: {}\n", self.mode));
+        if let Some(seed) = self.seed {
+            out.push_str(&format!("seed: {seed:#x}\n"));
+        }
+        if let Some(ms) = self.budget_ms {
+            out.push_str(&format!("budget-ms: {ms}\n"));
+        }
+        out.push_str(&format!("props: {}\n", self.props.join(", ")));
+        if self.mutation != Mutation::None {
+            out.push_str(&format!("mutation: {}\n", self.mutation.name()));
+        }
+        if !self.corpus.is_empty() {
+            out.push_str("corpus:\n");
+            for (path, verdict) in &self.corpus {
+                out.push_str(&format!("  {path}: {verdict}\n"));
+            }
+        }
+        out.push_str(&format!("failures: {}\n", self.failures.len()));
+        for (i, f) in self.failures.iter().enumerate() {
+            out.push_str(&format!(
+                "--- failure {}: prop {} ({})\n",
+                i + 1,
+                f.prop,
+                f.origin
+            ));
+            out.push_str(&format!("message: {}\n", f.message));
+            out.push_str(&format!(
+                "shrunk program ({} statements):\n",
+                f.shrunk.lines().filter(|l| !l.trim().is_empty()).count()
+            ));
+            for line in f.shrunk.lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+            out.push_str(&format!("rerun: {}\n", f.repro));
+        }
+        out.push_str(if self.clean() { "ok\n" } else { "FAIL\n" });
+        out
+    }
+
+    /// The machine-readable report (`--json`), schema-versioned like the
+    /// lint and bench JSON emitters.
+    pub fn json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":1,\"tool\":\"bddfc-fuzz\"");
+        out.push_str(&format!(",\"mode\":\"{}\"", self.mode));
+        if let Some(seed) = self.seed {
+            out.push_str(&format!(",\"seed\":{seed}"));
+        }
+        if let Some(ms) = self.budget_ms {
+            out.push_str(&format!(",\"budget_ms\":{ms}"));
+        }
+        out.push_str(&format!(",\"mutation\":\"{}\"", self.mutation.name()));
+        out.push_str(",\"props\":[");
+        for (i, p) in self.props.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{p}\""));
+        }
+        out.push_str("],\"corpus\":[");
+        for (i, (path, verdict)) in self.corpus.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"verdict\":\"{verdict}\"}}",
+                json_escape(path)
+            ));
+        }
+        out.push_str("],\"failures\":[");
+        for (i, f) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"prop\":\"{}\",\"origin\":\"{}\",\"message\":\"{}\",\"shrunk\":\"{}\",\"repro\":\"{}\"}}",
+                json_escape(f.prop),
+                json_escape(&f.origin),
+                json_escape(&f.message),
+                json_escape(&f.shrunk),
+                json_escape(&f.repro),
+            ));
+        }
+        out.push_str(&format!("],\"ok\":{}}}", self.clean()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FuzzReport {
+        FuzzReport {
+            mode: "fuzz",
+            seed: Some(7),
+            budget_ms: Some(100),
+            props: vec!["a", "b"],
+            mutation: Mutation::SkipLastRule,
+            corpus: vec![("tests/corpus/x.dlg".into(), "ok")],
+            failures: vec![Failure {
+                prop: "a",
+                origin: "seed 0x7".into(),
+                message: "left \"x\" != right".into(),
+                shrunk: "A(a).\nA(X) -> P(X,Y).".into(),
+                repro: "bddfc-fuzz --seed 0x7 --prop a".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn render_is_stable_and_complete() {
+        let r = sample().render();
+        assert!(r.contains("seed: 0x7"), "{r}");
+        assert!(r.contains("mutation: skip-last-rule"), "{r}");
+        assert!(r.contains("shrunk program (2 statements):"), "{r}");
+        assert!(r.contains("rerun: bddfc-fuzz --seed 0x7 --prop a"), "{r}");
+        assert!(r.ends_with("FAIL\n"), "{r}");
+        assert_eq!(r, sample().render());
+    }
+
+    #[test]
+    fn json_escapes_and_flags_failures() {
+        let j = sample().json();
+        assert!(j.starts_with("{\"schema\":1,"), "{j}");
+        assert!(j.contains("\"message\":\"left \\\"x\\\" != right\""), "{j}");
+        assert!(j.contains("\"shrunk\":\"A(a).\\nA(X) -> P(X,Y).\""), "{j}");
+        assert!(j.ends_with("\"ok\":false}"), "{j}");
+    }
+
+    #[test]
+    fn clean_report_renders_ok() {
+        let r = FuzzReport { mode: "replay", props: vec!["a"], ..Default::default() };
+        assert!(r.render().ends_with("ok\n"));
+        assert!(r.json().ends_with("\"ok\":true}"));
+    }
+}

@@ -76,6 +76,37 @@ mod tests {
     }
 
     #[test]
+    fn frontier_keeps_subsumed_intermediates_alive() {
+        // Shrunk bddfc-fuzz reproducer (rewrite_vs_chase). Rewriting the
+        // query steps through B(Y),P(Y,W) — which is subsumed by the
+        // already-kept P(Y,Z),P(Y,W') — and only *its* descendant B(Y)
+        // matches the database. A frontier pruned by subsumption drops
+        // the intermediate, reports saturation, and answers false while
+        // the chase answers true.
+        let prog = parse_program(
+            "P(X,W) -> A(X).
+             B(X) -> P(X,b).
+             A(Y) -> Q(Y,Y).
+             B(b).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let q = parse_query("Q(X,Y), P(Y,Z)", &mut voc).unwrap();
+        let via_rw = certainly_entailed_rewriting(
+            &prog.instance,
+            &prog.theory,
+            &mut voc.clone(),
+            &q,
+            RewriteConfig::default(),
+        )
+        .unwrap();
+        assert!(via_rw, "rewriting lost the B(Y) disjunct");
+        let via_chase =
+            certain_cq(&prog.instance, &prog.theory, &mut voc, &q, ChaseConfig::default());
+        assert!(via_chase.is_true());
+    }
+
+    #[test]
     fn answer_variables_are_computed() {
         let prog = parse_program(
             "P(X) -> exists Z . E(X,Z).

@@ -14,7 +14,7 @@
 
 use crate::subsume::{insert_minimal, insert_minimal_counted, SubsumeStats};
 use crate::unify::{unify_with_all, Subst};
-use bddfc_core::fxhash::FxHashSet;
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
 use bddfc_core::obs::{Event, EventSink, SpanTimer, NULL};
 use bddfc_core::par;
 use bddfc_core::{Atom, ConjunctiveQuery, Rule, Term, Theory, Ucq, VarId, Vocabulary};
@@ -203,6 +203,60 @@ pub fn rewrite_query(
     rewrite_query_with(query, theory, voc, config, &NULL)
 }
 
+/// A dedup key for frontier admission that identifies a CQ up to
+/// renaming of its existential variables: atoms are ordered by a
+/// name-independent shape, existential variables are then numbered by
+/// first occurrence in that order, and the renumbered atoms re-sorted.
+/// The renumbering is a bijection, so equal keys imply the two CQs are
+/// literally identical after renaming — hence logically equivalent.
+/// (Ties in the shape sort can give isomorphic CQs distinct keys; that
+/// only costs a re-exploration, never a lost rewriting.)
+fn frontier_key(q: &ConjunctiveQuery) -> Vec<u64> {
+    const CONST_TAG: u64 = 1 << 32;
+    const FREE_TAG: u64 = 2 << 32;
+    const EXIST_TAG: u64 = 3 << 32;
+    let free: FxHashSet<VarId> = q.free.iter().copied().collect();
+    // Shape: existential variables are blanked to the position of their
+    // first occurrence within the atom (capturing intra-atom repeats).
+    let shape = |a: &Atom| -> Vec<u64> {
+        let mut s = vec![a.pred.0 as u64];
+        for t in &a.args {
+            s.push(match t {
+                Term::Const(c) => CONST_TAG | c.0 as u64,
+                Term::Var(v) if free.contains(v) => FREE_TAG | v.0 as u64,
+                Term::Var(_) => {
+                    EXIST_TAG | a.args.iter().position(|u| u == t).unwrap() as u64
+                }
+            });
+        }
+        s
+    };
+    let mut order: Vec<(Vec<u64>, usize)> =
+        q.atoms.iter().enumerate().map(|(i, a)| (shape(a), i)).collect();
+    order.sort();
+    let mut canon: FxHashMap<VarId, u64> = FxHashMap::default();
+    let mut rendered: Vec<Vec<u64>> = Vec::with_capacity(order.len());
+    for &(_, i) in &order {
+        let a = &q.atoms[i];
+        let mut r = vec![a.pred.0 as u64];
+        for t in &a.args {
+            r.push(match t {
+                Term::Const(c) => CONST_TAG | c.0 as u64,
+                Term::Var(v) if free.contains(v) => FREE_TAG | v.0 as u64,
+                Term::Var(v) => {
+                    let next = canon.len() as u64;
+                    EXIST_TAG | *canon.entry(*v).or_insert(next)
+                }
+            });
+        }
+        rendered.push(r);
+    }
+    rendered.sort();
+    // Pred ids carry no tag and args always do, so the flattened stream
+    // parses back unambiguously into atoms.
+    rendered.into_iter().flatten().collect()
+}
+
 /// Like [`rewrite_query`], but reports one `rewrite`/`generation` event
 /// per frontier generation into `sink`. Fields: `generation`, `frontier`
 /// (disjuncts expanded this generation), `expanded` (candidate disjuncts
@@ -234,6 +288,19 @@ pub fn rewrite_query_with<S: EventSink>(
     }
     let mut disjuncts: Vec<ConjunctiveQuery> = Vec::new();
     insert_minimal(&mut disjuncts, query.clone());
+    // Canonical keys of every CQ ever admitted to a frontier. Frontier
+    // admission must NOT prune by subsumption: dropping a merely
+    // subsumed CQ also drops its future rewritings, which need not be
+    // subsumed themselves (found by bddfc-fuzz: a subsumed intermediate
+    // whose descendant was the only disjunct matching the database).
+    // The output set `disjuncts` still minimizes by subsumption — that
+    // direction is sound for UCQ evaluation. Dedup here is by renaming
+    // of existential variables (equal keys imply isomorphic CQs), not
+    // full logical equivalence: a missed equivalence only re-explores,
+    // while pairwise homomorphism checks against everything explored
+    // would dominate the whole rewriting on single-predicate queries.
+    let mut explored: FxHashSet<Vec<u64>> = FxHashSet::default();
+    explored.insert(frontier_key(query));
     let mut frontier: Vec<(ConjunctiveQuery, usize)> = vec![(query.clone(), 0)];
 
     let mut steps = 0usize;
@@ -375,15 +442,27 @@ pub fn rewrite_query_with<S: EventSink>(
                 }
                 steps += 1;
                 expanded += 1;
+                if !explored.insert(frontier_key(&new_q)) {
+                    continue;
+                }
+                // Subsumed-but-novel CQs stay in the frontier (see
+                // `explored`) without counting as disjuncts, so bound
+                // total exploration separately; overrunning it reports
+                // the run as truncated — unsaturated is always a sound
+                // verdict, unlike saturated-with-missing-disjuncts.
+                if explored.len() > 4 * config.max_disjuncts {
+                    truncated = true;
+                    break 'generation;
+                }
+                max_depth = max_depth.max(depth + 1);
                 if insert_minimal_counted(&mut disjuncts, new_q.clone(), &mut gen_stats) {
                     inserted += 1;
-                    max_depth = max_depth.max(depth + 1);
                     if disjuncts.len() > config.max_disjuncts {
                         truncated = true;
                         break 'generation;
                     }
-                    next.push((new_q, depth + 1));
                 }
+                next.push((new_q, depth + 1));
             }
         }
         if S::ENABLED {

@@ -7,18 +7,17 @@
 //! is what makes this hold; this suite is the executable statement of
 //! that contract.
 
-mod support;
-
 use bddfc::chase::{
     chase, chase_with, find_model, find_model_with, saturate_datalog, saturate_datalog_with,
     ChaseConfig, ChaseResult, ChaseStrategy, ChaseVariant, FinderConfig,
 };
 use bddfc::core::obs::Memory;
 use bddfc::core::par;
-use bddfc::core::{Fact, Instance, Program, Theory, Vocabulary};
+use bddfc::core::{Instance, Program, Theory, Vocabulary};
 use bddfc::rewrite::{rewrite_query, rewrite_query_with, RewriteConfig};
 use bddfc::types::TypeAnalyzer;
-use support::proptest_lite::run_prop;
+use bddfc_fuzz::gen::random_program;
+use bddfc_fuzz::proptest_lite::run_prop;
 
 /// The thread counts the suite compares: the sequential baseline, the
 /// smallest genuine fork-join, and an odd count that never divides the
@@ -41,23 +40,6 @@ fn zoo_programs() -> Vec<(&'static str, Program)> {
         ("guarded_example", bddfc::zoo::guarded_example()),
         ("sticky_example", bddfc::zoo::sticky_example()),
     ]
-}
-
-/// A seeded random program (same construction as tests/differential.rs).
-fn random_program(seed: u64) -> Program {
-    let mut voc = Vocabulary::new();
-    let theory = bddfc::zoo::random_linear_theory(&mut voc, 3, 6, seed);
-    let mut rng = bddfc::core::prng::SplitMix64::new(seed ^ 0x5eed);
-    let preds: Vec<_> = (0..3).map(|i| voc.pred(&format!("R{i}"), 2)).collect();
-    let consts: Vec<_> = (0..5).map(|i| voc.constant(&format!("c{i}"))).collect();
-    let mut instance = Instance::new();
-    for _ in 0..8 {
-        let p = preds[rng.below(preds.len())];
-        let a = consts[rng.below(consts.len())];
-        let b = consts[rng.below(consts.len())];
-        instance.insert(Fact::new(p, vec![a, b]));
-    }
-    Program { voc, theory, instance, queries: vec![] }
 }
 
 fn assert_chase_identical(name: &str, db: &Instance, theory: &Theory, voc: &Vocabulary) {

@@ -6,14 +6,13 @@
 //! map homomorphically into the oblivious-chase result (the restricted
 //! chase is the "economical" sub-chase of the blind one).
 
-mod support;
-
 use bddfc::chase::{certain_ucq, chase, ChaseConfig, ChaseStepper, ChaseStrategy, ChaseVariant};
 use bddfc::core::{
-    hom, Atom, Binding, ConjunctiveQuery, Fact, Instance, Program, Term, Theory, Ucq, Vocabulary,
+    hom, Atom, Binding, ConjunctiveQuery, Instance, Program, Term, Theory, Ucq, Vocabulary,
 };
 use bddfc::core::fxhash::FxHashMap;
-use support::proptest_lite::run_prop;
+use bddfc_fuzz::gen::random_program;
+use bddfc_fuzz::proptest_lite::run_prop;
 
 /// Every ready-made paper program from the zoo.
 fn zoo_programs() -> Vec<(&'static str, Program)> {
@@ -32,24 +31,6 @@ fn zoo_programs() -> Vec<(&'static str, Program)> {
         ("guarded_example", bddfc::zoo::guarded_example()),
         ("sticky_example", bddfc::zoo::sticky_example()),
     ]
-}
-
-/// A seeded random program: a random linear theory over 3 binary
-/// predicates plus a random instance over those same predicates.
-fn random_program(seed: u64) -> Program {
-    let mut voc = Vocabulary::new();
-    let theory = bddfc::zoo::random_linear_theory(&mut voc, 3, 6, seed);
-    let mut rng = bddfc::core::prng::SplitMix64::new(seed ^ 0x5eed);
-    let preds: Vec<_> = (0..3).map(|i| voc.pred(&format!("R{i}"), 2)).collect();
-    let consts: Vec<_> = (0..5).map(|i| voc.constant(&format!("c{i}"))).collect();
-    let mut instance = Instance::new();
-    for _ in 0..8 {
-        let p = preds[rng.below(preds.len())];
-        let a = consts[rng.below(consts.len())];
-        let b = consts[rng.below(consts.len())];
-        instance.insert(Fact::new(p, vec![a, b]));
-    }
-    Program { voc, theory, instance, queries: vec![] }
 }
 
 const MAX_ROUNDS: u32 = 5;

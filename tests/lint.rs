@@ -2,16 +2,15 @@
 //! counts, and the differential contract between the witness-producing
 //! recognizers and their legacy boolean oracles.
 
-mod support;
-
 use bddfc::classes::{
     guard_violations, is_guarded, is_sticky, is_theorem3_fragment, is_weakly_acyclic,
     sticky_violations, theorem3_violations, weak_acyclicity_violation,
 };
 use bddfc::core::{Theory, Vocabulary};
+use bddfc_fuzz::gen::random_program_source;
+use bddfc_fuzz::proptest_lite::{ensure, run_prop, PropResult};
 use bddfc_lint::{lint_source, Severity};
 use std::process::Command;
-use support::proptest_lite::{ensure, run_prop, PropResult};
 
 /// Runs `bddfc-lint --zoo --json` under a given `BDDFC_THREADS` setting
 /// and returns (stdout, success).
@@ -96,46 +95,6 @@ fn witnesses_agree_with_oracles_on_the_zoo() {
         let prog = bddfc::core::parse_program(src).unwrap();
         check_witnesses_agree(name, &prog.theory, &prog.voc).unwrap();
     }
-}
-
-/// A random Datalog∃ program as source text: 1–5 rules over a small fixed
-/// signature, bodies of 1–3 atoms with shared variables (joins), heads
-/// that reuse body variables, drop them (existentials arise implicitly)
-/// or mention constants. Parsing the text also exercises the span
-/// plumbing on every generated rule.
-fn random_program_source(g: &mut support::proptest_lite::Gen) -> String {
-    const PREDS: &[(&str, usize)] = &[("A", 1), ("B", 2), ("C", 3), ("D", 2)];
-    const VARS: &[&str] = &["X", "Y", "Z", "W"];
-    const CONSTS: &[&str] = &["a", "b"];
-    let nrules = g.usize_in("rules", 1, 6);
-    let mut out = String::new();
-    for r in 0..nrules {
-        let atom = |g: &mut support::proptest_lite::Gen, kind: &str, pool: usize| {
-            let (name, arity) = PREDS[g.usize_in(&format!("r{r}/{kind}/pred"), 0, PREDS.len())];
-            let args: Vec<&str> = (0..arity)
-                .map(|i| {
-                    let k = g.usize_in(&format!("r{r}/{kind}/arg{i}"), 0, pool + CONSTS.len());
-                    if k < pool {
-                        VARS[k]
-                    } else {
-                        CONSTS[k - pool]
-                    }
-                })
-                .collect();
-            format!("{name}({})", args.join(","))
-        };
-        // Body variables draw from a pool prefix so joins are frequent;
-        // the head may use the full pool, making head-only (existential)
-        // variables possible.
-        let nbody = g.usize_in(&format!("r{r}/body_atoms"), 1, 4);
-        let body_pool = g.usize_in(&format!("r{r}/body_pool"), 1, VARS.len());
-        let body: Vec<String> = (0..nbody).map(|_| atom(g, "body", body_pool)).collect();
-        let head = atom(g, "head", VARS.len());
-        out.push_str(&format!("{} -> {}.\n", body.join(", "), head));
-    }
-    // A couple of facts so the program also has an instance section.
-    out.push_str("A(a). B(a,b).\n");
-    out
 }
 
 /// Differential property: on randomly generated programs, every

@@ -1,11 +1,9 @@
 //! Property-based tests on the core invariants, spanning crates, driven
-//! by the in-tree deterministic harness in `support::proptest_lite`.
-
-mod support;
+//! by the deterministic harness in `bddfc_fuzz::proptest_lite`.
 
 use bddfc::core::{hom, Fact};
 use bddfc::prelude::*;
-use support::proptest_lite::{ensure, ensure_eq, run_prop, Gen, PropResult};
+use bddfc_fuzz::proptest_lite::{ensure, ensure_eq, run_prop, Gen, PropResult};
 
 const CASES: u64 = 48;
 
