@@ -31,7 +31,7 @@ if [ "${BDDFC_SKIP_BENCH:-0}" != "1" ]; then
     threshold="${BDDFC_BENCH_THRESHOLD:-100}"
     tmp=$(mktemp -d)
     trap 'rm -rf "$tmp"' EXIT
-    targets="chase rewrite types pipeline"
+    targets="chase join rewrite types pipeline"
     for t in $targets; do
         cp "crates/bench/BENCH_$t.json" "$tmp/BENCH_$t.baseline.json"
     done
@@ -59,5 +59,9 @@ cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- --replay tests/corpus
 
 echo "==> bddfc-fuzz --budget-ms 5000 (fresh-seed differential smoke)"
 cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- --seed 1 --budget-ms 5000
+
+echo "==> bddfc-fuzz join_kernel_vs_tuple_oracle (batch kernel vs tuple oracle)"
+cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- \
+    --seed 1 --budget-ms 5000 --prop join_kernel_vs_tuple_oracle
 
 echo "ci: ok"

@@ -28,6 +28,7 @@ use std::fmt::Write as _;
 /// The workloads `bddfc-prof --workload <name>` can run: `(name, summary)`.
 pub const WORKLOADS: &[(&str, &str)] = &[
     ("e13", "transitive-closure chase over a seeded random graph (the overhead-guard shape)"),
+    ("throughput", "the chase_throughput bench shape: existential + join rule, 100-node graph"),
     ("example1", "Example 1's diverging chase, bounded at 6 rounds"),
     ("saturate", "datalog saturation (symmetry + transitivity) of a seeded random graph"),
     ("rewrite", "UCQ rewriting of a path query under successor + transitivity"),
@@ -73,6 +74,24 @@ pub fn run_workload<S: EventSink>(name: &str, sink: &S) -> Option<WorkloadRun> {
             let res = chase_with(&db, &theory, &mut voc, config, sink);
             Some(WorkloadRun {
                 workload: "e13",
+                rule_labels: rule_labels(&theory, &voc),
+                pred_labels: pred_labels(&voc),
+                chase_stats: Some(res.stats),
+            })
+        }
+        "throughput" => {
+            // Mirrors `chase_throughput/Restricted/100` in benches/chase_bench.rs.
+            let mut voc = Vocabulary::new();
+            let theory = Theory::new(vec![
+                parse_rule("E(X,Y) -> exists Z . E(Y,Z)", &mut voc).unwrap(),
+                parse_rule("E(X,Y), E(Y,Z) -> R(X,Z)", &mut voc).unwrap(),
+            ]);
+            let db = random_graph(&mut voc, 100, 200, 42);
+            let config =
+                ChaseConfig { max_rounds: 3, max_facts: 2_000_000, ..Default::default() };
+            let res = chase_with(&db, &theory, &mut voc, config, sink);
+            Some(WorkloadRun {
+                workload: "throughput",
                 rule_labels: rule_labels(&theory, &voc),
                 pred_labels: pred_labels(&voc),
                 chase_stats: Some(res.stats),
@@ -625,7 +644,16 @@ mod tests {
         let tables = r.render_tables();
         assert!(tables.contains("chase/trigger by rule"), "{tables}");
         assert!(tables.contains("E(X,Y), E(Y,Z) -> E(X,Z)"), "{tables}");
-        assert!(tables.contains("hom/scan by pred"), "{tables}");
+        // Batch mode (the default) attributes joins; tuple mode scans.
+        match bddfc_core::join::join_mode() {
+            bddfc_core::join::JoinMode::Batch => {
+                assert!(tables.contains("join/build by pred"), "{tables}");
+                assert!(tables.contains("join/probe by pred"), "{tables}");
+            }
+            bddfc_core::join::JoinMode::Tuple => {
+                assert!(tables.contains("hom/scan by pred"), "{tables}");
+            }
+        }
         // The folded output has the run/round span prefix.
         let folded = r.render_folded();
         assert!(folded.lines().all(|l| l.rsplit_once(' ').is_some()), "{folded}");

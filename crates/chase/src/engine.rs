@@ -28,13 +28,13 @@
 //! round.
 
 use bddfc_core::fxhash::{FxHashMap, FxHashSet};
+use bddfc_core::join::{self, JoinMode};
 use bddfc_core::obs::{Event, EventSink, Null, SpanTimer, NULL};
 use bddfc_core::par;
-use bddfc_core::satisfaction::{head_satisfied, restrict_binding};
 use bddfc_core::{
     hom, Binding, ConstId, Fact, Instance, PredId, Rule, Term, Theory, VarId, Vocabulary,
 };
-use std::ops::ControlFlow;
+use std::ops::{ControlFlow, Range};
 use std::time::Duration;
 
 /// Which chase variant to run.
@@ -162,10 +162,12 @@ impl ChaseStats {
 pub struct ChaseResult {
     /// The (partially) chased instance.
     pub instance: Instance,
-    /// Derivation depth of every fact: the round at which it appeared
-    /// (`0` for the facts of `D`). This is the depth the BDD property
-    /// (Section 1.1) quantifies over.
-    pub depth: FxHashMap<Fact, u32>,
+    /// Prefix lengths of `instance.facts()` by derivation depth:
+    /// the first `round_ends[d]` facts have depth ≤ `d`, so
+    /// `round_ends[0]` is the size of the input `D`. The chase is
+    /// append-only, which makes depth a positional property — storing
+    /// the boundaries costs O(rounds) instead of a map entry per fact.
+    round_ends: Vec<usize>,
     /// Number of completed rounds.
     pub rounds: u32,
     /// Why the run stopped.
@@ -180,31 +182,351 @@ impl ChaseResult {
         self.status == ChaseStatus::Fixpoint
     }
 
+    /// Derivation depth of the fact stored at `idx`: the round at which
+    /// it appeared (`0` for the facts of `D`). This is the depth the BDD
+    /// property (Section 1.1) quantifies over.
+    pub fn fact_depth(&self, idx: bddfc_core::FactIdx) -> u32 {
+        self.round_ends.partition_point(|&end| end <= idx) as u32
+    }
+
+    /// Derivation depth of every fact, as a map (see
+    /// [`ChaseResult::fact_depth`]); built on demand — round-by-round
+    /// comparisons and certificate extraction want the associative view,
+    /// the chase itself never pays for it.
+    pub fn depth_map(&self) -> FxHashMap<Fact, u32> {
+        self.instance
+            .facts()
+            .iter()
+            .enumerate()
+            .map(|(idx, f)| (f.clone(), self.fact_depth(idx)))
+            .collect()
+    }
+
     /// The maximal derivation depth of any fact.
     pub fn max_depth(&self) -> u32 {
-        self.depth.values().copied().max().unwrap_or(0)
+        (self.round_ends.len() - 1) as u32
     }
 }
 
-/// One pending repair: a rule index plus the frontier tuple and binding to
-/// repair. The `(rule_idx, key)` pair identifies the paper's trigger
-/// `(t, x̄)` and fixes the canonical application order.
+/// One pending repair: a rule index plus the frontier key to repair. The
+/// `(rule_idx, key)` pair identifies the paper's trigger `(t, x̄)` and
+/// fixes the canonical application order; everything a repair grounds is
+/// a pure function of the pair (via the rule's [`RuleTemplate`]).
 struct Repair {
     rule_idx: usize,
-    key: Vec<ConstId>,
-    binding: Binding,
+    key: Key,
 }
 
-/// One candidate trigger emitted by the parallel enumeration phase: the
-/// canonical key plus the frontier-restricted binding. Deduplication and
-/// admission run later, sequentially, on the merged list — the
-/// frontier-restricted binding of a trigger is a function of its key, so
+/// One candidate trigger emitted by the parallel enumeration phase.
+/// Deduplication and admission run later, sequentially, on the merged
+/// list — a trigger is a pure function of its `(rule, key)` pair, so
 /// first-occurrence dedup yields identical values at any shard split.
 struct Candidate {
     rule_idx: usize,
-    key: Vec<ConstId>,
-    binding: Binding,
+    key: Key,
 }
+
+/// A compact frontier key: widths ≤ 2 (the overwhelmingly common case)
+/// pack into one machine word so per-row dedup, the oblivious fired set
+/// and the canonical repair sort hash and compare a `u64` instead of
+/// allocating a heap vector per body match. The packed order
+/// `(a << 32) | b` compares like the unpacked `(a, b)` pair, so packed
+/// and wide keys induce the same canonical candidate order per rule (a
+/// rule's frontier width is fixed, so a rule never mixes variants and
+/// the derived cross-variant order is never exercised).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Key {
+    /// Frontier width ≤ 2, packed high-to-low in frontier order.
+    Packed(u64),
+    /// Frontier width > 2.
+    Wide(Vec<ConstId>),
+}
+
+/// Extracts the frontier key of `row` from the batch columns at `slots`.
+#[inline]
+fn key_of_row(batch: &join::BindingBatch, slots: &[usize], row: usize) -> Key {
+    match slots[..] {
+        [] => Key::Packed(0),
+        [a] => Key::Packed(u64::from(batch.get(row, a).0)),
+        [a, b] => Key::Packed(
+            (u64::from(batch.get(row, a).0) << 32) | u64::from(batch.get(row, b).0),
+        ),
+        _ => Key::Wide(slots.iter().map(|&s| batch.get(row, s)).collect()),
+    }
+}
+
+/// Extracts the frontier key of a full body binding (tuple engine).
+/// Packs exactly like [`key_of_row`] so both engines dedup, fire and
+/// sort on identical keys.
+#[inline]
+fn key_of_binding(frontier: &[VarId], b: &Binding) -> Key {
+    match frontier {
+        [] => Key::Packed(0),
+        [x] => Key::Packed(u64::from(b[x].0)),
+        [x, y] => Key::Packed((u64::from(b[x].0) << 32) | u64::from(b[y].0)),
+        _ => Key::Wide(frontier.iter().map(|v| b[v]).collect()),
+    }
+}
+
+/// Where one head-atom argument comes from when a repair grounds it: a
+/// rule constant, a frontier value (by index into the sorted frontier),
+/// or a fresh null (by index into the sorted existential variables).
+#[derive(Clone, Copy)]
+enum ArgSrc {
+    Const(ConstId),
+    Frontier(usize),
+    Ex(usize),
+}
+
+/// How a [`RuleTemplate`] decides head satisfaction (the same three
+/// shapes as [`bddfc_core::satisfaction::HeadCheck`], recompiled against
+/// key slots instead of variable bindings).
+enum HeadPlan {
+    /// No existentials: one hash probe per head atom.
+    Grounded,
+    /// Exactly one head atom holds the existentials, each occurring
+    /// once: grounded probes plus one posting-list scan.
+    SingleAtom(usize),
+    /// Shared/repeated existentials: general homomorphism search.
+    General,
+}
+
+/// One admission round's witness index for a [`HeadPlan::SingleAtom`]
+/// rule: the special atom's relation projected onto its non-existential
+/// positions (packed into a `u64` when at most two), built once per
+/// round against the frozen instance and probed once per candidate.
+enum WitnessSet {
+    /// The variant or plan never consults a witness for this rule.
+    Unused,
+    /// Projections over at most two bound positions, packed.
+    Packed(FxHashSet<u64>),
+    /// Wider projections, one allocated row each.
+    Wide(FxHashSet<Vec<ConstId>>),
+    /// No bound positions: satisfiability is bare row existence.
+    AnyRow(bool),
+}
+
+/// A rule's head compiled against its sorted frontier and sorted
+/// existential variables, so admission checks and repair application
+/// ground head atoms straight from the trigger key — no per-candidate
+/// `Binding` materialization anywhere on the hot path.
+struct RuleTemplate {
+    frontier: Vec<VarId>,
+    /// Sorted existential variables (fresh-null creation order).
+    ex: Vec<VarId>,
+    /// Per head atom: predicate plus one source per argument position.
+    head: Vec<(PredId, Vec<ArgSrc>)>,
+    plan: HeadPlan,
+}
+
+impl RuleTemplate {
+    fn new(rule: &Rule) -> Self {
+        let frontier = sorted_frontier(rule);
+        let mut ex: Vec<VarId> = rule.existential_vars().into_iter().collect();
+        ex.sort_unstable();
+        let head: Vec<(PredId, Vec<ArgSrc>)> = rule
+            .head
+            .iter()
+            .map(|atom| {
+                let srcs = atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => ArgSrc::Const(*c),
+                        Term::Var(v) => match frontier.binary_search(v) {
+                            Ok(i) => ArgSrc::Frontier(i),
+                            Err(_) => ArgSrc::Ex(
+                                ex.binary_search(v).expect("head var is frontier or existential"),
+                            ),
+                        },
+                    })
+                    .collect();
+                (atom.pred, srcs)
+            })
+            .collect();
+        let plan = Self::plan_of(&head, ex.len());
+        RuleTemplate { frontier, ex, head, plan }
+    }
+
+    /// Mirrors `HeadCheck::new`: every existential confined to one head
+    /// atom, once each, reduces the witness check to a posting scan.
+    fn plan_of(head: &[(PredId, Vec<ArgSrc>)], ex_count: usize) -> HeadPlan {
+        if ex_count == 0 {
+            return HeadPlan::Grounded;
+        }
+        let touched: Vec<usize> = head
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, srcs))| srcs.iter().any(|s| matches!(s, ArgSrc::Ex(_))))
+            .map(|(i, _)| i)
+            .collect();
+        if let [only] = touched[..] {
+            let mut counts = vec![0usize; ex_count];
+            for (_, srcs) in head {
+                for s in srcs {
+                    if let ArgSrc::Ex(j) = s {
+                        counts[*j] += 1;
+                    }
+                }
+            }
+            if counts.iter().all(|&c| c == 1) {
+                return HeadPlan::SingleAtom(only);
+            }
+        }
+        HeadPlan::General
+    }
+
+    /// The frontier values a key carries, unpacked into `buf` for packed
+    /// keys (ordered like the sorted frontier — see [`key_of_row`]).
+    fn key_vals<'a>(&self, key: &'a Key, buf: &'a mut [ConstId; 2]) -> &'a [ConstId] {
+        match key {
+            Key::Wide(v) => v,
+            Key::Packed(bits) => match self.frontier.len() {
+                0 => &[],
+                1 => {
+                    buf[0] = ConstId(*bits as u32);
+                    &buf[..1]
+                }
+                _ => {
+                    buf[0] = ConstId((*bits >> 32) as u32);
+                    buf[1] = ConstId(*bits as u32);
+                    &buf[..2]
+                }
+            },
+        }
+    }
+
+    /// Is the head satisfiable in `inst` for the trigger `key`? Same
+    /// verdicts as `head_satisfied` on the key's frontier binding.
+    /// `witness` must be this rule's [`WitnessSet`] built against the
+    /// same (frozen) instance.
+    fn satisfied(&self, inst: &Instance, rule: &Rule, key: &Key, witness: &WitnessSet) -> bool {
+        let mut kbuf = [ConstId(0); 2];
+        let fvals = self.key_vals(key, &mut kbuf);
+        match self.plan {
+            HeadPlan::Grounded => (0..self.head.len()).all(|i| self.atom_holds(inst, i, fvals)),
+            HeadPlan::SingleAtom(idx) => {
+                (0..self.head.len()).all(|i| i == idx || self.atom_holds(inst, i, fvals))
+                    && self.witness_holds(idx, fvals, witness)
+            }
+            HeadPlan::General => {
+                let binding: Binding =
+                    self.frontier.iter().copied().zip(fvals.iter().copied()).collect();
+                hom::hom_exists(inst, &rule.head, &binding)
+            }
+        }
+    }
+
+    /// Builds the witness projection of the special atom `idx` for one
+    /// admission round: the relation's rows projected onto the atom's
+    /// non-existential positions. Membership of a candidate's bound
+    /// values is exactly "some row agrees with the key on every bound
+    /// position" — the [`HeadPlan::SingleAtom`] satisfiability test —
+    /// turned into one hash probe per candidate.
+    fn build_witness_set(&self, inst: &Instance, idx: usize) -> WitnessSet {
+        let (pred, srcs) = &self.head[idx];
+        let Some(rel) = inst.columnar().relation(*pred) else {
+            return WitnessSet::AnyRow(false);
+        };
+        let bound: Vec<usize> = srcs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, ArgSrc::Ex(_)))
+            .map(|(pos, _)| pos)
+            .collect();
+        match bound[..] {
+            [] => WitnessSet::AnyRow(rel.rows() > 0),
+            [p] => WitnessSet::Packed(
+                (0..rel.rows()).map(|t| u64::from(rel.get(t, p).0)).collect(),
+            ),
+            [p0, p1] => WitnessSet::Packed(
+                (0..rel.rows())
+                    .map(|t| {
+                        (u64::from(rel.get(t, p0).0) << 32) | u64::from(rel.get(t, p1).0)
+                    })
+                    .collect(),
+            ),
+            _ => WitnessSet::Wide(
+                (0..rel.rows())
+                    .map(|t| bound.iter().map(|&p| rel.get(t, p)).collect())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Probes the prebuilt witness projection with the candidate's bound
+    /// values (same ascending-position order the set was built in).
+    fn witness_holds(&self, idx: usize, fvals: &[ConstId], witness: &WitnessSet) -> bool {
+        let (_, srcs) = &self.head[idx];
+        let mut vals = [ConstId(0); 8];
+        let mut heap;
+        let slots: &mut [ConstId] = if srcs.len() <= 8 {
+            &mut vals
+        } else {
+            heap = vec![ConstId(0); srcs.len()];
+            &mut heap
+        };
+        let mut n = 0;
+        for s in srcs {
+            match *s {
+                ArgSrc::Const(c) => {
+                    slots[n] = c;
+                    n += 1;
+                }
+                ArgSrc::Frontier(i) => {
+                    slots[n] = fvals[i];
+                    n += 1;
+                }
+                ArgSrc::Ex(_) => {}
+            }
+        }
+        let bound = &slots[..n];
+        match witness {
+            WitnessSet::AnyRow(nonempty) => *nonempty,
+            WitnessSet::Packed(set) => {
+                let packed = match bound {
+                    [a] => u64::from(a.0),
+                    [a, b] => (u64::from(a.0) << 32) | u64::from(b.0),
+                    _ => unreachable!("packed witness has 1 or 2 bound positions"),
+                };
+                set.contains(&packed)
+            }
+            WitnessSet::Wide(set) => set.contains(bound),
+            WitnessSet::Unused => {
+                unreachable!("witness consulted for a rule it was not built for")
+            }
+        }
+    }
+
+    /// Does the (existential-free) head atom `idx`, grounded from the
+    /// key, hold in the instance? Allocation-free for arity ≤ 8.
+    fn atom_holds(&self, inst: &Instance, idx: usize, fvals: &[ConstId]) -> bool {
+        let (pred, srcs) = &self.head[idx];
+        let mut buf = [ConstId(0); 8];
+        let mut heap;
+        let args: &mut [ConstId] = if srcs.len() <= 8 {
+            &mut buf[..srcs.len()]
+        } else {
+            heap = vec![ConstId(0); srcs.len()];
+            &mut heap
+        };
+        for (slot, s) in args.iter_mut().zip(srcs) {
+            *slot = match *s {
+                ArgSrc::Const(c) => c,
+                ArgSrc::Frontier(i) => fvals[i],
+                ArgSrc::Ex(_) => unreachable!("grounded head atom has no existentials"),
+            };
+        }
+        inst.contains_ground(*pred, args)
+    }
+
+}
+
+/// Opaque set of `(rule, frontier key)` triggers that already fired,
+/// threaded between successive [`chase_round`] calls (the oblivious
+/// chase fires every trigger exactly once across the whole run).
+#[derive(Default)]
+pub struct FiredSet(FxHashSet<(usize, Key)>);
 
 /// Per-rule attribution counters for one round, filled only when a
 /// recording sink is installed (`S::ENABLED`); each becomes one
@@ -237,8 +559,11 @@ struct RoundWork {
     /// is disabled (the collectors size it iff `S::ENABLED`).
     rule_work: Vec<RuleWork>,
     /// Per-predicate hom candidate-scan attribution (empty when
-    /// telemetry is disabled).
+    /// telemetry is disabled; tuple engine only).
     scans: hom::ScanStats,
+    /// Per-predicate join build/probe attribution (empty when telemetry
+    /// is disabled; batch engine only).
+    joins: join::JoinStats,
 }
 
 impl RoundWork {
@@ -256,27 +581,56 @@ impl RoundWork {
 fn admit_candidates(
     inst: &Instance,
     theory: &Theory,
+    templates: &[RuleTemplate],
     variant: ChaseVariant,
-    fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
+    fired: &mut FxHashSet<(usize, Key)>,
     cands: Vec<Candidate>,
     work: &mut RoundWork,
 ) -> Vec<Repair> {
     work.candidates += cands.len() as u64;
+    // unwitnessed[i]: candidate i's head has no witness in the frozen
+    // instance (only consulted where the variant cares). Per-rule
+    // precompiled key templates replace the general hom search on common
+    // shapes and ground head atoms without building bindings.
+    //
+    // A rule is datalog iff its template has no existentials; consulting
+    // the template avoids rebuilding variable sets per candidate.
+    let is_dl: Vec<bool> = templates.iter().map(|t| t.ex.is_empty()).collect();
     work.witness_checks += match variant {
         ChaseVariant::Restricted => cands.len() as u64,
         ChaseVariant::Oblivious => {
-            cands.iter().filter(|c| theory.rules[c.rule_idx].is_datalog()).count() as u64
+            cands.iter().filter(|c| is_dl[c.rule_idx]).count() as u64
         }
     };
-    // unwitnessed[i]: candidate i's head has no witness in the frozen
-    // instance (only consulted where the variant cares).
+    // Witness projections for the rules whose admission will consult one
+    // this round: single-special-atom existential rules under the
+    // restricted variant (the oblivious variant only re-checks datalog
+    // heads, which are grounded lookups).
+    let mut has_cand = vec![false; templates.len()];
+    for c in &cands {
+        has_cand[c.rule_idx] = true;
+    }
+    let witness: Vec<WitnessSet> = templates
+        .iter()
+        .enumerate()
+        .map(|(i, tmpl)| match tmpl.plan {
+            HeadPlan::SingleAtom(idx)
+                if has_cand[i] && variant == ChaseVariant::Restricted =>
+            {
+                tmpl.build_witness_set(inst, idx)
+            }
+            _ => WitnessSet::Unused,
+        })
+        .collect();
     let unwitnessed: Vec<bool> = par::par_map(&cands, |c| {
         let rule = &theory.rules[c.rule_idx];
+        let tmpl = &templates[c.rule_idx];
+        let wit = &witness[c.rule_idx];
         match variant {
-            ChaseVariant::Restricted => !head_satisfied(inst, rule, &c.binding),
+            ChaseVariant::Restricted => !tmpl.satisfied(inst, rule, &c.key, wit),
             // Datalog rules are idempotent; skip if the head is present.
             ChaseVariant::Oblivious => {
-                rule.is_datalog() && !head_satisfied(inst, rule, &c.binding)
+                is_dl[c.rule_idx] && !tmpl.satisfied(inst, rule, &c.key, wit)
             }
         }
     });
@@ -290,7 +644,7 @@ fn admit_candidates(
         let fire = match variant {
             ChaseVariant::Restricted => unwit,
             ChaseVariant::Oblivious => {
-                if theory.rules[c.rule_idx].is_datalog() {
+                if is_dl[c.rule_idx] {
                     unwit
                 } else {
                     fired.insert((c.rule_idx, c.key.clone()))
@@ -301,7 +655,7 @@ fn admit_candidates(
             if work.tracking() {
                 work.rule_work[c.rule_idx].triggers_fired += 1;
             }
-            out.push(Repair { rule_idx: c.rule_idx, key: c.key, binding: c.binding });
+            out.push(Repair { rule_idx: c.rule_idx, key: c.key });
         }
     }
     out
@@ -322,19 +676,18 @@ fn enumerate_rule_naive(
     inst: &Instance,
     theory: &Theory,
     rule_idx: usize,
+    frontier: &[VarId],
     scans: Option<&mut hom::ScanStats>,
 ) -> (Vec<Candidate>, u64) {
     let rule = &theory.rules[rule_idx];
-    let frontier = sorted_frontier(rule);
-    let mut seen: FxHashSet<Vec<ConstId>> = FxHashSet::default();
+    let mut seen: FxHashSet<Key> = FxHashSet::default();
     let mut out = Vec::new();
     let mut matches = 0u64;
     let mut visit = |b: &Binding| {
         matches += 1;
-        let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
+        let key = key_of_binding(frontier, b);
         if seen.insert(key.clone()) {
-            let binding = restrict_binding(b, &frontier);
-            out.push(Candidate { rule_idx, key, binding });
+            out.push(Candidate { rule_idx, key });
         }
         ControlFlow::Continue(())
     };
@@ -347,35 +700,90 @@ fn enumerate_rule_naive(
     (out, matches)
 }
 
+/// Enumerates one rule's body over the columnar store with the batched
+/// join kernel, deduplicating by frontier key. The batch's rows are in
+/// 1:1 correspondence with the body's homomorphisms (facts are
+/// deduplicated, so a ground body atom under an assignment is exactly one
+/// relation row), so the returned match count equals the tuple engine's
+/// exactly; the candidate *set* is also equal because the restricted
+/// binding is a pure function of the frontier key.
+fn enumerate_rule_batch(
+    inst: &Instance,
+    theory: &Theory,
+    rule_idx: usize,
+    frontier: &[VarId],
+    joins: Option<&mut join::JoinStats>,
+) -> (Vec<Candidate>, u64) {
+    let rule = &theory.rules[rule_idx];
+    let batch = join::eval_body(inst.columnar(), &rule.body, None, joins);
+    let matches = batch.rows() as u64;
+    if batch.rows() == 0 {
+        return (Vec::new(), 0);
+    }
+    // A non-empty batch binds every body variable, so every frontier
+    // variable has a schema slot (body-less rules have empty frontiers).
+    let slots: Vec<usize> = frontier
+        .iter()
+        .map(|&v| batch.col_of(v).expect("frontier variable bound by body"))
+        .collect();
+    let mut seen: FxHashSet<Key> = FxHashSet::default();
+    let mut out = Vec::new();
+    for row in 0..batch.rows() {
+        let key = key_of_row(&batch, &slots, row);
+        if seen.insert(key.clone()) {
+            out.push(Candidate { rule_idx, key });
+        }
+    }
+    (out, matches)
+}
+
 /// Collects this round's repairs against the *frozen* instance by full
 /// re-enumeration, per the simultaneous semantics of `Chase¹`. Rules are
 /// independent work items and enumerate in parallel; admission runs on
 /// the merged candidate list. Generic over the sink *type* only: with
 /// `S::ENABLED == false` (the `Null` sink) every attribution branch is
 /// statically eliminated and the kernel is the PR-3 one.
+///
+/// The join mode ([`join::join_mode`]) is resolved here, on the calling
+/// thread, *before* the parallel region — thread-local overrides do not
+/// propagate into `par` workers.
 fn collect_repairs_naive<S: EventSink>(
     inst: &Instance,
     theory: &Theory,
+    templates: &[RuleTemplate],
     variant: ChaseVariant,
-    fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
+    fired: &mut FxHashSet<(usize, Key)>,
     work: &mut RoundWork,
 ) -> Vec<Repair> {
     if S::ENABLED && work.rule_work.is_empty() {
         work.rule_work = vec![RuleWork::default(); theory.rules.len()];
     }
-    let per_rule: Vec<(Vec<Candidate>, u64, u64, hom::ScanStats)> =
+    let mode = join::join_mode();
+    let per_rule: Vec<(Vec<Candidate>, u64, u64, hom::ScanStats, join::JoinStats)> =
         par::par_chunks(theory.rules.len(), |range| {
             range
-                .map(|rule_idx| {
-                    if S::ENABLED {
+                .map(|rule_idx| match (mode, S::ENABLED) {
+                    (JoinMode::Batch, true) => {
+                        let timer = SpanTimer::start();
+                        let mut joins = join::JoinStats::default();
+                        let (c, m) =
+                            enumerate_rule_batch(inst, theory, rule_idx, &templates[rule_idx].frontier, Some(&mut joins));
+                        (c, m, timer.elapsed_ns(), hom::ScanStats::default(), joins)
+                    }
+                    (JoinMode::Batch, false) => {
+                        let (c, m) = enumerate_rule_batch(inst, theory, rule_idx, &templates[rule_idx].frontier, None);
+                        (c, m, 0, hom::ScanStats::default(), join::JoinStats::default())
+                    }
+                    (JoinMode::Tuple, true) => {
                         let timer = SpanTimer::start();
                         let mut scans = hom::ScanStats::default();
                         let (c, m) =
-                            enumerate_rule_naive(inst, theory, rule_idx, Some(&mut scans));
-                        (c, m, timer.elapsed_ns(), scans)
-                    } else {
-                        let (c, m) = enumerate_rule_naive(inst, theory, rule_idx, None);
-                        (c, m, 0, hom::ScanStats::default())
+                            enumerate_rule_naive(inst, theory, rule_idx, &templates[rule_idx].frontier, Some(&mut scans));
+                        (c, m, timer.elapsed_ns(), scans, join::JoinStats::default())
+                    }
+                    (JoinMode::Tuple, false) => {
+                        let (c, m) = enumerate_rule_naive(inst, theory, rule_idx, &templates[rule_idx].frontier, None);
+                        (c, m, 0, hom::ScanStats::default(), join::JoinStats::default())
                     }
                 })
                 .collect::<Vec<_>>()
@@ -384,16 +792,19 @@ fn collect_repairs_naive<S: EventSink>(
         .flatten()
         .collect();
     let mut cands = Vec::new();
-    for (rule_idx, (rule_cands, matches, enum_ns, scans)) in per_rule.into_iter().enumerate() {
+    for (rule_idx, (rule_cands, matches, enum_ns, scans, joins)) in
+        per_rule.into_iter().enumerate()
+    {
         work.body_matches += matches;
         if S::ENABLED {
             work.rule_work[rule_idx].body_matches += matches;
             work.rule_work[rule_idx].enum_ns += enum_ns;
             work.scans.merge(&scans);
+            work.joins.merge(&joins);
         }
         cands.extend(rule_cands);
     }
-    admit_candidates(inst, theory, variant, fired, cands, work)
+    admit_candidates(inst, theory, templates, variant, fired, cands, work)
 }
 
 /// Attempts to bind `atom` against the ground `fact`; returns the binding
@@ -427,12 +838,27 @@ fn bind_atom(atom: &bddfc_core::Atom, fact: &Fact) -> Option<Binding> {
 fn collect_repairs_seminaive<S: EventSink>(
     inst: &Instance,
     theory: &Theory,
+    templates: &[RuleTemplate],
     variant: ChaseVariant,
-    fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
+    fired: &mut FxHashSet<(usize, Key)>,
     delta: &[Fact],
     first_round: bool,
     work: &mut RoundWork,
 ) -> Vec<Repair> {
+    // Resolved on the calling thread (thread-local overrides do not cross
+    // into `par` workers).
+    if join::join_mode() == JoinMode::Batch {
+        return collect_repairs_seminaive_batch::<S>(
+            inst,
+            theory,
+            templates,
+            variant,
+            fired,
+            delta,
+            first_round,
+            work,
+        );
+    }
     if S::ENABLED && work.rule_work.is_empty() {
         work.rule_work = vec![RuleWork::default(); theory.rules.len()];
     }
@@ -455,7 +881,6 @@ fn collect_repairs_seminaive<S: EventSink>(
         rule_ns: Vec<u64>,
         scans: hom::ScanStats,
     }
-    let frontiers: Vec<Vec<VarId>> = theory.rules.iter().map(sorted_frontier).collect();
     let mut cands: Vec<Candidate> = Vec::new();
     let mut items: Vec<Work> = Vec::new();
     for (rule_idx, rule) in theory.rules.iter().enumerate() {
@@ -467,11 +892,7 @@ fn collect_repairs_seminaive<S: EventSink>(
                 if S::ENABLED {
                     work.rule_work[rule_idx].body_matches += 1;
                 }
-                cands.push(Candidate {
-                    rule_idx,
-                    key: Vec::new(),
-                    binding: Binding::default(),
-                });
+                cands.push(Candidate { rule_idx, key: Key::Packed(0) });
             }
             continue;
         }
@@ -516,13 +937,12 @@ fn collect_repairs_seminaive<S: EventSink>(
             for w in &items[range] {
                 let rule = &theory.rules[w.rule_idx];
                 let Some(binding) = bind_atom(&rule.body[w.pin], w.dfact) else { continue };
-                let frontier = &frontiers[w.rule_idx];
+                let frontier = &templates[w.rule_idx].frontier;
                 let before = matches;
                 let mut visit = |b: &Binding| {
                     matches += 1;
-                    let key: Vec<ConstId> = frontier.iter().map(|v| b[v]).collect();
-                    let binding = restrict_binding(b, frontier);
-                    out.push(Candidate { rule_idx: w.rule_idx, key, binding });
+                    let key = key_of_binding(frontier, b);
+                    out.push(Candidate { rule_idx: w.rule_idx, key });
                     ControlFlow::Continue(())
                 };
                 match attr.as_mut() {
@@ -553,7 +973,7 @@ fn collect_repairs_seminaive<S: EventSink>(
     // Phase 2 (sequential): merge in input order, dedup per (rule, key) —
     // first occurrence wins, and its restricted binding is determined by
     // the key, so the surviving set is shard-split-independent.
-    let mut seen: FxHashSet<(usize, Vec<ConstId>)> = FxHashSet::default();
+    let mut seen: FxHashSet<(usize, Key)> = FxHashSet::default();
     for (shard, matches, attr) in shard_out {
         work.body_matches += matches;
         if let Some(a) = attr {
@@ -571,54 +991,195 @@ fn collect_repairs_seminaive<S: EventSink>(
             }
         }
     }
-    admit_candidates(inst, theory, variant, fired, cands, work)
+    admit_candidates(inst, theory, templates, variant, fired, cands, work)
 }
 
-/// Applies a repair: grounds the head, inventing one fresh null per
-/// existential variable (the paper's `c_{t,x̄}`). Returns the new facts
-/// and the number of nulls invented.
-fn apply_repair(rule: &Rule, binding: &Binding, voc: &mut Vocabulary) -> (Vec<Fact>, u64) {
-    let mut ext = binding.clone();
-    let mut ex: Vec<VarId> = rule.existential_vars().into_iter().collect();
-    ex.sort_unstable();
-    let nulls = ex.len() as u64;
-    for v in ex {
-        ext.insert(v, voc.fresh_null("n"));
+/// The batched-kernel counterpart of [`collect_repairs_seminaive`]: the
+/// same `(rule, pinned atom)` decomposition, but each pinned atom joins
+/// its *whole* delta segment in one kernel call instead of one call per
+/// delta fact. The delta exploits the append-only columnar layout:
+/// between rounds nothing but the round's new facts is inserted, so the
+/// delta facts of predicate `p` are exactly the last `delta_count(p)`
+/// rows of `p`'s relation — a contiguous tail segment, no copying.
+///
+/// Candidates carry `(rule, key)` only out of the parallel phase; the
+/// frontier-restricted binding is a pure function of the key and is
+/// materialized after global first-occurrence dedup, so the surviving
+/// candidate set (and everything downstream) is identical to the tuple
+/// path's at any shard split.
+fn collect_repairs_seminaive_batch<S: EventSink>(
+    inst: &Instance,
+    theory: &Theory,
+    templates: &[RuleTemplate],
+    variant: ChaseVariant,
+    fired: &mut FxHashSet<(usize, Key)>,
+    delta: &[Fact],
+    first_round: bool,
+    work: &mut RoundWork,
+) -> Vec<Repair> {
+    if S::ENABLED && work.rule_work.is_empty() {
+        work.rule_work = vec![RuleWork::default(); theory.rules.len()];
     }
-    let facts = rule
-        .head
-        .iter()
-        .map(|atom| {
-            let grounded = atom.apply(&|v| ext.get(&v).map(|&c| Term::Const(c)));
-            grounded.to_fact().expect("head fully grounded by repair")
-        })
-        .collect();
-    (facts, nulls)
+    let mut delta_count: FxHashMap<PredId, usize> = FxHashMap::default();
+    for f in delta {
+        *delta_count.entry(f.pred).or_default() += 1;
+    }
+    let mut cands: Vec<Candidate> = Vec::new();
+    /// One `(rule, pinned atom)` join restricted to the pin's delta tail.
+    struct BatchWork {
+        rule_idx: usize,
+        pin: usize,
+        range: Range<usize>,
+    }
+    let mut items: Vec<BatchWork> = Vec::new();
+    for (rule_idx, rule) in theory.rules.iter().enumerate() {
+        if rule.body.is_empty() {
+            // Same as the tuple path: the single empty trigger is only
+            // ever new on the opening round.
+            if first_round {
+                work.body_matches += 1;
+                if S::ENABLED {
+                    work.rule_work[rule_idx].body_matches += 1;
+                }
+                cands.push(Candidate { rule_idx, key: Key::Packed(0) });
+            }
+            continue;
+        }
+        for pin in 0..rule.body.len() {
+            let Some(&k) = delta_count.get(&rule.body[pin].pred) else { continue };
+            let rows = inst.columnar().rows(rule.body[pin].pred);
+            debug_assert!(k <= rows, "delta larger than its relation");
+            items.push(BatchWork { rule_idx, pin, range: rows - k..rows });
+        }
+    }
+    /// Per-shard attribution, merged sequentially; `None` when telemetry
+    /// is disabled.
+    struct ShardAttr {
+        rule_matches: Vec<u64>,
+        rule_ns: Vec<u64>,
+        joins: join::JoinStats,
+    }
+    // Phase 1 (parallel): one kernel evaluation per work item; shards
+    // emit locally-new `(rule, packed key)` pairs in work-list order.
+    // Shard-local dedup is sound because phase 2 dedups again globally:
+    // the first occurrence in the merged stream survives either way, so
+    // the surviving set is still shard-split-independent.
+    let shard_out: Vec<(Vec<(usize, Key)>, u64, Option<ShardAttr>)> =
+        par::par_chunks(items.len(), |range| {
+            let mut out = Vec::new();
+            let mut matches = 0u64;
+            let mut local_seen: FxHashSet<(usize, Key)> = FxHashSet::default();
+            let mut attr = if S::ENABLED {
+                Some(ShardAttr {
+                    rule_matches: vec![0; theory.rules.len()],
+                    rule_ns: vec![0; theory.rules.len()],
+                    joins: join::JoinStats::default(),
+                })
+            } else {
+                None
+            };
+            for w in &items[range] {
+                let rule = &theory.rules[w.rule_idx];
+                let timer = attr.is_some().then(SpanTimer::start);
+                let batch = join::eval_body(
+                    inst.columnar(),
+                    &rule.body,
+                    Some((w.pin, w.range.clone())),
+                    attr.as_mut().map(|a| &mut a.joins),
+                );
+                matches += batch.rows() as u64;
+                if batch.rows() > 0 {
+                    let slots: Vec<usize> = templates[w.rule_idx]
+                        .frontier
+                        .iter()
+                        .map(|&v| batch.col_of(v).expect("frontier variable bound by body"))
+                        .collect();
+                    for row in 0..batch.rows() {
+                        let k = (w.rule_idx, key_of_row(&batch, &slots, row));
+                        if !local_seen.contains(&k) {
+                            local_seen.insert(k.clone());
+                            out.push(k);
+                        }
+                    }
+                }
+                if let Some(a) = attr.as_mut() {
+                    a.rule_ns[w.rule_idx] += timer.expect("timer set with attr").elapsed_ns();
+                    a.rule_matches[w.rule_idx] += batch.rows() as u64;
+                }
+            }
+            (out, matches, attr)
+        });
+    // Phase 2 (sequential): merge in input order, dedup per (rule, key),
+    // materialize the key-determined bindings for the survivors. With a
+    // single shard the local dedup above was already global, so the
+    // re-check is skipped (the surviving set is identical either way).
+    let single_shard = shard_out.len() == 1;
+    let mut seen: FxHashSet<(usize, Key)> = FxHashSet::default();
+    for (shard, matches, attr) in shard_out {
+        work.body_matches += matches;
+        if let Some(a) = attr {
+            for (rw, (&m, &ns)) in
+                work.rule_work.iter_mut().zip(a.rule_matches.iter().zip(&a.rule_ns))
+            {
+                rw.body_matches += m;
+                rw.enum_ns += ns;
+            }
+            work.joins.merge(&a.joins);
+        }
+        for k in shard {
+            if single_shard || !seen.contains(&k) {
+                if !single_shard {
+                    seen.insert(k.clone());
+                }
+                let (rule_idx, key) = k;
+                cands.push(Candidate { rule_idx, key });
+            }
+        }
+    }
+    admit_candidates(inst, theory, templates, variant, fired, cands, work)
 }
 
 /// Applies repairs in the canonical `(rule, frontier tuple)` order — the
 /// order both strategies share, so fresh-null naming is reproducible and
-/// strategy-independent. Returns the new facts and the number of fresh
-/// nulls invented.
+/// strategy-independent. Head atoms ground straight from each repair's
+/// key through the rule's [`RuleTemplate`] (fresh nulls created in
+/// sorted-existential order, as before) into a reused scratch buffer, so
+/// the only allocations are the genuinely new facts. Returns the
+/// instance length *before* the insertions (so the new facts of the
+/// round are `inst.facts()[start..]`) and the number of fresh nulls
+/// invented.
 fn apply_repairs(
     inst: &mut Instance,
-    theory: &Theory,
+    templates: &[RuleTemplate],
     voc: &mut Vocabulary,
     mut repairs: Vec<Repair>,
-) -> (Vec<Fact>, u64) {
+) -> (usize, u64) {
     repairs.sort_by(|a, b| (a.rule_idx, &a.key).cmp(&(b.rule_idx, &b.key)));
-    let mut new_facts = Vec::new();
+    // Most repairs insert their head atoms; reserving up front keeps the
+    // content-hash table from rehashing mid-round.
+    inst.reserve(repairs.iter().map(|r| templates[r.rule_idx].head.len()).sum());
+    let start = inst.len();
     let mut nulls_created = 0u64;
-    for repair in repairs {
-        let (facts, nulls) = apply_repair(&theory.rules[repair.rule_idx], &repair.binding, voc);
-        nulls_created += nulls;
-        for fact in facts {
-            if inst.insert(fact.clone()) {
-                new_facts.push(fact);
-            }
+    let mut exvals: Vec<ConstId> = Vec::new();
+    let mut args: Vec<ConstId> = Vec::new();
+    for repair in &repairs {
+        let tmpl = &templates[repair.rule_idx];
+        let mut kbuf = [ConstId(0); 2];
+        let fvals = tmpl.key_vals(&repair.key, &mut kbuf);
+        exvals.clear();
+        exvals.extend(tmpl.ex.iter().map(|_| voc.fresh_null("n")));
+        nulls_created += tmpl.ex.len() as u64;
+        for (pred, srcs) in &tmpl.head {
+            args.clear();
+            args.extend(srcs.iter().map(|s| match *s {
+                ArgSrc::Const(c) => c,
+                ArgSrc::Frontier(i) => fvals[i],
+                ArgSrc::Ex(j) => exvals[j],
+            }));
+            inst.insert_ground(*pred, &args);
         }
     }
-    (new_facts, nulls_created)
+    (start, nulls_created)
 }
 
 /// Runs one naive `Chase¹` round: one simultaneous round, enumerated
@@ -630,11 +1191,14 @@ pub fn chase_round(
     theory: &Theory,
     voc: &mut Vocabulary,
     variant: ChaseVariant,
-    fired: &mut FxHashSet<(usize, Vec<ConstId>)>,
+    fired: &mut FiredSet,
 ) -> Vec<Fact> {
     let mut work = RoundWork::default();
-    let repairs = collect_repairs_naive::<Null>(inst, theory, variant, fired, &mut work);
-    apply_repairs(inst, theory, voc, repairs).0
+    let templates: Vec<RuleTemplate> = theory.rules.iter().map(RuleTemplate::new).collect();
+    let repairs =
+        collect_repairs_naive::<Null>(inst, theory, &templates, variant, &mut fired.0, &mut work);
+    let (start, _) = apply_repairs(inst, &templates, voc, repairs);
+    inst.facts()[start..].to_vec()
 }
 
 /// A resumable round-by-round chase driver: owns the growing instance,
@@ -654,8 +1218,12 @@ pub struct ChaseStepper<'t, S: EventSink = Null> {
     pub instance: Instance,
     variant: ChaseVariant,
     strategy: ChaseStrategy,
-    fired: FxHashSet<(usize, Vec<ConstId>)>,
-    delta: Vec<Fact>,
+    fired: FxHashSet<(usize, Key)>,
+    /// Per-rule key templates, compiled once from the theory.
+    templates: Vec<RuleTemplate>,
+    /// The previous round's delta, as a range into `instance.facts()`
+    /// (the chase is append-only, so a round's new facts are a suffix).
+    delta: Range<usize>,
     first_round: bool,
     rounds_done: u64,
     sink: &'t S,
@@ -688,11 +1256,12 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
     ) -> Self {
         ChaseStepper {
             theory,
+            templates: theory.rules.iter().map(RuleTemplate::new).collect(),
             instance: db.clone(),
             variant,
             strategy,
             fired: FxHashSet::default(),
-            delta: db.facts().to_vec(),
+            delta: 0..db.len(),
             first_round: true,
             rounds_done: 0,
             sink,
@@ -715,9 +1284,21 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
     /// With a recording sink, each round opens a `chase`/`round` span
     /// (keyed by round number) under which it emits one `chase`/`trigger`
     /// event per active rule (keyed by rule index), one `hom`/`scan`
-    /// event per scanned predicate (keyed by predicate id) and the
-    /// round summary event.
+    /// event per scanned predicate (keyed by predicate id; tuple join
+    /// mode), one `join`/`build` + `join`/`probe` event per joined
+    /// predicate (keyed by predicate id; batch join mode) and the round
+    /// summary event.
     pub fn step(&mut self, voc: &mut Vocabulary) -> Vec<Fact> {
+        let start = self.step_indexed(voc);
+        self.instance.facts()[start..].to_vec()
+    }
+
+    /// Runs one round like [`ChaseStepper::step`] but returns the index of
+    /// the first fact added this round instead of cloning the delta: the
+    /// new facts are `instance.facts()[start..]`. Drivers that only need
+    /// the delta's *size* (like the fixpoint check in [`chase_with`]) stay
+    /// allocation-free.
+    pub fn step_indexed(&mut self, voc: &mut Vocabulary) -> usize {
         let timer = SpanTimer::start();
         let round_span = if S::ENABLED {
             self.sink.span_open(
@@ -734,6 +1315,7 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
             ChaseStrategy::Naive => collect_repairs_naive::<S>(
                 &self.instance,
                 self.theory,
+                &self.templates,
                 self.variant,
                 &mut self.fired,
                 &mut work,
@@ -741,9 +1323,10 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
             ChaseStrategy::SemiNaive => collect_repairs_seminaive::<S>(
                 &self.instance,
                 self.theory,
+                &self.templates,
                 self.variant,
                 &mut self.fired,
-                &self.delta,
+                &self.instance.facts()[self.delta.clone()],
                 self.first_round,
                 &mut work,
             ),
@@ -751,9 +1334,10 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
         self.first_round = false;
         let triggers_fired = repairs.len() as u64;
         self.stats.body_matches_per_round.push(work.body_matches);
-        let (new_facts, nulls_created) =
-            apply_repairs(&mut self.instance, self.theory, voc, repairs);
-        self.delta = new_facts.clone();
+        let (start, nulls_created) =
+            apply_repairs(&mut self.instance, &self.templates, voc, repairs);
+        let new_fact_count = (self.instance.len() - start) as u64;
+        self.delta = start..self.instance.len();
         let wall = timer.elapsed();
         self.stats.round_wall_times.push(wall);
         self.rounds_done += 1;
@@ -785,6 +1369,32 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
                     gauges: &[],
                 });
             }
+            for (pred, c) in work.joins.sorted() {
+                if c.builds > 0 {
+                    self.sink.record(Event {
+                        engine: "join",
+                        name: "build",
+                        parent: round_span,
+                        key: Some(("pred", u64::from(pred.0))),
+                        fields: &[("builds", c.builds), ("rows", c.build_rows)],
+                        gauges: &[("wall_ns", c.build_ns)],
+                    });
+                }
+                if c.probes > 0 {
+                    self.sink.record(Event {
+                        engine: "join",
+                        name: "probe",
+                        parent: round_span,
+                        key: Some(("pred", u64::from(pred.0))),
+                        fields: &[
+                            ("probes", c.probes),
+                            ("rows", c.probe_rows),
+                            ("matches", c.matches),
+                        ],
+                        gauges: &[("wall_ns", c.probe_ns)],
+                    });
+                }
+            }
             self.sink.record(Event {
                 engine: "chase",
                 name: "round",
@@ -797,7 +1407,7 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
                     ("witness_checks", work.witness_checks),
                     ("triggers_fired", triggers_fired),
                     ("triggers_pruned", work.candidates - triggers_fired),
-                    ("new_facts", new_facts.len() as u64),
+                    ("new_facts", new_fact_count),
                     ("nulls_created", nulls_created),
                     ("facts_total", self.instance.len() as u64),
                 ],
@@ -808,7 +1418,7 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
             });
             self.sink.span_close(round_span);
         }
-        new_facts
+        start
     }
 }
 
@@ -855,20 +1465,18 @@ pub fn chase_with<S: EventSink>(
     let mut stepper =
         ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink)
             .under_span(run_span);
-    let mut depth: FxHashMap<Fact, u32> = db.facts().iter().map(|f| (f.clone(), 0)).collect();
+    let mut round_ends = vec![db.len()];
     let mut rounds = 0;
     let status = loop {
         if rounds >= config.max_rounds {
             break ChaseStatus::RoundBudget;
         }
-        let new_facts = stepper.step(voc);
-        if new_facts.is_empty() {
+        let start = stepper.step_indexed(voc);
+        if stepper.instance.len() == start {
             break ChaseStatus::Fixpoint;
         }
         rounds += 1;
-        for f in new_facts {
-            depth.entry(f).or_insert(rounds);
-        }
+        round_ends.push(stepper.instance.len());
         if stepper.instance.len() > config.max_facts {
             break ChaseStatus::FactBudget;
         }
@@ -876,7 +1484,7 @@ pub fn chase_with<S: EventSink>(
     if S::ENABLED {
         sink.span_close(run_span);
     }
-    ChaseResult { instance: stepper.instance, depth, rounds, status, stats: stepper.stats }
+    ChaseResult { instance: stepper.instance, round_ends, rounds, status, stats: stepper.stats }
 }
 
 /// Computes `Chaseᵏ(D, T)` exactly (stops early on fixpoint).
@@ -891,7 +1499,7 @@ pub fn chase_k(
 
 /// The telemetry-free chase loop `tests/overhead.rs` uses as its
 /// wall-clock baseline: the same enumeration / admission / application
-/// kernel and depth bookkeeping as [`chase`], driven without the
+/// kernel as [`chase`], driven without the
 /// stepper's stats vectors or any [`EventSink`] plumbing. If someone
 /// adds always-on telemetry work to the public path, the public
 /// Null-sink chase drifts away from this baseline and the overhead
@@ -904,10 +1512,10 @@ pub fn chase_uninstrumented_baseline(
     config: ChaseConfig,
 ) -> Instance {
     let mut inst = db.clone();
-    let mut fired: FxHashSet<(usize, Vec<ConstId>)> = FxHashSet::default();
-    let mut delta = db.facts().to_vec();
+    let templates: Vec<RuleTemplate> = theory.rules.iter().map(RuleTemplate::new).collect();
+    let mut fired: FxHashSet<(usize, Key)> = FxHashSet::default();
+    let mut delta = 0..db.len();
     let mut first_round = true;
-    let mut depth: FxHashMap<Fact, u32> = db.facts().iter().map(|f| (f.clone(), 0)).collect();
     let mut rounds = 0;
     loop {
         if rounds >= config.max_rounds {
@@ -915,29 +1523,32 @@ pub fn chase_uninstrumented_baseline(
         }
         let mut work = RoundWork::default();
         let repairs = match config.strategy {
-            ChaseStrategy::Naive => {
-                collect_repairs_naive::<Null>(&inst, theory, config.variant, &mut fired, &mut work)
-            }
+            ChaseStrategy::Naive => collect_repairs_naive::<Null>(
+                &inst,
+                theory,
+                &templates,
+                config.variant,
+                &mut fired,
+                &mut work,
+            ),
             ChaseStrategy::SemiNaive => collect_repairs_seminaive::<Null>(
                 &inst,
                 theory,
+                &templates,
                 config.variant,
                 &mut fired,
-                &delta,
+                &inst.facts()[delta.clone()],
                 first_round,
                 &mut work,
             ),
         };
         first_round = false;
-        let (new_facts, _nulls) = apply_repairs(&mut inst, theory, voc, repairs);
-        delta = new_facts.clone();
-        if new_facts.is_empty() {
+        let (start, _nulls) = apply_repairs(&mut inst, &templates, voc, repairs);
+        delta = start..inst.len();
+        if delta.is_empty() {
             break;
         }
         rounds += 1;
-        for f in new_facts {
-            depth.entry(f).or_insert(rounds);
-        }
         if inst.len() > config.max_facts {
             break;
         }
@@ -1124,9 +1735,46 @@ mod tests {
                     .with_strategy(ChaseStrategy::SemiNaive),
             );
             assert_eq!(naive.instance, semi.instance, "{variant:?}");
-            assert_eq!(naive.depth, semi.depth, "{variant:?}");
+            assert_eq!(naive.depth_map(), semi.depth_map(), "{variant:?}");
             assert_eq!(naive.rounds, semi.rounds, "{variant:?}");
             assert_eq!(naive.status, semi.status, "{variant:?}");
+        }
+    }
+
+    /// The batch kernel is a drop-in for the tuple engine: same instance,
+    /// same null names, same depths, same ChaseStats — under every
+    /// strategy × variant combination.
+    #[test]
+    fn batch_and_tuple_engines_agree_exactly() {
+        let src = "E(X,Y) -> exists Z . E(Y,Z).
+                   E(X,Y), E(Y,Z) -> R(X,Z).
+                   E(X,Y), E(Y,Z), E(Z,X) -> exists T . U(X,T).
+                   U(X,T), E(X,Y) -> U(Y,T).
+                   E(a,b). E(b,c). E(c,a). E(c,c).";
+        let prog = parse_program(src).unwrap();
+        for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+            for strategy in [ChaseStrategy::SemiNaive, ChaseStrategy::Naive] {
+                let config =
+                    ChaseConfig::rounds(5).with_variant(variant).with_strategy(strategy);
+                let run = |mode| {
+                    join::with_join_mode(mode, || {
+                        let mut voc = prog.voc.clone();
+                        chase(&prog.instance, &prog.theory, &mut voc, config)
+                    })
+                };
+                let tuple = run(JoinMode::Tuple);
+                let batch = run(JoinMode::Batch);
+                assert_eq!(tuple.instance, batch.instance, "{variant:?} {strategy:?}");
+                assert_eq!(tuple.depth_map(), batch.depth_map(), "{variant:?} {strategy:?}");
+                assert_eq!(tuple.status, batch.status, "{variant:?} {strategy:?}");
+                // Row-combos and homomorphisms are 1:1, so even the
+                // work counters agree exactly (wall times excluded).
+                assert_eq!(
+                    tuple.stats.body_matches_per_round,
+                    batch.stats.body_matches_per_round,
+                    "{variant:?} {strategy:?}"
+                );
+            }
         }
     }
 
@@ -1175,20 +1823,48 @@ mod tests {
     fn chase_with_memory_sink_counts_rounds_and_matches_null_run() {
         use bddfc_core::obs::Memory;
         let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b).").unwrap();
+        // Pin the batch kernel so the expected event schema is stable
+        // whatever the ambient BDDFC_JOIN; the tuple engine's events are
+        // pinned separately below.
         let sink = Memory::new(64);
         let mut voc1 = prog.voc.clone();
-        let observed =
-            chase_with(&prog.instance, &prog.theory, &mut voc1, ChaseConfig::rounds(4), &sink);
+        let observed = join::with_join_mode(JoinMode::Batch, || {
+            chase_with(&prog.instance, &prog.theory, &mut voc1, ChaseConfig::rounds(4), &sink)
+        });
         let mut voc2 = prog.voc.clone();
         let plain = chase(&prog.instance, &prog.theory, &mut voc2, ChaseConfig::rounds(4));
         // Attaching a sink never changes the output.
         assert_eq!(observed.instance, plain.instance);
-        // One round event + one per-rule trigger event per round (the
-        // single-atom body joins against an empty residual, so no
-        // hom/scan events here); the chain adds one fact and one null
-        // per round, and the counters mirror the legacy ChaseStats.
+        // One round event, one per-rule trigger event and one join/probe
+        // event (the one-atom body is a single segment scan — no hash
+        // table is ever built) per round; the chain adds one fact and
+        // one null per round, and the counters mirror ChaseStats.
         assert_eq!(
             sink.event_counts(),
+            vec![
+                (("chase", "round"), 4),
+                (("chase", "trigger"), 4),
+                (("join", "probe"), 4)
+            ]
+        );
+        assert_eq!(sink.counter("join", "probe", "matches"), 4);
+        // The tuple oracle emits hom-engine telemetry instead (the
+        // single-atom body joins against an empty residual, so no
+        // hom/scan events here).
+        let tuple_sink = Memory::new(64);
+        let mut voc3 = prog.voc.clone();
+        let tuple_run = join::with_join_mode(JoinMode::Tuple, || {
+            chase_with(
+                &prog.instance,
+                &prog.theory,
+                &mut voc3,
+                ChaseConfig::rounds(4),
+                &tuple_sink,
+            )
+        });
+        assert_eq!(tuple_run.instance, plain.instance);
+        assert_eq!(
+            tuple_sink.event_counts(),
             vec![(("chase", "round"), 4), (("chase", "trigger"), 4)]
         );
         assert_eq!(sink.counter("chase", "round", "new_facts"), 4);

@@ -25,7 +25,7 @@ pub use answers::{
 };
 pub use engine::{
     chase, chase_k, chase_round, chase_with, ChaseConfig, ChaseResult, ChaseStats, ChaseStatus,
-    ChaseStepper, ChaseStrategy, ChaseVariant,
+    ChaseStepper, ChaseStrategy, ChaseVariant, FiredSet,
 };
 pub use finder::{countermodel, find_model, find_model_with, FinderConfig, SearchOutcome};
 pub use saturate::{

@@ -8,10 +8,11 @@
 //! fact must use at least one fact from the previous delta).
 
 use bddfc_core::fxhash::FxHashSet;
+use bddfc_core::join::{self, JoinMode};
 use bddfc_core::obs::{Event, EventSink, SpanTimer, NULL};
 use bddfc_core::par;
-use bddfc_core::{hom, Binding, Fact, Instance, Rule, Term, Theory};
-use std::ops::ControlFlow;
+use bddfc_core::{hom, Binding, ConstId, Fact, Instance, PredId, Rule, Term, Theory};
+use std::ops::{ControlFlow, Range};
 
 /// The result of a datalog saturation.
 #[derive(Clone, Debug)]
@@ -127,12 +128,73 @@ fn rule_round_naive(
     };
 }
 
+/// Evaluates one rule with the batch join kernel — optionally pinned to a
+/// delta tail segment — and grounds its head once per output row, reading
+/// head arguments straight out of the batch's columns instead of
+/// materializing per-row bindings. The batch-engine counterpart of
+/// [`rule_item`] / [`rule_round_naive`].
+fn batch_rule(
+    inst: &Instance,
+    rule: &Rule,
+    pinned: Option<(usize, Range<usize>)>,
+    out: &mut Vec<Fact>,
+    seen: &mut FxHashSet<Fact>,
+    matches: &mut u64,
+    joins: Option<&mut join::JoinStats>,
+) {
+    let batch = join::eval_body(inst.columnar(), &rule.body, pinned, joins);
+    if batch.rows() == 0 {
+        return;
+    }
+    *matches += batch.rows() as u64;
+    /// Where one head-atom argument comes from, resolved once per call.
+    enum Src {
+        Const(ConstId),
+        Col(usize),
+    }
+    let heads: Vec<(PredId, Vec<Src>)> = rule
+        .head
+        .iter()
+        .map(|atom| {
+            let srcs = atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Src::Const(*c),
+                    Term::Var(v) => Src::Col(
+                        batch.col_of(*v).expect("datalog head variable bound by body"),
+                    ),
+                })
+                .collect();
+            (atom.pred, srcs)
+        })
+        .collect();
+    for row in 0..batch.rows() {
+        for (pred, srcs) in &heads {
+            let args: Vec<ConstId> = srcs
+                .iter()
+                .map(|s| match s {
+                    Src::Const(c) => *c,
+                    Src::Col(i) => batch.get(row, *i),
+                })
+                .collect();
+            let fact = Fact::new(*pred, args);
+            if !inst.contains(&fact) && seen.insert(fact.clone()) {
+                out.push(fact);
+            }
+        }
+    }
+}
+
 fn saturate_impl<S: EventSink>(
     inst: &Instance,
     theory: &Theory,
     naive: bool,
     sink: &S,
 ) -> SaturationResult {
+    // Resolved once, on the calling thread, before any parallel region —
+    // thread-local join-mode overrides do not cross into `par` workers.
+    let mode = join::join_mode();
     // Keep each datalog rule's index in the *theory* — the attribution
     // key shared with the chase's `chase`/`trigger` events.
     let datalog: Vec<(usize, &Rule)> =
@@ -143,6 +205,7 @@ fn saturate_impl<S: EventSink>(
         rule_matches: Vec<u64>,
         rule_ns: Vec<u64>,
         scans: hom::ScanStats,
+        joins: join::JoinStats,
     }
     let new_attr = || {
         if S::ENABLED {
@@ -150,6 +213,7 @@ fn saturate_impl<S: EventSink>(
                 rule_matches: vec![0; datalog.len()],
                 rule_ns: vec![0; datalog.len()],
                 scans: hom::ScanStats::default(),
+                joins: join::JoinStats::default(),
             })
         } else {
             None
@@ -177,8 +241,32 @@ fn saturate_impl<S: EventSink>(
         // shard-local dedup against the frozen `current`. Work items keep
         // the sequential (rule, pin, delta-fact) nesting order so the
         // merged stream is the one the sequential loop would build.
-        let shard_out: Vec<(Vec<Fact>, u64, Option<ShardAttr>)> = if naive {
-            par::par_chunks(datalog.len(), |range| {
+        let shard_out: Vec<(Vec<Fact>, u64, Option<ShardAttr>)> = match (naive, mode) {
+            (true, JoinMode::Batch) => par::par_chunks(datalog.len(), |range| {
+                let mut out = Vec::new();
+                let mut seen = FxHashSet::default();
+                let mut matches = 0u64;
+                let mut attr = new_attr();
+                for di in range {
+                    let t = attr.is_some().then(SpanTimer::start);
+                    let before = matches;
+                    batch_rule(
+                        &current,
+                        datalog[di].1,
+                        None,
+                        &mut out,
+                        &mut seen,
+                        &mut matches,
+                        attr.as_mut().map(|a| &mut a.joins),
+                    );
+                    if let Some(a) = attr.as_mut() {
+                        a.rule_ns[di] += t.expect("timer set with attr").elapsed_ns();
+                        a.rule_matches[di] += matches - before;
+                    }
+                }
+                (out, matches, attr)
+            }),
+            (true, JoinMode::Tuple) => par::par_chunks(datalog.len(), |range| {
                 let mut out = Vec::new();
                 let mut seen = FxHashSet::default();
                 let mut matches = 0u64;
@@ -210,27 +298,83 @@ fn saturate_impl<S: EventSink>(
                     }
                 }
                 (out, matches, attr)
-            })
-        } else {
-            let mut work: Vec<(usize, usize, &Fact)> = Vec::new();
-            for (di, (_, rule)) in datalog.iter().enumerate() {
-                for pin in 0..rule.body.len() {
-                    for &didx in delta.facts_with_pred(rule.body[pin].pred) {
-                        work.push((di, pin, delta.fact(didx)));
+            }),
+            (false, JoinMode::Batch) => {
+                // One work item per (rule, pinned atom): the pin's delta
+                // facts are exactly the tail `delta_count` rows of its
+                // relation in `current` (append-only segments; nothing
+                // else is inserted between rounds).
+                let mut work: Vec<(usize, usize, Range<usize>)> = Vec::new();
+                for (di, (_, rule)) in datalog.iter().enumerate() {
+                    for pin in 0..rule.body.len() {
+                        let pred = rule.body[pin].pred;
+                        let k = delta.facts_with_pred(pred).len();
+                        if k == 0 {
+                            continue;
+                        }
+                        let rows = current.columnar().rows(pred);
+                        debug_assert!(k <= rows, "delta larger than its relation");
+                        work.push((di, pin, rows - k..rows));
                     }
                 }
+                par::par_chunks(work.len(), |range| {
+                    let mut out = Vec::new();
+                    let mut seen = FxHashSet::default();
+                    let mut matches = 0u64;
+                    let mut attr = new_attr();
+                    for (di, pin, seg) in &work[range] {
+                        let t = attr.is_some().then(SpanTimer::start);
+                        let before = matches;
+                        batch_rule(
+                            &current,
+                            datalog[*di].1,
+                            Some((*pin, seg.clone())),
+                            &mut out,
+                            &mut seen,
+                            &mut matches,
+                            attr.as_mut().map(|a| &mut a.joins),
+                        );
+                        if let Some(a) = attr.as_mut() {
+                            a.rule_ns[*di] += t.expect("timer set with attr").elapsed_ns();
+                            a.rule_matches[*di] += matches - before;
+                        }
+                    }
+                    (out, matches, attr)
+                })
             }
-            par::par_chunks(work.len(), |range| {
-                let mut out = Vec::new();
-                let mut seen = FxHashSet::default();
-                let mut matches = 0u64;
-                let mut attr = new_attr();
-                for &(di, pin, dfact) in &work[range] {
-                    match attr.as_mut() {
-                        Some(a) => {
-                            let t = SpanTimer::start();
-                            let before = matches;
-                            rule_item(
+            (false, JoinMode::Tuple) => {
+                let mut work: Vec<(usize, usize, &Fact)> = Vec::new();
+                for (di, (_, rule)) in datalog.iter().enumerate() {
+                    for pin in 0..rule.body.len() {
+                        for &didx in delta.facts_with_pred(rule.body[pin].pred) {
+                            work.push((di, pin, delta.fact(didx)));
+                        }
+                    }
+                }
+                par::par_chunks(work.len(), |range| {
+                    let mut out = Vec::new();
+                    let mut seen = FxHashSet::default();
+                    let mut matches = 0u64;
+                    let mut attr = new_attr();
+                    for &(di, pin, dfact) in &work[range] {
+                        match attr.as_mut() {
+                            Some(a) => {
+                                let t = SpanTimer::start();
+                                let before = matches;
+                                rule_item(
+                                    &current,
+                                    datalog[di].1,
+                                    pin,
+                                    dfact,
+                                    &mut out,
+                                    &mut seen,
+                                    &mut matches,
+                                    Some(&mut a.scans),
+                                );
+                                a.rule_ns[di] += t.elapsed_ns();
+                                a.rule_matches[di] += matches - before;
+                            }
+                            None => rule_item(
                                 &current,
                                 datalog[di].1,
                                 pin,
@@ -238,25 +382,13 @@ fn saturate_impl<S: EventSink>(
                                 &mut out,
                                 &mut seen,
                                 &mut matches,
-                                Some(&mut a.scans),
-                            );
-                            a.rule_ns[di] += t.elapsed_ns();
-                            a.rule_matches[di] += matches - before;
+                                None,
+                            ),
                         }
-                        None => rule_item(
-                            &current,
-                            datalog[di].1,
-                            pin,
-                            dfact,
-                            &mut out,
-                            &mut seen,
-                            &mut matches,
-                            None,
-                        ),
                     }
-                }
-                (out, matches, attr)
-            })
+                    (out, matches, attr)
+                })
+            }
         };
         // Phase 2 (sequential): merge shards in input order with a global
         // first-occurrence dedup.
@@ -272,6 +404,7 @@ fn saturate_impl<S: EventSink>(
                     total.rule_ns[di] += ns;
                 }
                 total.scans.merge(&a.scans);
+                total.joins.merge(&a.joins);
             }
             for fact in shard {
                 if seen.insert(fact.clone()) {
@@ -320,6 +453,32 @@ fn saturate_impl<S: EventSink>(
                         fields: &[("scans", scans), ("candidates", candidates)],
                         gauges: &[],
                     });
+                }
+                for (pred, c) in a.joins.sorted() {
+                    if c.builds > 0 {
+                        sink.record(Event {
+                            engine: "join",
+                            name: "build",
+                            parent: round_span,
+                            key: Some(("pred", u64::from(pred.0))),
+                            fields: &[("builds", c.builds), ("rows", c.build_rows)],
+                            gauges: &[("wall_ns", c.build_ns)],
+                        });
+                    }
+                    if c.probes > 0 {
+                        sink.record(Event {
+                            engine: "join",
+                            name: "probe",
+                            parent: round_span,
+                            key: Some(("pred", u64::from(pred.0))),
+                            fields: &[
+                                ("probes", c.probes),
+                                ("rows", c.probe_rows),
+                                ("matches", c.matches),
+                            ],
+                            gauges: &[("wall_ns", c.probe_ns)],
+                        });
+                    }
                 }
             }
             sink.record(Event {
@@ -499,13 +658,62 @@ mod tests {
             sink.counter("saturate", "rule", "body_matches"),
             res.total_body_matches()
         );
-        assert!(sink.counter("hom", "scan", "scans") > 0);
+        // Enumeration telemetry depends on the join engine: the batch
+        // kernel charges join probes, the tuple oracle hom scans.
+        match join::join_mode() {
+            JoinMode::Batch => assert!(sink.counter("join", "probe", "probes") > 0),
+            JoinMode::Tuple => assert!(sink.counter("hom", "scan", "scans") > 0),
+        }
         // One run span + one span per round, all closed.
         let spans = sink.spans();
         assert_eq!(spans.len(), 1 + res.body_matches_per_round.len());
         assert_eq!((spans[0].engine, spans[0].name), ("saturate", "run"));
         assert!(spans.iter().all(|s| s.is_closed()));
         assert!(spans[1..].iter().all(|s| s.parent == spans[0].id));
+        // And explicitly under each pinned mode.
+        let batch_sink = Memory::new(64);
+        join::with_join_mode(JoinMode::Batch, || {
+            saturate_datalog_with(&prog.instance, &prog.theory, &batch_sink)
+        });
+        assert!(batch_sink.counter("join", "probe", "matches") >= res.total_body_matches());
+        let tuple_sink = Memory::new(64);
+        join::with_join_mode(JoinMode::Tuple, || {
+            saturate_datalog_with(&prog.instance, &prog.theory, &tuple_sink)
+        });
+        assert!(tuple_sink.counter("hom", "scan", "scans") > 0);
+    }
+
+    /// The batch kernel and the tuple oracle derive the same closure with
+    /// the same per-round work counts, under both evaluation modes.
+    #[test]
+    fn batch_and_tuple_saturation_agree() {
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(X,Y), E(X2,Y) -> R(X,X2).
+             R(X,X) -> Loop(X).
+             E(a,b). E(b,c). E(c,a). E(d,c).",
+        )
+        .unwrap();
+        for naive in [false, true] {
+            let run = |mode| {
+                join::with_join_mode(mode, || {
+                    if naive {
+                        saturate_datalog_naive(&prog.instance, &prog.theory)
+                    } else {
+                        saturate_datalog(&prog.instance, &prog.theory)
+                    }
+                })
+            };
+            let tuple = run(JoinMode::Tuple);
+            let batch = run(JoinMode::Batch);
+            assert_eq!(tuple.instance, batch.instance, "naive={naive}");
+            assert_eq!(tuple.derived, batch.derived, "naive={naive}");
+            assert_eq!(tuple.rounds, batch.rounds, "naive={naive}");
+            assert_eq!(
+                tuple.body_matches_per_round, batch.body_matches_per_round,
+                "naive={naive}"
+            );
+        }
     }
 
     #[test]

@@ -397,8 +397,9 @@ mod tests {
         );
         assert_eq!(traced.instance.len(), plain.instance.len());
         // Provenance round agrees with the plain engine's depth label.
+        let depth = plain.depth_map();
         for (fact, deriv) in &traced.provenance {
-            assert_eq!(plain.depth[fact], deriv.round);
+            assert_eq!(depth[fact], deriv.round);
         }
     }
 

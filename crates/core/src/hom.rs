@@ -9,9 +9,10 @@
 //!
 //! The search picks, at every step, the *most constrained* remaining atom
 //! (fewest candidate facts under the current binding, estimated through the
-//! `(predicate, position, element)` index), which keeps the join tree
-//! narrow without any query planning machinery.
+//! columnar `(position, element)` postings of the atom's predicate), which
+//! keeps the join tree narrow without any query planning machinery.
 
+use crate::columnar::Relation;
 use crate::fxhash::FxHashMap;
 use crate::instance::Instance;
 use crate::query::{ConjunctiveQuery, Ucq};
@@ -66,44 +67,77 @@ impl ScanStats {
     }
 }
 
-/// Estimates the number of candidate facts for `atom` under `binding`,
-/// returning the tightest available [`crate::index::FactIndex`] posting
-/// list: the shortest `(predicate, position, element)` list over the bound
-/// positions, falling back to the whole predicate list.
-fn candidates<'i>(inst: &'i Instance, atom: &Atom, binding: &Binding) -> &'i [usize] {
-    let index = inst.index();
-    let mut best: Option<&[usize]> = None;
+/// The candidate rows of an atom's relation under a partial binding:
+/// either a posting list of row numbers, or the full row range.
+enum Cand<'i> {
+    /// Row numbers from the tightest `(position, element)` posting list.
+    Rows(&'i [u32]),
+    /// No position is bound: every row of the relation, in order.
+    All(usize),
+}
+
+impl Cand<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Cand::Rows(rows) => rows.len(),
+            Cand::All(n) => *n,
+        }
+    }
+
+    fn for_each(&self, mut f: impl FnMut(usize) -> ControlFlow<()>) -> ControlFlow<()> {
+        match self {
+            Cand::Rows(rows) => {
+                for &r in *rows {
+                    f(r as usize)?;
+                }
+            }
+            Cand::All(n) => {
+                for r in 0..*n {
+                    f(r)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Estimates the candidate rows for `atom` under `binding`, returning the
+/// tightest available columnar posting list: the shortest `(position,
+/// element)` list over the bound positions, falling back to the whole
+/// relation. Row order is insertion order either way.
+fn candidates<'i>(inst: &'i Instance, atom: &Atom, binding: &Binding) -> Cand<'i> {
+    let Some(rel) = inst.columnar().relation(atom.pred) else {
+        return Cand::Rows(&[]);
+    };
+    if rel.arity() != atom.args.len() {
+        return Cand::Rows(&[]);
+    }
+    let mut best: Option<&[u32]> = None;
     for (pos, term) in atom.args.iter().enumerate() {
         let bound = match term {
             Term::Const(c) => Some(*c),
             Term::Var(v) => binding.get(v).copied(),
         };
         if let Some(c) = bound {
-            let slice = index.with_pred_pos_const(atom.pred, pos, c);
+            let slice = rel.matching(pos, c);
             if best.is_none_or(|b| slice.len() < b.len()) {
                 best = Some(slice);
             }
         }
     }
-    best.unwrap_or_else(|| index.with_pred(atom.pred))
+    match best {
+        Some(rows) => Cand::Rows(rows),
+        None => Cand::All(rel.rows()),
+    }
 }
 
-/// Attempts to extend `binding` so that `atom` matches the fact at `idx`.
-/// Returns the list of variables newly bound (for backtracking), or `None`
-/// on mismatch.
-fn try_match(
-    inst: &Instance,
-    atom: &Atom,
-    idx: usize,
-    binding: &mut Binding,
-) -> Option<Vec<VarId>> {
-    let fact = inst.fact(idx);
-    debug_assert_eq!(fact.pred, atom.pred);
-    if fact.args.len() != atom.args.len() {
-        return None;
-    }
+/// Attempts to extend `binding` so that `atom` matches row `row` of its
+/// predicate's relation. Returns the list of variables newly bound (for
+/// backtracking), or `None` on mismatch.
+fn try_match(rel: &Relation, atom: &Atom, row: usize, binding: &mut Binding) -> Option<Vec<VarId>> {
     let mut newly = Vec::new();
-    for (term, &c) in atom.args.iter().zip(fact.args.iter()) {
+    for (pos, term) in atom.args.iter().enumerate() {
+        let c = rel.get(row, pos);
         match term {
             Term::Const(k) => {
                 if *k != c {
@@ -158,24 +192,25 @@ where
         .expect("remaining non-empty");
     let ai = remaining.swap_remove(slot);
     let atom = &atoms[ai];
-    // The candidate slice borrows the instance, which we never mutate here.
-    let cand: Vec<usize> = candidates(inst, atom, binding).to_vec();
+    let cand = candidates(inst, atom, binding);
     if let Some(s) = stats {
         s.note(atom.pred, cand.len() as u64);
     }
-    for idx in cand {
-        if let Some(newly) = try_match(inst, atom, idx, binding) {
-            let flow = search(inst, atoms, remaining, binding, stats, visit);
-            undo(binding, &newly);
-            if flow.is_break() {
-                // Restore `remaining` before unwinding.
-                remaining.push(ai);
-                return ControlFlow::Break(());
+    let flow = match inst.columnar().relation(atom.pred) {
+        Some(rel) => cand.for_each(|row| {
+            if let Some(newly) = try_match(rel, atom, row, binding) {
+                let flow = search(inst, atoms, remaining, binding, stats, visit);
+                undo(binding, &newly);
+                flow
+            } else {
+                ControlFlow::Continue(())
             }
-        }
-    }
+        }),
+        None => ControlFlow::Continue(()),
+    };
+    // Restore `remaining` before unwinding (on Break) or backtracking.
     remaining.push(ai);
-    ControlFlow::Continue(())
+    flow
 }
 
 /// Visits every homomorphism of `atoms` into `inst` extending `init`.
@@ -458,7 +493,16 @@ mod tests {
                 if let Some(c) = bound_x {
                     binding.insert(x, c);
                 }
-                let by_index: Vec<usize> = candidates(&inst, atom, &binding).to_vec();
+                // Candidates are per-relation row numbers; map them to
+                // global fact indexes through the by-predicate list.
+                let with_pred = inst.facts_with_pred(atom.pred);
+                let cand = candidates(&inst, atom, &binding);
+                let mut rows: Vec<usize> = Vec::new();
+                let _ = cand.for_each(|r| {
+                    rows.push(r);
+                    ControlFlow::Continue(())
+                });
+                let by_index: Vec<usize> = rows.iter().map(|&r| with_pred[r]).collect();
                 let by_scan = candidates_scan(&inst, atom, &binding);
                 // The index may over-approximate (it prunes on one bound
                 // position), but must contain every scan match, and
@@ -466,12 +510,14 @@ mod tests {
                 for idx in &by_scan {
                     assert!(by_index.contains(idx), "index missed fact {idx} for {atom:?}");
                 }
-                let accepted: Vec<usize> = by_index
+                let rel = inst.columnar().relation(atom.pred).unwrap();
+                let accepted: Vec<usize> = rows
                     .into_iter()
-                    .filter(|&idx| {
+                    .filter(|&row| {
                         let mut b = binding.clone();
-                        try_match(&inst, atom, idx, &mut b).is_some()
+                        try_match(rel, atom, row, &mut b).is_some()
                     })
+                    .map(|row| with_pred[row])
                     .collect();
                 assert_eq!(accepted, by_scan, "atom {atom:?}, bound_x {bound_x:?}");
             }

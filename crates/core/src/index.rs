@@ -1,28 +1,28 @@
-//! [`FactIndex`]: the access-path structure behind [`Instance`] lookups.
+//! [`FactIndex`]: the by-predicate access path behind [`Instance`] lookups.
 //!
-//! The chase and the homomorphism engine spend essentially all their time
-//! asking two questions about a growing set of facts: *which facts use
-//! predicate `P`?* and *which facts have element `c` at position `i` of
-//! predicate `P`?*. `FactIndex` answers both from hash maps of posting
-//! lists (vectors of [`FactIdx`] in insertion order), and is kept
-//! incrementally up to date on every insert — [`FactIndex::rebuild`]
-//! exists only as the from-scratch oracle the unit tests compare against.
+//! The index keeps one posting list of [`FactIdx`] per predicate, in
+//! insertion order, and is kept incrementally up to date on every insert —
+//! [`FactIndex::rebuild`] exists only as the from-scratch oracle the unit
+//! tests compare against. Position-constrained lookups (*which facts have
+//! element `c` at position `i` of predicate `P`?*) are served by the
+//! [`crate::columnar::ColumnarStore`] postings instead; a columnar row
+//! number of predicate `P` maps to a global [`FactIdx`] through
+//! `with_pred(P)`, which lists `P`'s facts in exactly the columnar row
+//! order.
 //!
 //! [`Instance`]: crate::instance::Instance
 
 use crate::fxhash::FxHashMap;
-use crate::symbols::{ConstId, PredId};
+use crate::symbols::PredId;
 use crate::term::Fact;
 
 /// Position of a fact in its instance's insertion-ordered fact vector.
 pub type FactIdx = usize;
 
-/// Posting-list indexes over a fact vector: by predicate, and by
-/// `(predicate, position, element)`.
+/// Posting-list index over a fact vector, by predicate.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FactIndex {
     by_pred: FxHashMap<PredId, Vec<FactIdx>>,
-    by_pred_pos_const: FxHashMap<(PredId, u8, ConstId), Vec<FactIdx>>,
 }
 
 impl FactIndex {
@@ -36,12 +36,6 @@ impl FactIndex {
     /// lists stay sorted.
     pub fn insert(&mut self, idx: FactIdx, fact: &Fact) {
         self.by_pred.entry(fact.pred).or_default().push(idx);
-        for (pos, &c) in fact.args.iter().enumerate() {
-            self.by_pred_pos_const
-                .entry((fact.pred, pos as u8, c))
-                .or_default()
-                .push(idx);
-        }
     }
 
     /// Builds the index of a fact slice from scratch. Semantically equal
@@ -59,14 +53,6 @@ impl FactIndex {
         self.by_pred.get(&pred).map_or(&[], |v| v.as_slice())
     }
 
-    /// Indexes of facts with predicate `pred` and element `c` at argument
-    /// position `pos`, in insertion order.
-    pub fn with_pred_pos_const(&self, pred: PredId, pos: usize, c: ConstId) -> &[FactIdx] {
-        self.by_pred_pos_const
-            .get(&(pred, pos as u8, c))
-            .map_or(&[], |v| v.as_slice())
-    }
-
     /// The predicates that index at least one fact.
     pub fn preds(&self) -> impl Iterator<Item = PredId> + '_ {
         self.by_pred.keys().copied()
@@ -74,7 +60,7 @@ impl FactIndex {
 
     /// Number of posting lists (diagnostics).
     pub fn posting_lists(&self) -> usize {
-        self.by_pred.len() + self.by_pred_pos_const.len()
+        self.by_pred.len()
     }
 }
 
@@ -82,7 +68,7 @@ impl FactIndex {
 mod tests {
     use super::*;
     use crate::prng::SplitMix64;
-    use crate::symbols::Vocabulary;
+    use crate::symbols::{ConstId, Vocabulary};
 
     /// A deterministic pseudo-random fact soup over mixed arities.
     fn soup(voc: &mut Vocabulary, n: usize, seed: u64) -> Vec<Fact> {
@@ -136,30 +122,9 @@ mod tests {
     }
 
     #[test]
-    fn position_index_agrees_with_scan() {
-        let mut voc = Vocabulary::new();
-        let facts = soup(&mut voc, 150, 37);
-        let index = FactIndex::rebuild(&facts);
-        let e = voc.find_pred("E").unwrap();
-        for pos in 0..2 {
-            for i in 0..8 {
-                let c = voc.find_const(&format!("c{i}")).unwrap();
-                let expect: Vec<FactIdx> = facts
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, f)| f.pred == e && f.args[pos] == c)
-                    .map(|(i, _)| i)
-                    .collect();
-                assert_eq!(index.with_pred_pos_const(e, pos, c), expect.as_slice());
-            }
-        }
-    }
-
-    #[test]
     fn missing_keys_give_empty_slices() {
         let index = FactIndex::new();
         assert!(index.with_pred(PredId(99)).is_empty());
-        assert!(index.with_pred_pos_const(PredId(99), 0, ConstId(0)).is_empty());
         assert_eq!(index.posting_lists(), 0);
     }
 }

@@ -1,27 +1,70 @@
 //! Database instances: indexed stores of ground facts.
 //!
 //! An [`Instance`] is the paper's "database instance … a set of facts".
-//! Lookup queries are served by a [`FactIndex`] (by predicate and by
-//! `(predicate, position, element)`), kept incrementally up to date on
-//! insert; the instance additionally maintains a by-element posting list
-//! and the set of all facts for O(1) duplicate detection.
+//! By-predicate lookups are served by a [`FactIndex`], position-constrained
+//! lookups by a [`ColumnarStore`] mirror (struct-of-arrays per predicate,
+//! also the batched join kernel's input), both kept incrementally up to
+//! date on insert, alongside the set of all facts for O(1) duplicate
+//! detection. The by-element access paths (active domain, element posting
+//! lists) live off the chase hot path: they are built lazily on first use
+//! and invalidated by the next insert.
 
-use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::columnar::ColumnarStore;
+use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::index::FactIndex;
 use crate::symbols::{ConstId, PredId, Vocabulary};
 use crate::term::Fact;
 use std::fmt;
+use std::hash::Hasher;
+use std::sync::OnceLock;
 
 pub use crate::index::FactIdx;
+
+/// The lazily-built by-element access paths: element posting lists
+/// (which double as the active domain, their key set).
+#[derive(Clone, Debug, Default)]
+struct ElemIndex {
+    by_const: FxHashMap<ConstId, Vec<FactIdx>>,
+}
+
+impl ElemIndex {
+    fn build(facts: &[Fact]) -> Self {
+        let mut by_const: FxHashMap<ConstId, Vec<FactIdx>> = FxHashMap::default();
+        for (idx, fact) in facts.iter().enumerate() {
+            for (pos, &c) in fact.args.iter().enumerate() {
+                // Record each fact once per *distinct* element it contains.
+                if fact.args[..pos].iter().all(|&p| p != c) {
+                    by_const.entry(c).or_default().push(idx);
+                }
+            }
+        }
+        ElemIndex { by_const }
+    }
+}
+
+/// Content hash of a ground fact, computable from `(pred, args)` without
+/// materializing a [`Fact`] — the duplicate-detection key.
+fn fact_hash(pred: PredId, args: &[ConstId]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(pred.0);
+    for &c in args {
+        h.write_u32(c.0);
+    }
+    h.finish()
+}
 
 /// An indexed set of ground facts over interned symbols.
 #[derive(Clone, Debug, Default)]
 pub struct Instance {
     facts: Vec<Fact>,
-    fact_set: FxHashSet<Fact>,
+    /// Content-hash duplicate table: fact hash -> index of the first fact
+    /// stored with that hash. True 64-bit collisions between *distinct*
+    /// facts spill to `collisions`, which stays empty in practice.
+    by_hash: FxHashMap<u64, FactIdx>,
+    collisions: Vec<FactIdx>,
     index: FactIndex,
-    by_const: FxHashMap<ConstId, Vec<FactIdx>>,
-    domain: FxHashSet<ConstId>,
+    columnar: ColumnarStore,
+    elems: OnceLock<ElemIndex>,
 }
 
 impl Instance {
@@ -32,21 +75,71 @@ impl Instance {
 
     /// Inserts a fact; returns `true` if it was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        if self.fact_set.contains(&fact) {
+        let hash = fact_hash(fact.pred, &fact.args);
+        if self.lookup(hash, fact.pred, &fact.args).is_some() {
             return false;
         }
+        self.insert_new(hash, fact);
+        true
+    }
+
+    /// Inserts the ground fact `pred(args)` if new (allocating only in
+    /// that case); returns `true` if it was new. The allocation-free
+    /// duplicate path is what the chase's repair loop leans on.
+    pub fn insert_ground(&mut self, pred: PredId, args: &[ConstId]) -> bool {
+        let hash = fact_hash(pred, args);
+        if self.lookup(hash, pred, args).is_some() {
+            return false;
+        }
+        self.insert_new(hash, Fact::new(pred, args.to_vec()));
+        true
+    }
+
+    /// Reserves room for at least `additional` more facts in the fact
+    /// list and the duplicate table, so a caller about to apply a known
+    /// batch of insertions (the chase repair loop) avoids incremental
+    /// rehashing of the content-hash table mid-batch.
+    pub fn reserve(&mut self, additional: usize) {
+        self.facts.reserve(additional);
+        self.by_hash.reserve(additional);
+    }
+
+    /// The stored index of `pred(args)` under its content `hash`, if any.
+    fn lookup(&self, hash: u64, pred: PredId, args: &[ConstId]) -> Option<FactIdx> {
+        if let Some(&idx) = self.by_hash.get(&hash) {
+            let f = &self.facts[idx];
+            if f.pred == pred && f.args == args {
+                return Some(idx);
+            }
+            // A different fact owns this hash slot: scan the spill list.
+            return self
+                .collisions
+                .iter()
+                .copied()
+                .find(|&i| self.facts[i].pred == pred && self.facts[i].args == args);
+        }
+        None
+    }
+
+    fn insert_new(&mut self, hash: u64, fact: Fact) {
         let idx = self.facts.len();
-        self.index.insert(idx, &fact);
-        for (pos, &c) in fact.args.iter().enumerate() {
-            self.domain.insert(c);
-            // Record each fact once per *distinct* element it contains.
-            if fact.args[..pos].iter().all(|&p| p != c) {
-                self.by_const.entry(c).or_default().push(idx);
+        match self.by_hash.entry(hash) {
+            // A different fact owns this hash slot (a true 64-bit
+            // collision): the newcomer spills, the owner stays.
+            std::collections::hash_map::Entry::Occupied(_) => self.collisions.push(idx),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(idx);
             }
         }
-        self.fact_set.insert(fact.clone());
+        self.index.insert(idx, &fact);
+        self.columnar.push(&fact);
+        self.elems.take();
         self.facts.push(fact);
-        true
+    }
+
+    /// The by-element access paths, built on first use after an insert.
+    fn elems(&self) -> &ElemIndex {
+        self.elems.get_or_init(|| ElemIndex::build(&self.facts))
     }
 
     /// Inserts every fact from an iterator; returns how many were new.
@@ -56,7 +149,14 @@ impl Instance {
 
     /// Does the instance contain this exact fact?
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.fact_set.contains(fact)
+        self.contains_ground(fact.pred, &fact.args)
+    }
+
+    /// Does the instance contain the ground fact `pred(args)`? Probes the
+    /// content-hash table directly, so callers (like the chase's head
+    /// checks) never materialize a [`Fact`] just to ask.
+    pub fn contains_ground(&self, pred: PredId, args: &[ConstId]) -> bool {
+        self.lookup(fact_hash(pred, args), pred, args).is_some()
     }
 
     /// Number of facts.
@@ -84,41 +184,53 @@ impl Instance {
         &self.index
     }
 
+    /// The columnar (struct-of-arrays) mirror of this instance's facts,
+    /// per predicate in insertion order; the batched join kernel's input.
+    pub fn columnar(&self) -> &ColumnarStore {
+        &self.columnar
+    }
+
     /// Indexes of facts with the given predicate.
     pub fn facts_with_pred(&self, pred: PredId) -> &[FactIdx] {
         self.index.with_pred(pred)
     }
 
     /// Indexes of facts with the given predicate and element `c` at
-    /// argument position `pos`.
-    pub fn facts_with_pred_pos_const(&self, pred: PredId, pos: usize, c: ConstId) -> &[FactIdx] {
-        self.index.with_pred_pos_const(pred, pos, c)
+    /// argument position `pos` (computed from the columnar postings;
+    /// rows of `pred`'s relation map to global indexes via
+    /// [`Instance::facts_with_pred`]).
+    pub fn facts_with_pred_pos_const(&self, pred: PredId, pos: usize, c: ConstId) -> Vec<FactIdx> {
+        let with_pred = self.index.with_pred(pred);
+        match self.columnar.relation(pred) {
+            Some(rel) => rel.matching(pos, c).iter().map(|&r| with_pred[r as usize]).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Indexes of all facts containing the element `c` (each fact listed
     /// once, regardless of how many positions `c` fills).
     pub fn facts_with_element(&self, c: ConstId) -> &[FactIdx] {
-        self.by_const.get(&c).map_or(&[], |v| v.as_slice())
+        self.elems().by_const.get(&c).map_or(&[], |v| v.as_slice())
     }
 
     /// The active domain: every element occurring in some fact.
     pub fn domain(&self) -> impl Iterator<Item = ConstId> + '_ {
-        self.domain.iter().copied()
+        self.elems().by_const.keys().copied()
     }
 
     /// Does the element occur in some fact?
     pub fn in_domain(&self, c: ConstId) -> bool {
-        self.domain.contains(&c)
+        self.elems().by_const.contains_key(&c)
     }
 
     /// Size of the active domain.
     pub fn domain_size(&self) -> usize {
-        self.domain.len()
+        self.elems().by_const.len()
     }
 
     /// The active domain as a sorted vector (deterministic order).
     pub fn sorted_domain(&self) -> Vec<ConstId> {
-        let mut v: Vec<ConstId> = self.domain.iter().copied().collect();
+        let mut v: Vec<ConstId> = self.domain().collect();
         v.sort_unstable();
         v
     }
@@ -174,7 +286,9 @@ impl Instance {
 
 impl PartialEq for Instance {
     fn eq(&self, other: &Self) -> bool {
-        self.fact_set == other.fact_set
+        // Both sides are deduplicated sets, so equal size + inclusion
+        // one way is set equality.
+        self.facts.len() == other.facts.len() && self.facts.iter().all(|f| other.contains(f))
     }
 }
 
@@ -286,6 +400,7 @@ mod tests {
         let mut voc = Vocabulary::new();
         let inst = chain(&mut voc, 10);
         assert_eq!(*inst.index(), FactIndex::rebuild(inst.facts()));
+        assert_eq!(*inst.columnar(), ColumnarStore::rebuild(inst.facts()));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! * interned symbols and the [`Vocabulary`] ([`symbols`]);
 //! * terms, atoms and facts ([`term`]);
 //! * indexed database instances ([`instance`]) over the access-path
-//!   structure of [`index`];
+//!   structure of [`index`] and the columnar relations of [`columnar`];
+//! * the batched hash-join kernel and planner ([`join`]) evaluating rule
+//!   bodies over whole binding frontiers;
 //! * the in-tree hasher ([`fxhash`]) and deterministic PRNG ([`prng`])
 //!   that keep the workspace free of external dependencies;
 //! * a deterministic std-only fork-join layer ([`par`]) used by every
@@ -33,9 +35,11 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod fxhash;
 pub mod hom;
 pub mod index;
+pub mod join;
 pub mod instance;
 pub mod obs;
 pub mod par;
@@ -49,12 +53,14 @@ pub mod span;
 pub mod symbols;
 pub mod term;
 
+pub use columnar::ColumnarStore;
 pub use hom::Binding;
 pub use index::{FactIdx, FactIndex};
 pub use instance::Instance;
+pub use join::{join_mode, with_join_mode, JoinMode};
 pub use parser::{parse_into, parse_program, parse_query, parse_rule, ParseError, Program};
 pub use query::{ConjunctiveQuery, Ucq};
 pub use rule::{Rule, RuleKind, Theory};
 pub use span::{RuleSpans, SrcSpan};
-pub use symbols::{ConstId, PredId, VarId, Vocabulary};
+pub use symbols::{ConstId, PredId, VarId, Vocabulary, MAX_ARITY};
 pub use term::{Atom, Fact, Term};

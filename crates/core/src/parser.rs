@@ -291,6 +291,17 @@ impl<'a> Parser<'a> {
         }
         self.expect(Tok::RParen, "')'")?;
         let atom_span = span(start, self.last_end);
+        if args.len() > crate::symbols::MAX_ARITY {
+            return Err(ParseError {
+                message: format!(
+                    "predicate {name} has arity {}, exceeding the maximum {}",
+                    args.len(),
+                    crate::symbols::MAX_ARITY
+                ),
+                line: atom_span.line as usize,
+                col: atom_span.col as usize,
+            });
+        }
         if let Some(existing) = self.voc.find_pred(&name) {
             if self.voc.arity(existing) != args.len() {
                 return Err(ParseError {
@@ -594,6 +605,21 @@ mod tests {
     fn error_position_is_reported() {
         let err = parse_program("E(a,b)\nE(c,d).").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn over_wide_atom_rejected_with_span() {
+        // 256 arguments exceeds MAX_ARITY = 255; the error is spanned to
+        // the offending atom, not a panic out of the vocabulary.
+        let args = vec!["a"; crate::symbols::MAX_ARITY + 1].join(",");
+        let err = parse_program(&format!("E(a,b).\nWide({args}).")).unwrap_err();
+        assert!(err.message.contains("arity 256"), "{err}");
+        assert!(err.message.contains("maximum 255"), "{err}");
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 1);
+        // Exactly MAX_ARITY arguments still parses.
+        let ok = vec!["a"; crate::symbols::MAX_ARITY].join(",");
+        assert!(parse_program(&format!("Wide({ok}).")).is_ok());
     }
 
     #[test]

@@ -47,25 +47,53 @@ impl VarId {
     }
 }
 
+/// String interner storing each name exactly once: ids map to names
+/// through `names`, and names map back through a content-hash table keyed
+/// by the name's 64-bit hash. The (astronomically rare, but handled)
+/// case of two distinct names sharing a hash spills into `collisions`.
 #[derive(Clone, Debug, Default)]
 struct Interner {
     names: Vec<String>,
-    by_name: FxHashMap<String, u32>,
+    by_hash: FxHashMap<u64, u32>,
+    collisions: FxHashMap<String, u32>,
+}
+
+fn hash_name(name: &str) -> u64 {
+    use std::hash::Hasher;
+    let mut h = crate::fxhash::FxHasher::default();
+    h.write(name.as_bytes());
+    h.finish()
 }
 
 impl Interner {
     fn intern(&mut self, name: &str) -> (u32, bool) {
-        if let Some(&id) = self.by_name.get(name) {
-            return (id, false);
+        let h = hash_name(name);
+        match self.by_hash.get(&h) {
+            Some(&id) if self.names[id as usize] == name => (id, false),
+            Some(_) => {
+                // Hash collision between distinct names.
+                if let Some(&id) = self.collisions.get(name) {
+                    return (id, false);
+                }
+                let id = self.names.len() as u32;
+                self.names.push(name.to_owned());
+                self.collisions.insert(name.to_owned(), id);
+                (id, true)
+            }
+            None => {
+                let id = self.names.len() as u32;
+                self.names.push(name.to_owned());
+                self.by_hash.insert(h, id);
+                (id, true)
+            }
         }
-        let id = self.names.len() as u32;
-        self.names.push(name.to_owned());
-        self.by_name.insert(name.to_owned(), id);
-        (id, true)
     }
 
     fn lookup(&self, name: &str) -> Option<u32> {
-        self.by_name.get(name).copied()
+        match self.by_hash.get(&hash_name(name)) {
+            Some(&id) if self.names[id as usize] == name => Some(id),
+            _ => self.collisions.get(name).copied(),
+        }
     }
 
     fn name(&self, id: u32) -> &str {
@@ -76,6 +104,41 @@ impl Interner {
         self.names.len()
     }
 }
+
+/// Formats `{head}{prefix}{n}` into `buf` without allocating; returns
+/// `None` when the pieces don't fit (callers fall back to `format!`).
+fn fmt_counter_name<'b>(buf: &'b mut [u8; 48], head: &str, prefix: &str, n: u64) -> Option<&'b str> {
+    const DIGITS: usize = 20; // u64::MAX has 20 decimal digits
+    let mut len = 0;
+    for part in [head.as_bytes(), prefix.as_bytes()] {
+        if len + part.len() + DIGITS > buf.len() {
+            return None;
+        }
+        buf[len..len + part.len()].copy_from_slice(part);
+        len += part.len();
+    }
+    let mut digits = [0u8; DIGITS];
+    let mut i = DIGITS;
+    let mut v = n;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    buf[len..len + DIGITS - i].copy_from_slice(&digits[i..]);
+    len += DIGITS - i;
+    // Valid UTF-8 by construction: two `str` slices plus ASCII digits.
+    std::str::from_utf8(&buf[..len]).ok()
+}
+
+/// Largest predicate arity a [`Vocabulary`] accepts. Posting-list keys in
+/// [`crate::columnar::Relation`] store argument positions as `u8`;
+/// enforcing the bound at registration keeps those narrow keys exact
+/// instead of silently truncating.
+pub const MAX_ARITY: usize = 255;
 
 /// Symbol table shared by a theory, its instances and its queries.
 ///
@@ -103,8 +166,13 @@ impl Vocabulary {
     ///
     /// # Panics
     /// Panics if the predicate was already interned with a different arity —
-    /// arity confusion is always a caller bug.
+    /// arity confusion is always a caller bug — or if `arity` exceeds
+    /// [`MAX_ARITY`] (positions are stored as `u8` in the index layers).
     pub fn pred(&mut self, name: &str, arity: usize) -> PredId {
+        assert!(
+            arity <= MAX_ARITY,
+            "predicate {name} registered with arity {arity}, exceeding MAX_ARITY {MAX_ARITY}"
+        );
         let (id, new) = self.preds.intern(name);
         if new {
             self.arities.push(arity);
@@ -140,11 +208,24 @@ impl Vocabulary {
     /// Creates a fresh labelled null (an element of `C_non`), named
     /// `_<prefix><counter>`. Nulls are guaranteed not to collide with any
     /// named constant because user-facing names may not start with `_`.
+    ///
+    /// This is on the chase's hot path (one call per existential variable
+    /// of every fired trigger), so the candidate name is formatted into a
+    /// stack buffer; the single heap allocation is the interned copy.
     pub fn fresh_null(&mut self, prefix: &str) -> ConstId {
+        let mut buf = [0u8; 48];
         loop {
-            let name = format!("_{prefix}{}", self.fresh_counter);
+            let n = self.fresh_counter;
             self.fresh_counter += 1;
-            let (id, new) = self.consts.intern(&name);
+            let owned;
+            let name: &str = match fmt_counter_name(&mut buf, "_", prefix, n) {
+                Some(s) => s,
+                None => {
+                    owned = format!("_{prefix}{n}");
+                    &owned
+                }
+            };
+            let (id, new) = self.consts.intern(name);
             if new {
                 self.is_null.push(true);
                 return ConstId(id);
@@ -330,5 +411,19 @@ mod tests {
         let x = voc.var("X");
         let f = voc.fresh_var("X");
         assert_ne!(x, f);
+    }
+
+    #[test]
+    fn max_arity_is_accepted() {
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("Wide", MAX_ARITY);
+        assert_eq!(voc.arity(p), MAX_ARITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding MAX_ARITY")]
+    fn over_max_arity_panics_at_registration() {
+        let mut voc = Vocabulary::new();
+        voc.pred("TooWide", MAX_ARITY + 1);
     }
 }

@@ -122,7 +122,8 @@ impl FcOutcome {
 /// Element creation depths: the round at which each element first appears.
 fn element_depths(res: &bddfc_chase::ChaseResult) -> FxHashMap<ConstId, u32> {
     let mut depth: FxHashMap<ConstId, u32> = FxHashMap::default();
-    for (fact, &d) in &res.depth {
+    for (idx, fact) in res.instance.facts().iter().enumerate() {
+        let d = res.fact_depth(idx);
         for &c in &fact.args {
             depth
                 .entry(c)
@@ -185,7 +186,7 @@ pub fn finite_countermodel(
                 .instance
                 .facts_with_pred(forbidden)
                 .iter()
-                .map(|&i| res.depth[res.instance.fact(i)])
+                .map(|&i| res.fact_depth(i))
                 .min()
                 .unwrap_or(res.rounds);
             // The forbidden atom appears one round after the query became

@@ -13,6 +13,7 @@
 //! | `chase_restricted_embeds` | restricted chase embeds homomorphically into oblivious |
 //! | `chase_certainty_strategy_blind` | `certain_ucq` verdicts + depth `k` across strategies |
 //! | `chase_thread_invariance` | chase outputs + obs counters at `BDDFC_THREADS` ∈ {1,2,7} |
+//! | `join_kernel_vs_tuple_oracle` | batched hash-join chase vs tuple-at-a-time engine, all variants × strategies |
 //! | `classes_witness_oracle` | witness-producing recognizers vs legacy boolean oracles |
 //! | `rewrite_vs_chase` | UCQ-rewriting certain answers vs chase certain answers |
 //! | `lint_stability` | linting is deterministic and panic-free |
@@ -31,6 +32,7 @@ use bddfc_classes::{
     sticky_violations, theorem3_violations, weak_acyclicity_violation,
 };
 use bddfc_core::fxhash::FxHashMap;
+use bddfc_core::join::{with_join_mode, JoinMode};
 use bddfc_core::obs::Memory;
 use bddfc_core::{
     hom, par, Atom, Binding, ConjunctiveQuery, Instance, PredId, Program, Term, Theory, Ucq,
@@ -154,6 +156,11 @@ pub static PROPS: &[Prop] = &[
         check: chase_thread_invariance,
     },
     Prop {
+        name: "join_kernel_vs_tuple_oracle",
+        describe: "batched hash-join chase agrees with the tuple-at-a-time oracle engine",
+        check: join_kernel_vs_tuple_oracle,
+    },
+    Prop {
         name: "classes_witness_oracle",
         describe: "witness-producing class recognizers agree with the boolean oracles",
         check: classes_witness_oracle,
@@ -251,7 +258,7 @@ fn chase_strategy_agreement(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> 
             chase_config(ctx, variant, ChaseStrategy::SemiNaive),
         );
         ensure_same_instance(&res_n.instance, &res_s.instance, &prog.voc, &format!("{variant:?}: full run"))?;
-        ensure_eq(&res_n.depth, &res_s.depth, &format!("{variant:?}: depth map"))?;
+        ensure_eq(res_n.depth_map(), res_s.depth_map(), &format!("{variant:?}: depth map"))?;
         ensure_eq(res_n.rounds, res_s.rounds, &format!("{variant:?}: rounds"))?;
         ensure_eq(res_n.status, res_s.status, &format!("{variant:?}: status"))?;
     }
@@ -386,11 +393,42 @@ fn chase_thread_invariance(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> P
             &prog.voc,
             &format!("{threads} threads"),
         )?;
-        ensure_eq(&base.0.depth, &other.0.depth, &format!("{threads} threads: depth map"))?;
+        ensure_eq(base.0.depth_map(), other.0.depth_map(), &format!("{threads} threads: depth map"))?;
         ensure_eq(base.0.rounds, other.0.rounds, &format!("{threads} threads: rounds"))?;
         ensure_eq(base.0.status, other.0.status, &format!("{threads} threads: status"))?;
         ensure_eq(base.1.clone(), other.1, &format!("{threads} threads: obs counters"))?;
         ensure_eq(base.2.clone(), other.2, &format!("{threads} threads: obs event counts"))?;
+    }
+    Ok(())
+}
+
+/// `join_kernel_vs_tuple_oracle`: the batched hash-join kernel
+/// ([`JoinMode::Batch`]) produces exactly the chase the tuple-at-a-time
+/// engine produces — same instance, depth map, round count, status and
+/// per-round body-match counts — over every variant × strategy. The
+/// mutation runs on the batch side.
+fn join_kernel_vs_tuple_oracle(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResult {
+    let mutated = ctx.mutation.apply(&prog.theory);
+    for variant in [ChaseVariant::Restricted, ChaseVariant::Oblivious] {
+        for strategy in [ChaseStrategy::Naive, ChaseStrategy::SemiNaive] {
+            let cfg = chase_config(ctx, variant, strategy);
+            let tuple = with_join_mode(JoinMode::Tuple, || {
+                chase(&prog.instance, &prog.theory, &mut prog.voc.clone(), cfg)
+            });
+            let batch = with_join_mode(JoinMode::Batch, || {
+                chase(&prog.instance, &mutated, &mut prog.voc.clone(), cfg)
+            });
+            let what = format!("{variant:?}/{strategy:?} batch-vs-tuple");
+            ensure_same_instance(&tuple.instance, &batch.instance, &prog.voc, &what)?;
+            ensure_eq(tuple.depth_map(), batch.depth_map(), &format!("{what}: depth map"))?;
+            ensure_eq(tuple.rounds, batch.rounds, &format!("{what}: rounds"))?;
+            ensure_eq(tuple.status, batch.status, &format!("{what}: status"))?;
+            ensure_eq(
+                tuple.stats.body_matches_per_round.clone(),
+                batch.stats.body_matches_per_round.clone(),
+                &format!("{what}: per-round body matches"),
+            )?;
+        }
     }
     Ok(())
 }
