@@ -64,4 +64,12 @@ echo "==> bddfc-fuzz join_kernel_vs_tuple_oracle (batch kernel vs tuple oracle)"
 cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- \
     --seed 1 --budget-ms 5000 --prop join_kernel_vs_tuple_oracle
 
+echo "==> bddfc-serve golden transcript (incremental service smoke)"
+cargo run -q --release -p bddfc-serve --bin bddfc-serve -- tests/serve/session.dlg \
+    < tests/serve/session.commands | diff -u tests/serve/session.golden -
+
+echo "==> bddfc-fuzz serve_vs_scratch_chase (incremental serve vs from-scratch chase)"
+cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- \
+    --seed 1 --budget-ms 5000 --prop serve_vs_scratch_chase
+
 echo "ci: ok"

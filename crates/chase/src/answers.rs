@@ -37,6 +37,33 @@ impl Certainty {
     }
 }
 
+/// Which budget a [`Certainty::Unknown`] ran out of. A caller picking a
+/// retry policy needs the distinction: a round-budget stop retries with
+/// more rounds, a fact-budget stop means the instance itself outgrew the
+/// cap and more rounds alone will not help.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetExhausted {
+    /// `max_rounds` rounds ran without fixpoint or a witness.
+    Rounds,
+    /// The instance outgrew `max_facts` before either conclusion.
+    Facts,
+}
+
+/// A [`Certainty`] plus *why* an undecided run stopped — kept separate
+/// from the `Certainty` enum itself so existing exhaustive matches keep
+/// compiling.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CertainOutcome {
+    /// The verdict (what [`certain_ucq_with`] returns).
+    pub certainty: Certainty,
+    /// `Some` iff the verdict is [`Certainty::Unknown`]: the budget that
+    /// stopped the run.
+    pub exhausted: Option<BudgetExhausted>,
+    /// Chase rounds actually executed (0 when the query already holds in
+    /// the database or `max_rounds == 0`).
+    pub rounds_run: u32,
+}
+
 /// Decides `D, T ⊨ Φ` by chasing within the budget, checking the query
 /// after every round. Returns the minimal witnessing depth when true —
 /// the empirical counterpart of the constant `k_Ψ` in the standard BDD
@@ -73,32 +100,65 @@ pub fn certain_ucq_with<S: EventSink>(
     config: ChaseConfig,
     sink: &S,
 ) -> Certainty {
+    certain_ucq_outcome_with(db, theory, voc, query, config, sink).certainty
+}
+
+/// Like [`certain_ucq`], but reports the full [`CertainOutcome`] —
+/// including *which* budget an undecided run exhausted.
+pub fn certain_ucq_outcome(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    query: &Ucq,
+    config: ChaseConfig,
+) -> CertainOutcome {
+    certain_ucq_outcome_with(db, theory, voc, query, config, &NULL)
+}
+
+/// The instrumented entry point behind every `certain_*` function: the
+/// full [`CertainOutcome`] with per-round telemetry into `sink`.
+pub fn certain_ucq_outcome_with<S: EventSink>(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    query: &Ucq,
+    config: ChaseConfig,
+    sink: &S,
+) -> CertainOutcome {
     if hom::satisfies_ucq(db, query) {
-        return Certainty::True(0);
+        return CertainOutcome { certainty: Certainty::True(0), exhausted: None, rounds_run: 0 };
     }
     let run_span = if S::ENABLED { sink.span_open("chase", "run", 0, None) } else { 0 };
     let mut stepper =
         ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink)
             .under_span(run_span);
-    let mut outcome = Certainty::Unknown;
+    let mut certainty = Certainty::Unknown;
+    // Unknown by default means the round budget ran dry — overwritten by
+    // the fact-cap break below, cleared by any decision.
+    let mut exhausted = Some(BudgetExhausted::Rounds);
+    let mut rounds_run = 0;
     for round in 1..=config.max_rounds {
         let new_facts = stepper.step(voc);
+        rounds_run = round;
         if new_facts.is_empty() {
-            outcome = Certainty::False;
+            certainty = Certainty::False;
+            exhausted = None;
             break;
         }
         if hom::satisfies_ucq(&stepper.instance, query) {
-            outcome = Certainty::True(round);
+            certainty = Certainty::True(round);
+            exhausted = None;
             break;
         }
         if stepper.instance.len() > config.max_facts {
+            exhausted = Some(BudgetExhausted::Facts);
             break;
         }
     }
     if S::ENABLED {
         sink.span_close(run_span);
     }
-    outcome
+    CertainOutcome { certainty, exhausted, rounds_run }
 }
 
 /// Empirically probes the derivation depth of a query over a family of
@@ -220,6 +280,127 @@ mod tests {
             ChaseConfig::default(),
         );
         assert_eq!(c, Certainty::True(0));
+    }
+
+    #[test]
+    fn fixpoint_on_exactly_the_last_allowed_round_is_decided() {
+        // TC of a 2-edge path: round 1 derives E(a,c), round 2 is empty.
+        // With max_rounds == 2 the empty round lands exactly on the
+        // budget boundary and must still read as a decided False.
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(a,b). E(b,c).
+             ?- E(X,X).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let out = certain_ucq_outcome(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            &Ucq::single(prog.queries[0].clone()),
+            ChaseConfig::rounds(2),
+        );
+        assert_eq!(out.certainty, Certainty::False);
+        assert_eq!(out.exhausted, None);
+        assert_eq!(out.rounds_run, 2);
+        // One round fewer and the same program is honestly unknown, and
+        // the reason is the round budget.
+        let out = certain_ucq_outcome(
+            &prog.instance,
+            &prog.theory,
+            &mut prog.voc.clone(),
+            &Ucq::single(prog.queries[0].clone()),
+            ChaseConfig::rounds(1),
+        );
+        assert_eq!(out.certainty, Certainty::Unknown);
+        assert_eq!(out.exhausted, Some(BudgetExhausted::Rounds));
+        assert_eq!(out.rounds_run, 1);
+    }
+
+    #[test]
+    fn query_satisfied_on_the_round_the_fact_cap_trips_is_true() {
+        // Round 1 grows the instance past max_facts *and* satisfies the
+        // query; satisfaction is checked first, so the verdict is True —
+        // a certain answer never retracts to Unknown over a budget.
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b).
+             ?- E(X1,X2), E(X2,X3).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let out = certain_ucq_outcome(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            &Ucq::single(prog.queries[0].clone()),
+            ChaseConfig { max_rounds: 8, max_facts: 1, ..ChaseConfig::default() },
+        );
+        assert_eq!(out.certainty, Certainty::True(1));
+        assert_eq!(out.exhausted, None);
+    }
+
+    #[test]
+    fn fact_budget_and_round_budget_are_distinguished() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b).
+             ?- E(X,X).",
+        )
+        .unwrap();
+        let q = Ucq::single(prog.queries[0].clone());
+        let rounds = certain_ucq_outcome(
+            &prog.instance,
+            &prog.theory,
+            &mut prog.voc.clone(),
+            &q,
+            ChaseConfig { max_rounds: 3, max_facts: 1_000_000, ..ChaseConfig::default() },
+        );
+        assert_eq!(rounds.certainty, Certainty::Unknown);
+        assert_eq!(rounds.exhausted, Some(BudgetExhausted::Rounds));
+        let facts = certain_ucq_outcome(
+            &prog.instance,
+            &prog.theory,
+            &mut prog.voc.clone(),
+            &q,
+            ChaseConfig { max_rounds: 1_000, max_facts: 2, ..ChaseConfig::default() },
+        );
+        assert_eq!(facts.certainty, Certainty::Unknown);
+        assert_eq!(facts.exhausted, Some(BudgetExhausted::Facts));
+        assert!(facts.rounds_run < 1_000, "fact cap must stop the run early");
+    }
+
+    #[test]
+    fn zero_round_budget_is_unknown_unless_the_db_already_witnesses() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b).
+             ?- E(X,X).",
+        )
+        .unwrap();
+        let out = certain_ucq_outcome(
+            &prog.instance,
+            &prog.theory,
+            &mut prog.voc.clone(),
+            &Ucq::single(prog.queries[0].clone()),
+            ChaseConfig::rounds(0),
+        );
+        assert_eq!(out.certainty, Certainty::Unknown);
+        assert_eq!(out.exhausted, Some(BudgetExhausted::Rounds));
+        assert_eq!(out.rounds_run, 0);
+        // A db-level witness short-circuits even at zero rounds.
+        let hit = parse_program("E(a,a). ?- E(X,X).").unwrap();
+        let out = certain_ucq_outcome(
+            &hit.instance,
+            &Default::default(),
+            &mut hit.voc.clone(),
+            &Ucq::single(hit.queries[0].clone()),
+            ChaseConfig::rounds(0),
+        );
+        assert_eq!(out.certainty, Certainty::True(0));
+        assert_eq!(out.exhausted, None);
+        assert_eq!(out.rounds_run, 0);
     }
 
     #[test]

@@ -1153,6 +1153,7 @@ fn apply_repairs(
     templates: &[RuleTemplate],
     voc: &mut Vocabulary,
     mut repairs: Vec<Repair>,
+    mut record: Option<&mut Vec<(Fact, usize)>>,
 ) -> (usize, u64) {
     repairs.sort_by(|a, b| (a.rule_idx, &a.key).cmp(&(b.rule_idx, &b.key)));
     // Most repairs insert their head atoms; reserving up front keeps the
@@ -1162,7 +1163,7 @@ fn apply_repairs(
     let mut nulls_created = 0u64;
     let mut exvals: Vec<ConstId> = Vec::new();
     let mut args: Vec<ConstId> = Vec::new();
-    for repair in &repairs {
+    for (repair_idx, repair) in repairs.iter().enumerate() {
         let tmpl = &templates[repair.rule_idx];
         let mut kbuf = [ConstId(0); 2];
         let fvals = tmpl.key_vals(&repair.key, &mut kbuf);
@@ -1176,7 +1177,14 @@ fn apply_repairs(
                 ArgSrc::Frontier(i) => fvals[i],
                 ArgSrc::Ex(j) => exvals[j],
             }));
-            inst.insert_ground(*pred, &args);
+            let inserted = inst.insert_ground(*pred, &args);
+            if inserted {
+                // Only the traced path (incremental maintenance) pays for
+                // the Fact materialization; the hot path passes `None`.
+                if let Some(out) = record.as_deref_mut() {
+                    out.push((Fact::new(*pred, args.clone()), repair_idx));
+                }
+            }
         }
     }
     (start, nulls_created)
@@ -1197,7 +1205,7 @@ pub fn chase_round(
     let templates: Vec<RuleTemplate> = theory.rules.iter().map(RuleTemplate::new).collect();
     let repairs =
         collect_repairs_naive::<Null>(inst, theory, &templates, variant, &mut fired.0, &mut work);
-    let (start, _) = apply_repairs(inst, &templates, voc, repairs);
+    let (start, _) = apply_repairs(inst, &templates, voc, repairs, None);
     inst.facts()[start..].to_vec()
 }
 
@@ -1270,12 +1278,71 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
         }
     }
 
+    /// Resumes a chase over an already (partially) chased `instance`:
+    /// `delta` marks the suffix of `instance.facts()` that has not yet
+    /// been enumerated from — typically facts appended since the last
+    /// fixpoint. Unlike [`ChaseStepper::with_sink`] this takes ownership
+    /// of the instance (no clone) and skips the full first-round
+    /// enumeration: the semi-naive invariant assumed is that every
+    /// trigger contained entirely in `instance.facts()[..delta.start]`
+    /// has already been processed. Body-less rules do not re-fire on a
+    /// resumed stepper (they fired on the original first round), and the
+    /// oblivious fired-set starts empty — resumption is meant for the
+    /// restricted variant, where admission is stateless.
+    ///
+    /// This is the incremental-maintenance entry point: an insertion is
+    /// exactly "append the new facts, resume with them as the delta".
+    pub fn resume(
+        instance: Instance,
+        theory: &'t Theory,
+        variant: ChaseVariant,
+        strategy: ChaseStrategy,
+        sink: &'t S,
+        delta: Range<usize>,
+    ) -> Self {
+        debug_assert!(delta.end <= instance.len());
+        ChaseStepper {
+            theory,
+            templates: theory.rules.iter().map(RuleTemplate::new).collect(),
+            instance,
+            variant,
+            strategy,
+            fired: FxHashSet::default(),
+            delta,
+            first_round: false,
+            rounds_done: 0,
+            sink,
+            parent_span: 0,
+            stats: ChaseStats { threads_used: par::num_threads(), ..ChaseStats::default() },
+        }
+    }
+
     /// Parents every span and event this stepper emits under `span`
     /// (typically a `chase`/`run` span the caller opened on the same
     /// sink). 0 — the default — means "no enclosing span".
     pub fn under_span(mut self, span: u64) -> Self {
         self.parent_span = span;
         self
+    }
+
+    /// Rounds completed so far by this stepper.
+    pub fn rounds_done(&self) -> u64 {
+        self.rounds_done
+    }
+
+    /// The current unprocessed delta: the facts appended by the last
+    /// completed round (or the initial delta before any round), which the
+    /// next [`ChaseStepper::step`] will enumerate from. A driver that
+    /// stops before fixpoint hands this to a later
+    /// [`ChaseStepper::resume`] to pick up exactly where it left off.
+    pub fn pending_delta(&self) -> Range<usize> {
+        self.delta.clone()
+    }
+
+    /// Consumes the stepper, returning the chased instance without a
+    /// clone.
+    pub fn into_instance(self) -> Instance {
+        self.instance
     }
 
     /// Runs one `Chase¹` round; returns the facts it added (empty iff the
@@ -1299,6 +1366,32 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
     /// the delta's *size* (like the fixpoint check in [`chase_with`]) stay
     /// allocation-free.
     pub fn step_indexed(&mut self, voc: &mut Vocabulary) -> usize {
+        self.step_impl(voc, None)
+    }
+
+    /// Runs one round like [`ChaseStepper::step_indexed`], additionally
+    /// appending `(fact, derivation)` pairs for every fact the round
+    /// inserted to `out` — the premises are the grounded body of one
+    /// (canonically chosen) homomorphism witnessing the trigger against
+    /// the pre-round instance. This is what incremental maintenance
+    /// records so DRed retraction can later over-delete exactly the
+    /// facts whose recorded derivations lost a premise.
+    ///
+    /// Costs one extra homomorphism search per fired trigger; the
+    /// untraced path is unaffected.
+    pub fn step_traced(
+        &mut self,
+        voc: &mut Vocabulary,
+        out: &mut Vec<(Fact, crate::trace::Derivation)>,
+    ) -> usize {
+        self.step_impl(voc, Some(out))
+    }
+
+    fn step_impl(
+        &mut self,
+        voc: &mut Vocabulary,
+        traced: Option<&mut Vec<(Fact, crate::trace::Derivation)>>,
+    ) -> usize {
         let timer = SpanTimer::start();
         let round_span = if S::ENABLED {
             self.sink.span_open(
@@ -1334,8 +1427,60 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
         self.first_round = false;
         let triggers_fired = repairs.len() as u64;
         self.stats.body_matches_per_round.push(work.body_matches);
+        // Premise recovery must run against the pre-round instance, and
+        // must align with the order apply_repairs inserts in — so sort
+        // here (the comparator is the one apply_repairs uses; sorting
+        // twice is idempotent) and ground one witnessing homomorphism
+        // per repair.
+        let mut repairs = repairs;
+        let mut recorded: Vec<(Fact, usize)> = Vec::new();
+        let premises: Vec<(usize, Vec<Fact>)> = if traced.is_some() {
+            repairs.sort_by(|a, b| (a.rule_idx, &a.key).cmp(&(b.rule_idx, &b.key)));
+            repairs
+                .iter()
+                .map(|r| {
+                    let tmpl = &self.templates[r.rule_idx];
+                    let mut kbuf = [ConstId(0); 2];
+                    let fvals = tmpl.key_vals(&r.key, &mut kbuf);
+                    let mut init = Binding::default();
+                    for (&v, &c) in tmpl.frontier.iter().zip(fvals) {
+                        init.insert(v, c);
+                    }
+                    let rule = &self.theory.rules[r.rule_idx];
+                    let b = hom::find_hom(&self.instance, &rule.body, &init)
+                        .expect("repair key was produced by a body homomorphism");
+                    let prem = rule
+                        .body
+                        .iter()
+                        .map(|a| {
+                            a.apply(&|v| b.get(&v).map(|&c| Term::Const(c)))
+                                .to_fact()
+                                .expect("body grounded by homomorphism")
+                        })
+                        .collect();
+                    (r.rule_idx, prem)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let record = traced.is_some().then_some(&mut recorded);
         let (start, nulls_created) =
-            apply_repairs(&mut self.instance, &self.templates, voc, repairs);
+            apply_repairs(&mut self.instance, &self.templates, voc, repairs, record);
+        if let Some(out) = traced {
+            let round = u32::try_from(self.rounds_done + 1).unwrap_or(u32::MAX);
+            for (fact, repair_idx) in recorded {
+                let (rule_idx, prem) = &premises[repair_idx];
+                out.push((
+                    fact,
+                    crate::trace::Derivation {
+                        rule_idx: *rule_idx,
+                        premises: prem.clone(),
+                        round,
+                    },
+                ));
+            }
+        }
         let new_fact_count = (self.instance.len() - start) as u64;
         self.delta = start..self.instance.len();
         let wall = timer.elapsed();
@@ -1543,7 +1688,7 @@ pub fn chase_uninstrumented_baseline(
             ),
         };
         first_round = false;
-        let (start, _nulls) = apply_repairs(&mut inst, &templates, voc, repairs);
+        let (start, _nulls) = apply_repairs(&mut inst, &templates, voc, repairs, None);
         delta = start..inst.len();
         if delta.is_empty() {
             break;

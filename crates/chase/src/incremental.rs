@@ -1,0 +1,613 @@
+//! Incremental chase maintenance: a resident chased instance that
+//! absorbs fact insertions as semi-naive delta rounds and fact
+//! retractions by DRed-style over-delete/re-derive.
+//!
+//! ## Why insertion is "just another round"
+//!
+//! A semi-naive chase round enumerates only triggers that join at least
+//! one fact from the previous round's delta — the invariant being that
+//! every trigger contained entirely in older facts was already processed
+//! (repaired, or skipped because a witness existed; the chase never
+//! deletes, so the witness persists). An *insertion into a fixpoint
+//! instance* satisfies exactly the same invariant with the inserted
+//! facts as the delta, so [`IncrementalChase::insert_with`] simply
+//! appends the new facts and resumes the engine's [`ChaseStepper`] with
+//! them as the pending delta: rounds already applied are never re-run,
+//! and only rules whose bodies can touch the delta re-fire.
+//!
+//! ## Why retraction needs provenance
+//!
+//! The chase is monotone; deletion is not. Removing a base fact may
+//! invalidate derived facts, which may invalidate further facts, while
+//! other copies remain independently derivable. The classical answer is
+//! **DRed** (delete-and-rederive): over-delete everything whose recorded
+//! derivation (transitively) used a deleted fact, then re-run the chase
+//! on the survivors so anything with an alternative derivation comes
+//! back. To support this, maintenance rounds run through
+//! [`ChaseStepper::step_traced`], recording one canonical derivation
+//! ([`Derivation`], the same structure `trace::traced_chase` produces)
+//! per derived fact.
+//!
+//! The maintained invariant, restored after every mutation: **every
+//! resident fact is a base fact or carries a recorded derivation whose
+//! premises are themselves resident**. By induction every resident fact
+//! has a full derivation tree over the current base, so the resident
+//! instance maps homomorphically into every model of (base, theory) —
+//! which is what makes resident-instance query answers *certain*
+//! answers (a query witnessed in the resident instance is certainly
+//! entailed even before fixpoint; "certainly false" additionally needs
+//! the fixpoint flag).
+//!
+//! The maintained chase is always the restricted variant under
+//! semi-naive evaluation — the pair whose resumption invariant the
+//! module relies on (restricted admission is stateless; oblivious
+//! resumption would need the fired set carried across mutations).
+
+use crate::answers::BudgetExhausted;
+use crate::engine::{ChaseStepper, ChaseStrategy, ChaseVariant};
+use crate::trace::{Derivation, DerivationTree, TracedChase};
+use bddfc_core::fxhash::{FxHashMap, FxHashSet};
+use bddfc_core::obs::{EventSink, NULL};
+use bddfc_core::{Fact, Instance, Theory, Vocabulary};
+
+/// Per-mutation resource limits for incremental maintenance — the
+/// analogue of [`crate::engine::ChaseConfig`] for a single
+/// insert/retract's closure rounds.
+#[derive(Clone, Copy, Debug)]
+pub struct MaintainConfig {
+    /// Maximum closure rounds one mutation may run.
+    pub max_rounds: u32,
+    /// Stop (incomplete) once the instance exceeds this many facts.
+    pub max_facts: usize,
+}
+
+impl Default for MaintainConfig {
+    fn default() -> Self {
+        MaintainConfig { max_rounds: 64, max_facts: 1_000_000 }
+    }
+}
+
+/// What one mutation did to the resident instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaintainOutcome {
+    /// Facts added to the instance by this mutation (inserted base facts
+    /// that were genuinely new, plus everything its closure rounds
+    /// derived — for a retraction, everything re-derivation brought
+    /// back).
+    pub new_facts: usize,
+    /// Base facts actually removed (retraction only).
+    pub retracted: usize,
+    /// Derived facts removed by the DRed over-deletion cascade, beyond
+    /// the retracted base facts themselves (retraction only; counts
+    /// facts later re-derived too).
+    pub overdeleted: usize,
+    /// Closure rounds this mutation ran.
+    pub rounds: u32,
+    /// Whether the resident instance is at a fixpoint of the theory.
+    pub complete: bool,
+    /// `Some` iff `!complete`: which budget stopped the closure.
+    pub exhausted: Option<BudgetExhausted>,
+    /// Resident instance size after the mutation.
+    pub facts_total: usize,
+}
+
+/// A resident chased instance with provenance, maintained incrementally
+/// under fact insertions and retractions (see the module docs).
+pub struct IncrementalChase {
+    theory: Theory,
+    /// Base (extensional) facts, in first-insertion order.
+    base: Vec<Fact>,
+    base_set: FxHashSet<Fact>,
+    /// The resident instance: base plus everything derived so far.
+    instance: Instance,
+    /// One recorded derivation per derived resident fact.
+    provenance: FxHashMap<Fact, Derivation>,
+    /// Start of the unprocessed suffix of `instance.facts()` — equal to
+    /// `instance.len()` exactly when the closure is complete.
+    delta_start: usize,
+    complete: bool,
+    exhausted: Option<BudgetExhausted>,
+    rounds_total: u64,
+}
+
+impl IncrementalChase {
+    /// An empty maintained instance under `theory`. Empty instances are
+    /// vacuously at fixpoint (rule bodies are non-empty).
+    pub fn new(theory: &Theory) -> Self {
+        IncrementalChase {
+            theory: theory.clone(),
+            base: Vec::new(),
+            base_set: FxHashSet::default(),
+            instance: Instance::new(),
+            provenance: FxHashMap::default(),
+            delta_start: 0,
+            complete: true,
+            exhausted: None,
+            rounds_total: 0,
+        }
+    }
+
+    /// The resident instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The theory the instance is maintained under.
+    pub fn theory(&self) -> &Theory {
+        &self.theory
+    }
+
+    /// Current base facts, in first-insertion order.
+    pub fn base(&self) -> &[Fact] {
+        &self.base
+    }
+
+    /// Whether the resident instance is at a fixpoint of the theory.
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Which budget stopped the last incomplete closure (`None` when
+    /// [`IncrementalChase::complete`]).
+    pub fn exhausted(&self) -> Option<BudgetExhausted> {
+        self.exhausted
+    }
+
+    /// Total closure rounds run over the lifetime of this instance.
+    pub fn rounds_total(&self) -> u64 {
+        self.rounds_total
+    }
+
+    /// Inserts base facts and closes over them with semi-naive delta
+    /// rounds (plus any delta still pending from an earlier exhausted
+    /// mutation). Already-present facts are absorbed silently — they
+    /// become base-supported in addition to whatever support they had.
+    pub fn insert_with<S: EventSink>(
+        &mut self,
+        facts: &[Fact],
+        voc: &mut Vocabulary,
+        config: MaintainConfig,
+        sink: &S,
+    ) -> MaintainOutcome {
+        let before = self.instance.len();
+        for f in facts {
+            if self.base_set.insert(f.clone()) {
+                self.base.push(f.clone());
+            }
+            self.instance.insert(f.clone());
+        }
+        let mut outcome = self.close(voc, config, sink);
+        outcome.new_facts = self.instance.len() - before;
+        outcome
+    }
+
+    /// [`IncrementalChase::insert_with`] without telemetry.
+    pub fn insert(
+        &mut self,
+        facts: &[Fact],
+        voc: &mut Vocabulary,
+        config: MaintainConfig,
+    ) -> MaintainOutcome {
+        self.insert_with(facts, voc, config, &NULL)
+    }
+
+    /// Retracts base facts by DRed: over-delete every fact whose
+    /// recorded derivation transitively used a deleted fact, then
+    /// re-derive from the survivors so facts with alternative
+    /// derivations come back. Retracting a fact that is not currently a
+    /// base fact is a no-op (in particular, purely-derived facts cannot
+    /// be retracted — they would immediately be re-derived).
+    pub fn retract_with<S: EventSink>(
+        &mut self,
+        facts: &[Fact],
+        voc: &mut Vocabulary,
+        config: MaintainConfig,
+        sink: &S,
+    ) -> MaintainOutcome {
+        let mut retracted = 0usize;
+        let mut deleted: FxHashSet<Fact> = FxHashSet::default();
+        let mut work: Vec<Fact> = Vec::new();
+        for f in facts {
+            if self.base_set.remove(f) {
+                retracted += 1;
+                // A retracted base fact survives as a derived fact if it
+                // has a recorded derivation; otherwise it is a deletion
+                // seed.
+                if !self.provenance.contains_key(f) {
+                    if deleted.insert(f.clone()) {
+                        work.push(f.clone());
+                    }
+                }
+            }
+        }
+        if retracted == 0 {
+            return MaintainOutcome {
+                new_facts: 0,
+                retracted: 0,
+                overdeleted: 0,
+                rounds: 0,
+                complete: self.complete,
+                exhausted: self.exhausted,
+                facts_total: self.instance.len(),
+            };
+        }
+        self.base.retain(|f| self.base_set.contains(f));
+        let seed_count = deleted.len();
+
+        // Over-delete: reverse the stored premise edges once, then walk
+        // the dependency cone of the seeds. A dependent loses its stored
+        // derivation; if it is not base-supported it is deleted and
+        // cascades.
+        let mut rev: FxHashMap<Fact, Vec<Fact>> = FxHashMap::default();
+        for (f, d) in &self.provenance {
+            for p in &d.premises {
+                rev.entry(p.clone()).or_default().push(f.clone());
+            }
+        }
+        while let Some(x) = work.pop() {
+            let Some(deps) = rev.get(&x) else { continue };
+            for dep in deps.clone() {
+                if self.provenance.remove(&dep).is_some() && !self.base_set.contains(&dep) {
+                    if deleted.insert(dep.clone()) {
+                        work.push(dep);
+                    }
+                }
+            }
+        }
+        let overdeleted = deleted.len() - seed_count;
+
+        // Rebuild the survivor instance (the store is append-only, so
+        // deletion is reconstruction), preserving insertion order.
+        let mut survivors = Instance::new();
+        for f in self.instance.facts() {
+            if !deleted.contains(f) {
+                survivors.insert(f.clone());
+            }
+        }
+        let rederive_from = survivors.len();
+        self.instance = survivors;
+
+        // Re-derive: every survivor is delta, so the first resumed round
+        // re-enumerates all triggers; restricted admission skips the
+        // still-witnessed ones and re-fires the ones whose witnesses
+        // were over-deleted. This also subsumes any delta left pending
+        // by an earlier exhausted mutation.
+        self.delta_start = 0;
+        let mut outcome = self.close(voc, config, sink);
+        outcome.retracted = retracted;
+        outcome.overdeleted = overdeleted;
+        outcome.new_facts = self.instance.len() - rederive_from;
+        outcome
+    }
+
+    /// [`IncrementalChase::retract_with`] without telemetry.
+    pub fn retract(
+        &mut self,
+        facts: &[Fact],
+        voc: &mut Vocabulary,
+        config: MaintainConfig,
+    ) -> MaintainOutcome {
+        self.retract_with(facts, voc, config, &NULL)
+    }
+
+    /// Runs provenance-recording closure rounds over the pending delta
+    /// until fixpoint or budget.
+    fn close<S: EventSink>(
+        &mut self,
+        voc: &mut Vocabulary,
+        config: MaintainConfig,
+        sink: &S,
+    ) -> MaintainOutcome {
+        let mut rounds = 0u32;
+        let mut derivs: Vec<(Fact, Derivation)> = Vec::new();
+        if self.delta_start == self.instance.len() {
+            // Nothing pending (e.g. every inserted fact was already
+            // resident): the completeness state is unchanged.
+            return MaintainOutcome {
+                new_facts: 0,
+                retracted: 0,
+                overdeleted: 0,
+                rounds,
+                complete: self.complete,
+                exhausted: self.exhausted,
+                facts_total: self.instance.len(),
+            };
+        }
+        let instance = std::mem::replace(&mut self.instance, Instance::new());
+        let delta = self.delta_start..instance.len();
+        let mut stepper = ChaseStepper::resume(
+            instance,
+            &self.theory,
+            ChaseVariant::Restricted,
+            ChaseStrategy::SemiNaive,
+            sink,
+            delta,
+        );
+        let round_base = self.rounds_total;
+        loop {
+            if stepper.pending_delta().is_empty() {
+                self.complete = true;
+                self.exhausted = None;
+                break;
+            }
+            if rounds >= config.max_rounds {
+                self.complete = false;
+                self.exhausted = Some(BudgetExhausted::Rounds);
+                break;
+            }
+            let before = stepper.instance.len();
+            stepper.step_traced(voc, &mut derivs);
+            rounds += 1;
+            if stepper.instance.len() == before {
+                self.complete = true;
+                self.exhausted = None;
+                break;
+            }
+            if stepper.instance.len() > config.max_facts {
+                self.complete = false;
+                self.exhausted = Some(BudgetExhausted::Facts);
+                break;
+            }
+        }
+        self.delta_start = if self.complete {
+            stepper.instance.len()
+        } else {
+            stepper.pending_delta().start
+        };
+        self.rounds_total += u64::from(rounds);
+        self.instance = stepper.into_instance();
+        for (f, mut d) in derivs {
+            // Stepper-local round numbers are rebased onto the lifetime
+            // counter so provenance stays monotone across mutations.
+            d.round = u32::try_from(round_base).unwrap_or(u32::MAX).saturating_add(d.round);
+            self.provenance.insert(f, d);
+        }
+        MaintainOutcome {
+            new_facts: 0,
+            retracted: 0,
+            overdeleted: 0,
+            rounds,
+            complete: self.complete,
+            exhausted: self.exhausted,
+            facts_total: self.instance.len(),
+        }
+    }
+
+    /// Extracts the derivation tree of a resident fact (`None` if the
+    /// fact is not resident). Base facts are leaves.
+    pub fn explain(&self, fact: &Fact) -> Option<DerivationTree> {
+        self.traced_view().explain(fact)
+    }
+
+    /// A [`TracedChase`] view of the resident state (clones instance and
+    /// provenance — meant for debugging commands, not hot paths).
+    pub fn traced_view(&self) -> TracedChase {
+        TracedChase {
+            instance: self.instance.clone(),
+            provenance: self.provenance.clone(),
+            rounds: u32::try_from(self.rounds_total).unwrap_or(u32::MAX),
+            fixpoint: self.complete,
+        }
+    }
+
+    /// Debug invariant: every resident fact is base-supported or carries
+    /// a recorded derivation whose premises are resident. Returns the
+    /// first violating fact, if any.
+    pub fn check_support(&self) -> Option<&Fact> {
+        self.instance.facts().iter().find(|f| {
+            if self.base_set.contains(f) {
+                return false;
+            }
+            match self.provenance.get(f) {
+                Some(d) => !d.premises.iter().all(|p| self.instance.contains_ground(p.pred, &p.args)),
+                None => true,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{chase, ChaseConfig};
+    use bddfc_core::hom;
+    use bddfc_core::parse_program;
+
+    fn cfg() -> MaintainConfig {
+        MaintainConfig::default()
+    }
+
+    /// Datalog closures are confluent, so incremental and scratch
+    /// instances must be *equal as sets*, not merely query-equivalent.
+    #[test]
+    fn datalog_insert_batches_match_scratch_chase() {
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(a,b). E(b,c). E(c,d). E(d,e).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let mut inc = IncrementalChase::new(&prog.theory);
+        let facts: Vec<_> = prog.instance.facts().to_vec();
+        let (first, rest) = facts.split_at(2);
+        let out = inc.insert(first, &mut voc, cfg());
+        assert!(out.complete);
+        let out = inc.insert(rest, &mut voc, cfg());
+        assert!(out.complete);
+        let scratch =
+            chase(&prog.instance, &prog.theory, &mut prog.voc.clone(), ChaseConfig::default());
+        assert!(scratch.is_fixpoint());
+        assert_eq!(*inc.instance(), scratch.instance);
+        assert!(inc.check_support().is_none());
+    }
+
+    #[test]
+    fn datalog_retract_matches_scratch_chase_of_surviving_base() {
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(a,b). E(b,c). E(c,d). E(a,d).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let mut inc = IncrementalChase::new(&prog.theory);
+        inc.insert(&prog.instance.facts().to_vec(), &mut voc, cfg());
+        // Retract E(b,c): E(a,c), E(b,d) and E(a,d)-via-chain lose their
+        // derivations; E(a,d) survives (still base), the others go.
+        let retract = vec![prog.instance.facts()[1].clone()];
+        let out = inc.retract(&retract, &mut voc, cfg());
+        assert!(out.complete);
+        assert_eq!(out.retracted, 1);
+        assert!(out.overdeleted >= 2, "E(a,c) and E(b,d) must be over-deleted");
+        let mut base = Instance::new();
+        for f in inc.base() {
+            base.insert(f.clone());
+        }
+        let scratch = chase(&base, &prog.theory, &mut prog.voc.clone(), ChaseConfig::default());
+        assert_eq!(*inc.instance(), scratch.instance);
+        assert!(inc.check_support().is_none());
+    }
+
+    #[test]
+    fn retract_keeps_facts_with_alternative_derivations() {
+        // E(a,c) is both base and derivable from E(a,b), E(b,c):
+        // retracting it from the base must keep it resident.
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(a,b). E(b,c). E(a,c).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let mut inc = IncrementalChase::new(&prog.theory);
+        inc.insert(&prog.instance.facts().to_vec(), &mut voc, cfg());
+        let eac = prog.instance.facts()[2].clone();
+        let out = inc.retract(&[eac.clone()], &mut voc, cfg());
+        assert_eq!(out.retracted, 1);
+        assert!(inc.instance().contains_ground(eac.pred, &eac.args));
+        assert!(inc.check_support().is_none());
+        // Now cut its only derivation: it must disappear with it.
+        let eab = prog.instance.facts()[0].clone();
+        inc.retract(&[eab.clone()], &mut voc, cfg());
+        assert!(!inc.instance().contains_ground(eac.pred, &eac.args));
+        assert!(!inc.instance().contains_ground(eab.pred, &eab.args));
+        assert!(inc.check_support().is_none());
+    }
+
+    #[test]
+    fn existential_retract_cascades_through_nulls() {
+        let prog = parse_program(
+            "P(X) -> exists Z . E(X,Z).
+             E(X,Y) -> U(Y).
+             P(a). P(b).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let mut inc = IncrementalChase::new(&prog.theory);
+        let out = inc.insert(&prog.instance.facts().to_vec(), &mut voc, cfg());
+        assert!(out.complete);
+        // P(a), P(b), E(a,n), E(b,n'), U(n), U(n').
+        assert_eq!(inc.instance().len(), 6);
+        let pa = prog.instance.facts()[0].clone();
+        let out = inc.retract(&[pa], &mut voc, cfg());
+        assert!(out.complete);
+        // P(a)'s null chain (E(a,n), U(n)) must go with it.
+        assert_eq!(out.overdeleted, 2);
+        assert_eq!(inc.instance().len(), 3);
+        assert!(inc.check_support().is_none());
+    }
+
+    #[test]
+    fn insert_into_fixpoint_runs_only_delta_rounds() {
+        // A chased 16-node chain; appending one edge at the end closes
+        // in 2 rounds (one deriving, one observing fixpoint), far fewer
+        // than the from-scratch closure.
+        let mut src = String::from("E(X,Y), E(Y,Z) -> E(X,Z).\n");
+        for i in 0..16 {
+            src.push_str(&format!("E(v{i},v{}).\n", i + 1));
+        }
+        let prog = parse_program(&src).unwrap();
+        let mut voc = prog.voc.clone();
+        let mut inc = IncrementalChase::new(&prog.theory);
+        let initial = inc.insert(&prog.instance.facts().to_vec(), &mut voc, cfg());
+        assert!(initial.complete);
+        assert!(initial.rounds >= 4, "closing a 16-chain takes several rounds");
+        let e = voc.pred("E", 2);
+        let v16 = voc.constant("v16");
+        let v17 = voc.constant("v17");
+        let out = inc.insert(&[Fact::new(e, vec![v16, v17])], &mut voc, cfg());
+        assert!(out.complete);
+        assert_eq!(out.rounds, 2, "delta maintenance must not re-run applied rounds");
+        // All transitive pairs ending at v17 appeared in one round.
+        assert_eq!(out.new_facts, 17);
+        assert!(inc.check_support().is_none());
+    }
+
+    #[test]
+    fn exhausted_insert_resumes_pending_delta_on_next_mutation() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let mut inc = IncrementalChase::new(&prog.theory);
+        let tight = MaintainConfig { max_rounds: 2, ..MaintainConfig::default() };
+        let out = inc.insert(&prog.instance.facts().to_vec(), &mut voc, tight);
+        assert!(!out.complete);
+        assert_eq!(out.exhausted, Some(BudgetExhausted::Rounds));
+        let len_after = inc.instance().len();
+        // An unrelated insert must pick the pending delta back up: two
+        // more rounds of the diverging chain get appended.
+        let u = voc.pred("U", 1);
+        let c = voc.constant("c");
+        let out = inc.insert(&[Fact::new(u, vec![c])], &mut voc, tight);
+        assert!(!out.complete);
+        assert!(inc.instance().len() > len_after + 1);
+        assert!(inc.check_support().is_none());
+    }
+
+    #[test]
+    fn resident_true_answers_are_certain_even_when_incomplete() {
+        // Every resident fact has a derivation tree over the base, so a
+        // witnessed query is entailed no matter how the closure was cut
+        // short.
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b).
+             ?- E(X1,X2), E(X2,X3), E(X3,X4).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let mut inc = IncrementalChase::new(&prog.theory);
+        let tight = MaintainConfig { max_rounds: 3, ..MaintainConfig::default() };
+        let out = inc.insert(&prog.instance.facts().to_vec(), &mut voc, tight);
+        assert!(!out.complete);
+        let q = bddfc_core::Ucq::single(prog.queries[0].clone());
+        assert!(hom::satisfies_ucq(inc.instance(), &q));
+        let scratch = crate::answers::certain_ucq(
+            &prog.instance,
+            &prog.theory,
+            &mut prog.voc.clone(),
+            &q,
+            ChaseConfig::default(),
+        );
+        assert!(scratch.is_true());
+    }
+
+    #[test]
+    fn explain_builds_a_tree_over_the_current_base() {
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(a,b). E(b,c). E(c,d).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let mut inc = IncrementalChase::new(&prog.theory);
+        inc.insert(&prog.instance.facts().to_vec(), &mut voc, cfg());
+        let e = voc.pred("E", 2);
+        let a = voc.constant("a");
+        let d = voc.constant("d");
+        let tree = inc.explain(&Fact::new(e, vec![a, d])).expect("E(a,d) is derived");
+        assert!(tree.height() >= 1);
+        assert!(inc.explain(&Fact::new(e, vec![d, a])).is_none());
+    }
+}

@@ -17,12 +17,15 @@
 pub mod answers;
 pub mod engine;
 pub mod finder;
+pub mod incremental;
 pub mod saturate;
 pub mod trace;
 
 pub use answers::{
-    certain_cq, certain_ucq, certain_ucq_with, chase_size_comparison, probe_depth, Certainty,
+    certain_cq, certain_ucq, certain_ucq_outcome, certain_ucq_outcome_with, certain_ucq_with,
+    chase_size_comparison, probe_depth, BudgetExhausted, CertainOutcome, Certainty,
 };
+pub use incremental::{IncrementalChase, MaintainConfig, MaintainOutcome};
 pub use engine::{
     chase, chase_k, chase_round, chase_with, ChaseConfig, ChaseResult, ChaseStats, ChaseStatus,
     ChaseStepper, ChaseStrategy, ChaseVariant, FiredSet,

@@ -53,18 +53,42 @@ thread_local! {
     static JOIN_OVERRIDE: Cell<Option<JoinMode>> = const { Cell::new(None) };
 }
 
+impl JoinMode {
+    /// Parses a `BDDFC_JOIN` value: `tuple` or `batch`, case-insensitive,
+    /// surrounding whitespace ignored. Anything else is an error carrying
+    /// the offending value — misconfiguration must not silently select an
+    /// engine (a differential run believing it crossed tuple-vs-batch
+    /// would otherwise test batch-vs-batch).
+    pub fn parse(raw: &str) -> Result<JoinMode, String> {
+        let s = raw.trim();
+        if s.eq_ignore_ascii_case("tuple") {
+            Ok(JoinMode::Tuple)
+        } else if s.eq_ignore_ascii_case("batch") {
+            Ok(JoinMode::Batch)
+        } else {
+            Err(format!("BDDFC_JOIN must be `tuple` or `batch` (case-insensitive), got `{raw}`"))
+        }
+    }
+}
+
 /// The join engine calls on this thread will use: the innermost
 /// [`with_join_mode`] override if one is active, else `BDDFC_JOIN`
-/// (`tuple` selects the oracle, anything else — including unset — the
-/// batch kernel). Resolve this *before* entering a `par_*` region:
-/// worker threads do not inherit the caller's override.
+/// (`tuple` selects the oracle, `batch` the kernel, case-insensitive;
+/// unset or empty means batch). Resolve this *before* entering a
+/// `par_*` region: worker threads do not inherit the caller's override.
+///
+/// # Panics
+///
+/// Panics on any other `BDDFC_JOIN` value, naming it — a typo like
+/// `tupel` must fail loudly rather than silently select the default.
 pub fn join_mode() -> JoinMode {
     if let Some(m) = JOIN_OVERRIDE.with(Cell::get) {
         return m;
     }
     match std::env::var("BDDFC_JOIN") {
-        Ok(s) if s.trim().eq_ignore_ascii_case("tuple") => JoinMode::Tuple,
-        _ => JoinMode::Batch,
+        Ok(s) if s.trim().is_empty() => JoinMode::Batch,
+        Ok(s) => JoinMode::parse(&s).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => JoinMode::Batch,
     }
 }
 
@@ -562,6 +586,27 @@ mod tests {
             inst.insert(Fact::new(e, vec![ca, cb]));
         }
         inst
+    }
+
+    #[test]
+    fn join_mode_parse_accepts_both_engines_case_insensitively() {
+        for raw in ["tuple", "TUPLE", "Tuple", " tuple ", "\ttUpLe"] {
+            assert_eq!(JoinMode::parse(raw), Ok(JoinMode::Tuple), "raw = {raw:?}");
+        }
+        for raw in ["batch", "BATCH", "Batch", " batch "] {
+            assert_eq!(JoinMode::parse(raw), Ok(JoinMode::Batch), "raw = {raw:?}");
+        }
+    }
+
+    #[test]
+    fn join_mode_parse_rejects_garbage_naming_the_value() {
+        // The motivating typo: `tupel` must not silently mean batch.
+        let err = JoinMode::parse("tupel").unwrap_err();
+        assert_eq!(err, "BDDFC_JOIN must be `tuple` or `batch` (case-insensitive), got `tupel`");
+        for raw in ["bogus", "tuple,batch", "1", "tuples"] {
+            let err = JoinMode::parse(raw).unwrap_err();
+            assert!(err.contains(raw), "error {err:?} must name the value {raw:?}");
+        }
     }
 
     #[test]

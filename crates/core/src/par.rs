@@ -53,19 +53,42 @@ thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+/// Parses a `BDDFC_THREADS` value: a positive integer, surrounding
+/// whitespace ignored. Non-numeric or zero values are errors carrying
+/// the offending value — garbage input must not silently degrade the
+/// machine to one thread.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("BDDFC_THREADS must be a positive integer, got `{raw}`")),
+    }
+}
+
 /// The number of worker threads `par_*` calls on this thread will use:
 /// the innermost [`with_thread_count`] override if one is active, else
-/// `BDDFC_THREADS` if set to a positive integer, else the machine's
-/// available parallelism capped at [`MAX_DEFAULT_THREADS`].
+/// `BDDFC_THREADS` if set to a positive integer (unset or empty means
+/// auto), else the machine's available parallelism capped at
+/// [`MAX_DEFAULT_THREADS`].
+///
+/// # Panics
+///
+/// Panics on a non-numeric or zero `BDDFC_THREADS` value, naming it —
+/// mirroring the strict `BDDFC_JOIN` parse in [`crate::join::join_mode`].
 pub fn num_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
     match std::env::var("BDDFC_THREADS") {
-        Ok(s) => s.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism()
-            .map_or(1, |n| n.get().min(MAX_DEFAULT_THREADS)),
+        Ok(s) if s.trim().is_empty() => auto_threads(),
+        Ok(s) => parse_threads(&s).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => auto_threads(),
     }
+}
+
+/// The default thread count when `BDDFC_THREADS` is unset: available
+/// parallelism capped at [`MAX_DEFAULT_THREADS`].
+fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(MAX_DEFAULT_THREADS))
 }
 
 /// Runs `f` with the thread count pinned to `n` on the current thread
@@ -238,6 +261,23 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 7 "), Ok(7));
+        assert_eq!(parse_threads("16"), Ok(16));
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage_naming_the_value() {
+        let err = parse_threads("abc").unwrap_err();
+        assert_eq!(err, "BDDFC_THREADS must be a positive integer, got `abc`");
+        for raw in ["0", "-3", "1.5", "two"] {
+            let err = parse_threads(raw).unwrap_err();
+            assert!(err.contains(raw), "error {err:?} must name the value {raw:?}");
+        }
+    }
 
     #[test]
     fn par_map_preserves_input_order() {

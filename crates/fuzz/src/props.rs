@@ -17,6 +17,7 @@
 //! | `classes_witness_oracle` | witness-producing recognizers vs legacy boolean oracles |
 //! | `rewrite_vs_chase` | UCQ-rewriting certain answers vs chase certain answers |
 //! | `lint_stability` | linting is deterministic and panic-free |
+//! | `serve_vs_scratch_chase` | bddfc-serve incremental sessions vs from-scratch chase of the folded base |
 //!
 //! [`Mutation`] deliberately breaks one engine side — the seeded
 //! known-bad mutations behind `bddfc-fuzz --mutate` that prove the
@@ -25,7 +26,8 @@
 use crate::gen::FuzzCase;
 use crate::proptest_lite::{ensure, ensure_eq, PropResult};
 use bddfc_chase::{
-    certain_ucq, chase, chase_with, ChaseConfig, ChaseStepper, ChaseStrategy, ChaseVariant,
+    certain_ucq, certain_ucq_outcome, chase, chase_with, Certainty, ChaseConfig, ChaseStepper,
+    ChaseStrategy, ChaseVariant,
 };
 use bddfc_classes::{
     guard_violations, is_guarded, is_sticky, is_theorem3_fragment, is_weakly_acyclic,
@@ -35,11 +37,12 @@ use bddfc_core::fxhash::FxHashMap;
 use bddfc_core::join::{with_join_mode, JoinMode};
 use bddfc_core::obs::Memory;
 use bddfc_core::{
-    hom, par, Atom, Binding, ConjunctiveQuery, Instance, PredId, Program, Term, Theory, Ucq,
-    Vocabulary,
+    hom, par, Atom, Binding, ConjunctiveQuery, Fact, Instance, PredId, Program, Term, Theory,
+    Ucq, Vocabulary,
 };
 use bddfc_lint::lint_source;
 use bddfc_rewrite::{certainly_entailed_rewriting, RewriteConfig};
+use bddfc_serve::{transcript as serve_transcript, ServeConfig, Server};
 
 /// A deliberate, deterministic engine defect, injected on the
 /// *secondary* side of a differential pair (`bddfc-fuzz --mutate`).
@@ -174,6 +177,11 @@ pub static PROPS: &[Prop] = &[
         name: "lint_stability",
         describe: "linting is deterministic (identical reports on identical input)",
         check: lint_stability,
+    },
+    Prop {
+        name: "serve_vs_scratch_chase",
+        describe: "bddfc-serve sessions agree with a from-scratch chase and are thread-invariant",
+        check: serve_vs_scratch_chase,
     },
 ];
 
@@ -516,6 +524,161 @@ fn rewrite_vs_chase(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResu
                 chase_verdict.is_true(),
                 &format!("rewriting and chase disagree on query #{qi}"),
             )?;
+        }
+    }
+    Ok(())
+}
+
+/// `serve_vs_scratch_chase`: an incremental `bddfc-serve` session
+/// (insert half the facts, query, insert the rest, query, retract the
+/// first half, query) produces certain answers that agree with a
+/// from-scratch chase of the *folded base* — the mutation log replayed
+/// into a plain fact set — at every query point where both sides
+/// decided, and the whole-session transcript is byte-identical at 1, 2
+/// and 7 worker threads. The mutation runs on the resident (serve)
+/// side.
+fn serve_vs_scratch_chase(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResult {
+    let mutated = ctx.mutation.apply(&prog.theory);
+    // The case's own queries plus two-atom join probes — like
+    // `derived_queries`, but with parser-friendly variable names, since
+    // these queries travel through the serve protocol as *text*.
+    let mut qvoc = prog.voc.clone();
+    let mut queries: Vec<Ucq> = prog.queries.iter().cloned().map(Ucq::single).collect();
+    let mut binary: Vec<PredId> =
+        qvoc.preds().filter(|&(_, arity)| arity == 2).map(|(p, _)| p).collect();
+    binary.truncate(3);
+    let (x, y, z) = (qvoc.var("SVX"), qvoc.var("SVY"), qvoc.var("SVZ"));
+    for &p in &binary {
+        for &q in &binary {
+            queries.push(Ucq::single(ConjunctiveQuery::boolean(vec![
+                Atom::new(p, vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(q, vec![Term::Var(y), Term::Var(z)]),
+            ])));
+        }
+    }
+    let facts = prog.instance.facts();
+    let (first, second) = facts.split_at(facts.len() / 2);
+
+    enum Step<'a> {
+        Ins(&'a [Fact]),
+        Ret(&'a [Fact]),
+        Query(usize),
+    }
+    let mut steps: Vec<Step<'_>> = Vec::new();
+    let probe_all = |steps: &mut Vec<Step<'_>>| {
+        for qi in 0..queries.len() {
+            steps.push(Step::Query(qi));
+        }
+    };
+    if !first.is_empty() {
+        steps.push(Step::Ins(first));
+    }
+    probe_all(&mut steps);
+    if !second.is_empty() {
+        steps.push(Step::Ins(second));
+    }
+    probe_all(&mut steps);
+    if !first.is_empty() {
+        steps.push(Step::Ret(first));
+    }
+    probe_all(&mut steps);
+
+    let payload = |fs: &[Fact]| -> String {
+        fs.iter().map(|f| format!("{}.", f.display(&qvoc))).collect::<Vec<_>>().join(" ")
+    };
+    let mut script = String::new();
+    for step in &steps {
+        match step {
+            Step::Ins(fs) => script.push_str(&format!("insert {}\n", payload(fs))),
+            Step::Ret(fs) => script.push_str(&format!("retract {}\n", payload(fs))),
+            Step::Query(qi) => {
+                let body = queries[*qi].disjuncts[0]
+                    .atoms
+                    .iter()
+                    .map(|a| a.display(&qvoc).to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                script.push_str(&format!("query {body}\n"));
+            }
+        }
+    }
+    script.push_str("stats\n");
+
+    let serve_prog = Program {
+        voc: qvoc.clone(),
+        theory: mutated,
+        instance: Instance::new(),
+        queries: Vec::new(),
+    };
+    let config = ServeConfig {
+        max_rounds: ctx.max_rounds,
+        max_facts: ctx.max_facts,
+        oracle: false,
+    };
+    let run = |threads: usize| {
+        par::with_thread_count(threads, || {
+            let server = Server::new(&serve_prog, config);
+            serve_transcript(&server, &script)
+        })
+    };
+    let transcript = run(1);
+    for threads in [2usize, 7] {
+        ensure_eq(
+            transcript.clone(),
+            run(threads),
+            &format!("serve transcript at {threads} threads"),
+        )?;
+    }
+
+    // Differential: replay the mutation log into a plain base instance
+    // and ask the from-scratch chase at every query point.
+    let lines: Vec<&str> = transcript.lines().collect();
+    ensure_eq(lines.len(), steps.len() + 1, "one response line per command (plus stats)")?;
+    let mut base = Instance::new();
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Ins(fs) => {
+                for f in *fs {
+                    base.insert(f.clone());
+                }
+                ensure(lines[i].starts_with("ok "), &format!("insert failed: {}", lines[i]))?;
+            }
+            Step::Ret(fs) => {
+                let kept: Vec<Fact> =
+                    base.facts().iter().filter(|f| !fs.contains(f)).cloned().collect();
+                base = Instance::new();
+                for f in kept {
+                    base.insert(f);
+                }
+                ensure(lines[i].starts_with("ok "), &format!("retract failed: {}", lines[i]))?;
+            }
+            Step::Query(qi) => {
+                let resident = lines[i];
+                if resident != "true" && resident != "false" {
+                    ensure(
+                        resident.starts_with("unknown"),
+                        &format!("unexpected query reply: {resident}"),
+                    )?;
+                    continue;
+                }
+                let outcome = certain_ucq_outcome(
+                    &base,
+                    &prog.theory,
+                    &mut qvoc.clone(),
+                    &queries[*qi],
+                    chase_config(ctx, ChaseVariant::Restricted, ChaseStrategy::SemiNaive),
+                );
+                let scratch = match outcome.certainty {
+                    Certainty::True(_) => "true",
+                    Certainty::False => "false",
+                    Certainty::Unknown => continue, // scratch budget ran out first
+                };
+                ensure_eq(
+                    resident,
+                    scratch,
+                    &format!("serve and scratch chase disagree on query #{qi} at step {i}"),
+                )?;
+            }
         }
     }
     Ok(())

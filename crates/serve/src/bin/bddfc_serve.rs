@@ -1,0 +1,130 @@
+//! `bddfc-serve` — serve a Datalog∃ program incrementally.
+//!
+//! ```text
+//! bddfc-serve [PROGRAM.dlg] [--oracle] [--tcp ADDR]
+//!             [--max-rounds N] [--max-facts N]
+//! ```
+//!
+//! Loads `PROGRAM.dlg` (rules + initial facts; optional — without it the
+//! service starts empty and rule-free), chases the initial facts, then
+//! speaks the line protocol of `bddfc_serve::proto` on stdin/stdout.
+//! With `--tcp ADDR` it instead listens on `ADDR` and serves each
+//! connection as its own session over one shared instance — reads are
+//! snapshot-isolated, so sessions never observe each other's
+//! half-applied mutations.
+//!
+//! `--oracle` replays every query through a from-scratch chase and turns
+//! decided disagreements into `err oracle-mismatch ...` responses (the
+//! differential-testing mode `ci.sh` smokes).
+
+use bddfc_core::parser::Program;
+use bddfc_serve::{run_session, ServeConfig, Server};
+use std::io::{BufReader, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bddfc-serve [PROGRAM.dlg] [--oracle] [--tcp ADDR] \
+         [--max-rounds N] [--max-facts N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    // Fail misconfigured env knobs loudly at startup, not mid-session on
+    // the first chase round.
+    let _ = bddfc_core::join_mode();
+    let _ = bddfc_core::par::num_threads();
+
+    let mut program_path: Option<String> = None;
+    let mut config = ServeConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--oracle" => config.oracle = true,
+            "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--max-rounds" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                config.max_rounds = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--max-facts" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                config.max_facts = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => {
+                if program_path.replace(other.to_string()).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+
+    let program = match &program_path {
+        None => Program {
+            voc: bddfc_core::Vocabulary::new(),
+            theory: bddfc_core::Theory::default(),
+            instance: bddfc_core::Instance::new(),
+            queries: Vec::new(),
+        },
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bddfc-serve: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match bddfc_core::parse_program(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("bddfc-serve: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let server = Server::new(&program, config);
+
+    match tcp {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            if let Err(e) = run_session(&server, stdin.lock(), stdout.lock()) {
+                eprintln!("bddfc-serve: session error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(addr) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("bddfc-serve: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("bddfc-serve: listening on {addr}");
+            std::thread::scope(|scope| {
+                for conn in listener.incoming() {
+                    match conn {
+                        Ok(stream) => {
+                            let server = &server;
+                            scope.spawn(move || {
+                                let reader = BufReader::new(&stream);
+                                let mut writer = &stream;
+                                let _ = run_session(server, reader, &mut writer);
+                                let _ = writer.flush();
+                            });
+                        }
+                        Err(e) => eprintln!("bddfc-serve: accept failed: {e}"),
+                    }
+                }
+            });
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,625 @@
+//! # bddfc-serve — the incremental chase service
+//!
+//! A long-running engine that keeps a chased instance *resident* and
+//! answers certain-answer queries without re-chasing from scratch on
+//! every call (ROADMAP item 1):
+//!
+//! * **Inserts** are semi-naive delta rounds: the new facts become the
+//!   next delta batch and only rules whose bodies can touch them
+//!   re-fire ([`bddfc_chase::IncrementalChase`], resuming the engine's
+//!   `ChaseStepper`). Rounds already applied are never re-run.
+//! * **Retracts** are DRed-style over-delete/re-derive backed by the
+//!   recorded derivations (`bddfc_chase::trace::Derivation`).
+//! * **Reads** are snapshot-isolated: the writer publishes immutable
+//!   [`epoch::Epoch`]s at commit boundaries and queries evaluate
+//!   against a pinned epoch lock-free — a query never observes a
+//!   half-applied round ([`epoch`]).
+//!
+//! The service speaks the line-oriented protocol in [`proto`]
+//! (stdin/stdout by default, TCP behind a flag in the `bddfc-serve`
+//! binary) and threads [`bddfc_core::obs`] through as per-request
+//! telemetry: a `serve`/`request` span per command, `serve`/`commit`
+//! events per epoch, and the underlying `chase`/`round` events of each
+//! maintenance closure — which is how tests verify that an insert into
+//! a chased instance runs only delta rounds.
+//!
+//! ## Query semantics
+//!
+//! Against a pinned epoch, a query answers
+//!
+//! * `true` — witnessed in the resident instance. Sound even before
+//!   fixpoint: every resident fact carries a derivation tree over the
+//!   current base, so the resident instance maps homomorphically into
+//!   every model of (base, theory).
+//! * `false` — not witnessed *and* the epoch is at fixpoint (the
+//!   resident instance is then a universal model).
+//! * `unknown reason=rounds|facts` — not witnessed and the closure was
+//!   cut short by the named budget ([`bddfc_chase::BudgetExhausted`]).
+//!
+//! ## Differential oracle mode
+//!
+//! With [`ServeConfig::oracle`] set, every query is additionally
+//! replayed through a from-scratch [`bddfc_chase::certain_ucq_outcome`]
+//! over the current base — the base set *is* the mutation log folded
+//! down (inserts add, retracts remove) — and any decided/decided
+//! disagreement turns the response into `err oracle-mismatch ...`.
+//! Undecided oracle runs (budget) are skipped: certain answers are only
+//! comparable when both sides settled. This is the serve-vs-scratch
+//! differential property `bddfc-fuzz` drives.
+
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod proto;
+
+use bddfc_chase::engine::ChaseConfig;
+use bddfc_chase::{
+    certain_ucq_outcome, BudgetExhausted, Certainty, IncrementalChase, MaintainConfig,
+};
+use bddfc_core::obs::{Event, EventSink, Null, NULL};
+use bddfc_core::parser::Program;
+use bddfc_core::{hom, parse_into, parse_query, Fact, Instance, Ucq, Vocabulary};
+use epoch::{Epoch, EpochStore};
+use proto::{ensure_terminated, parse_command, Command};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Service configuration: per-mutation closure budgets and the oracle
+/// switch.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Maximum closure rounds one mutation may run.
+    pub max_rounds: u32,
+    /// Stop (incomplete) once the instance exceeds this many facts.
+    pub max_facts: usize,
+    /// Replay every query through a from-scratch chase and flag
+    /// decided/decided mismatches.
+    pub oracle: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_rounds: 64, max_facts: 1_000_000, oracle: false }
+    }
+}
+
+/// The writer's working state — the mutable tail behind the epochs.
+struct Writer {
+    voc: Vocabulary,
+    inc: IncrementalChase,
+    /// Cumulative sealed-segment boundaries (see [`epoch::Epoch`]).
+    segments: Vec<usize>,
+    epoch_id: u64,
+    inserts: u64,
+    retracts: u64,
+}
+
+/// One response from [`Server::handle_line`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Blank line or comment: print nothing.
+    None,
+    /// A response to print (may span multiple lines for `explain`).
+    Line(String),
+    /// The goodbye line: print it, then end the session.
+    Quit(String),
+}
+
+impl Reply {
+    /// The response text, if any.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            Reply::None => None,
+            Reply::Line(s) | Reply::Quit(s) => Some(s),
+        }
+    }
+}
+
+/// The incremental chase service: one writer, any number of epoched
+/// readers. All methods take `&self`; the struct is `Sync`, so a TCP
+/// front-end can serve concurrent sessions off one shared instance.
+pub struct Server<'s, S: EventSink = Null> {
+    state: Mutex<Writer>,
+    epochs: EpochStore,
+    config: ServeConfig,
+    sink: &'s S,
+    requests: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl Server<'static, Null> {
+    /// Builds a service over `program` (its facts become the initial
+    /// base, chased to fixpoint or budget before the first command)
+    /// with telemetry disabled.
+    pub fn new(program: &Program, config: ServeConfig) -> Self {
+        Server::with_sink(program, config, &NULL)
+    }
+}
+
+impl<'s, S: EventSink> Server<'s, S> {
+    /// Like [`Server::new`], reporting request spans, commit events and
+    /// the maintenance chase's own round events into `sink`.
+    pub fn with_sink(program: &Program, config: ServeConfig, sink: &'s S) -> Self {
+        let writer = Writer {
+            voc: program.voc.clone(),
+            inc: IncrementalChase::new(&program.theory),
+            segments: vec![0],
+            epoch_id: 0,
+            inserts: 0,
+            retracts: 0,
+        };
+        let epochs = EpochStore::new(Epoch::empty(writer.voc.clone()));
+        let server = Server {
+            state: Mutex::new(writer),
+            epochs,
+            config,
+            sink,
+            requests: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        };
+        // The initial facts go through the ordinary insert path, so epoch 1
+        // is the chased load (epoch 0 stays the published empty state).
+        if !program.instance.is_empty() {
+            let facts: Vec<Fact> = program.instance.facts().to_vec();
+            let mut w = server.state.lock().expect("writer lock poisoned");
+            server.maintain_insert(&mut w, &facts);
+            server.commit(&mut w);
+        }
+        server
+    }
+
+    fn maintain_config(&self) -> MaintainConfig {
+        MaintainConfig { max_rounds: self.config.max_rounds, max_facts: self.config.max_facts }
+    }
+
+    /// Runs the insert closure; caller commits.
+    fn maintain_insert(
+        &self,
+        w: &mut Writer,
+        facts: &[Fact],
+    ) -> bddfc_chase::MaintainOutcome {
+        let before = w.inc.instance().len();
+        let cfg = self.maintain_config();
+        let Writer { voc, inc, .. } = w;
+        let out = inc.insert_with(facts, voc, cfg, self.sink);
+        if w.inc.instance().len() > before {
+            w.segments.push(w.inc.instance().len());
+        }
+        out
+    }
+
+    /// Seals the working state into a new epoch and publishes it.
+    fn commit(&self, w: &mut Writer) {
+        w.epoch_id += 1;
+        let epoch = Epoch {
+            id: w.epoch_id,
+            voc: Arc::new(w.voc.clone()),
+            instance: Arc::new(w.inc.instance().clone()),
+            segments: Arc::new(w.segments.clone()),
+            complete: w.inc.complete(),
+            exhausted: w.inc.exhausted(),
+        };
+        if S::ENABLED {
+            self.sink.record(Event {
+                engine: "serve",
+                name: "commit",
+                parent: 0,
+                key: Some(("epoch", w.epoch_id)),
+                fields: &[
+                    ("epoch", w.epoch_id),
+                    ("facts", epoch.instance.len() as u64),
+                    ("segments", epoch.segments.len() as u64),
+                    ("fixpoint", u64::from(epoch.complete)),
+                ],
+                gauges: &[],
+            });
+        }
+        self.epochs.publish(epoch);
+    }
+
+    /// Pins the current epoch (what a reader evaluates against).
+    pub fn snapshot(&self) -> Arc<Epoch> {
+        self.epochs.snapshot()
+    }
+
+    /// Handles one protocol line, returning the response.
+    pub fn handle_line(&self, line: &str) -> Reply {
+        let cmd = match parse_command(line) {
+            Ok(Command::Nop) => return Reply::None,
+            Ok(c) => c,
+            Err(e) => return Reply::Line(format!("err {e}")),
+        };
+        let req = self.requests.fetch_add(1, Ordering::SeqCst) + 1;
+        let span = if S::ENABLED {
+            self.sink.span_open("serve", "request", 0, Some(("req", req)))
+        } else {
+            0
+        };
+        let reply = match cmd {
+            Command::Nop => Reply::None,
+            Command::Quit => Reply::Quit("bye".into()),
+            Command::Insert(payload) => Reply::Line(self.do_insert(&payload, span)),
+            Command::Retract(payload) => Reply::Line(self.do_retract(&payload, span)),
+            Command::Query(payload) => Reply::Line(self.do_query(&payload, span)),
+            Command::Explain(payload) => Reply::Line(self.do_explain(&payload)),
+            Command::Stats => Reply::Line(self.do_stats()),
+        };
+        if S::ENABLED {
+            self.sink.span_close(span);
+        }
+        reply
+    }
+
+    /// Parses a payload that must contain only facts.
+    fn parse_facts(&self, voc: &mut Vocabulary, payload: &str) -> Result<Vec<Fact>, String> {
+        let src = ensure_terminated(payload);
+        match parse_into(&src, voc) {
+            Err(e) => Err(e.to_string()),
+            Ok((theory, inst, queries)) => {
+                if !theory.is_empty() || !queries.is_empty() {
+                    Err("payload must contain facts only".into())
+                } else if inst.is_empty() {
+                    Err("payload contains no facts".into())
+                } else {
+                    Ok(inst.facts().to_vec())
+                }
+            }
+        }
+    }
+
+    fn do_insert(&self, payload: &str, span: u64) -> String {
+        let mut w = self.state.lock().expect("writer lock poisoned");
+        let facts = match self.parse_facts(&mut w.voc, payload) {
+            Ok(f) => f,
+            Err(e) => return format!("err {e}"),
+        };
+        let out = self.maintain_insert(&mut w, &facts);
+        w.inserts += 1;
+        self.commit(&mut w);
+        if S::ENABLED {
+            self.sink.record(Event {
+                engine: "serve",
+                name: "insert",
+                parent: span,
+                key: Some(("epoch", w.epoch_id)),
+                fields: &[
+                    ("new_facts", out.new_facts as u64),
+                    ("rounds", u64::from(out.rounds)),
+                    ("facts_total", out.facts_total as u64),
+                    ("fixpoint", u64::from(out.complete)),
+                ],
+                gauges: &[],
+            });
+        }
+        format!(
+            "ok epoch={} new={} rounds={} facts={} fixpoint={}",
+            w.epoch_id, out.new_facts, out.rounds, out.facts_total, out.complete
+        )
+    }
+
+    fn do_retract(&self, payload: &str, span: u64) -> String {
+        let mut w = self.state.lock().expect("writer lock poisoned");
+        let facts = match self.parse_facts(&mut w.voc, payload) {
+            Ok(f) => f,
+            Err(e) => return format!("err {e}"),
+        };
+        let cfg = self.maintain_config();
+        let out = {
+            let Writer { voc, inc, .. } = &mut *w;
+            inc.retract_with(&facts, voc, cfg, self.sink)
+        };
+        // A retraction rebuilds the fact store: reseal as one segment.
+        w.segments = vec![w.inc.instance().len()];
+        w.retracts += 1;
+        self.commit(&mut w);
+        if S::ENABLED {
+            self.sink.record(Event {
+                engine: "serve",
+                name: "retract",
+                parent: span,
+                key: Some(("epoch", w.epoch_id)),
+                fields: &[
+                    ("retracted", out.retracted as u64),
+                    ("overdeleted", out.overdeleted as u64),
+                    ("rederived", out.new_facts as u64),
+                    ("rounds", u64::from(out.rounds)),
+                    ("facts_total", out.facts_total as u64),
+                    ("fixpoint", u64::from(out.complete)),
+                ],
+                gauges: &[],
+            });
+        }
+        format!(
+            "ok epoch={} retracted={} overdeleted={} rederived={} rounds={} facts={} fixpoint={}",
+            w.epoch_id,
+            out.retracted,
+            out.overdeleted,
+            out.new_facts,
+            out.rounds,
+            out.facts_total,
+            out.complete
+        )
+    }
+
+    fn do_query(&self, payload: &str, span: u64) -> String {
+        self.queries.fetch_add(1, Ordering::SeqCst);
+        let epoch = self.epochs.snapshot();
+        // Parse against a clone: reader-side interning (fresh variables,
+        // unknown constants) must not leak into shared state.
+        let mut voc = (*epoch.voc).clone();
+        let cq = match parse_query(payload, &mut voc) {
+            Ok(c) => c,
+            Err(e) => return format!("err {e}"),
+        };
+        let ucq = Ucq::single(cq);
+        let satisfied = hom::satisfies_ucq(&epoch.instance, &ucq);
+        let resident = if satisfied {
+            "true".to_string()
+        } else if epoch.complete {
+            "false".to_string()
+        } else {
+            format!("unknown reason={}", budget_name(epoch.exhausted))
+        };
+        if S::ENABLED {
+            self.sink.record(Event {
+                engine: "serve",
+                name: "query",
+                parent: span,
+                key: Some(("epoch", epoch.id)),
+                fields: &[
+                    ("satisfied", u64::from(satisfied)),
+                    ("decided", u64::from(satisfied || epoch.complete)),
+                ],
+                gauges: &[],
+            });
+        }
+        if self.config.oracle {
+            if let Some(err) = self.oracle_check(&ucq, &resident) {
+                return err;
+            }
+        }
+        resident
+    }
+
+    /// Replays the query through a from-scratch chase of the current
+    /// base. Returns a mismatch error when both sides decided and
+    /// disagree.
+    fn oracle_check(&self, ucq: &Ucq, resident: &str) -> Option<String> {
+        let w = self.state.lock().expect("writer lock poisoned");
+        let mut base = Instance::new();
+        for f in w.inc.base() {
+            base.insert(f.clone());
+        }
+        let mut voc = w.voc.clone();
+        let theory = w.inc.theory().clone();
+        drop(w);
+        let outcome = certain_ucq_outcome(
+            &base,
+            &theory,
+            &mut voc,
+            ucq,
+            ChaseConfig {
+                max_rounds: self.config.max_rounds,
+                max_facts: self.config.max_facts,
+                ..ChaseConfig::default()
+            },
+        );
+        let scratch = match outcome.certainty {
+            Certainty::True(_) => "true",
+            Certainty::False => "false",
+            Certainty::Unknown => "unknown",
+        };
+        let resident_kind = resident.split_whitespace().next().unwrap_or(resident);
+        if resident_kind != "unknown" && scratch != "unknown" && resident_kind != scratch {
+            return Some(format!(
+                "err oracle-mismatch resident={resident_kind} scratch={scratch}"
+            ));
+        }
+        None
+    }
+
+    fn do_explain(&self, payload: &str) -> String {
+        let w = self.state.lock().expect("writer lock poisoned");
+        let mut voc = w.voc.clone();
+        let facts = match self.parse_facts(&mut voc, payload) {
+            Ok(f) => f,
+            Err(e) => return format!("err {e}"),
+        };
+        if facts.len() != 1 {
+            return "err explain takes exactly one fact".into();
+        }
+        match w.inc.explain(&facts[0]) {
+            None => format!("err not resident: {}", facts[0].display(&voc)),
+            Some(tree) => {
+                format!("ok depth={}\n{}", tree.height(), tree.display(&voc).trim_end())
+            }
+        }
+    }
+
+    fn do_stats(&self) -> String {
+        let w = self.state.lock().expect("writer lock poisoned");
+        format!(
+            "epoch={} facts={} base={} segments={} rounds_total={} fixpoint={} inserts={} retracts={} queries={}",
+            w.epoch_id,
+            w.inc.instance().len(),
+            w.inc.base().len(),
+            w.segments.len().saturating_sub(usize::from(w.segments.first() == Some(&0))),
+            w.inc.rounds_total(),
+            w.inc.complete(),
+            w.inserts,
+            w.retracts,
+            self.queries.load(Ordering::SeqCst)
+        )
+    }
+}
+
+fn budget_name(e: Option<BudgetExhausted>) -> &'static str {
+    match e {
+        Some(BudgetExhausted::Facts) => "facts",
+        _ => "rounds",
+    }
+}
+
+/// Drives a whole session: reads protocol lines from `input`, writes
+/// one response per command to `out` (flushing after each), stops at
+/// `quit` or EOF.
+pub fn run_session<S: EventSink>(
+    server: &Server<'_, S>,
+    input: impl BufRead,
+    mut out: impl Write,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        match server.handle_line(&line?) {
+            Reply::None => {}
+            Reply::Line(resp) => {
+                writeln!(out, "{resp}")?;
+                out.flush()?;
+            }
+            Reply::Quit(resp) => {
+                writeln!(out, "{resp}")?;
+                out.flush()?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a scripted session over an in-memory transcript: every response
+/// line, concatenated. This is what the golden-transcript tests and the
+/// fuzz differential drive.
+pub fn transcript<S: EventSink>(server: &Server<'_, S>, commands: &str) -> String {
+    let mut out = Vec::new();
+    run_session(server, commands.as_bytes(), &mut out).expect("in-memory session cannot fail");
+    String::from_utf8(out).expect("responses are utf-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    fn tc_program() -> Program {
+        parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(a,b). E(b,c).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_query_retract_round_trip() {
+        let prog = tc_program();
+        let server = Server::new(&prog, ServeConfig::default());
+        assert_eq!(
+            transcript(&server, "query E(a,c)"),
+            "true\n",
+            "initial load must already be chased"
+        );
+        let t = transcript(
+            &server,
+            "insert E(c,d).\nquery E(a,d)\nretract E(b,c).\nquery E(a,d)\nquery E(a,b)\nquit",
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("ok epoch=2 new="), "{t}");
+        assert_eq!(lines[1], "true");
+        assert!(lines[2].starts_with("ok epoch=3 retracted=1"), "{t}");
+        assert_eq!(lines[3], "false", "E(a,d) needed E(b,c)");
+        assert_eq!(lines[4], "true");
+        assert_eq!(lines[5], "bye");
+    }
+
+    #[test]
+    fn queries_are_snapshot_isolated() {
+        let prog = tc_program();
+        let server = Server::new(&prog, ServeConfig::default());
+        let pinned = server.snapshot();
+        transcript(&server, "insert E(c,d).");
+        // The pre-insert pin does not see the new fact; a fresh one does.
+        let mut voc = (*pinned.voc).clone();
+        let q = Ucq::single(parse_query("E(c,d)", &mut voc).unwrap());
+        assert!(!hom::satisfies_ucq(&pinned.instance, &q));
+        let fresh = server.snapshot();
+        assert!(hom::satisfies_ucq(&fresh.instance, &q));
+        assert!(fresh.id > pinned.id);
+    }
+
+    #[test]
+    fn segments_accumulate_on_insert_and_reseal_on_retract() {
+        let prog = tc_program();
+        let server = Server::new(&prog, ServeConfig::default());
+        assert_eq!(server.snapshot().segments.len(), 2); // [0, initial]
+        transcript(&server, "insert E(c,d).");
+        assert_eq!(server.snapshot().segments.len(), 3);
+        transcript(&server, "retract E(a,b).");
+        let sealed = server.snapshot();
+        assert_eq!(sealed.segments.len(), 1);
+        assert_eq!(*sealed.segments, vec![sealed.instance.len()]);
+    }
+
+    #[test]
+    fn errors_name_the_offence_and_leave_state_intact() {
+        let prog = tc_program();
+        let server = Server::new(&prog, ServeConfig::default());
+        let t = transcript(
+            &server,
+            "bogus\ninsert\ninsert E(X,Y) -> E(Y,X).\nquery E(\nstats",
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("err unknown command `bogus`"), "{t}");
+        assert!(lines[1].starts_with("err `insert` needs a payload"), "{t}");
+        assert!(lines[2].starts_with("err payload must contain facts only"), "{t}");
+        assert!(lines[3].starts_with("err parse error"), "{t}");
+        assert!(lines[4].starts_with("epoch=1 facts=3 base=2"), "{t}");
+    }
+
+    #[test]
+    fn explain_prints_a_derivation_tree() {
+        let prog = tc_program();
+        let server = Server::new(&prog, ServeConfig::default());
+        let t = transcript(&server, "explain E(a,c)\nexplain E(c,a)");
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "ok depth=1");
+        assert!(lines[1].contains("E(a,c)") && lines[1].contains("[rule #0]"), "{t}");
+        assert!(lines[2].contains("E(a,b)") && lines[2].contains("[database]"), "{t}");
+        assert!(lines[4].starts_with("err not resident: E(c,a)"), "{t}");
+    }
+
+    #[test]
+    fn oracle_mode_agrees_with_resident_answers() {
+        let prog = tc_program();
+        let server =
+            Server::new(&prog, ServeConfig { oracle: true, ..ServeConfig::default() });
+        let t = transcript(
+            &server,
+            "query E(a,c)\ninsert E(c,a).\nquery E(a,a)\nretract E(a,b).\nquery E(a,a)",
+        );
+        assert!(!t.contains("oracle-mismatch"), "{t}");
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "true");
+        assert_eq!(lines[2], "true");
+        assert_eq!(lines[4], "false");
+    }
+
+    #[test]
+    fn unknown_carries_the_budget_reason() {
+        let prog = parse_program(
+            "E(X,Y) -> exists Z . E(Y,Z).
+             E(a,b).",
+        )
+        .unwrap();
+        let server = Server::new(
+            &prog,
+            ServeConfig { max_rounds: 2, ..ServeConfig::default() },
+        );
+        let t = transcript(&server, "query E(X,X)");
+        assert_eq!(t, "unknown reason=rounds\n");
+        let server = Server::new(
+            &prog,
+            ServeConfig { max_facts: 2, ..ServeConfig::default() },
+        );
+        let t = transcript(&server, "query E(X,X)");
+        assert_eq!(t, "unknown reason=facts\n");
+    }
+}

@@ -1,0 +1,116 @@
+//! The line-oriented serve protocol: one command in, one (usually
+//! one-line) response out.
+//!
+//! Grammar, one command per line:
+//!
+//! ```text
+//! insert <facts>      e.g.  insert E(a,b). E(b,c).
+//! retract <facts>     e.g.  retract E(a,b).
+//! query <body>        e.g.  query E(X,Y), E(Y,X)
+//! explain <fact>      e.g.  explain E(a,c)
+//! stats
+//! quit
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored (so scripted
+//! sessions can be annotated). Responses are deterministic pure
+//! functions of the session history — no timestamps, no machine state —
+//! which is what makes golden-transcript testing and the
+//! serve-vs-scratch differential possible.
+
+/// One parsed protocol command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Add base facts (the payload is Datalog∃ fact syntax).
+    Insert(String),
+    /// Remove base facts.
+    Retract(String),
+    /// Evaluate one conjunctive-query body against the current epoch.
+    Query(String),
+    /// Print the derivation tree of one resident fact.
+    Explain(String),
+    /// Report service counters.
+    Stats,
+    /// End the session.
+    Quit,
+    /// Blank line or comment: no command, no response.
+    Nop,
+}
+
+/// Parses one protocol line. Unknown verbs and empty payloads are
+/// errors naming the offending input.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let s = line.trim();
+    if s.is_empty() || s.starts_with('#') {
+        return Ok(Command::Nop);
+    }
+    let (verb, rest) = match s.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (s, ""),
+    };
+    let payload_of = |cmd: &str| -> Result<String, String> {
+        if rest.is_empty() {
+            Err(format!("`{cmd}` needs a payload"))
+        } else {
+            Ok(rest.to_string())
+        }
+    };
+    match verb {
+        "insert" => Ok(Command::Insert(payload_of("insert")?)),
+        "retract" => Ok(Command::Retract(payload_of("retract")?)),
+        "query" => Ok(Command::Query(payload_of("query")?)),
+        "explain" => Ok(Command::Explain(payload_of("explain")?)),
+        "stats" => Ok(Command::Stats),
+        "quit" => Ok(Command::Quit),
+        other => Err(format!(
+            "unknown command `{other}` (expected insert/retract/query/explain/stats/quit)"
+        )),
+    }
+}
+
+/// Terminates a fact/rule payload: the parser wants a trailing `.`,
+/// interactive users routinely omit it.
+pub fn ensure_terminated(payload: &str) -> String {
+    let t = payload.trim();
+    if t.ends_with('.') {
+        t.to_string()
+    } else {
+        format!("{t}.")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(
+            parse_command("insert E(a,b)."),
+            Ok(Command::Insert("E(a,b).".into()))
+        );
+        assert_eq!(
+            parse_command("  query E(X,Y), E(Y,X)  "),
+            Ok(Command::Query("E(X,Y), E(Y,X)".into()))
+        );
+        assert_eq!(parse_command("stats"), Ok(Command::Stats));
+        assert_eq!(parse_command("quit"), Ok(Command::Quit));
+        assert_eq!(parse_command(""), Ok(Command::Nop));
+        assert_eq!(parse_command("# a comment"), Ok(Command::Nop));
+    }
+
+    #[test]
+    fn unknown_verbs_and_empty_payloads_are_named_errors() {
+        let err = parse_command("frobnicate E(a,b)").unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+        let err = parse_command("insert").unwrap_err();
+        assert!(err.contains("insert"), "{err}");
+    }
+
+    #[test]
+    fn payloads_get_terminated_once() {
+        assert_eq!(ensure_terminated("E(a,b)"), "E(a,b).");
+        assert_eq!(ensure_terminated("E(a,b)."), "E(a,b).");
+        assert_eq!(ensure_terminated(" E(a,b). E(b,c). "), "E(a,b). E(b,c).");
+    }
+}

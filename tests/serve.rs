@@ -1,0 +1,172 @@
+//! Integration tests for `bddfc-serve`: the incremental chase service.
+//!
+//! Covers the PR's acceptance criteria end to end:
+//! * the E13 workload answers an insert-then-query session without
+//!   re-running already-applied chase rounds (obs round counters);
+//! * interleaved insert/query/retract sessions are byte-identical at
+//!   1, 2 and 7 worker threads;
+//! * the golden transcript fixture under `tests/serve/` replays
+//!   in-process;
+//! * misconfigured `BDDFC_JOIN`/`BDDFC_THREADS` kill the binary at
+//!   startup with messages naming the offending value.
+
+use bddfc_core::obs::Memory;
+use bddfc_core::{par, Atom, Program, Rule, Term, Theory, Vocabulary};
+use bddfc_serve::{transcript, ServeConfig, Server};
+use bddfc_zoo::generate::random_graph;
+use std::process::{Command, Output, Stdio};
+
+/// The transitive-closure theory `E(X,Y), E(Y,Z) -> E(X,Z)` over a
+/// fresh vocabulary's binary `E`.
+fn tc_program(voc: &mut Vocabulary) -> (Theory, bddfc_core::PredId) {
+    let e = voc.pred("E", 2);
+    let (x, y, z) = (voc.var("X"), voc.var("Y"), voc.var("Z"));
+    let rule = Rule::single(
+        vec![
+            Atom::new(e, vec![Term::Var(x), Term::Var(y)]),
+            Atom::new(e, vec![Term::Var(y), Term::Var(z)]),
+        ],
+        Atom::new(e, vec![Term::Var(x), Term::Var(z)]),
+    );
+    (Theory::new(vec![rule]), e)
+}
+
+/// `("chase", "round")` events seen so far — one per applied round.
+fn rounds(sink: &Memory) -> u64 {
+    sink.event_counts()
+        .iter()
+        .find(|(k, _)| *k == ("chase", "round"))
+        .map_or(0, |&(_, n)| n)
+}
+
+/// Acceptance criterion: on the E13 workload (TC over
+/// `random_graph(60, 180, 13)`), an insert re-fires only the delta —
+/// the second query is answered without re-running the rounds the load
+/// already applied, and queries themselves run zero chase rounds.
+#[test]
+fn e13_insert_then_query_reuses_applied_rounds() {
+    let mut voc = Vocabulary::new();
+    let graph = random_graph(&mut voc, 60, 180, 13);
+    let (theory, _) = tc_program(&mut voc);
+    let program = Program { voc, theory, instance: graph, queries: Vec::new() };
+
+    let sink = Memory::new(1 << 16);
+    let server = Server::with_sink(&program, ServeConfig::default(), &sink);
+    let loaded = rounds(&sink);
+    assert!(loaded >= 2, "the initial closure must run real rounds, got {loaded}");
+
+    assert_eq!(transcript(&server, "query E(v0,v0)\n").trim(), "true");
+    assert_eq!(rounds(&sink), loaded, "a query must run zero chase rounds");
+
+    // A new node wired into the closed graph: the delta re-closes in a
+    // couple of rounds instead of re-running the whole load.
+    let t = transcript(&server, "insert E(u,v0).\n");
+    assert!(t.starts_with("ok epoch=2"), "{t}");
+    let delta = rounds(&sink) - loaded;
+    assert!(
+        delta >= 1 && delta < loaded,
+        "insert must resume incrementally: {delta} delta rounds vs {loaded} at load"
+    );
+
+    let after_insert = rounds(&sink);
+    assert_eq!(transcript(&server, "query E(u,v0)\n").trim(), "true");
+    assert_eq!(
+        rounds(&sink),
+        after_insert,
+        "the post-insert query must be answered from the resident instance"
+    );
+}
+
+/// Interleaved insert/query/retract sessions produce byte-identical
+/// responses at 1, 2 and 7 worker threads (the in-process override
+/// behind `BDDFC_THREADS`).
+#[test]
+fn interleaved_sessions_are_byte_identical_across_thread_counts() {
+    let mut voc = Vocabulary::new();
+    let (theory, _) = tc_program(&mut voc);
+    let program =
+        Program { voc, theory, instance: bddfc_core::Instance::new(), queries: Vec::new() };
+    let script = "insert E(a,b). E(b,c).\n\
+                  query E(a,c)\n\
+                  insert E(c,d). E(d,e).\n\
+                  query E(a,e)\n\
+                  retract E(b,c).\n\
+                  query E(a,e)\n\
+                  query E(c,e)\n\
+                  stats\n\
+                  quit\n";
+    let run = |threads: usize| {
+        par::with_thread_count(threads, || {
+            let server = Server::new(&program, ServeConfig::default());
+            transcript(&server, script)
+        })
+    };
+    let one = run(1);
+    assert!(one.contains("true") && one.contains("false"), "{one}");
+    for threads in [2usize, 7] {
+        assert_eq!(one, run(threads), "session responses diverged at {threads} threads");
+    }
+}
+
+/// The checked-in golden transcript replays in-process: same commands,
+/// same bytes. `ci.sh` replays the same fixture through the binary.
+#[test]
+fn golden_transcript_replays_in_process() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/serve");
+    let src = std::fs::read_to_string(format!("{dir}/session.dlg")).unwrap();
+    let commands = std::fs::read_to_string(format!("{dir}/session.commands")).unwrap();
+    let golden = std::fs::read_to_string(format!("{dir}/session.golden")).unwrap();
+    let program = bddfc_core::parse_program(&src).unwrap();
+    let server = Server::new(&program, ServeConfig::default());
+    assert_eq!(transcript(&server, &commands), golden);
+}
+
+/// Runs the `bddfc-serve` binary with the given environment, stdin
+/// closed, against the golden program fixture.
+fn serve_with_env(envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.args(["run", "-q", "-p", "bddfc-serve", "--bin", "bddfc-serve", "--"])
+        .arg("tests/serve/session.dlg")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::null());
+    for &(k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("cargo run bddfc-serve")
+}
+
+/// Satellite: a bogus `BDDFC_JOIN` kills the service at startup, naming
+/// the offending value — not silently falling back to a default engine.
+#[test]
+fn bogus_join_env_fails_loudly_at_startup() {
+    let out = serve_with_env(&[("BDDFC_JOIN", "bogus")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("BDDFC_JOIN must be `tuple` or `batch` (case-insensitive), got `bogus`"),
+        "{stderr}"
+    );
+}
+
+/// Satellite: non-numeric and zero `BDDFC_THREADS` are rejected loudly
+/// instead of being treated as "no override".
+#[test]
+fn bad_threads_env_fails_loudly_at_startup() {
+    for bad in ["abc", "0"] {
+        let out = serve_with_env(&[("BDDFC_THREADS", bad)]);
+        assert!(!out.status.success(), "BDDFC_THREADS={bad} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("BDDFC_THREADS must be a positive integer, got `{bad}`")),
+            "BDDFC_THREADS={bad}: {stderr}"
+        );
+    }
+}
+
+/// Case-insensitive `BDDFC_JOIN` values are accepted (satellite 1's
+/// positive side), end to end through the binary.
+#[test]
+fn join_env_is_case_insensitive() {
+    let out = serve_with_env(&[("BDDFC_JOIN", "TuPlE")]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
