@@ -68,6 +68,42 @@ echo "==> bddfc-serve golden transcript (incremental service smoke)"
 cargo run -q --release -p bddfc-serve --bin bddfc-serve -- tests/serve/session.dlg \
     < tests/serve/session.commands | diff -u tests/serve/session.golden -
 
+echo "==> bddfc-serve --metrics-tcp scrape (Prometheus exposition smoke)"
+# Drive the golden session through a live server over a fifo, scrape the
+# metrics endpoint mid-session with bddfc-top (the only TCP client this
+# gate needs), then quit and diff the transcript as usual.
+mtmp=$(mktemp -d)
+mkfifo "$mtmp/in"
+./target/release/bddfc-serve tests/serve/session.dlg --metrics-tcp 0 \
+    < "$mtmp/in" > "$mtmp/out" 2> "$mtmp/err" &
+serve_pid=$!
+exec 3> "$mtmp/in"
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^bddfc-serve: metrics on //p' "$mtmp/err")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ci: metrics endpoint never announced"; cat "$mtmp/err"; exit 1; }
+grep -v '^quit$' tests/serve/session.commands >&3
+scrape=""
+for _ in $(seq 1 100); do
+    scrape=$(./target/release/bddfc-top --addr "$addr" --raw)
+    echo "$scrape" | grep -q 'bddfc_requests_total{command="query"} 3' && break
+    sleep 0.1
+done
+echo "$scrape" | grep -q '^# TYPE bddfc_requests_total counter$' \
+    || { echo "ci: scrape is missing its TYPE headers"; printf '%s\n' "$scrape"; exit 1; }
+echo "$scrape" | grep -q 'bddfc_requests_total{command="query"} 3' \
+    || { echo "ci: scrape never showed the session's request counters"; printf '%s\n' "$scrape"; exit 1; }
+./target/release/bddfc-top --addr "$addr" --once | grep -q '^query ' \
+    || { echo "ci: bddfc-top --once rendered no query row"; exit 1; }
+echo quit >&3
+exec 3>&-
+wait "$serve_pid"
+diff -u tests/serve/session.golden "$mtmp/out"
+rm -rf "$mtmp"
+
 echo "==> bddfc-fuzz serve_vs_scratch_chase (incremental serve vs from-scratch chase)"
 cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- \
     --seed 1 --budget-ms 5000 --prop serve_vs_scratch_chase

@@ -1,0 +1,128 @@
+//! `bddfc-top` — a terminal view of a running `bddfc-serve`'s metrics.
+//!
+//! ```text
+//! bddfc-top --addr 127.0.0.1:9100             # refreshing table
+//! bddfc-top --addr 127.0.0.1:9100 --once      # one table, then exit
+//! bddfc-top --addr 127.0.0.1:9100 --raw       # one raw exposition, then exit
+//! bddfc-top --addr 127.0.0.1:9100 --interval 5
+//! ```
+//!
+//! Scrapes the `--metrics-tcp` Prometheus endpoint over plain
+//! HTTP/1.0 (std `TcpStream` only, like the endpoint itself) and
+//! renders [`bddfc_bench::top::render`]'s table. `--once` output is a
+//! pure function of a single scrape; the default mode redraws the same
+//! table every `--interval` seconds (ANSI clear-screen between draws).
+
+use bddfc_bench::top::{parse_exposition, render};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    once: bool,
+    raw: bool,
+    interval: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bddfc-top --addr HOST:PORT [--once | --raw] [--interval SECS]\n\
+         \n\
+         --addr HOST:PORT   the bddfc-serve --metrics-tcp endpoint\n\
+         --once             print one rendered table and exit\n\
+         --raw              print one raw Prometheus exposition and exit\n\
+         --interval SECS    refresh period (default 2)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { addr: String::new(), once: false, raw: false, interval: 2 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--interval" => {
+                args.interval = value("--interval").parse().unwrap_or_else(|e| {
+                    eprintln!("--interval: {e}");
+                    usage()
+                })
+            }
+            "--once" => args.once = true,
+            "--raw" => args.raw = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage()
+    }
+    args
+}
+
+/// One HTTP/1.0 scrape: returns the response body, or an error naming
+/// what failed (connect, non-200 status, missing body).
+fn scrape(addr: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(5))))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("request: {e}"))?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| format!("response: {e}"))?;
+    let status = response.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("scrape failed: {status}"));
+    }
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| "response carried no body".into())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    loop {
+        let body = match scrape(&args.addr) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bddfc-top: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.raw {
+            print!("{body}");
+            return ExitCode::SUCCESS;
+        }
+        let table = match parse_exposition(&body) {
+            Ok(s) => render(&s),
+            Err(e) => {
+                eprintln!("bddfc-top: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if args.once {
+            print!("{table}");
+            return ExitCode::SUCCESS;
+        }
+        // Clear screen + home, then the fresh table.
+        print!("\x1b[2J\x1b[H{table}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs(args.interval.max(1)));
+    }
+}

@@ -15,6 +15,7 @@ pub mod diff;
 pub mod experiments;
 pub mod prof;
 pub mod timing;
+pub mod top;
 
 pub use diff::{diff_files, parse_bench_file, BenchRecord, DiffReport, DiffRow};
 pub use experiments::{all_experiments, run_experiment, Experiment};

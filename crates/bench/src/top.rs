@@ -1,0 +1,223 @@
+//! `bddfc-top` support: a parser for the Prometheus text exposition the
+//! `bddfc-serve --metrics-tcp` endpoint emits, and a pure renderer that
+//! turns one scrape into the refreshing table the binary shows.
+//!
+//! The renderer is deliberately a pure function of a single parsed
+//! scrape ([`render`]): `bddfc-top --once` prints exactly one render, so
+//! its output is testable and diffable, and the interactive mode is
+//! just the same render in a clear-screen loop.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One sample line from an exposition: series name, labels in source
+/// order, integer value (the bddfc exposition only emits integers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// The metric name (without labels).
+    pub name: String,
+    /// `{key="value"}` pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: u64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// One parsed scrape: family types from `# TYPE` lines plus every
+/// sample in source order.
+#[derive(Clone, Debug, Default)]
+pub struct Scrape {
+    /// `# TYPE` declarations: family name → `counter`/`gauge`/`histogram`.
+    pub types: BTreeMap<String, String>,
+    /// All samples, in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Scrape {
+    /// The single unlabelled sample of `name`, if present.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The sample of `name` carrying `label`, if present.
+    pub fn labelled(&self, name: &str, label: (&str, &str)) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.label(label.0) == Some(label.1))
+            .map(|s| s.value)
+    }
+}
+
+/// Parses Prometheus text exposition. Unknown comment lines are
+/// skipped; a malformed sample line is an error naming the line.
+pub fn parse_exposition(text: &str) -> Result<Scrape, String> {
+    let mut scrape = Scrape::default();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            if let (Some(name), Some(kind)) = (it.next(), it.next()) {
+                scrape.types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        scrape.samples.push(parse_sample(line)?);
+    }
+    Ok(scrape)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bad = || format!("malformed sample line: {line}");
+    let (series, value) = line.rsplit_once(' ').ok_or_else(bad)?;
+    // The latency histogram's `le` bounds are integers too, but a
+    // `+Inf` bucket value position never holds — only the *value*
+    // column is parsed here, and it is always an integer count.
+    let value: u64 = value.trim().parse().map_err(|_| bad())?;
+    let series = series.trim();
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').ok_or_else(bad)?;
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or_else(bad)?;
+                let v = v.strip_prefix('"').and_then(|v| v.strip_suffix('"')).ok_or_else(bad)?;
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name.to_string(), labels)
+        }
+    };
+    Ok(Sample { name, labels, value })
+}
+
+/// The per-command protocol verbs `bddfc-serve` labels its request
+/// series with, in display order.
+const COMMANDS: &[&str] =
+    &["insert", "retract", "query", "explain", "stats", "metrics", "slowlog", "quit", "invalid"];
+
+/// Renders one scrape as the `bddfc-top` table — a pure function of the
+/// scrape, so `--once` output is reproducible from a saved exposition.
+pub fn render(scrape: &Scrape) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "bddfc-top — {} series", scrape.samples.len());
+    out.push('\n');
+
+    let _ = writeln!(out, "{:<36} {:>12}", "gauge", "value");
+    for s in &scrape.samples {
+        if scrape.types.get(&s.name).map(String::as_str) == Some("gauge") {
+            let _ = writeln!(out, "{:<36} {:>12}", s.name, s.value);
+        }
+    }
+    out.push('\n');
+
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>14}",
+        "command", "requests", "errors", "mean_us"
+    );
+    for cmd in COMMANDS {
+        let label = ("command", *cmd);
+        let Some(requests) = scrape.labelled("bddfc_requests_total", label) else {
+            continue;
+        };
+        let errors = scrape.labelled("bddfc_request_errors_total", label).unwrap_or(0);
+        let count = scrape.labelled("bddfc_request_latency_ns_count", label).unwrap_or(0);
+        let sum = scrape.labelled("bddfc_request_latency_ns_sum", label).unwrap_or(0);
+        let mean_us = if count == 0 { 0 } else { sum / count / 1_000 };
+        let _ = writeln!(out, "{cmd:<10} {requests:>10} {errors:>10} {mean_us:>14}");
+    }
+    out.push('\n');
+
+    let _ = writeln!(out, "{:<36} {:>12}", "counter", "value");
+    for s in &scrape.samples {
+        let is_counter = scrape.types.get(&s.name).map(String::as_str) == Some("counter");
+        if is_counter && s.labels.is_empty() {
+            let _ = writeln!(out, "{:<36} {:>12}", s.name, s.value);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXPOSITION: &str = "\
+# HELP bddfc_epoch Current published epoch id.
+# TYPE bddfc_epoch gauge
+bddfc_epoch 3
+# TYPE bddfc_facts_resident gauge
+bddfc_facts_resident 42
+# TYPE bddfc_requests_total counter
+bddfc_requests_total{command=\"insert\"} 1
+bddfc_requests_total{command=\"query\"} 5
+# TYPE bddfc_request_errors_total counter
+bddfc_request_errors_total{command=\"query\"} 2
+# TYPE bddfc_chase_rounds_total counter
+bddfc_chase_rounds_total 7
+# TYPE bddfc_request_latency_ns histogram
+bddfc_request_latency_ns_bucket{command=\"query\",le=\"1024\"} 3
+bddfc_request_latency_ns_bucket{command=\"query\",le=\"+Inf\"} 5
+bddfc_request_latency_ns_sum{command=\"query\"} 10000
+bddfc_request_latency_ns_count{command=\"query\"} 5
+";
+
+    #[test]
+    fn parses_types_labels_and_values() {
+        let s = parse_exposition(EXPOSITION).unwrap();
+        assert_eq!(s.types.get("bddfc_epoch").unwrap(), "gauge");
+        assert_eq!(s.value("bddfc_epoch"), Some(3));
+        assert_eq!(s.labelled("bddfc_requests_total", ("command", "query")), Some(5));
+        assert_eq!(
+            s.labelled("bddfc_request_latency_ns_count", ("command", "query")),
+            Some(5)
+        );
+        // The +Inf bucket line parses (value column is the count).
+        assert!(s
+            .samples
+            .iter()
+            .any(|x| x.name == "bddfc_request_latency_ns_bucket" && x.label("le") == Some("+Inf")));
+    }
+
+    #[test]
+    fn malformed_lines_are_named_errors() {
+        assert!(parse_exposition("bddfc_epoch three").is_err());
+        assert!(parse_exposition("bddfc_epoch{command=\"q\" 3").is_err());
+        assert!(parse_exposition("just-one-token").is_err());
+    }
+
+    #[test]
+    fn render_is_a_pure_table_of_one_scrape() {
+        let s = parse_exposition(EXPOSITION).unwrap();
+        let a = render(&s);
+        assert_eq!(a, render(&s), "render must be pure");
+        assert!(a.contains("bddfc_epoch"), "{a}");
+        assert!(a.contains("bddfc_chase_rounds_total"), "{a}");
+        // query row: 5 requests, 2 errors, mean 10000/5/1000 = 2 us.
+        let query_row = a.lines().find(|l| l.starts_with("query ")).unwrap();
+        let cols: Vec<&str> = query_row.split_whitespace().collect();
+        assert_eq!(cols, vec!["query", "5", "2", "2"], "{a}");
+        // insert row has no latency series: mean 0.
+        let insert_row = a.lines().find(|l| l.starts_with("insert ")).unwrap();
+        assert_eq!(
+            insert_row.split_whitespace().collect::<Vec<_>>(),
+            vec!["insert", "1", "0", "0"],
+            "{a}"
+        );
+    }
+}

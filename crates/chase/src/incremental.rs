@@ -108,6 +108,8 @@ pub struct IncrementalChase {
     complete: bool,
     exhausted: Option<BudgetExhausted>,
     rounds_total: u64,
+    overdeleted_total: u64,
+    rederived_total: u64,
 }
 
 impl IncrementalChase {
@@ -124,6 +126,8 @@ impl IncrementalChase {
             complete: true,
             exhausted: None,
             rounds_total: 0,
+            overdeleted_total: 0,
+            rederived_total: 0,
         }
     }
 
@@ -156,6 +160,26 @@ impl IncrementalChase {
     /// Total closure rounds run over the lifetime of this instance.
     pub fn rounds_total(&self) -> u64 {
         self.rounds_total
+    }
+
+    /// Lifetime total of facts removed by DRed over-deletion cascades,
+    /// beyond the retracted base facts themselves (counts facts later
+    /// re-derived too) — the cascade fan-out a metrics surface wants to
+    /// watch.
+    pub fn overdeleted_total(&self) -> u64 {
+        self.overdeleted_total
+    }
+
+    /// Lifetime total of facts the re-derivation phase brought back
+    /// after retractions.
+    pub fn rederived_total(&self) -> u64 {
+        self.rederived_total
+    }
+
+    /// Number of derived resident facts carrying a recorded derivation —
+    /// the size of the provenance (derivation) index.
+    pub fn provenance_len(&self) -> usize {
+        self.provenance.len()
     }
 
     /// Inserts base facts and closes over them with semi-naive delta
@@ -277,6 +301,8 @@ impl IncrementalChase {
         outcome.retracted = retracted;
         outcome.overdeleted = overdeleted;
         outcome.new_facts = self.instance.len() - rederive_from;
+        self.overdeleted_total += overdeleted as u64;
+        self.rederived_total += outcome.new_facts as u64;
         outcome
     }
 
@@ -513,6 +539,34 @@ mod tests {
         assert_eq!(out.overdeleted, 2);
         assert_eq!(inc.instance().len(), 3);
         assert!(inc.check_support().is_none());
+        // Lifetime counters track the cascade, and the provenance index
+        // reflects the surviving derived facts.
+        assert_eq!(inc.overdeleted_total(), 2);
+        assert_eq!(inc.rederived_total(), 0);
+        assert_eq!(inc.provenance_len(), 2, "E(b,n') and U(n') stay derived");
+    }
+
+    #[test]
+    fn lifetime_counters_accumulate_across_retractions() {
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(a,b). E(b,c). E(a,c).",
+        )
+        .unwrap();
+        let mut voc = prog.voc.clone();
+        let mut inc = IncrementalChase::new(&prog.theory);
+        inc.insert(&prog.instance.facts().to_vec(), &mut voc, cfg());
+        // Retracting base E(a,c) leaves it derivable: the cascade
+        // deletes nothing, but re-derivation brings back anything the
+        // over-deletion took (here the rebuilt E(a,c) support).
+        let eac = prog.instance.facts()[2].clone();
+        inc.retract(&[eac], &mut voc, cfg());
+        let after_first = (inc.overdeleted_total(), inc.rederived_total());
+        let eab = prog.instance.facts()[0].clone();
+        inc.retract(&[eab], &mut voc, cfg());
+        assert!(inc.overdeleted_total() >= after_first.0);
+        assert!(inc.rederived_total() >= after_first.1);
+        assert_eq!(inc.provenance_len(), 0, "no derived facts survive");
     }
 
     #[test]

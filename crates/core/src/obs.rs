@@ -56,6 +56,8 @@
 //!   `BENCH_<target>.json` row discipline (`{"schema":1,...}`); I/O
 //!   errors panic rather than being swallowed.
 
+pub mod metrics;
+
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::Mutex;
@@ -166,6 +168,50 @@ pub trait EventSink: Sync {
     /// Unknown ids (including 0) are ignored.
     fn span_close(&self, id: u64) {
         let _ = id;
+    }
+
+    /// How many events a bounded sink has elided so far (0 for
+    /// unbounded or non-recording sinks). Exposed on the trait so
+    /// operational surfaces (the serve metrics registry) can report
+    /// drops without knowing the concrete sink type.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
+
+    /// How many spans a bounded sink has elided so far (0 for unbounded
+    /// or non-recording sinks).
+    fn dropped_spans(&self) -> u64 {
+        0
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for &S {
+    const ENABLED: bool = S::ENABLED;
+
+    fn record(&self, event: Event<'_>) {
+        (**self).record(event)
+    }
+
+    fn span_open(
+        &self,
+        engine: &'static str,
+        name: &'static str,
+        parent: u64,
+        key: Option<(&'static str, u64)>,
+    ) -> u64 {
+        (**self).span_open(engine, name, parent, key)
+    }
+
+    fn span_close(&self, id: u64) {
+        (**self).span_close(id)
+    }
+
+    fn dropped_events(&self) -> u64 {
+        (**self).dropped_events()
+    }
+
+    fn dropped_spans(&self) -> u64 {
+        (**self).dropped_spans()
     }
 }
 
@@ -376,6 +422,94 @@ impl EventSink for Memory {
         if let Ok(i) = inner.spans.binary_search_by_key(&id, |s| s.id) {
             inner.spans[i].end_ns = end_ns.max(1);
         }
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped()
+    }
+
+    fn dropped_spans(&self) -> u64 {
+        Memory::spans_dropped(self)
+    }
+}
+
+/// A sink that forwards every event and span to **two** underlying
+/// sinks — e.g. the server's session-wide sink plus a per-request
+/// [`Memory`] capture for the slow-query log.
+///
+/// The two sides hand out their own span ids, so the tee allocates its
+/// *own* sequential ids (starting at 1, like every sink) and keeps a
+/// translation table `tee id -> (a id, b id)`. Parents on forwarded
+/// spans and events are translated per side, so each underlying sink
+/// sees a self-consistent span tree.
+pub struct Tee<'a, A: EventSink, B: EventSink> {
+    a: &'a A,
+    b: &'a B,
+    /// `map[id - 1] == (a_id, b_id)`; the length is the id allocator.
+    map: Mutex<Vec<(u64, u64)>>,
+}
+
+impl<'a, A: EventSink, B: EventSink> Tee<'a, A, B> {
+    /// Tees `a` and `b` together.
+    pub fn new(a: &'a A, b: &'a B) -> Self {
+        Tee { a, b, map: Mutex::new(Vec::new()) }
+    }
+
+    /// Translates a tee span id into the pair of underlying ids
+    /// (0 maps to (0, 0); unknown ids too).
+    fn translate(&self, id: u64) -> (u64, u64) {
+        if id == 0 {
+            return (0, 0);
+        }
+        let map = self.map.lock().unwrap();
+        map.get(id as usize - 1).copied().unwrap_or((0, 0))
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for Tee<'_, A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn record(&self, event: Event<'_>) {
+        let (pa, pb) = self.translate(event.parent);
+        if A::ENABLED {
+            self.a.record(Event { parent: pa, ..event });
+        }
+        if B::ENABLED {
+            self.b.record(Event { parent: pb, ..event });
+        }
+    }
+
+    fn span_open(
+        &self,
+        engine: &'static str,
+        name: &'static str,
+        parent: u64,
+        key: Option<(&'static str, u64)>,
+    ) -> u64 {
+        let (pa, pb) = self.translate(parent);
+        let ia = if A::ENABLED { self.a.span_open(engine, name, pa, key) } else { 0 };
+        let ib = if B::ENABLED { self.b.span_open(engine, name, pb, key) } else { 0 };
+        let mut map = self.map.lock().unwrap();
+        map.push((ia, ib));
+        map.len() as u64
+    }
+
+    fn span_close(&self, id: u64) {
+        let (ia, ib) = self.translate(id);
+        if A::ENABLED {
+            self.a.span_close(ia);
+        }
+        if B::ENABLED {
+            self.b.span_close(ib);
+        }
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.a.dropped_events() + self.b.dropped_events()
+    }
+
+    fn dropped_spans(&self) -> u64 {
+        self.a.dropped_spans() + self.b.dropped_spans()
     }
 }
 
@@ -611,6 +745,14 @@ impl LogHistogram {
     pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
         self.buckets.iter().copied().enumerate().filter(|&(_, c)| c > 0)
     }
+
+    /// Adds every bucket of `other` into `self` — the sequential-merge
+    /// half of shard-local histogram accumulation.
+    pub fn merge(&mut self, other: &Self) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -760,6 +902,37 @@ mod tests {
         );
         assert_eq!(json_escape("plain"), "plain");
         assert_eq!(json_escape("a\"b\\c\r\n\t\u{0}"), "a\\\"b\\\\c\\r\\n\\t\\u0000");
+    }
+
+    #[test]
+    fn tee_forwards_to_both_sides_with_translated_parents() {
+        let a = Memory::new(16);
+        let b = Memory::new(16);
+        // Skew a's id space so tee ids cannot accidentally line up.
+        let pre = a.span_open("x", "pre", 0, None);
+        a.span_close(pre);
+        let tee = Tee::new(&a, &b);
+        let run = tee.span_open("chase", "run", 0, None);
+        let round = tee.span_open("chase", "round", run, Some(("round", 1)));
+        tee.record(ev_at("chase", "trigger", round));
+        tee.span_close(round);
+        tee.span_close(run);
+        // a sees ids 2,3 (after its pre-span); b sees 1,2 — each tree is
+        // self-consistent.
+        let (sa, sb) = (a.spans(), b.spans());
+        assert_eq!(sa.len(), 3);
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sa[2].parent, sa[1].id);
+        assert_eq!(sb[1].parent, sb[0].id);
+        assert!(sa.iter().all(|s| s.is_closed()) && sb.iter().all(|s| s.is_closed()));
+        assert_eq!(a.events()[0].parent, sa[2].id);
+        assert_eq!(b.events()[0].parent, sb[1].id);
+        // Drop counts sum over both sides.
+        assert_eq!(tee.dropped_events(), 0);
+    }
+
+    fn ev_at(engine: &'static str, name: &'static str, parent: u64) -> Event<'static> {
+        Event { engine, name, parent, key: None, fields: &[], gauges: &[] }
     }
 
     #[test]

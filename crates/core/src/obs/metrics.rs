@@ -1,0 +1,486 @@
+//! A live metrics registry: monotonic counters, gauges and latency
+//! histograms, std-only, with deterministic exposition.
+//!
+//! This is the *operational* face of the telemetry layer: where
+//! [`super::Event`]s describe what an engine did once, the registry
+//! holds the **current** state of a long-running process — request
+//! counts, resident-fact gauges, per-command latency histograms (the
+//! 65-bucket [`LogHistogram`] of [`super`]) — and renders it on demand
+//! as a one-line JSON snapshot or as Prometheus text exposition format.
+//!
+//! ## Determinism contract
+//!
+//! The registry inherits the fields-vs-gauges split of the event layer:
+//! every metric is either **deterministic** (request counts, fact
+//! totals, DRed cascade sizes — identical at any `BDDFC_THREADS`
+//! setting for the same command sequence, because the engines underneath
+//! are) or **timing-derived** (lock-wait nanoseconds, latency histogram
+//! *bucket contents*; histogram *counts* are deterministic, where a
+//! value lands is not). Both renderings segregate the two:
+//!
+//! * [`MetricsSnapshot::to_json`] puts every timing-derived datum under
+//!   one trailing `"timing"` object, so the deterministic prefix of the
+//!   line (everything before `,"timing":`) is byte-identical across
+//!   thread counts — [`MetricsSnapshot::to_json_deterministic`] renders
+//!   exactly that prefix as a complete object;
+//! * in [`MetricsSnapshot::to_prometheus`], every timing-derived series
+//!   has `_ns` in its metric name (a naming rule this module's users
+//!   follow, pinned in the serve determinism tests), so a scrape with
+//!   `_ns` lines filtered out is byte-identical across thread counts.
+//!
+//! All maps are `BTreeMap`s, so iteration — and therefore both
+//! expositions — is deterministically ordered.
+//!
+//! ## Shard-local accumulation
+//!
+//! The registry itself is a mutex; hot paths do not take it per
+//! increment. Instead they accumulate into a stack-local
+//! [`LocalMetrics`] (plain maps, no locks) and fold it in with one
+//! [`MetricsRegistry::merge`] from the sequential phase — the same
+//! shard-then-merge contract as the span layer, which is what keeps
+//! snapshots deterministic and the hot path cheap.
+
+use super::{json_escape, LogHistogram, SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// A metric key: a name plus at most one `label="value"` pair (all
+/// `'static`, so hot paths never allocate to name a metric).
+pub type Key = (&'static str, Option<(&'static str, &'static str)>);
+
+/// Renders a key in Prometheus sample notation:
+/// `name` or `name{label="value"}`.
+pub fn key_string(key: &Key) -> String {
+    match key.1 {
+        None => key.0.to_string(),
+        Some((l, v)) => format!("{}{{{}=\"{}\"}}", key.0, l, json_escape(v)),
+    }
+}
+
+/// One scalar cell: the value plus whether it is timing-derived
+/// (`env`), which decides where exposition puts it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Cell {
+    value: u64,
+    env: bool,
+}
+
+/// One histogram: bucket counts plus the sum of observed values. The
+/// count is deterministic; bucket placement and sum are timing-derived.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Histo {
+    hist: LogHistogram,
+    sum: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<Key, Cell>,
+    gauges: BTreeMap<Key, Cell>,
+    histograms: BTreeMap<Key, Histo>,
+    help: BTreeMap<&'static str, &'static str>,
+}
+
+/// The process-wide metrics registry (see the module docs).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+/// A lock-free shard-local accumulator, folded into the registry with
+/// [`MetricsRegistry::merge`] from a sequential phase.
+///
+/// Backed by flat vectors, not maps: one request touches a handful of
+/// keys, where linear scans beat tree nodes, and observations are kept
+/// raw (key + value) instead of materialising a 65-bucket histogram
+/// per request — the serve request path's 5% overhead budget is the
+/// reason this type exists.
+#[derive(Default)]
+pub struct LocalMetrics {
+    counters: Vec<(Key, Cell)>,
+    gauges: Vec<(Key, Cell)>,
+    observations: Vec<(Key, u64)>,
+}
+
+fn flat_cell(cells: &mut Vec<(Key, Cell)>, key: Key) -> &mut Cell {
+    match cells.iter().position(|(k, _)| *k == key) {
+        Some(i) => &mut cells[i].1,
+        None => {
+            cells.push((key, Cell::default()));
+            &mut cells.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+impl LocalMetrics {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LocalMetrics::default()
+    }
+
+    /// Adds `delta` to a deterministic monotonic counter.
+    pub fn counter_add(&mut self, name: &'static str, label: Option<(&'static str, &'static str)>, delta: u64) {
+        flat_cell(&mut self.counters, (name, label)).value += delta;
+    }
+
+    /// Adds `delta` to a timing-derived counter (name should carry
+    /// `_ns`; exposition files it under `"timing"`).
+    pub fn counter_add_ns(&mut self, name: &'static str, label: Option<(&'static str, &'static str)>, delta: u64) {
+        let cell = flat_cell(&mut self.counters, (name, label));
+        cell.value += delta;
+        cell.env = true;
+    }
+
+    /// Sets a deterministic gauge (last write wins at merge).
+    pub fn gauge_set(&mut self, name: &'static str, label: Option<(&'static str, &'static str)>, value: u64) {
+        *flat_cell(&mut self.gauges, (name, label)) = Cell { value, env: false };
+    }
+
+    /// Records one observation into a latency histogram.
+    pub fn observe(&mut self, name: &'static str, label: Option<(&'static str, &'static str)>, value: u64) {
+        self.observations.push(((name, label), value));
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Attaches `# HELP` text to a metric name (idempotent; shown in
+    /// Prometheus exposition).
+    pub fn describe(&self, name: &'static str, help: &'static str) {
+        self.inner.lock().unwrap().help.insert(name, help);
+    }
+
+    /// Adds `delta` to a deterministic monotonic counter.
+    pub fn counter_add(&self, name: &'static str, label: Option<(&'static str, &'static str)>, delta: u64) {
+        self.inner.lock().unwrap().counters.entry((name, label)).or_default().value += delta;
+    }
+
+    /// Adds `delta` to a timing-derived counter.
+    pub fn counter_add_ns(&self, name: &'static str, label: Option<(&'static str, &'static str)>, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let cell = inner.counters.entry((name, label)).or_default();
+        cell.value += delta;
+        cell.env = true;
+    }
+
+    /// Sets a deterministic gauge.
+    pub fn gauge_set(&self, name: &'static str, label: Option<(&'static str, &'static str)>, value: u64) {
+        self.inner.lock().unwrap().gauges.insert((name, label), Cell { value, env: false });
+    }
+
+    /// Sets a timing-derived gauge.
+    pub fn gauge_set_ns(&self, name: &'static str, label: Option<(&'static str, &'static str)>, value: u64) {
+        self.inner.lock().unwrap().gauges.insert((name, label), Cell { value, env: true });
+    }
+
+    /// Records one observation into a latency histogram.
+    pub fn observe(&self, name: &'static str, label: Option<(&'static str, &'static str)>, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let h = inner.histograms.entry((name, label)).or_default();
+        h.hist.record(value);
+        h.sum = h.sum.saturating_add(value);
+    }
+
+    /// Folds a shard-local accumulator in: counters and histogram
+    /// buckets add, gauges overwrite. One lock acquisition for the
+    /// whole batch; call from a sequential phase only (the merge order
+    /// is the caller's responsibility, as everywhere in
+    /// [`crate::par`]'s contract).
+    pub fn merge(&self, local: &LocalMetrics) {
+        let mut inner = self.inner.lock().unwrap();
+        for (k, c) in &local.counters {
+            let cell = inner.counters.entry(*k).or_default();
+            cell.value += c.value;
+            cell.env |= c.env;
+        }
+        for (k, g) in &local.gauges {
+            inner.gauges.insert(*k, *g);
+        }
+        for (k, v) in &local.observations {
+            let cell = inner.histograms.entry(*k).or_default();
+            cell.hist.record(*v);
+            cell.sum = cell.sum.saturating_add(*v);
+        }
+    }
+
+    /// The current value of one counter (0 if never touched).
+    pub fn counter(&self, name: &str, label: Option<(&str, &str)>) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .counters
+            .iter()
+            .find(|((n, l), _)| *n == name && l.map(|(a, b)| (a, b)) == label)
+            .map_or(0, |(_, c)| c.value)
+    }
+
+    /// An owned, immutable snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, c)| (*k, *c)).collect(),
+            gauges: inner.gauges.iter().map(|(k, c)| (*k, *c)).collect(),
+            histograms: inner.histograms.iter().map(|(k, h)| (*k, h.clone())).collect(),
+            help: inner.help.clone(),
+        }
+    }
+}
+
+/// An immutable snapshot of a [`MetricsRegistry`], with the two
+/// exposition renderings. Field order inside is the registry's
+/// `BTreeMap` order, so renderings are deterministic.
+pub struct MetricsSnapshot {
+    counters: Vec<(Key, Cell)>,
+    gauges: Vec<(Key, Cell)>,
+    histograms: Vec<(Key, Histo)>,
+    help: BTreeMap<&'static str, &'static str>,
+}
+
+impl MetricsSnapshot {
+    /// The value of one counter in this snapshot (0 if absent).
+    pub fn counter(&self, name: &str, label: Option<(&str, &str)>) -> u64 {
+        self.counters
+            .iter()
+            .find(|((n, l), _)| *n == name && *l == label)
+            .map_or(0, |(_, c)| c.value)
+    }
+
+    /// The value of one gauge in this snapshot (`None` if absent).
+    pub fn gauge(&self, name: &str, label: Option<(&str, &str)>) -> Option<u64> {
+        self.gauges.iter().find(|((n, l), _)| *n == name && *l == label).map(|(_, c)| c.value)
+    }
+
+    /// Total observation count of one histogram (0 if absent).
+    pub fn histogram_count(&self, name: &str, label: Option<(&str, &str)>) -> u64 {
+        self.histograms
+            .iter()
+            .find(|((n, l), _)| *n == name && *l == label)
+            .map_or(0, |(_, h)| h.hist.count())
+    }
+
+    /// Renders the deterministic core: schema, deterministic counters
+    /// and gauges, and histogram *counts*. Byte-identical across
+    /// `BDDFC_THREADS` for the same command sequence.
+    pub fn to_json_deterministic(&self) -> String {
+        let mut out = self.json_core();
+        out.push('}');
+        out
+    }
+
+    /// Renders the full one-line JSON snapshot: the deterministic core
+    /// plus one trailing `"timing"` object holding every timing-derived
+    /// datum (env counters/gauges, histogram sums and bucket vectors).
+    /// Truncating the line before `,"timing":` and closing the brace
+    /// recovers [`MetricsSnapshot::to_json_deterministic`] exactly.
+    pub fn to_json(&self) -> String {
+        let mut out = self.json_core();
+        out.push_str(",\"timing\":{");
+        let mut first = true;
+        let mut obj = |out: &mut String, name: &str| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{name}\":");
+        };
+        obj(&mut out, "counters");
+        out.push('{');
+        let mut sep = "";
+        for (k, c) in self.counters.iter().filter(|(_, c)| c.env) {
+            let _ = write!(out, "{sep}\"{}\":{}", json_escape(&key_string(k)), c.value);
+            sep = ",";
+        }
+        out.push('}');
+        obj(&mut out, "gauges");
+        out.push('{');
+        let mut sep = "";
+        for (k, c) in self.gauges.iter().filter(|(_, c)| c.env) {
+            let _ = write!(out, "{sep}\"{}\":{}", json_escape(&key_string(k)), c.value);
+            sep = ",";
+        }
+        out.push('}');
+        obj(&mut out, "histograms");
+        out.push('{');
+        let mut sep = "";
+        for (k, h) in &self.histograms {
+            let _ = write!(out, "{sep}\"{}\":{{\"sum\":{},\"buckets\":[", json_escape(&key_string(k)), h.sum);
+            let mut bsep = "";
+            for (i, c) in h.hist.nonzero() {
+                let _ = write!(out, "{bsep}[{i},{c}]");
+                bsep = ",";
+            }
+            out.push_str("]}");
+            sep = ",";
+        }
+        out.push_str("}}}");
+        out
+    }
+
+    /// The shared `{"schema":1,...` prefix, without the final `}`.
+    fn json_core(&self) -> String {
+        let mut out = format!("{{\"schema\":{SCHEMA_VERSION},\"counters\":{{");
+        let mut sep = "";
+        for (k, c) in self.counters.iter().filter(|(_, c)| !c.env) {
+            let _ = write!(out, "{sep}\"{}\":{}", json_escape(&key_string(k)), c.value);
+            sep = ",";
+        }
+        out.push_str("},\"gauges\":{");
+        let mut sep = "";
+        for (k, c) in self.gauges.iter().filter(|(_, c)| !c.env) {
+            let _ = write!(out, "{sep}\"{}\":{}", json_escape(&key_string(k)), c.value);
+            sep = ",";
+        }
+        out.push_str("},\"histogram_counts\":{");
+        let mut sep = "";
+        for (k, h) in &self.histograms {
+            let _ = write!(out, "{sep}\"{}\":{}", json_escape(&key_string(k)), h.hist.count());
+            sep = ",";
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders Prometheus text exposition format (`# HELP` / `# TYPE`
+    /// comments, one sample per line, histograms as cumulative
+    /// `_bucket{le=...}` / `_sum` / `_count` series). Timing-derived
+    /// series carry `_ns` in their names by this module's naming rule,
+    /// so a consumer can deterministically filter them.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        let header = |out: &mut String, last: &mut &'static str, name: &'static str, kind: &str, help: &BTreeMap<&str, &str>| {
+            if *last == name {
+                return;
+            }
+            *last = name;
+            if let Some(h) = help.get(name) {
+                let _ = writeln!(out, "# HELP {name} {h}");
+            }
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        };
+        for (k, c) in &self.counters {
+            header(&mut out, &mut last_name, k.0, "counter", &self.help);
+            let _ = writeln!(out, "{} {}", key_string(k), c.value);
+        }
+        for (k, c) in &self.gauges {
+            header(&mut out, &mut last_name, k.0, "gauge", &self.help);
+            let _ = writeln!(out, "{} {}", key_string(k), c.value);
+        }
+        for (k, h) in &self.histograms {
+            header(&mut out, &mut last_name, k.0, "histogram", &self.help);
+            let labels = |le: &str| match k.1 {
+                None => format!("{{le=\"{le}\"}}"),
+                Some((l, v)) => format!("{{{}=\"{}\",le=\"{le}\"}}", l, json_escape(v)),
+            };
+            let mut cum = 0u64;
+            for (i, c) in h.hist.nonzero() {
+                cum += c;
+                let (_, hi) = LogHistogram::bucket_bounds(i);
+                let _ = writeln!(out, "{}_bucket{} {}", k.0, labels(&hi.to_string()), cum);
+            }
+            let _ = writeln!(out, "{}_bucket{} {}", k.0, labels("+Inf"), h.hist.count());
+            let suffix = match k.1 {
+                None => String::new(),
+                Some((l, v)) => format!("{{{}=\"{}\"}}", l, json_escape(v)),
+            };
+            let _ = writeln!(out, "{}_sum{} {}", k.0, suffix, h.sum);
+            let _ = writeln!(out, "{}_count{} {}", k.0, suffix, h.hist.count());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("requests_total", Some(("command", "query")), 2);
+        reg.counter_add("requests_total", Some(("command", "insert")), 1);
+        reg.gauge_set("facts_resident", None, 42);
+        reg.observe("request_latency_ns", Some(("command", "query")), 1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("requests_total", Some(("command", "query"))), 2);
+        assert_eq!(snap.gauge("facts_resident", None), Some(42));
+        assert_eq!(snap.histogram_count("request_latency_ns", Some(("command", "query"))), 1);
+        assert_eq!(snap.counter("requests_total", None), 0);
+    }
+
+    #[test]
+    fn local_metrics_merge_adds_counters_and_buckets() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("requests_total", None, 1);
+        let mut local = LocalMetrics::new();
+        local.counter_add("requests_total", None, 2);
+        local.gauge_set("epoch", None, 7);
+        local.observe("request_latency_ns", None, 5);
+        local.observe("request_latency_ns", None, 9);
+        reg.merge(&local);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("requests_total", None), 3);
+        assert_eq!(snap.gauge("epoch", None), Some(7));
+        assert_eq!(snap.histogram_count("request_latency_ns", None), 2);
+    }
+
+    #[test]
+    fn json_timing_split_is_exact() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("requests_total", Some(("command", "query")), 3);
+        reg.counter_add_ns("writer_lock_wait_ns_total", None, 12345);
+        reg.gauge_set("facts_resident", None, 6);
+        reg.gauge_set_ns("uptime_ns", None, 999);
+        reg.observe("request_latency_ns", Some(("command", "query")), 100);
+        let snap = reg.snapshot();
+        let full = snap.to_json();
+        let det = snap.to_json_deterministic();
+        // The deterministic rendering is exactly the full line truncated
+        // before the timing object.
+        let prefix = full.split(",\"timing\":").next().unwrap();
+        assert_eq!(det, format!("{prefix}}}"));
+        // Deterministic side: counts only, no ns values.
+        assert!(det.contains("\"requests_total{command=\\\"query\\\"}\":3"), "{det}");
+        assert!(det.contains("\"request_latency_ns{command=\\\"query\\\"}\":1"), "{det}");
+        assert!(!det.contains("12345") && !det.contains("999"), "{det}");
+        // Timing side holds the env metrics and the bucket vector.
+        assert!(full.contains("\"writer_lock_wait_ns_total\":12345"), "{full}");
+        assert!(full.contains("\"uptime_ns\":999"), "{full}");
+        assert!(full.contains("\"sum\":100"), "{full}");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.describe("requests_total", "Requests handled, by command.");
+        reg.counter_add("requests_total", Some(("command", "insert")), 1);
+        reg.counter_add("requests_total", Some(("command", "query")), 2);
+        reg.gauge_set("facts_resident", None, 10);
+        reg.observe("request_latency_ns", Some(("command", "query")), 3);
+        reg.observe("request_latency_ns", Some(("command", "query")), 1000);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# HELP requests_total Requests handled, by command.\n"), "{text}");
+        assert!(text.contains("# TYPE requests_total counter\n"), "{text}");
+        assert!(text.contains("requests_total{command=\"insert\"} 1\n"), "{text}");
+        assert!(text.contains("requests_total{command=\"query\"} 2\n"), "{text}");
+        assert!(text.contains("# TYPE facts_resident gauge\n"), "{text}");
+        assert!(text.contains("facts_resident 10\n"), "{text}");
+        assert!(text.contains("# TYPE request_latency_ns histogram\n"), "{text}");
+        // Cumulative buckets end at +Inf == count.
+        assert!(text.contains("request_latency_ns_bucket{command=\"query\",le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("request_latency_ns_sum{command=\"query\"} 1003\n"), "{text}");
+        assert!(text.contains("request_latency_ns_count{command=\"query\"} 2\n"), "{text}");
+        // The TYPE header appears once per family even with two labels.
+        assert_eq!(text.matches("# TYPE requests_total counter").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn key_strings_render_label_pairs() {
+        assert_eq!(key_string(&("up", None)), "up");
+        assert_eq!(key_string(&("req", Some(("command", "query")))), "req{command=\"query\"}");
+    }
+}

@@ -614,6 +614,7 @@ fn serve_vs_scratch_chase(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> Pr
         max_rounds: ctx.max_rounds,
         max_facts: ctx.max_facts,
         oracle: false,
+        ..ServeConfig::default()
     };
     let run = |threads: usize| {
         par::with_thread_count(threads, || {

@@ -3,6 +3,8 @@
 //! ```text
 //! bddfc-serve [PROGRAM.dlg] [--oracle] [--tcp ADDR]
 //!             [--max-rounds N] [--max-facts N]
+//!             [--metrics-tcp ADDR] [--no-metrics]
+//!             [--slow-ms N] [--slow-log FILE]
 //! ```
 //!
 //! Loads `PROGRAM.dlg` (rules + initial facts; optional — without it the
@@ -16,6 +18,15 @@
 //! `--oracle` replays every query through a from-scratch chase and turns
 //! decided disagreements into `err oracle-mismatch ...` responses (the
 //! differential-testing mode `ci.sh` smokes).
+//!
+//! `--metrics-tcp ADDR` additionally serves Prometheus text exposition
+//! over a hand-rolled HTTP/1.0 endpoint on `ADDR` (`0` or
+//! `127.0.0.1:0` for an ephemeral port; the bound address is announced
+//! on stderr as `bddfc-serve: metrics on ADDR`). `--no-metrics` turns
+//! the registry off entirely. `--slow-ms N` arms the slow-query log at
+//! an `N`-millisecond threshold (dump it with the `slowlog` command);
+//! `--slow-log FILE` also streams every slow entry to `FILE` as JSONL,
+//! lossily — write failures are counted, never fatal.
 
 use bddfc_core::parser::Program;
 use bddfc_serve::{run_session, ServeConfig, Server};
@@ -26,7 +37,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: bddfc-serve [PROGRAM.dlg] [--oracle] [--tcp ADDR] \
-         [--max-rounds N] [--max-facts N]"
+         [--max-rounds N] [--max-facts N] [--metrics-tcp ADDR] \
+         [--no-metrics] [--slow-ms N] [--slow-log FILE]"
     );
     std::process::exit(2);
 }
@@ -40,11 +52,20 @@ fn main() -> ExitCode {
     let mut program_path: Option<String> = None;
     let mut config = ServeConfig::default();
     let mut tcp: Option<String> = None;
+    let mut metrics_tcp: Option<String> = None;
+    let mut slow_log: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--oracle" => config.oracle = true,
             "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-tcp" => metrics_tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--no-metrics" => config.metrics = false,
+            "--slow-ms" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                config.slow_ms = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--slow-log" => slow_log = Some(args.next().unwrap_or_else(|| usage())),
             "--max-rounds" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 config.max_rounds = v.parse().unwrap_or_else(|_| usage());
@@ -88,13 +109,47 @@ fn main() -> ExitCode {
         }
     };
 
-    let server = Server::new(&program, config);
+    let mut server = Server::new(&program, config);
+
+    if let Some(path) = &slow_log {
+        if config.slow_ms.is_none() {
+            eprintln!("bddfc-serve: --slow-log has no effect without --slow-ms");
+        }
+        match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            Ok(file) => server.set_slow_writer(Box::new(file)),
+            Err(e) => {
+                eprintln!("bddfc-serve: cannot open slow log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The metrics endpoint runs on a detached thread sharing the server
+    // via Arc; it dies with the process.
+    let server = std::sync::Arc::new(server);
+    if let Some(addr) = &metrics_tcp {
+        // `--metrics-tcp 0` is shorthand for an ephemeral localhost port.
+        let addr = if addr == "0" { "127.0.0.1:0" } else { addr.as_str() };
+        let listener = match TcpListener::bind(addr) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("bddfc-serve: cannot bind metrics endpoint {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match listener.local_addr() {
+            Ok(bound) => eprintln!("bddfc-serve: metrics on {bound}"),
+            Err(e) => eprintln!("bddfc-serve: metrics on {addr} (local_addr failed: {e})"),
+        }
+        let srv = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || bddfc_serve::http::serve_metrics(listener, &*srv));
+    }
 
     match tcp {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            if let Err(e) = run_session(&server, stdin.lock(), stdout.lock()) {
+            if let Err(e) = run_session(&*server, stdin.lock(), stdout.lock()) {
                 eprintln!("bddfc-serve: session error: {e}");
                 return ExitCode::FAILURE;
             }
@@ -112,7 +167,7 @@ fn main() -> ExitCode {
                 for conn in listener.incoming() {
                     match conn {
                         Ok(stream) => {
-                            let server = &server;
+                            let server = &*server;
                             scope.spawn(move || {
                                 let reader = BufReader::new(&stream);
                                 let mut writer = &stream;

@@ -1,0 +1,148 @@
+//! A hand-rolled HTTP/1.0 metrics endpoint: `std::net::TcpListener`
+//! only, no dependencies, serving Prometheus text exposition format.
+//!
+//! The endpoint implements exactly what a scraper needs and nothing
+//! more: it reads one request line (the method is checked, the path is
+//! not — every `GET` is a scrape), drains headers until the blank line,
+//! and answers with a complete `HTTP/1.0` response carrying
+//! `Content-Type: text/plain; version=0.0.4` and a `Content-Length`.
+//! `HTTP/1.0` semantics mean the connection closes after one exchange —
+//! no keep-alive state machine, which is why the whole server fits in a
+//! page of std.
+//!
+//! [`serve_metrics`] loops on `accept` forever; the binary runs it on a
+//! detached thread that dies with the process.
+
+use crate::Server;
+use bddfc_core::obs::EventSink;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Serves Prometheus scrapes from `listener` forever. Each connection
+/// is one request/response exchange; malformed requests get a 4xx and
+/// the loop continues. Accept errors are logged to stderr and skipped.
+pub fn serve_metrics<S: EventSink>(listener: TcpListener, server: &Server<'_, S>) {
+    for conn in listener.incoming() {
+        match conn {
+            Ok(stream) => {
+                if let Err(e) = handle_scrape(stream, server) {
+                    eprintln!("bddfc-serve: metrics request failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("bddfc-serve: metrics accept failed: {e}"),
+        }
+    }
+}
+
+/// Handles one scrape exchange on an accepted connection.
+pub fn handle_scrape<S: EventSink>(
+    stream: TcpStream,
+    server: &Server<'_, S>,
+) -> std::io::Result<()> {
+    // A wedged client must not wedge the endpoint.
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(&stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line (HTTP/1.0 requests may omit
+    // them entirely — an EOF here is fine too).
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut out = &stream;
+    if !request_line.starts_with("GET ") {
+        return respond(&mut out, "405 Method Not Allowed", "text/plain", "only GET is served\n");
+    }
+    match server.metrics_snapshot() {
+        None => respond(&mut out, "503 Service Unavailable", "text/plain", "metrics disabled\n"),
+        Some(snap) => respond(
+            &mut out,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &snap.to_prometheus(),
+        ),
+    }
+}
+
+fn respond(out: &mut impl Write, status: &str, content_type: &str, body: &str) -> std::io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{transcript, ServeConfig};
+    use bddfc_core::parse_program;
+    use std::io::Read;
+    use std::sync::Arc;
+
+    fn scrape(addr: std::net::SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn scrapes_expose_request_counters() {
+        let prog = parse_program(
+            "E(X,Y), E(Y,Z) -> E(X,Z).
+             E(a,b). E(b,c).",
+        )
+        .unwrap();
+        let server = Arc::new(Server::new(&prog, ServeConfig::default()));
+        transcript(&server, "query E(a,c)\nquery E(a,b)\n");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv = Arc::clone(&server);
+        std::thread::spawn(move || serve_metrics(listener, &*srv));
+
+        let response = scrape(addr, "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: text/plain; version=0.0.4"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("# TYPE bddfc_requests_total counter"), "{body}");
+        assert!(body.contains("bddfc_requests_total{command=\"query\"} 2"), "{body}");
+        // Content-Length matches the body exactly (HTTP/1.0 scrapers
+        // trust it).
+        let len: usize = response
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+
+        // Non-GET requests are refused but do not kill the endpoint.
+        let bad = scrape(addr, "POST /metrics HTTP/1.0\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.0 405"), "{bad}");
+        let again = scrape(addr, "GET / HTTP/1.0\r\n\r\n");
+        assert!(again.starts_with("HTTP/1.0 200"), "{again}");
+    }
+
+    #[test]
+    fn disabled_metrics_scrape_is_503() {
+        let prog = parse_program("E(a,b).").unwrap();
+        let config = ServeConfig { metrics: false, ..ServeConfig::default() };
+        let server = Arc::new(Server::new(&prog, config));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let srv = Arc::clone(&server);
+        std::thread::spawn(move || serve_metrics(listener, &*srv));
+        let response = scrape(addr, "GET /metrics HTTP/1.0\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.0 503"), "{response}");
+    }
+}

@@ -46,24 +46,51 @@
 //! Undecided oracle runs (budget) are skipped: certain answers are only
 //! comparable when both sides settled. This is the serve-vs-scratch
 //! differential property `bddfc-fuzz` drives.
+//!
+//! ## Live metrics and the slow-query log
+//!
+//! Unless disabled ([`ServeConfig::metrics`]), the server owns a
+//! [`MetricsRegistry`]: per-command request counters and latency
+//! histograms, gauges for resident facts / base facts / sealed segments
+//! / current epoch / derivation-index size (refreshed at every commit,
+//! under the writer lock, so they are deterministic), monotonic
+//! counters for chase rounds and the DRed over-delete/re-derive cascade,
+//! and a timing-derived writer-lock-wait counter. Hot paths accumulate
+//! into a stack-local [`LocalMetrics`] and merge once per request. The
+//! snapshot is exposed by the `metrics` protocol command (one JSON line,
+//! timing-derived data isolated in a trailing `"timing"` object) and by
+//! the `--metrics-tcp` Prometheus endpoint ([`http`]).
+//!
+//! With `--slow-ms` set, every request additionally runs under a
+//! per-request [`Memory`] capture teed onto the session sink
+//! ([`bddfc_core::obs::Tee`]); requests at or above the threshold land
+//! in the bounded [`slowlog::SlowLog`] ring with their span tree and
+//! per-rule attribution, dumpable via the `slowlog` command.
 
 #![warn(missing_docs)]
 
 pub mod epoch;
+pub mod http;
 pub mod proto;
+pub mod slowlog;
 
 use bddfc_chase::engine::ChaseConfig;
 use bddfc_chase::{
     certain_ucq_outcome, BudgetExhausted, Certainty, IncrementalChase, MaintainConfig,
 };
-use bddfc_core::obs::{Event, EventSink, Null, NULL};
+use bddfc_core::obs::metrics::{LocalMetrics, MetricsRegistry, MetricsSnapshot};
+use bddfc_core::obs::{Event, EventSink, Memory, Null, SpanTimer, Tee, NULL};
 use bddfc_core::parser::Program;
 use bddfc_core::{hom, parse_into, parse_query, Fact, Instance, Ucq, Vocabulary};
 use epoch::{Epoch, EpochStore};
 use proto::{ensure_terminated, parse_command, Command};
+use slowlog::SlowLog;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Bounded per-request telemetry capture used for slow-query entries.
+const SLOW_CAPTURE_CAP: usize = 4096;
 
 /// Service configuration: per-mutation closure budgets and the oracle
 /// switch.
@@ -76,11 +103,28 @@ pub struct ServeConfig {
     /// Replay every query through a from-scratch chase and flag
     /// decided/decided mismatches.
     pub oracle: bool,
+    /// Whether the server keeps a live [`MetricsRegistry`] (on by
+    /// default; the overhead guard in `tests/overhead.rs` pins the cost
+    /// of leaving it on).
+    pub metrics: bool,
+    /// Slow-query threshold in milliseconds: requests at or above it are
+    /// recorded in the slow-query log. `None` disables the log (and the
+    /// per-request telemetry capture it needs).
+    pub slow_ms: Option<u64>,
+    /// Ring capacity of the slow-query log.
+    pub slowlog_cap: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_rounds: 64, max_facts: 1_000_000, oracle: false }
+        ServeConfig {
+            max_rounds: 64,
+            max_facts: 1_000_000,
+            oracle: false,
+            metrics: true,
+            slow_ms: None,
+            slowlog_cap: 128,
+        }
     }
 }
 
@@ -126,6 +170,57 @@ pub struct Server<'s, S: EventSink = Null> {
     sink: &'s S,
     requests: AtomicU64,
     queries: AtomicU64,
+    metrics: Option<MetricsRegistry>,
+    slowlog: Option<SlowLog>,
+}
+
+/// Metric names the server registers. All `bddfc_`-prefixed; every
+/// timing-derived series carries `_ns` in its name (the filtering rule
+/// `obs::metrics` documents), except the `bddfc_slowlog_*` family,
+/// which is timing-dependent by nature (what counts as *slow* is a
+/// wall-clock judgement) and excluded from determinism comparisons as a
+/// family.
+mod names {
+    pub const REQUESTS: &str = "bddfc_requests_total";
+    pub const ERRORS: &str = "bddfc_request_errors_total";
+    pub const LATENCY: &str = "bddfc_request_latency_ns";
+    pub const FACTS: &str = "bddfc_facts_resident";
+    pub const BASE: &str = "bddfc_base_facts";
+    pub const SEGMENTS: &str = "bddfc_sealed_segments";
+    pub const EPOCH: &str = "bddfc_epoch";
+    pub const DERIV_INDEX: &str = "bddfc_derivation_index_entries";
+    pub const ROUNDS: &str = "bddfc_chase_rounds_total";
+    pub const OVERDELETED: &str = "bddfc_dred_overdeleted_total";
+    pub const REDERIVED: &str = "bddfc_dred_rederived_total";
+    pub const WRITER_WAIT: &str = "bddfc_writer_lock_wait_ns_total";
+    pub const OBS_EVENTS_DROPPED: &str = "bddfc_obs_events_dropped";
+    pub const OBS_SPANS_DROPPED: &str = "bddfc_obs_spans_dropped";
+    pub const SLOW_ENTRIES: &str = "bddfc_slowlog_entries";
+    pub const SLOW_DROPPED: &str = "bddfc_slowlog_dropped";
+    pub const SLOW_WRITE_FAILURES: &str = "bddfc_slowlog_write_failures_total";
+}
+
+/// Builds the registry with `# HELP` text for every family.
+fn new_registry() -> MetricsRegistry {
+    let m = MetricsRegistry::new();
+    m.describe(names::REQUESTS, "Protocol requests handled, by command.");
+    m.describe(names::ERRORS, "Requests answered with an err reply, by command.");
+    m.describe(names::LATENCY, "Request wall time in nanoseconds, by command.");
+    m.describe(names::FACTS, "Facts resident in the published epoch.");
+    m.describe(names::BASE, "Base (extensional) facts in the published epoch.");
+    m.describe(names::SEGMENTS, "Sealed segments in the published epoch.");
+    m.describe(names::EPOCH, "Current published epoch id.");
+    m.describe(names::DERIV_INDEX, "Recorded derivations in the provenance index.");
+    m.describe(names::ROUNDS, "Chase closure rounds run across all mutations.");
+    m.describe(names::OVERDELETED, "Facts removed by DRed over-deletion cascades.");
+    m.describe(names::REDERIVED, "Facts re-derived after DRed over-deletion.");
+    m.describe(names::WRITER_WAIT, "Nanoseconds spent waiting on the writer lock.");
+    m.describe(names::OBS_EVENTS_DROPPED, "Events elided by the bounded session sink.");
+    m.describe(names::OBS_SPANS_DROPPED, "Spans elided by the bounded session sink.");
+    m.describe(names::SLOW_ENTRIES, "Entries resident in the slow-query ring.");
+    m.describe(names::SLOW_DROPPED, "Slow-query entries evicted from the ring.");
+    m.describe(names::SLOW_WRITE_FAILURES, "Slow-query stream writes that failed.");
+    m
 }
 
 impl Server<'static, Null> {
@@ -157,16 +252,53 @@ impl<'s, S: EventSink> Server<'s, S> {
             sink,
             requests: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            metrics: config.metrics.then(new_registry),
+            slowlog: config.slow_ms.map(|ms| SlowLog::new(ms, config.slowlog_cap)),
         };
         // The initial facts go through the ordinary insert path, so epoch 1
         // is the chased load (epoch 0 stays the published empty state).
         if !program.instance.is_empty() {
             let facts: Vec<Fact> = program.instance.facts().to_vec();
             let mut w = server.state.lock().expect("writer lock poisoned");
-            server.maintain_insert(&mut w, &facts);
+            let out = server.maintain_insert(&mut w, &facts, server.sink);
+            if let Some(m) = &server.metrics {
+                m.counter_add(names::ROUNDS, None, u64::from(out.rounds));
+            }
             server.commit(&mut w);
         }
         server
+    }
+
+    /// Attaches a stream writer for slow-query entries (the
+    /// `--slow-log FILE` flag). No-op unless [`ServeConfig::slow_ms`]
+    /// enabled the log.
+    pub fn set_slow_writer(&mut self, writer: Box<dyn Write + Send>) {
+        if let Some(sl) = &mut self.slowlog {
+            sl.set_writer(writer);
+        }
+    }
+
+    /// The slow-query log, if enabled.
+    pub fn slow_log(&self) -> Option<&SlowLog> {
+        self.slowlog.as_ref()
+    }
+
+    /// Refreshes snapshot-time gauges (sink drop counts, slowlog state)
+    /// and returns the current metrics snapshot (`None` when metrics
+    /// are disabled). This is what the `metrics` protocol command and
+    /// the Prometheus endpoint serve.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let m = self.metrics.as_ref()?;
+        m.gauge_set(names::OBS_EVENTS_DROPPED, None, self.sink.dropped_events());
+        m.gauge_set(names::OBS_SPANS_DROPPED, None, self.sink.dropped_spans());
+        if let Some(sl) = &self.slowlog {
+            // The slowlog family is timing-dependent (see `names`), so
+            // it goes to the timing side of the JSON rendering.
+            m.gauge_set_ns(names::SLOW_ENTRIES, None, sl.len());
+            m.gauge_set_ns(names::SLOW_DROPPED, None, sl.dropped());
+            m.gauge_set_ns(names::SLOW_WRITE_FAILURES, None, sl.write_failures());
+        }
+        Some(m.snapshot())
     }
 
     fn maintain_config(&self) -> MaintainConfig {
@@ -174,22 +306,26 @@ impl<'s, S: EventSink> Server<'s, S> {
     }
 
     /// Runs the insert closure; caller commits.
-    fn maintain_insert(
+    fn maintain_insert<T: EventSink>(
         &self,
         w: &mut Writer,
         facts: &[Fact],
+        sink: &T,
     ) -> bddfc_chase::MaintainOutcome {
         let before = w.inc.instance().len();
         let cfg = self.maintain_config();
         let Writer { voc, inc, .. } = w;
-        let out = inc.insert_with(facts, voc, cfg, self.sink);
+        let out = inc.insert_with(facts, voc, cfg, sink);
         if w.inc.instance().len() > before {
             w.segments.push(w.inc.instance().len());
         }
         out
     }
 
-    /// Seals the working state into a new epoch and publishes it.
+    /// Seals the working state into a new epoch and publishes it. Also
+    /// refreshes the deterministic state gauges — under the writer
+    /// lock, so a scrape never sees a gauge ahead of the published
+    /// epoch's counters.
     fn commit(&self, w: &mut Writer) {
         w.epoch_id += 1;
         let epoch = Epoch {
@@ -200,6 +336,13 @@ impl<'s, S: EventSink> Server<'s, S> {
             complete: w.inc.complete(),
             exhausted: w.inc.exhausted(),
         };
+        if let Some(m) = &self.metrics {
+            m.gauge_set(names::EPOCH, None, w.epoch_id);
+            m.gauge_set(names::FACTS, None, epoch.instance.len() as u64);
+            m.gauge_set(names::BASE, None, w.inc.base().len() as u64);
+            m.gauge_set(names::SEGMENTS, None, sealed_segments(w));
+            m.gauge_set(names::DERIV_INDEX, None, w.inc.provenance_len() as u64);
+        }
         if S::ENABLED {
             self.sink.record(Event {
                 engine: "serve",
@@ -228,27 +371,85 @@ impl<'s, S: EventSink> Server<'s, S> {
         let cmd = match parse_command(line) {
             Ok(Command::Nop) => return Reply::None,
             Ok(c) => c,
-            Err(e) => return Reply::Line(format!("err {e}")),
+            Err(e) => {
+                if let Some(m) = &self.metrics {
+                    m.counter_add(names::REQUESTS, Some(("command", "invalid")), 1);
+                    m.counter_add(names::ERRORS, Some(("command", "invalid")), 1);
+                }
+                return Reply::Line(format!("err {e}"));
+            }
         };
+        let verb = command_verb(&cmd);
         let req = self.requests.fetch_add(1, Ordering::SeqCst) + 1;
-        let span = if S::ENABLED {
-            self.sink.span_open("serve", "request", 0, Some(("req", req)))
+        let timer = SpanTimer::start();
+        let mut local = LocalMetrics::new();
+        // With the slow-query log armed, the request runs under a
+        // per-request capture teed onto the session sink; otherwise it
+        // talks to the session sink directly (no capture cost).
+        let (reply, capture) = match &self.slowlog {
+            Some(_) => {
+                let capture = Memory::new(SLOW_CAPTURE_CAP);
+                let tee = Tee::new(self.sink, &capture);
+                (self.dispatch(&cmd, req, &tee, &mut local), Some(capture))
+            }
+            None => (self.dispatch(&cmd, req, self.sink, &mut local), None),
+        };
+        let wall_ns = timer.elapsed_ns();
+        if let Some(m) = &self.metrics {
+            local.counter_add(names::REQUESTS, Some(("command", verb)), 1);
+            if reply.text().is_some_and(|t| t.starts_with("err ")) {
+                local.counter_add(names::ERRORS, Some(("command", verb)), 1);
+            }
+            local.observe(names::LATENCY, Some(("command", verb)), wall_ns);
+            m.merge(&local);
+        }
+        if let (Some(sl), Some(capture)) = (&self.slowlog, capture) {
+            if wall_ns >= sl.threshold_ns() {
+                sl.record(req, verb, wall_ns, reply.text(), &capture);
+            }
+        }
+        reply
+    }
+
+    /// Runs one parsed command against the given sink, opening the
+    /// per-request span. Generic over the sink so the slow-query path
+    /// can substitute a [`Tee`] without the fast path paying for it.
+    fn dispatch<T: EventSink>(
+        &self,
+        cmd: &Command,
+        req: u64,
+        sink: &T,
+        local: &mut LocalMetrics,
+    ) -> Reply {
+        let span = if T::ENABLED {
+            sink.span_open("serve", "request", 0, Some(("req", req)))
         } else {
             0
         };
         let reply = match cmd {
             Command::Nop => Reply::None,
             Command::Quit => Reply::Quit("bye".into()),
-            Command::Insert(payload) => Reply::Line(self.do_insert(&payload, span)),
-            Command::Retract(payload) => Reply::Line(self.do_retract(&payload, span)),
-            Command::Query(payload) => Reply::Line(self.do_query(&payload, span)),
-            Command::Explain(payload) => Reply::Line(self.do_explain(&payload)),
-            Command::Stats => Reply::Line(self.do_stats()),
+            Command::Insert(payload) => Reply::Line(self.do_insert(payload, span, sink, local)),
+            Command::Retract(payload) => Reply::Line(self.do_retract(payload, span, sink, local)),
+            Command::Query(payload) => Reply::Line(self.do_query(payload, span, sink)),
+            Command::Explain(payload) => Reply::Line(self.do_explain(payload, local)),
+            Command::Stats => Reply::Line(self.do_stats(local)),
+            Command::Metrics => Reply::Line(self.do_metrics()),
+            Command::Slowlog => Reply::Line(self.do_slowlog()),
         };
-        if S::ENABLED {
-            self.sink.span_close(span);
+        if T::ENABLED {
+            sink.span_close(span);
         }
         reply
+    }
+
+    /// Locks the writer state, charging the wait to the lock-wait
+    /// counter.
+    fn lock_writer(&self, local: &mut LocalMetrics) -> std::sync::MutexGuard<'_, Writer> {
+        let t = SpanTimer::start();
+        let w = self.state.lock().expect("writer lock poisoned");
+        local.counter_add_ns(names::WRITER_WAIT, None, t.elapsed_ns());
+        w
     }
 
     /// Parses a payload that must contain only facts.
@@ -268,17 +469,24 @@ impl<'s, S: EventSink> Server<'s, S> {
         }
     }
 
-    fn do_insert(&self, payload: &str, span: u64) -> String {
-        let mut w = self.state.lock().expect("writer lock poisoned");
+    fn do_insert<T: EventSink>(
+        &self,
+        payload: &str,
+        span: u64,
+        sink: &T,
+        local: &mut LocalMetrics,
+    ) -> String {
+        let mut w = self.lock_writer(local);
         let facts = match self.parse_facts(&mut w.voc, payload) {
             Ok(f) => f,
             Err(e) => return format!("err {e}"),
         };
-        let out = self.maintain_insert(&mut w, &facts);
+        let out = self.maintain_insert(&mut w, &facts, sink);
+        local.counter_add(names::ROUNDS, None, u64::from(out.rounds));
         w.inserts += 1;
         self.commit(&mut w);
-        if S::ENABLED {
-            self.sink.record(Event {
+        if T::ENABLED {
+            sink.record(Event {
                 engine: "serve",
                 name: "insert",
                 parent: span,
@@ -298,8 +506,14 @@ impl<'s, S: EventSink> Server<'s, S> {
         )
     }
 
-    fn do_retract(&self, payload: &str, span: u64) -> String {
-        let mut w = self.state.lock().expect("writer lock poisoned");
+    fn do_retract<T: EventSink>(
+        &self,
+        payload: &str,
+        span: u64,
+        sink: &T,
+        local: &mut LocalMetrics,
+    ) -> String {
+        let mut w = self.lock_writer(local);
         let facts = match self.parse_facts(&mut w.voc, payload) {
             Ok(f) => f,
             Err(e) => return format!("err {e}"),
@@ -307,14 +521,17 @@ impl<'s, S: EventSink> Server<'s, S> {
         let cfg = self.maintain_config();
         let out = {
             let Writer { voc, inc, .. } = &mut *w;
-            inc.retract_with(&facts, voc, cfg, self.sink)
+            inc.retract_with(&facts, voc, cfg, sink)
         };
+        local.counter_add(names::ROUNDS, None, u64::from(out.rounds));
+        local.counter_add(names::OVERDELETED, None, out.overdeleted as u64);
+        local.counter_add(names::REDERIVED, None, out.new_facts as u64);
         // A retraction rebuilds the fact store: reseal as one segment.
         w.segments = vec![w.inc.instance().len()];
         w.retracts += 1;
         self.commit(&mut w);
-        if S::ENABLED {
-            self.sink.record(Event {
+        if T::ENABLED {
+            sink.record(Event {
                 engine: "serve",
                 name: "retract",
                 parent: span,
@@ -342,7 +559,7 @@ impl<'s, S: EventSink> Server<'s, S> {
         )
     }
 
-    fn do_query(&self, payload: &str, span: u64) -> String {
+    fn do_query<T: EventSink>(&self, payload: &str, span: u64, sink: &T) -> String {
         self.queries.fetch_add(1, Ordering::SeqCst);
         let epoch = self.epochs.snapshot();
         // Parse against a clone: reader-side interning (fresh variables,
@@ -361,8 +578,8 @@ impl<'s, S: EventSink> Server<'s, S> {
         } else {
             format!("unknown reason={}", budget_name(epoch.exhausted))
         };
-        if S::ENABLED {
-            self.sink.record(Event {
+        if T::ENABLED {
+            sink.record(Event {
                 engine: "serve",
                 name: "query",
                 parent: span,
@@ -419,8 +636,8 @@ impl<'s, S: EventSink> Server<'s, S> {
         None
     }
 
-    fn do_explain(&self, payload: &str) -> String {
-        let w = self.state.lock().expect("writer lock poisoned");
+    fn do_explain(&self, payload: &str, local: &mut LocalMetrics) -> String {
+        let w = self.lock_writer(local);
         let mut voc = w.voc.clone();
         let facts = match self.parse_facts(&mut voc, payload) {
             Ok(f) => f,
@@ -437,20 +654,64 @@ impl<'s, S: EventSink> Server<'s, S> {
         }
     }
 
-    fn do_stats(&self) -> String {
-        let w = self.state.lock().expect("writer lock poisoned");
+    fn do_stats(&self, local: &mut LocalMetrics) -> String {
+        let w = self.lock_writer(local);
         format!(
-            "epoch={} facts={} base={} segments={} rounds_total={} fixpoint={} inserts={} retracts={} queries={}",
+            "{{\"schema\":1,\"epoch\":{},\"facts\":{},\"base\":{},\"segments\":{},\
+             \"rounds_total\":{},\"fixpoint\":{},\"inserts\":{},\"retracts\":{},\"queries\":{}}}",
             w.epoch_id,
             w.inc.instance().len(),
             w.inc.base().len(),
-            w.segments.len().saturating_sub(usize::from(w.segments.first() == Some(&0))),
+            sealed_segments(&w),
             w.inc.rounds_total(),
             w.inc.complete(),
             w.inserts,
             w.retracts,
             self.queries.load(Ordering::SeqCst)
         )
+    }
+
+    fn do_metrics(&self) -> String {
+        match self.metrics_snapshot() {
+            None => "err metrics disabled".into(),
+            Some(snap) => snap.to_json(),
+        }
+    }
+
+    fn do_slowlog(&self) -> String {
+        match &self.slowlog {
+            None => "err slowlog disabled (start with --slow-ms)".into(),
+            Some(sl) => {
+                let entries = sl.entries();
+                let mut out = format!("ok n={}", entries.len());
+                for e in &entries {
+                    out.push('\n');
+                    out.push_str(e);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Sealed segments in the working state (the leading `0` boundary is
+/// bookkeeping, not a segment).
+fn sealed_segments(w: &Writer) -> u64 {
+    w.segments.len().saturating_sub(usize::from(w.segments.first() == Some(&0))) as u64
+}
+
+/// The metrics label for one parsed command.
+fn command_verb(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Insert(_) => "insert",
+        Command::Retract(_) => "retract",
+        Command::Query(_) => "query",
+        Command::Explain(_) => "explain",
+        Command::Stats => "stats",
+        Command::Metrics => "metrics",
+        Command::Slowlog => "slowlog",
+        Command::Quit => "quit",
+        Command::Nop => "nop",
     }
 }
 
@@ -571,7 +832,7 @@ mod tests {
         assert!(lines[1].starts_with("err `insert` needs a payload"), "{t}");
         assert!(lines[2].starts_with("err payload must contain facts only"), "{t}");
         assert!(lines[3].starts_with("err parse error"), "{t}");
-        assert!(lines[4].starts_with("epoch=1 facts=3 base=2"), "{t}");
+        assert!(lines[4].starts_with("{\"schema\":1,\"epoch\":1,\"facts\":3,\"base\":2"), "{t}");
     }
 
     #[test]

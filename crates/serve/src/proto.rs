@@ -9,6 +9,8 @@
 //! query <body>        e.g.  query E(X,Y), E(Y,X)
 //! explain <fact>      e.g.  explain E(a,c)
 //! stats
+//! metrics
+//! slowlog
 //! quit
 //! ```
 //!
@@ -16,7 +18,11 @@
 //! sessions can be annotated). Responses are deterministic pure
 //! functions of the session history — no timestamps, no machine state —
 //! which is what makes golden-transcript testing and the
-//! serve-vs-scratch differential possible.
+//! serve-vs-scratch differential possible. The two exceptions carry the
+//! service's *timing* telemetry and say so up front: `metrics` isolates
+//! every timing-derived datum in one trailing `"timing"` object (the
+//! line's deterministic prefix keeps the contract), and `slowlog` dumps
+//! wall-clock slow-query entries, which are timing through and through.
 
 /// One parsed protocol command.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,8 +35,14 @@ pub enum Command {
     Query(String),
     /// Print the derivation tree of one resident fact.
     Explain(String),
-    /// Report service counters.
+    /// Report service counters as one schema-versioned JSON line.
     Stats,
+    /// Dump the full metrics snapshot as one schema-versioned JSON line
+    /// (deterministic prefix, trailing `"timing"` object).
+    Metrics,
+    /// Dump the slow-query log, oldest first (`ok n=K` then K JSONL
+    /// lines).
+    Slowlog,
     /// End the session.
     Quit,
     /// Blank line or comment: no command, no response.
@@ -61,9 +73,12 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "query" => Ok(Command::Query(payload_of("query")?)),
         "explain" => Ok(Command::Explain(payload_of("explain")?)),
         "stats" => Ok(Command::Stats),
+        "metrics" => Ok(Command::Metrics),
+        "slowlog" => Ok(Command::Slowlog),
         "quit" => Ok(Command::Quit),
         other => Err(format!(
-            "unknown command `{other}` (expected insert/retract/query/explain/stats/quit)"
+            "unknown command `{other}` \
+             (expected insert/retract/query/explain/stats/metrics/slowlog/quit)"
         )),
     }
 }
@@ -94,6 +109,8 @@ mod tests {
             Ok(Command::Query("E(X,Y), E(Y,X)".into()))
         );
         assert_eq!(parse_command("stats"), Ok(Command::Stats));
+        assert_eq!(parse_command("metrics"), Ok(Command::Metrics));
+        assert_eq!(parse_command("slowlog"), Ok(Command::Slowlog));
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
         assert_eq!(parse_command(""), Ok(Command::Nop));
         assert_eq!(parse_command("# a comment"), Ok(Command::Nop));

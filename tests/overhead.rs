@@ -15,8 +15,13 @@
 
 use bddfc::chase::engine::chase_uninstrumented_baseline;
 use bddfc::chase::{chase, ChaseConfig};
-use bddfc::core::{parse_rule, Theory, Vocabulary};
+use bddfc::core::{parse_rule, Program, Theory, Vocabulary};
+use bddfc_serve::{transcript, ServeConfig, Server};
 use std::time::{Duration, Instant};
+
+/// Serializes the timed sections: two timing tests racing each other
+/// for cores would measure contention, not overhead.
+static TIMING_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Median-of-`n` wall time of `f`, after one warmup run.
 fn median_time<T>(n: usize, mut f: impl FnMut() -> T) -> Duration {
@@ -52,6 +57,8 @@ fn null_sink_chase_is_within_five_percent_of_uninstrumented_baseline() {
     let db = bddfc::zoo::random_graph(&mut voc, 60, 180, 13);
     let config = ChaseConfig { max_rounds: 8, max_facts: 200_000, ..Default::default() };
 
+    let _timing = TIMING_LOCK.lock().unwrap();
+
     // Sanity: both kernels compute the same instance before we time them.
     let instrumented = chase(&db, &theory, &mut voc.clone(), config);
     let baseline = chase_uninstrumented_baseline(&db, &theory, &mut voc.clone(), config);
@@ -77,6 +84,59 @@ fn null_sink_chase_is_within_five_percent_of_uninstrumented_baseline() {
         best_ratio <= 1.05,
         "Null-sink chase is {:.1}% slower than the uninstrumented baseline \
          (limit 5%); the obs layer is leaking cost onto the hot path",
+        (best_ratio - 1.0) * 100.0
+    );
+}
+
+/// The metrics registry promises the serve request path stays cheap:
+/// shard-local accumulation, one merge per request. This pins the cost
+/// of leaving metrics on (the default) to within 5% of a
+/// metrics-disabled server on the E13 query path.
+#[test]
+fn serve_request_path_with_metrics_is_within_five_percent_of_disabled() {
+    if cfg!(debug_assertions) {
+        println!(
+            "skipping overhead assertion in a debug build; \
+             run `cargo test --release --test overhead` to measure it"
+        );
+        return;
+    }
+
+    // E13 shape again: TC over a seeded random graph, loaded once per
+    // server; the timed section is a query-heavy session (the request
+    // path the registry instruments).
+    let mut voc = Vocabulary::new();
+    let theory = Theory::new(vec![
+        parse_rule("E(X,Y), E(Y,Z) -> E(X,Z)", &mut voc).unwrap(),
+    ]);
+    let instance = bddfc::zoo::random_graph(&mut voc, 60, 180, 13);
+    let program = Program { voc, theory, instance, queries: Vec::new() };
+    let script: String =
+        "query E(v0,v1)\nquery E(v1,v0)\nquery E(v2,v3)\nquery E(v0,v0)\n".repeat(64);
+
+    let _timing = TIMING_LOCK.lock().unwrap();
+
+    let on = Server::new(&program, ServeConfig::default());
+    let off = Server::new(&program, ServeConfig { metrics: false, ..ServeConfig::default() });
+    // Both servers answer identically before we time them.
+    assert_eq!(transcript(&on, &script), transcript(&off, &script));
+
+    const ATTEMPTS: usize = 3;
+    const ITERS: usize = 7;
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..ATTEMPTS {
+        let t_off = median_time(ITERS, || transcript(&off, &script));
+        let t_on = median_time(ITERS, || transcript(&on, &script));
+        let ratio = t_on.as_secs_f64() / t_off.as_secs_f64();
+        best_ratio = best_ratio.min(ratio);
+        if best_ratio <= 1.05 {
+            break;
+        }
+    }
+    assert!(
+        best_ratio <= 1.05,
+        "serve requests with metrics on are {:.1}% slower than with metrics off \
+         (limit 5%); the registry is leaking cost onto the request path",
         (best_ratio - 1.0) * 100.0
     );
 }

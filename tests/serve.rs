@@ -10,6 +10,7 @@
 //! * misconfigured `BDDFC_JOIN`/`BDDFC_THREADS` kill the binary at
 //!   startup with messages naming the offending value.
 
+use bddfc_core::obs::metrics::MetricsSnapshot;
 use bddfc_core::obs::Memory;
 use bddfc_core::{par, Atom, Program, Rule, Term, Theory, Vocabulary};
 use bddfc_serve::{transcript, ServeConfig, Server};
@@ -106,6 +107,144 @@ fn interleaved_sessions_are_byte_identical_across_thread_counts() {
     for threads in [2usize, 7] {
         assert_eq!(one, run(threads), "session responses diverged at {threads} threads");
     }
+}
+
+/// Satellite: `stats` answers one schema-versioned JSON line whose
+/// shape is pinned here field by field.
+#[test]
+fn stats_is_one_schema_versioned_json_line() {
+    let mut voc = Vocabulary::new();
+    let (theory, _) = tc_program(&mut voc);
+    let program =
+        Program { voc, theory, instance: bddfc_core::Instance::new(), queries: Vec::new() };
+    let server = Server::new(&program, ServeConfig::default());
+    let t = transcript(&server, "insert E(a,b). E(b,c).\nquery E(a,c)\nstats\n");
+    let stats = t.lines().last().unwrap();
+    assert_eq!(
+        stats,
+        "{\"schema\":1,\"epoch\":1,\"facts\":3,\"base\":2,\"segments\":1,\
+         \"rounds_total\":2,\"fixpoint\":true,\"inserts\":1,\"retracts\":0,\"queries\":1}",
+        "{t}"
+    );
+}
+
+/// Satellite: the `explain` protocol command is covered end to end,
+/// including its per-command latency histogram bucket — two explains
+/// (one resident, one not) land as two observations under
+/// `command="explain"`, and the failed one counts as an error.
+#[test]
+fn explain_requests_hit_their_latency_histogram_bucket() {
+    let mut voc = Vocabulary::new();
+    let (theory, _) = tc_program(&mut voc);
+    let program =
+        Program { voc, theory, instance: bddfc_core::Instance::new(), queries: Vec::new() };
+    let server = Server::new(&program, ServeConfig::default());
+    let t = transcript(
+        &server,
+        "insert E(a,b). E(b,c).\nexplain E(a,c)\nexplain E(c,a)\nmetrics\n",
+    );
+    assert!(t.contains("ok depth=1"), "{t}");
+    assert!(t.contains("err not resident: E(c,a)"), "{t}");
+
+    let snap = server.metrics_snapshot().expect("metrics on by default");
+    let explain = Some(("command", "explain"));
+    assert_eq!(snap.counter("bddfc_requests_total", explain), 2);
+    assert_eq!(snap.counter("bddfc_request_errors_total", explain), 1);
+    assert_eq!(
+        snap.histogram_count("bddfc_request_latency_ns", explain),
+        2,
+        "each explain must land one latency observation"
+    );
+
+    // The `metrics` protocol reply is one JSON line: deterministic
+    // prefix first, every timing-derived datum in the trailing object.
+    let mline = t.lines().find(|l| l.starts_with("{\"schema\":1,\"counters\"")).unwrap();
+    assert!(mline.contains(",\"timing\":{"), "{mline}");
+}
+
+/// The timing-free projection of a Prometheus scrape: drops the
+/// `_ns`-named families (the naming rule for timing-derived series)
+/// and the `bddfc_slowlog_*` family (timing-dependent by nature).
+fn deterministic_prometheus(snap: &MetricsSnapshot) -> String {
+    snap.to_prometheus()
+        .lines()
+        .filter(|l| !l.contains("_ns") && !l.contains("bddfc_slowlog"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Acceptance criterion: metrics snapshots — the JSON command's
+/// deterministic form and the Prometheus scrape with timing-derived
+/// families excluded — are byte-identical at 1, 2 and 7 worker
+/// threads, alongside the session transcript itself.
+#[test]
+fn metrics_snapshots_are_byte_identical_across_thread_counts() {
+    let mut voc = Vocabulary::new();
+    let (theory, _) = tc_program(&mut voc);
+    let program =
+        Program { voc, theory, instance: bddfc_core::Instance::new(), queries: Vec::new() };
+    let script = "insert E(a,b). E(b,c).\n\
+                  query E(a,c)\n\
+                  insert E(c,d). E(d,e).\n\
+                  explain E(a,e)\n\
+                  retract E(b,c).\n\
+                  query E(a,e)\n\
+                  bogus\n\
+                  stats\n\
+                  quit\n";
+    let run = |threads: usize| {
+        par::with_thread_count(threads, || {
+            let server = Server::new(&program, ServeConfig::default());
+            let t = transcript(&server, script);
+            let snap = server.metrics_snapshot().expect("metrics on by default");
+            (t, snap.to_json_deterministic(), deterministic_prometheus(&snap))
+        })
+    };
+    let one = run(1);
+    assert!(one.1.starts_with("{\"schema\":1,\"counters\":{"), "{}", one.1);
+    assert!(one.1.contains("bddfc_dred_overdeleted_total"), "{}", one.1);
+    assert!(one.2.contains("bddfc_requests_total{command=\"query\"} 2"), "{}", one.2);
+    assert!(one.2.contains("bddfc_chase_rounds_total"), "{}", one.2);
+    for threads in [2usize, 7] {
+        let other = run(threads);
+        assert_eq!(one.0, other.0, "transcript diverged at {threads} threads");
+        assert_eq!(one.1, other.1, "metrics JSON diverged at {threads} threads");
+        assert_eq!(one.2, other.2, "Prometheus scrape diverged at {threads} threads");
+    }
+}
+
+/// The slow-query log records threshold crossers with span trees and
+/// serves them back through the `slowlog` protocol command.
+#[test]
+fn slowlog_records_and_dumps_threshold_crossers() {
+    let mut voc = Vocabulary::new();
+    let (theory, _) = tc_program(&mut voc);
+    let program =
+        Program { voc, theory, instance: bddfc_core::Instance::new(), queries: Vec::new() };
+    // Threshold 0 ms: everything is slow.
+    let config = ServeConfig { slow_ms: Some(0), ..ServeConfig::default() };
+    let server = Server::new(&program, config);
+    let t = transcript(&server, "insert E(a,b). E(b,c).\nquery E(a,c)\nslowlog\n");
+    let lines: Vec<&str> = t.lines().collect();
+    // insert + query recorded; the slowlog dump itself is not yet in
+    // the ring it prints.
+    assert_eq!(lines[2], "ok n=2", "{t}");
+    assert!(lines[3].contains("\"command\":\"insert\""), "{t}");
+    assert!(lines[3].contains("\"spans\":[") && lines[3].contains("\"rules\":["), "{t}");
+    assert!(lines[4].contains("\"command\":\"query\""), "{t}");
+
+    // A threshold nothing crosses records nothing.
+    let quiet = Server::new(
+        &program,
+        ServeConfig { slow_ms: Some(60_000), ..ServeConfig::default() },
+    );
+    let t = transcript(&quiet, "insert E(a,b).\nslowlog\n");
+    assert!(t.lines().nth(1) == Some("ok n=0"), "{t}");
+
+    // Disabled log names the flag that turns it on.
+    let off = Server::new(&program, ServeConfig::default());
+    let t = transcript(&off, "slowlog\n");
+    assert_eq!(t.trim(), "err slowlog disabled (start with --slow-ms)");
 }
 
 /// The checked-in golden transcript replays in-process: same commands,
