@@ -54,6 +54,20 @@ fi
 echo "==> bddfc-lint --zoo --deny error"
 cargo run -q --release -p bddfc-lint --bin bddfc-lint -- --zoo --deny error
 
+echo "==> bddfc-lint tests/corpus --deny-prefix B00 (corpus hygiene gate)"
+cargo run -q --release -p bddfc-lint --bin bddfc-lint -- \
+    tests/corpus/*.dlg --deny-prefix B00
+
+echo "==> bddfc-analyze --zoo byte-identity across BDDFC_THREADS {1,2,7}"
+atmp=$(mktemp -d)
+for n in 1 2 7; do
+    BDDFC_THREADS=$n cargo run -q --release -p bddfc-analyze --bin bddfc-analyze -- \
+        --zoo --json > "$atmp/analyze.$n.json"
+done
+diff -u "$atmp/analyze.1.json" "$atmp/analyze.2.json"
+diff -u "$atmp/analyze.1.json" "$atmp/analyze.7.json"
+rm -rf "$atmp"
+
 echo "==> bddfc-fuzz --replay tests/corpus (committed differential corpus)"
 cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- --replay tests/corpus
 
@@ -107,5 +121,9 @@ rm -rf "$mtmp"
 echo "==> bddfc-fuzz serve_vs_scratch_chase (incremental serve vs from-scratch chase)"
 cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- \
     --seed 1 --budget-ms 5000 --prop serve_vs_scratch_chase
+
+echo "==> bddfc-fuzz static_bound_vs_observed_rounds (certificates vs the real chase)"
+cargo run -q --release -p bddfc-fuzz --bin bddfc-fuzz -- \
+    --seed 1 --budget-ms 5000 --prop static_bound_vs_observed_rounds
 
 echo "ci: ok"

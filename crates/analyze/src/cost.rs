@@ -1,0 +1,145 @@
+//! The static cost model: predicate cardinality priors and rule plans.
+//!
+//! The [domain abstraction](crate::domain) bounds how many distinct
+//! values each position can hold; multiplying a predicate's position
+//! bounds gives a static bound on its **distinct tuples**. Those
+//! per-predicate bounds become [`bddfc_core::Priors`] that the batched
+//! join planner consults as tie-breakers before runtime postings exist
+//! (runtime cardinalities always dominate once they are non-zero —
+//! priors only order predicates the store knows nothing about yet).
+//!
+//! [`CostModel::build`] also records, per rule, the join order the
+//! planner would choose on an **empty store** seeded with these priors,
+//! together with the rule's static firing bound. `--explain-plan`
+//! renders exactly that, so what the analyzer prints is what the
+//! planner will do on round one.
+
+use crate::domain::{display_bound, json_bound, DomainAnalysis};
+use bddfc_core::{obs::json_escape, join, PredId, Priors, Program};
+
+/// Static cardinality and planning summary for one program.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// `(predicate, static distinct-tuple bound)`, sorted by predicate.
+    pub pred_cards: Vec<(PredId, u64)>,
+    /// Per-rule: the join order the planner picks with these priors on
+    /// an empty store, plus the rule's static firing bound.
+    pub rule_plans: Vec<RulePlan>,
+}
+
+/// The static plan of one rule.
+#[derive(Clone, Debug)]
+pub struct RulePlan {
+    /// Body atom indices in execution order.
+    pub order: Vec<usize>,
+    /// Static bound on distinct firings (frontier tuples).
+    pub est_firings: u64,
+}
+
+impl CostModel {
+    /// Builds the model from a finished domain analysis.
+    pub fn build(prog: &Program, dom: &DomainAnalysis) -> CostModel {
+        let pred_cards: Vec<(PredId, u64)> = dom
+            .preds()
+            .into_iter()
+            .map(|p| (p, dom.pred_card(p, prog.voc.arity(p))))
+            .collect();
+        let priors = Priors::new(pred_cards.iter().copied());
+        let rule_plans = prog
+            .theory
+            .rules
+            .iter()
+            .zip(&dom.rule_firings)
+            .map(|(rule, &est_firings)| RulePlan {
+                order: join::plan_with_priors(&rule.body, None, |_| 0, Some(&priors)),
+                est_firings,
+            })
+            .collect();
+        CostModel { pred_cards, rule_plans }
+    }
+
+    /// The priors handed to the runtime join planner.
+    pub fn priors(&self) -> Priors {
+        Priors::new(self.pred_cards.iter().copied())
+    }
+
+    /// Stable single-line JSON rendering (predicates keyed by name).
+    pub fn json_named(&self, prog: &Program) -> String {
+        let mut s = String::from("{\"pred_cards\":{");
+        for (i, (p, c)) in self.pred_cards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", json_escape(prog.voc.pred_name(*p)), json_bound(*c)));
+        }
+        s.push_str("},\"rule_firings\":[");
+        for (i, rp) in self.rule_plans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_bound(rp.est_firings));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// `--explain-plan` rendering: per rule, the static join order with
+    /// per-atom cardinality bounds and the firing estimate.
+    pub fn explain(&self, prog: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (p, c) in &self.pred_cards {
+            let _ = writeln!(s, "pred {}/{} card <= {}", prog.voc.pred_name(*p), prog.voc.arity(*p), display_bound(*c));
+        }
+        for (ri, (rule, rp)) in prog.theory.rules.iter().zip(&self.rule_plans).enumerate() {
+            let _ = writeln!(s, "rule {}: {}", ri, rule.display(&prog.voc));
+            let _ = write!(s, "  static order:");
+            for &i in &rp.order {
+                let card = self
+                    .pred_cards
+                    .iter()
+                    .find(|(p, _)| *p == rule.body[i].pred)
+                    .map(|&(_, c)| c)
+                    .unwrap_or(u64::MAX);
+                let _ = write!(s, " {}[{}]<={}", prog.voc.pred_name(rule.body[i].pred), i, display_bound(card));
+            }
+            let _ = writeln!(s);
+            let _ = writeln!(s, "  est firings <= {}", display_bound(rp.est_firings));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    #[test]
+    fn priors_order_static_plan_smallest_first() {
+        // Big/2 can hold 3x3 tuples, Small/1 only 1; with no runtime
+        // postings the static plan starts at Small when connected.
+        let prog = parse_program(
+            "Small(X), Big(X,Y) -> R(Y).
+             Big(a,b). Big(b,c). Big(c,a). Small(a). ?- R(X).",
+        )
+        .unwrap();
+        let dom = DomainAnalysis::analyze(&prog);
+        let cm = CostModel::build(&prog, &dom);
+        assert_eq!(cm.rule_plans[0].order[0], 0, "Small should lead the static plan");
+        let small = prog.voc.find_pred("Small").unwrap();
+        let p = cm.priors();
+        assert_eq!(p.get(small), Some(1));
+    }
+
+    #[test]
+    fn explain_plan_is_deterministic_and_mentions_every_rule() {
+        let prog = parse_program("E(X,Y), E(Y,Z) -> E(X,Z). E(a,b). ?- E(X,Y).").unwrap();
+        let dom = DomainAnalysis::analyze(&prog);
+        let cm = CostModel::build(&prog, &dom);
+        let a = cm.explain(&prog);
+        assert_eq!(a, CostModel::build(&prog, &dom).explain(&prog));
+        assert!(a.contains("rule 0:"));
+        assert!(a.contains("est firings"));
+    }
+}

@@ -1,0 +1,365 @@
+//! The position-level domain abstraction: a saturating counting lattice
+//! over the condensed position dependency graph.
+//!
+//! Every predicate position `P[i]` of a program is assigned an upper
+//! bound on the number of **distinct values** (constants and labeled
+//! nulls) that can ever appear there during a chase. Bounds live in the
+//! saturating lattice `0 ≤ 1 ≤ … ≤ SAT` where [`SAT`] (`u64::MAX`)
+//! means "no finite bound"; all arithmetic saturates, so an overflowing
+//! product degrades soundly to "unbounded" instead of wrapping.
+//!
+//! The transfer function works on the SCC condensation of
+//! [`PosGraph`] (components numbered topologically by
+//! [`bddfc_core::scc::condense`]). For a component `C`, in topological
+//! order:
+//!
+//! * if `C` contains a **special edge** (an existential head position
+//!   fed from a body position inside the same component), fresh nulls
+//!   can feed the positions that create more fresh nulls: `val(C) = SAT`
+//!   and the theory is not weakly acyclic;
+//! * otherwise `val(C)` is the saturating sum of
+//!   * the **base constants** observed at `C`'s positions (instance
+//!     facts and constants written by rule heads),
+//!   * one `val(C')` per **regular edge** from an earlier component
+//!     `C'` (a frontier variable copied in), and
+//!   * one *firing bound* per existential head position in `C` (each
+//!     firing of the inducing rule invents at most one null per
+//!     existential variable).
+//!
+//! The firing bound of a rule is the product over its frontier
+//! variables of the smallest position bound among the variable's body
+//! occurrences — sound because the chase engines deduplicate repairs by
+//! frontier key, so a rule fires at most once per distinct frontier
+//! tuple. For rules with existentials every body variable position sits
+//! in a strictly earlier component (the special edges from every body
+//! variable position enforce it), so the topological sweep always has
+//! the inputs it needs.
+//!
+//! Everything here is a deterministic, single-threaded pure function of
+//! the program: positions are sorted, components are numbered
+//! deterministically, and no iteration order depends on hashing.
+
+use bddfc_core::posgraph::{EdgeKind, Pos, PosGraph};
+use bddfc_core::scc::{component_count, condense};
+use bddfc_core::{ConstId, PredId, Program, Rule, Term, VarId};
+use std::collections::BTreeSet;
+
+/// The saturated ("no finite bound") element of the counting lattice.
+pub const SAT: u64 = u64::MAX;
+
+/// Saturating sum that treats [`SAT`] as absorbing.
+pub fn sat_add(a: u64, b: u64) -> u64 {
+    a.saturating_add(b)
+}
+
+/// Saturating product; `0 * SAT = 0` (an empty domain admits no
+/// bindings no matter how unbounded the other side is).
+pub fn sat_mul(a: u64, b: u64) -> u64 {
+    a.saturating_mul(b)
+}
+
+/// The result of the domain abstraction over one program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomainAnalysis {
+    /// Every position of the program's predicates (theory ∪ instance),
+    /// sorted — the index into this vector is the position id used by
+    /// [`DomainAnalysis::comp`].
+    pub positions: Vec<Pos>,
+    /// Component id per position (topological numbering).
+    pub comp: Vec<usize>,
+    /// Number of components.
+    pub ncomp: usize,
+    /// Per-component bound on distinct values across its positions.
+    pub comp_val: Vec<u64>,
+    /// Per-rule bound on distinct firings (frontier tuples).
+    pub rule_firings: Vec<u64>,
+    /// No special edge inside any component — the FKMP weak acyclicity
+    /// condition, equivalent to `PosGraph::is_weakly_acyclic`.
+    pub weakly_acyclic: bool,
+}
+
+impl DomainAnalysis {
+    /// Runs the abstraction over `prog`.
+    pub fn analyze(prog: &Program) -> DomainAnalysis {
+        let positions = universe(prog);
+        let idx = |p: Pos| positions.binary_search(&p).ok();
+        let graph = PosGraph::new(&prog.theory);
+
+        let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); positions.len()];
+        for e in graph.edges() {
+            if let (Some(u), Some(v)) = (idx(e.from), idx(e.to)) {
+                succ[u].insert(v);
+            }
+        }
+        let comp = condense(&succ);
+        let ncomp = component_count(&comp);
+
+        // Components poisoned by an intra-component special edge.
+        let mut comp_sat = vec![false; ncomp];
+        for e in graph.edges() {
+            if e.kind != EdgeKind::Special {
+                continue;
+            }
+            if let (Some(u), Some(v)) = (idx(e.from), idx(e.to)) {
+                if comp[u] == comp[v] {
+                    comp_sat[comp[u]] = true;
+                }
+            }
+        }
+        let weakly_acyclic = !comp_sat.iter().any(|&s| s);
+
+        let base = base_constants(prog, &positions);
+
+        // Regular inflow edges and null targets, bucketed by target comp.
+        let mut regular_in: Vec<Vec<usize>> = vec![Vec::new(); ncomp]; // source comp ids
+        for e in graph.edges() {
+            if e.kind != EdgeKind::Regular {
+                continue;
+            }
+            if let (Some(u), Some(v)) = (idx(e.from), idx(e.to)) {
+                if comp[u] != comp[v] {
+                    regular_in[comp[v]].push(comp[u]);
+                }
+            }
+        }
+        // (rule index) per existential head position, bucketed by comp.
+        let mut null_in: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+        for (ri, rule) in prog.theory.rules.iter().enumerate() {
+            let ex = rule.existential_vars();
+            if ex.is_empty() {
+                continue;
+            }
+            for head in &rule.head {
+                for (i, t) in head.args.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        if ex.contains(v) {
+                            if let Some(j) = idx(Pos { pred: head.pred, arg: i }) {
+                                null_in[comp[j]].push(ri);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Topological sweep.
+        let mut comp_val = vec![0u64; ncomp];
+        for s in 0..ncomp {
+            if comp_sat[s] {
+                comp_val[s] = SAT;
+                continue;
+            }
+            let mut v = 0u64;
+            for (pi, b) in base.iter().enumerate() {
+                if comp[pi] == s {
+                    v = sat_add(v, b.len() as u64);
+                }
+            }
+            for &src in &regular_in[s] {
+                v = sat_add(v, comp_val[src]);
+            }
+            for &ri in &null_in[s] {
+                // Under weak acyclicity every body variable position of
+                // this rule is in a strictly earlier component, so the
+                // firing bound only reads finalized values; a poisoned
+                // body component contributes SAT, which is sound too.
+                v = sat_add(v, firing_bound(&prog.theory.rules[ri], &positions, &comp, &comp_val));
+            }
+            comp_val[s] = v;
+        }
+
+        let rule_firings = prog
+            .theory
+            .rules
+            .iter()
+            .map(|r| firing_bound(r, &positions, &comp, &comp_val))
+            .collect();
+
+        DomainAnalysis { positions, comp, ncomp, comp_val, rule_firings, weakly_acyclic }
+    }
+
+    /// The bound at one position ([`SAT`] when the position is unknown —
+    /// conservative for every caller).
+    pub fn pos_val(&self, p: Pos) -> u64 {
+        match self.positions.binary_search(&p) {
+            Ok(i) => self.comp_val[self.comp[i]],
+            Err(_) => SAT,
+        }
+    }
+
+    /// Static cardinality bound for a predicate: the product of its
+    /// position bounds (distinct tuples over bounded columns).
+    pub fn pred_card(&self, pred: PredId, arity: usize) -> u64 {
+        (0..arity).fold(1u64, |acc, i| sat_mul(acc, self.pos_val(Pos { pred, arg: i })))
+    }
+
+    /// All predicates of the analyzed universe, sorted.
+    pub fn preds(&self) -> Vec<PredId> {
+        let mut out: Vec<PredId> = self.positions.iter().map(|p| p.pred).collect();
+        out.dedup();
+        out
+    }
+}
+
+/// The sorted position universe of a program: every argument slot of
+/// every predicate mentioned by the theory or holding an instance fact.
+pub fn universe(prog: &Program) -> Vec<Pos> {
+    let mut preds: BTreeSet<PredId> = prog.theory.preds().into_iter().collect();
+    preds.extend(prog.instance.facts().iter().map(|f| f.pred));
+    let mut positions = Vec::new();
+    for &p in &preds {
+        for arg in 0..prog.voc.arity(p) {
+            positions.push(Pos { pred: p, arg });
+        }
+    }
+    positions
+}
+
+/// Distinct base constants per position: instance facts plus constants
+/// written by rule heads. (Body and query constants only filter; they
+/// never place a value.)
+pub fn base_constants(prog: &Program, positions: &[Pos]) -> Vec<BTreeSet<ConstId>> {
+    let mut base: Vec<BTreeSet<ConstId>> = vec![BTreeSet::new(); positions.len()];
+    let mut add = |pos: Pos, c: ConstId| {
+        if let Ok(i) = positions.binary_search(&pos) {
+            base[i].insert(c);
+        }
+    };
+    for f in prog.instance.facts() {
+        for (i, &c) in f.args.iter().enumerate() {
+            add(Pos { pred: f.pred, arg: i }, c);
+        }
+    }
+    for rule in &prog.theory.rules {
+        for head in &rule.head {
+            for (i, t) in head.args.iter().enumerate() {
+                if let Term::Const(c) = t {
+                    add(Pos { pred: head.pred, arg: i }, *c);
+                }
+            }
+        }
+    }
+    base
+}
+
+/// The firing bound of one rule under given component values: the
+/// product over frontier variables of the smallest bound among the
+/// variable's body positions (1 for an empty frontier — such a rule
+/// fires at most once).
+pub fn firing_bound(rule: &Rule, positions: &[Pos], comp: &[usize], comp_val: &[u64]) -> u64 {
+    let mut frontier: Vec<VarId> = rule.frontier().into_iter().collect();
+    frontier.sort_unstable();
+    let pos_val = |p: Pos| -> u64 {
+        match positions.binary_search(&p) {
+            Ok(i) => comp_val[comp[i]],
+            Err(_) => SAT,
+        }
+    };
+    let mut prod = 1u64;
+    for v in frontier {
+        let mut dom = SAT;
+        for atom in &rule.body {
+            for (i, t) in atom.args.iter().enumerate() {
+                if matches!(t, Term::Var(w) if *w == v) {
+                    dom = dom.min(pos_val(Pos { pred: atom.pred, arg: i }));
+                }
+            }
+        }
+        prod = sat_mul(prod, dom);
+    }
+    prod
+}
+
+/// Renders a bound: the saturated element prints as `unbounded`.
+pub fn display_bound(v: u64) -> String {
+    if v == SAT {
+        "unbounded".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders a bound into JSON: saturated becomes `null`.
+pub fn json_bound(v: u64) -> String {
+    if v == SAT {
+        "null".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    fn analyze(src: &str) -> (Program, DomainAnalysis) {
+        let prog = parse_program(src).unwrap();
+        let da = DomainAnalysis::analyze(&prog);
+        (prog, da)
+    }
+
+    #[test]
+    fn datalog_closure_is_bounded_by_base_constants() {
+        let (prog, da) = analyze("E(X,Y), E(Y,Z) -> E(X,Z). E(a,b). E(b,c). ?- E(X,Y).");
+        assert!(da.weakly_acyclic);
+        let e = prog.voc.find_pred("E").unwrap();
+        // Three constants total; each E position holds at most all of them.
+        for arg in 0..2 {
+            let v = da.pos_val(Pos { pred: e, arg });
+            assert!(v >= 2 && v <= 3, "E[{arg}] = {v}");
+        }
+        assert!(da.pred_card(e, 2) <= 9);
+    }
+
+    #[test]
+    fn self_feeding_existential_saturates() {
+        let (prog, da) = analyze("E(X,Y) -> exists Z . E(Y,Z). E(a,b).");
+        assert!(!da.weakly_acyclic);
+        let e = prog.voc.find_pred("E").unwrap();
+        assert_eq!(da.pos_val(Pos { pred: e, arg: 1 }), SAT);
+    }
+
+    #[test]
+    fn acyclic_null_creation_stays_finite() {
+        // P(x) -> exists z . E(x,z): one null per P value; E[1] bounded
+        // by |P[0]|.
+        let (prog, da) = analyze("P(X) -> exists Z . E(X,Z). P(a). P(b). ?- E(X,Y).");
+        assert!(da.weakly_acyclic);
+        let e = prog.voc.find_pred("E").unwrap();
+        assert_eq!(da.pos_val(Pos { pred: e, arg: 1 }), 2);
+        assert_eq!(da.rule_firings[0], 2);
+        assert!(da.pred_card(e, 2) <= 4);
+    }
+
+    #[test]
+    fn head_constants_count_as_base() {
+        let (prog, da) = analyze("P(X) -> E(X,c). P(a). ?- E(X,Y).");
+        let e = prog.voc.find_pred("E").unwrap();
+        assert_eq!(da.pos_val(Pos { pred: e, arg: 1 }), 1);
+    }
+
+    #[test]
+    fn empty_frontier_fires_once() {
+        let (_, da) = analyze("P(X) -> exists Z . Q(Z). P(a). P(b). ?- Q(X).");
+        // frontier is empty: at most one firing, so Q[0] holds one null.
+        assert_eq!(da.rule_firings[0], 1);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let src = "E(X,Y) -> exists Z . U(Y,Z). U(X,Y), E(Y,X) -> U(X,X).
+                   E(a,b). E(b,a). ?- U(X,Y).";
+        let (_, a) = analyze(src);
+        let (_, b) = analyze(src);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(sat_add(SAT, 1), SAT);
+        assert_eq!(sat_mul(SAT, 2), SAT);
+        assert_eq!(sat_mul(SAT, 0), 0);
+        assert_eq!(sat_mul(u64::MAX / 2, 3), SAT);
+    }
+}

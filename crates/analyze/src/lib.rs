@@ -1,0 +1,100 @@
+//! # bddfc-analyze — static chase analysis
+//!
+//! Three passes over a parsed Datalog∃ program, all deterministic pure
+//! functions of the source text:
+//!
+//! * **termination** ([`termination`]) — a weak-acyclicity-based
+//!   approximation over the position dependency graph that, when it
+//!   succeeds, emits a machine-checkable [`termination::Certificate`]
+//!   bounding the chase: distinct facts and productive semi-naive
+//!   rounds. Certificates carry every intermediate value and are
+//!   re-validated independently by [`termination::Certificate::validate`].
+//! * **cost** ([`cost`]) — position-level domain bounds folded into
+//!   per-predicate static cardinalities, exported as [`bddfc_core::Priors`]
+//!   that the batched join planner consults before runtime postings
+//!   exist, plus per-rule static plans for `--explain-plan`.
+//! * **perf lints** ([`perflints`]) — B201..B205, structural
+//!   performance smells surfaced through the shared
+//!   [`bddfc_core::diag`] machinery.
+//!
+//! [`analyze`] runs all three and bundles them into an [`Analysis`]
+//! with a stable one-line JSON rendering consumed by `bddfc-serve`.
+
+pub mod cost;
+pub mod domain;
+pub mod perflints;
+pub mod termination;
+
+use bddfc_core::{Diagnostic, LintReport, Program};
+
+/// The combined result of all three analysis passes.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Termination certificate, when the program is weakly acyclic.
+    pub certificate: Option<termination::Certificate>,
+    /// Static cost model (always produced; bounds may be saturated).
+    pub cost: cost::CostModel,
+    /// Perf lints B201..B205, in canonical order.
+    pub lints: Vec<Diagnostic>,
+}
+
+/// Runs the full analyzer over a parsed program.
+pub fn analyze(prog: &Program) -> Analysis {
+    let dom = domain::DomainAnalysis::analyze(prog);
+    let certificate = termination::certify(prog, &dom);
+    let cost = cost::CostModel::build(prog, &dom);
+    let mut lints = perflints::perf_lints(prog);
+    LintReport::sort(&mut lints);
+    Analysis { certificate, cost, lints }
+}
+
+impl Analysis {
+    /// One-line JSON summary, stable across runs and thread counts.
+    pub fn json(&self, name: &str, prog: &Program) -> String {
+        let mut s = String::new();
+        s.push_str("{\"schema\":1,\"program\":\"");
+        s.push_str(&bddfc_core::obs::json_escape(name));
+        s.push_str("\",\"termination\":");
+        match &self.certificate {
+            Some(c) => s.push_str(&c.json()),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"cost\":");
+        s.push_str(&self.cost.json_named(prog));
+        s.push_str(",\"lints\":[");
+        for (i, d) in self.lints.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&d.json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    #[test]
+    fn analysis_json_is_one_line_and_stable() {
+        let prog = parse_program("P(X) -> exists Z . E(X,Z). P(a). ?- E(X,Y).").unwrap();
+        let a = analyze(&prog);
+        let j = a.json("t", &prog);
+        assert!(!j.contains('\n'));
+        assert!(j.starts_with("{\"schema\":1,\"program\":\"t\","));
+        assert_eq!(j, analyze(&prog).json("t", &prog));
+        assert!(a.certificate.is_some());
+    }
+
+    #[test]
+    fn non_terminating_program_has_no_certificate() {
+        let prog = parse_program("E(X,Y) -> exists Z . E(Y,Z). E(a,b).").unwrap();
+        let a = analyze(&prog);
+        assert!(a.certificate.is_none());
+        let j = a.json("loop", &prog);
+        assert!(j.contains("\"termination\":null"));
+    }
+}

@@ -1,0 +1,413 @@
+//! Performance lints `B201..B205`: structural smells that predict chase
+//! or maintenance cost, surfaced through the shared diagnostic model.
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | B201 | warning  | cross-product join in a rule body (disconnected atoms) |
+//! | B202 | warning  | join variable with no selective binding position |
+//! | B203 | warning  | rule unreachable from any EDB predicate under the condensation |
+//! | B204 | note     | delta-irrelevant rule (derivations no body or query consumes) |
+//! | B205 | note     | high fan-in recursive predicate: DRed over-deletion can go quadratic |
+//!
+//! Unlike the hygiene lints these never make a program wrong — they
+//! flag work the engine will do without anything observing the result,
+//! or joins whose static cost model offers no selective side.
+
+use crate::domain::{DomainAnalysis, SAT};
+use bddfc_core::posgraph::Pos;
+use bddfc_core::scc::condense;
+use bddfc_core::{Diagnostic, PredId, Program, Severity, Term};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs every perf lint over `prog`.
+pub fn perf_lints(prog: &Program) -> Vec<Diagnostic> {
+    let dom = DomainAnalysis::analyze(prog);
+    let mut out = Vec::new();
+    cross_product_joins(prog, &mut out);
+    unselective_joins(prog, &dom, &mut out);
+    edb_unreachable_rules(prog, &mut out);
+    delta_irrelevant_rules(prog, &mut out);
+    dred_fan_in(prog, &mut out);
+    out
+}
+
+/// B201: the body, viewed as a graph of atoms joined by shared
+/// variables, is disconnected — evaluation must cross-product the
+/// groups. Ground atoms (no variables) are guards, not joins, and do
+/// not count as components.
+fn cross_product_joins(prog: &Program, out: &mut Vec<Diagnostic>) {
+    for rule in &prog.theory.rules {
+        let var_atoms: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.vars().next().is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if var_atoms.len() < 2 {
+            continue;
+        }
+        // Union-find-free closure: grow the first atom's group until it
+        // stops absorbing; disconnected iff something remains outside.
+        let mut group: BTreeSet<usize> = [var_atoms[0]].into();
+        let mut vars: BTreeSet<_> = rule.body[var_atoms[0]].vars().collect();
+        loop {
+            let mut grew = false;
+            for &i in &var_atoms {
+                if !group.contains(&i) && rule.body[i].vars().any(|v| vars.contains(&v)) {
+                    group.insert(i);
+                    vars.extend(rule.body[i].vars());
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        if let Some(&outside) = var_atoms.iter().find(|i| !group.contains(i)) {
+            out.push(
+                Diagnostic::new(
+                    "B201",
+                    Severity::Warning,
+                    format!(
+                        "cross-product join in {}: the body atoms do not all share variables",
+                        rule.describe(&prog.voc)
+                    ),
+                    rule.body_span(outside).or_else(|| rule.span()),
+                )
+                .with_note(format!(
+                    "`{}` shares no variable with the group containing `{}`",
+                    prog.voc.pred_name(rule.body[outside].pred),
+                    prog.voc.pred_name(rule.body[var_atoms[0]].pred),
+                )),
+            );
+        }
+    }
+}
+
+/// B202: a variable joining two or more body atoms where the static
+/// domain analysis bounds none of its positions — every side of the
+/// join looks unbounded, so no probe order is selective.
+fn unselective_joins(prog: &Program, dom: &DomainAnalysis, out: &mut Vec<Diagnostic>) {
+    for rule in &prog.theory.rules {
+        let mut occurs: BTreeMap<bddfc_core::VarId, Vec<(usize, Pos)>> = BTreeMap::new();
+        for (bi, atom) in rule.body.iter().enumerate() {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    occurs.entry(*v).or_default().push((bi, Pos { pred: atom.pred, arg: i }));
+                }
+            }
+        }
+        for (v, sites) in occurs {
+            let atoms: BTreeSet<usize> = sites.iter().map(|&(bi, _)| bi).collect();
+            if atoms.len() < 2 {
+                continue;
+            }
+            if sites.iter().all(|&(_, p)| dom.pos_val(p) == SAT) {
+                let first = sites[0].0;
+                out.push(
+                    Diagnostic::new(
+                        "B202",
+                        Severity::Warning,
+                        format!(
+                            "join variable `{}` in {} has no selective binding position",
+                            prog.voc.var_name(v),
+                            rule.describe(&prog.voc)
+                        ),
+                        rule.body_span(first).or_else(|| rule.span()),
+                    )
+                    .with_note("every position it occupies is statically unbounded"),
+                );
+            }
+        }
+    }
+}
+
+/// B203: schema-level unreachability. Seeds are the EDB predicates —
+/// those in no rule head (only an input database can populate them) —
+/// plus heads of body-less rules; a rule whose body mentions a
+/// predicate in a component no seed reaches can only fire if the input
+/// asserts IDB facts directly.
+///
+/// Programs with no EDB predicate at all are exempt: when every
+/// predicate is derived, the program's convention is plainly facts on
+/// derived predicates, and flagging every rule would be noise.
+fn edb_unreachable_rules(prog: &Program, out: &mut Vec<Diagnostic>) {
+    let mut preds: BTreeSet<PredId> = prog.theory.preds().into_iter().collect();
+    preds.extend(prog.instance.facts().iter().map(|f| f.pred));
+    let preds: Vec<PredId> = preds.into_iter().collect();
+    if preds.is_empty() {
+        return;
+    }
+    let index: BTreeMap<PredId, usize> = preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+
+    let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); preds.len()];
+    let mut in_head: BTreeSet<PredId> = BTreeSet::new();
+    for rule in &prog.theory.rules {
+        in_head.extend(rule.head.iter().map(|a| a.pred));
+        for b in &rule.body {
+            for h in &rule.head {
+                succ[index[&b.pred]].insert(index[&h.pred]);
+            }
+        }
+    }
+
+    let comp = condense(&succ);
+    let ncomp = comp.iter().copied().max().map_or(0, |m| m + 1);
+    let mut comp_succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ncomp];
+    for (u, ss) in succ.iter().enumerate() {
+        for &v in ss {
+            if comp[u] != comp[v] {
+                comp_succ[comp[u]].insert(comp[v]);
+            }
+        }
+    }
+
+    let mut reachable = vec![false; ncomp];
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, &p) in preds.iter().enumerate() {
+        if !in_head.contains(&p) && !reachable[comp[i]] {
+            reachable[comp[i]] = true;
+            queue.push(comp[i]);
+        }
+    }
+    for rule in &prog.theory.rules {
+        if rule.body.is_empty() {
+            for h in &rule.head {
+                let c = comp[index[&h.pred]];
+                if !reachable[c] {
+                    reachable[c] = true;
+                    queue.push(c);
+                }
+            }
+        }
+    }
+    if queue.is_empty() && !reachable.iter().any(|&r| r) {
+        // No EDB predicate anywhere: the schema draws no base/derived
+        // line, so schema-level reachability is meaningless here.
+        return;
+    }
+    while let Some(c) = queue.pop() {
+        for &d in &comp_succ[c] {
+            if !reachable[d] {
+                reachable[d] = true;
+                queue.push(d);
+            }
+        }
+    }
+
+    for rule in &prog.theory.rules {
+        let dead = rule
+            .body
+            .iter()
+            .enumerate()
+            .find(|(_, a)| !reachable[comp[index[&a.pred]]]);
+        if let Some((i, atom)) = dead {
+            out.push(
+                Diagnostic::new(
+                    "B203",
+                    Severity::Warning,
+                    format!(
+                        "rule {} is unreachable from the EDB: `{}` sits in a component \
+                         no base predicate feeds",
+                        rule.describe(&prog.voc),
+                        prog.voc.pred_name(atom.pred)
+                    ),
+                    rule.body_span(i).or_else(|| rule.span()),
+                )
+                .with_note(
+                    "only facts asserted directly on a derived predicate can make it fire",
+                ),
+            );
+        }
+    }
+}
+
+/// B204: every head predicate of the rule is consumed by no rule body
+/// and no query — semi-naive and incremental maintenance both pay for
+/// derivations nothing observes.
+fn delta_irrelevant_rules(prog: &Program, out: &mut Vec<Diagnostic>) {
+    let mut in_body: BTreeSet<PredId> = BTreeSet::new();
+    for rule in &prog.theory.rules {
+        in_body.extend(rule.body.iter().map(|a| a.pred));
+    }
+    let in_query: BTreeSet<PredId> =
+        prog.queries.iter().flat_map(|q| q.atoms.iter().map(|a| a.pred)).collect();
+    for rule in &prog.theory.rules {
+        if rule.head.is_empty() {
+            continue;
+        }
+        if rule
+            .head
+            .iter()
+            .all(|h| !in_body.contains(&h.pred) && !in_query.contains(&h.pred))
+        {
+            out.push(
+                Diagnostic::new(
+                    "B204",
+                    Severity::Note,
+                    format!(
+                        "rule {} is delta-irrelevant: nothing reads what it derives",
+                        rule.describe(&prog.voc)
+                    ),
+                    rule.span(),
+                )
+                .with_note("every round still joins its body against the delta"),
+            );
+        }
+    }
+}
+
+/// How many distinct `(rule, head atom)` pairs must derive a predicate
+/// before B205 considers its DRed fan-in heavy.
+const DRED_FAN_IN: usize = 3;
+
+/// B205: a recursive predicate (cyclic dependency component) derived by
+/// [`DRED_FAN_IN`] or more rule/head-atom pairs — DRed over-deletion has
+/// many alternative derivations to re-check per retracted fact.
+fn dred_fan_in(prog: &Program, out: &mut Vec<Diagnostic>) {
+    let mut preds: BTreeSet<PredId> = prog.theory.preds().into_iter().collect();
+    preds.extend(prog.instance.facts().iter().map(|f| f.pred));
+    let preds: Vec<PredId> = preds.into_iter().collect();
+    if preds.is_empty() {
+        return;
+    }
+    let index: BTreeMap<PredId, usize> = preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let mut succ: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); preds.len()];
+    for rule in &prog.theory.rules {
+        for b in &rule.body {
+            for h in &rule.head {
+                succ[index[&b.pred]].insert(index[&h.pred]);
+            }
+        }
+    }
+    let comp = condense(&succ);
+    // A predicate is recursive iff its component contains a cycle:
+    // either two predicates share the component, or it has a self-loop.
+    let mut comp_size = vec![0usize; comp.iter().copied().max().map_or(0, |m| m + 1)];
+    for &c in &comp {
+        comp_size[c] += 1;
+    }
+    let recursive = |i: usize| comp_size[comp[i]] > 1 || succ[i].contains(&i);
+
+    let mut fan_in: BTreeMap<PredId, usize> = BTreeMap::new();
+    for rule in &prog.theory.rules {
+        for h in &rule.head {
+            *fan_in.entry(h.pred).or_default() += 1;
+        }
+    }
+    for (&p, &n) in &fan_in {
+        if n >= DRED_FAN_IN && recursive(index[&p]) {
+            out.push(
+                Diagnostic::new(
+                    "B205",
+                    Severity::Note,
+                    format!(
+                        "recursive predicate `{}` has {} derivation sites: DRed \
+                         over-deletion can go quadratic on retract",
+                        prog.voc.pred_name(p),
+                        n
+                    ),
+                    first_head_span(prog, p),
+                )
+                .with_note("retract-heavy workloads over it will be the slow path"),
+            );
+        }
+    }
+}
+
+/// The span of the first head atom over `p`, if known.
+fn first_head_span(prog: &Program, p: PredId) -> Option<bddfc_core::SrcSpan> {
+    for rule in &prog.theory.rules {
+        if let Some(i) = rule.head.iter().position(|a| a.pred == p) {
+            return rule.head_span(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let prog = parse_program(src).unwrap();
+        let mut ds = perf_lints(&prog);
+        bddfc_core::LintReport::sort(&mut ds);
+        ds.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_perf_lints() {
+        assert!(codes("E(X,Y), E(Y,Z) -> E(X,Z). E(a,b). ?- E(X,Y).").is_empty());
+    }
+
+    #[test]
+    fn cross_product_fires_only_on_disconnected_bodies() {
+        let cs = codes("P(X), Q(Y) -> R(X,Y). P(a). Q(b). ?- R(X,Y).");
+        assert!(cs.contains(&"B201"), "{cs:?}");
+        let cs = codes("P(X), Q(X,Y) -> R(X,Y). P(a). Q(a,b). ?- R(X,Y).");
+        assert!(!cs.contains(&"B201"), "{cs:?}");
+        // A ground guard atom is not a cross product.
+        let cs = codes("Flag(on), Q(X,Y) -> R(X,Y). Flag(on). Q(a,b). ?- R(X,Y).");
+        assert!(!cs.contains(&"B201"), "{cs:?}");
+    }
+
+    #[test]
+    fn unselective_join_needs_saturated_positions() {
+        // The E cycle through an existential saturates both E positions,
+        // so the self-join over Y has no selective side.
+        let cs = codes("E(X,Y) -> exists Z . E(Y,Z). E(X,Y), E(Y,W) -> R(X,W). E(a,b). ?- R(X,Y).");
+        assert!(cs.contains(&"B202"), "{cs:?}");
+        // A weakly acyclic program bounds every position: no B202.
+        let cs = codes("E(X,Y), E(Y,W) -> R(X,W). E(a,b). ?- R(X,Y).");
+        assert!(!cs.contains(&"B202"), "{cs:?}");
+    }
+
+    #[test]
+    fn edb_unreachable_is_schema_level() {
+        // U is IDB-only (fed by V, V by U); facts on U keep B005 quiet
+        // but B203 still fires — the schema gives the component no base.
+        let cs = codes(
+            "U(X,Y) -> V(Y,X). V(X,Y) -> U(Y,X). E(X,Y) -> R(X,Y).
+             U(a,b). E(a,b). ?- U(X,Y), V(X,Y), R(X,Y).",
+        );
+        assert_eq!(cs.iter().filter(|c| **c == "B203").count(), 2, "{cs:?}");
+        // With a base feeder the component is reachable.
+        let cs = codes("B(X,Y) -> U(X,Y). U(X,Y) -> V(Y,X). V(X,Y) -> U(Y,X). B(a,b). ?- V(X,Y).");
+        assert!(!cs.contains(&"B203"), "{cs:?}");
+        // A program whose every predicate is derived draws no EDB line
+        // at all: exempt.
+        let cs = codes("E(X,Y), E(Y,Z) -> E(X,Z). E(a,b). ?- E(X,Y).");
+        assert!(!cs.contains(&"B203"), "{cs:?}");
+    }
+
+    #[test]
+    fn delta_irrelevant_rule_is_flagged() {
+        let cs = codes("E(X,Y) -> U(X,Y). E(a,b).");
+        assert!(cs.contains(&"B204"), "{cs:?}");
+        let cs = codes("E(X,Y) -> U(X,Y). E(a,b). ?- U(X,Y).");
+        assert!(!cs.contains(&"B204"), "{cs:?}");
+    }
+
+    #[test]
+    fn dred_fan_in_needs_recursion_and_many_sites() {
+        // T is recursive (self-loop) with three derivation sites.
+        let cs = codes(
+            "E(X,Y) -> T(X,Y).
+             T(X,Y), T(Y,Z) -> T(X,Z).
+             E(Y,X) -> T(X,Y).
+             E(a,b). ?- T(X,Y).",
+        );
+        assert!(cs.contains(&"B205"), "{cs:?}");
+        // Same fan-in, no recursion: quiet.
+        let cs = codes(
+            "E(X,Y) -> T(X,Y).
+             E(Y,X) -> T(X,Y).
+             F(X,Y) -> T(X,Y).
+             E(a,b). F(a,b). ?- T(X,Y).",
+        );
+        assert!(!cs.contains(&"B205"), "{cs:?}");
+    }
+}

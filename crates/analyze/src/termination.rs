@@ -1,0 +1,349 @@
+//! Termination certificates: machine-checkable static chase bounds.
+//!
+//! When the [domain abstraction](crate::domain) proves a program weakly
+//! acyclic, [`certify`] packages the evidence into a [`Certificate`]:
+//! the position universe, the topological component numbering, the
+//! per-component value bounds, the per-rule firing bounds, and the two
+//! derived quantities consumers act on —
+//!
+//! * `fact_bound`: an upper bound on **distinct facts** in any chase
+//!   result (the sum over predicates of the product of their position
+//!   bounds);
+//! * `round_bound`: an upper bound on **productive semi-naive rounds**
+//!   (every productive round inserts at least one new distinct fact, so
+//!   rounds ≤ fact_bound − |initial instance|).
+//!
+//! A consumer that wants the engine to *report* `Fixpoint` must allow
+//! one extra round: the engine only learns it is done when a round
+//! produces nothing, so `max_rounds = round_bound + 1`.
+//!
+//! Certificates are **checked, not trusted**: [`Certificate::validate`]
+//! recomputes the universe, the base constants and the dependency
+//! edges from the program alone and verifies that the claimed values
+//! form a post-fixpoint of the (monotone) transfer function. Any
+//! claimed assignment that passes is a sound bound even if it is not
+//! the least one, so validation is slack-tolerant by construction.
+
+use crate::domain::{
+    base_constants, firing_bound, json_bound, sat_add, sat_mul, universe, DomainAnalysis, SAT,
+};
+use bddfc_core::posgraph::{EdgeKind, Pos, PosGraph};
+use bddfc_core::{Program, Term};
+
+/// A static chase-termination certificate for one program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// The sorted position universe the numbering refers to.
+    pub positions: Vec<Pos>,
+    /// Claimed component id per position (topological).
+    pub comp: Vec<usize>,
+    /// Claimed per-component value bound.
+    pub comp_val: Vec<u64>,
+    /// Claimed per-rule firing bound (indexed like `theory.rules`).
+    pub rule_firings: Vec<u64>,
+    /// Claimed bound on distinct facts in any chase result.
+    pub fact_bound: u64,
+    /// Claimed bound on productive semi-naive rounds.
+    pub round_bound: u64,
+}
+
+/// Builds a certificate from a finished domain analysis, or `None` when
+/// the program is not (provably) weakly acyclic.
+pub fn certify(prog: &Program, dom: &DomainAnalysis) -> Option<Certificate> {
+    if !dom.weakly_acyclic {
+        return None;
+    }
+    let mut fact_bound = 0u64;
+    for &p in &dom.preds() {
+        fact_bound = sat_add(fact_bound, dom.pred_card(p, prog.voc.arity(p)));
+    }
+    if fact_bound == SAT {
+        // Weakly acyclic but the numbers overflowed u64: no usable
+        // finite bound, so no certificate (the chase still terminates,
+        // we just cannot promise when).
+        return None;
+    }
+    let initial = prog.instance.len() as u64;
+    let round_bound = fact_bound.saturating_sub(initial);
+    Some(Certificate {
+        positions: dom.positions.clone(),
+        comp: dom.comp.clone(),
+        comp_val: dom.comp_val.clone(),
+        rule_firings: dom.rule_firings.clone(),
+        fact_bound,
+        round_bound,
+    })
+}
+
+/// A reason a certificate failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError(pub String);
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Certificate {
+    /// Independently checks this certificate against `prog`, trusting
+    /// nothing but the claimed numbers. Returns the first violated
+    /// obligation, if any.
+    pub fn validate(&self, prog: &Program) -> Result<(), ValidationError> {
+        let err = |m: String| Err(ValidationError(m));
+
+        // 1. The universe must be exactly the program's universe.
+        let positions = universe(prog);
+        if self.positions != positions {
+            return err("position universe does not match the program".into());
+        }
+        let n = positions.len();
+        if self.comp.len() != n {
+            return err("component vector length mismatch".into());
+        }
+        let ncomp = self.comp.iter().map(|&c| c + 1).max().unwrap_or(0);
+        if self.comp_val.len() != ncomp {
+            return err("component value vector length mismatch".into());
+        }
+        if self.rule_firings.len() != prog.theory.rules.len() {
+            return err("rule firing vector length mismatch".into());
+        }
+        let idx = |p: Pos| positions.binary_search(&p).ok();
+
+        // 2. The numbering must be topological: every edge goes to an
+        //    equal-or-later component, and special edges strictly later
+        //    (no special edge inside a component = weak acyclicity).
+        let graph = PosGraph::new(&prog.theory);
+        for e in graph.edges() {
+            let (Some(u), Some(v)) = (idx(e.from), idx(e.to)) else {
+                return err("dependency edge touches a position outside the universe".into());
+            };
+            let (cu, cv) = (self.comp[u], self.comp[v]);
+            if cu > cv {
+                return err(format!("edge {} -> {} violates topological numbering", u, v));
+            }
+            if e.kind == EdgeKind::Special && cu == cv {
+                return err(format!(
+                    "special edge {} -> {} inside component {} (not weakly acyclic)",
+                    u, v, cu
+                ));
+            }
+        }
+
+        // 3. Every claimed component value must be a post-fixpoint of
+        //    the transfer function: comp_val[s] >= base + regular
+        //    inflows + null inflows, all evaluated at the claimed
+        //    values. Monotonicity makes any post-fixpoint sound.
+        let base = base_constants(prog, &positions);
+        let mut need = vec![0u64; ncomp];
+        for (pi, b) in base.iter().enumerate() {
+            let s = self.comp[pi];
+            need[s] = sat_add(need[s], b.len() as u64);
+        }
+        for e in graph.edges() {
+            if e.kind != EdgeKind::Regular {
+                continue;
+            }
+            let (u, v) = (idx(e.from).unwrap(), idx(e.to).unwrap());
+            if self.comp[u] != self.comp[v] {
+                need[self.comp[v]] = sat_add(need[self.comp[v]], self.comp_val[self.comp[u]]);
+            }
+        }
+        for (ri, rule) in prog.theory.rules.iter().enumerate() {
+            let ex = rule.existential_vars();
+            if ex.is_empty() {
+                continue;
+            }
+            let fire = firing_bound(rule, &positions, &self.comp, &self.comp_val);
+            if self.rule_firings[ri] < fire {
+                return err(format!("rule {} firing bound {} below required {}", ri, self.rule_firings[ri], fire));
+            }
+            for head in &rule.head {
+                for (i, t) in head.args.iter().enumerate() {
+                    if matches!(t, Term::Var(v) if ex.contains(v)) {
+                        let s = self.comp[idx(Pos { pred: head.pred, arg: i }).unwrap()];
+                        need[s] = sat_add(need[s], fire);
+                    }
+                }
+            }
+        }
+        for s in 0..ncomp {
+            if self.comp_val[s] < need[s] {
+                return err(format!(
+                    "component {} value {} below required {}",
+                    s, self.comp_val[s], need[s]
+                ));
+            }
+        }
+
+        // 4. Datalog rules must also respect the claimed firing bounds
+        //    (they invent nothing, but the numbers are still part of the
+        //    certificate surface `--explain-plan` and serve report).
+        for (ri, rule) in prog.theory.rules.iter().enumerate() {
+            let fire = firing_bound(rule, &positions, &self.comp, &self.comp_val);
+            if self.rule_firings[ri] < fire {
+                return err(format!("rule {} firing bound {} below required {}", ri, self.rule_firings[ri], fire));
+            }
+        }
+
+        // 5. The derived bounds.
+        let mut fact_need = 0u64;
+        let mut seen = None;
+        for p in &positions {
+            if seen != Some(p.pred) {
+                seen = Some(p.pred);
+                let card = (0..prog.voc.arity(p.pred)).fold(1u64, |acc, i| {
+                    let pi = idx(Pos { pred: p.pred, arg: i }).unwrap();
+                    sat_mul(acc, self.comp_val[self.comp[pi]])
+                });
+                fact_need = sat_add(fact_need, card);
+            }
+        }
+        if self.fact_bound < fact_need {
+            return err(format!("fact bound {} below required {}", self.fact_bound, fact_need));
+        }
+        let round_need = if self.fact_bound == SAT {
+            SAT
+        } else {
+            self.fact_bound.saturating_sub(prog.instance.len() as u64)
+        };
+        if self.round_bound < round_need {
+            return err(format!("round bound {} below required {}", self.round_bound, round_need));
+        }
+        if self.fact_bound == SAT || self.round_bound == SAT {
+            return err("certificate claims a saturated bound".into());
+        }
+        Ok(())
+    }
+
+    /// Stable single-line JSON rendering (saturated values are `null`).
+    pub fn json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"weakly_acyclic\":true,\"positions\":{},\"components\":{},\"fact_bound\":{},\"round_bound\":{},\"rule_firings\":[",
+            self.positions.len(),
+            self.comp_val.len(),
+            json_bound(self.fact_bound),
+            json_bound(self.round_bound),
+        );
+        for (i, &f) in self.rule_firings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_bound(f));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Human-oriented multi-line rendering for the CLI.
+    pub fn render(&self, prog: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "termination: weakly acyclic");
+        let _ = writeln!(s, "  fact bound:  {}", crate::domain::display_bound(self.fact_bound));
+        let _ = writeln!(s, "  round bound: {}", crate::domain::display_bound(self.round_bound));
+        for (i, p) in self.positions.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  pos {}[{}] comp {} <= {}",
+                prog.voc.pred_name(p.pred),
+                p.arg,
+                self.comp[i],
+                crate::domain::display_bound(self.comp_val[self.comp[i]]),
+            );
+        }
+        for (ri, &f) in self.rule_firings.iter().enumerate() {
+            let _ = writeln!(s, "  rule {} firings <= {}", ri, crate::domain::display_bound(f));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bddfc_core::parse_program;
+
+    fn cert(src: &str) -> (Program, Option<Certificate>) {
+        let prog = parse_program(src).unwrap();
+        let dom = DomainAnalysis::analyze(&prog);
+        let c = certify(&prog, &dom);
+        (prog, c)
+    }
+
+    #[test]
+    fn weakly_acyclic_program_certifies_and_validates() {
+        let (prog, c) = cert("P(X) -> exists Z . E(X,Z). E(X,Y) -> R(Y). P(a). P(b). ?- R(X).");
+        let c = c.expect("certificate");
+        c.validate(&prog).unwrap();
+        assert!(c.fact_bound < SAT);
+        assert!(c.round_bound < SAT);
+    }
+
+    #[test]
+    fn non_weakly_acyclic_program_has_no_certificate() {
+        let (_, c) = cert("E(X,Y) -> exists Z . E(Y,Z). E(a,b).");
+        assert!(c.is_none());
+    }
+
+    #[test]
+    fn tampered_certificate_is_rejected() {
+        let (prog, c) = cert("P(X) -> exists Z . E(X,Z). P(a). ?- E(X,Y).");
+        let good = c.unwrap();
+        good.validate(&prog).unwrap();
+
+        let mut low_fact = good.clone();
+        low_fact.fact_bound = 0;
+        assert!(low_fact.validate(&prog).is_err());
+
+        let mut low_round = good.clone();
+        low_round.round_bound = 0;
+        assert!(low_round.validate(&prog).is_err());
+
+        let mut low_comp = good.clone();
+        if let Some(v) = low_comp.comp_val.iter_mut().max() {
+            *v = 0;
+        }
+        assert!(low_comp.validate(&prog).is_err());
+
+        let mut wrong_universe = good.clone();
+        wrong_universe.positions.pop();
+        assert!(wrong_universe.validate(&prog).is_err());
+    }
+
+    #[test]
+    fn slack_is_tolerated() {
+        let (prog, c) = cert("P(X) -> exists Z . E(X,Z). P(a). ?- E(X,Y).");
+        let mut padded = c.unwrap();
+        padded.fact_bound = padded.fact_bound.saturating_add(1000);
+        padded.round_bound = padded.round_bound.saturating_add(1000);
+        for v in &mut padded.comp_val {
+            *v = v.saturating_add(5);
+        }
+        // comp_val slack raises requirements downstream, so recompute
+        // the derived bounds generously too.
+        padded.fact_bound = SAT - 1;
+        padded.round_bound = SAT - 1;
+        for f in &mut padded.rule_firings {
+            *f = SAT - 1;
+        }
+        padded.validate(&prog).unwrap();
+    }
+
+    #[test]
+    fn wrong_numbering_is_rejected() {
+        let (prog, c) = cert("P(X) -> E(X,X). P(a). ?- E(X,Y).");
+        let mut swapped = c.unwrap();
+        // Reverse the component numbering; some edge must now go
+        // backwards (P[0] feeds E[0] and E[1]).
+        let max = swapped.comp.iter().copied().max().unwrap_or(0);
+        for c in &mut swapped.comp {
+            *c = max - *c;
+        }
+        swapped.comp_val.reverse();
+        assert!(swapped.validate(&prog).is_err());
+    }
+}

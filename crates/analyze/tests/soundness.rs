@@ -1,0 +1,102 @@
+//! Differential soundness of the static analyzer against the real
+//! chase engine, over every embedded zoo program:
+//!
+//! * a certificate exists exactly when the position graph is weakly
+//!   acyclic (modulo u64 overflow, which drops the certificate);
+//! * every emitted certificate passes its own independent validator;
+//! * chasing with `max_rounds = round_bound + 1` reaches a fixpoint
+//!   within the certified bounds (rounds and distinct facts);
+//! * seeding the planner with the cost model's priors changes nothing
+//!   observable: same facts, same null names, same round count.
+
+use bddfc_analyze::{analyze, domain::DomainAnalysis};
+use bddfc_chase::{chase, chase_with_priors, ChaseConfig, ChaseStatus};
+use bddfc_core::obs::NULL;
+use bddfc_core::posgraph::PosGraph;
+use bddfc_core::parse_program;
+
+#[test]
+fn certificates_exist_iff_weakly_acyclic_on_zoo() {
+    for &(name, src) in bddfc_zoo::corpus() {
+        let prog = parse_program(src).unwrap();
+        let dom = DomainAnalysis::analyze(&prog);
+        let wa = PosGraph::new(&prog.theory).is_weakly_acyclic();
+        assert_eq!(dom.weakly_acyclic, wa, "{name}: WA disagreement with posgraph");
+        let a = analyze(&prog);
+        if a.certificate.is_some() {
+            assert!(wa, "{name}: certificate for a non-WA program");
+        }
+    }
+}
+
+#[test]
+fn certified_bounds_dominate_observed_chase_on_zoo() {
+    let mut certified = 0;
+    for &(name, src) in bddfc_zoo::corpus() {
+        let prog = parse_program(src).unwrap();
+        let a = analyze(&prog);
+        let Some(cert) = &a.certificate else { continue };
+        cert.validate(&prog).unwrap_or_else(|e| panic!("{name}: invalid certificate: {e}"));
+        certified += 1;
+
+        // The engine needs one final empty round to *observe* the
+        // fixpoint, hence the +1.
+        let max_rounds =
+            u32::try_from(cert.round_bound.saturating_add(1)).unwrap_or(u32::MAX);
+        let mut voc = prog.voc.clone();
+        let res = chase(
+            &prog.instance,
+            &prog.theory,
+            &mut voc,
+            ChaseConfig { max_rounds, max_facts: usize::MAX, ..ChaseConfig::default() },
+        );
+        assert_eq!(
+            res.status,
+            ChaseStatus::Fixpoint,
+            "{name}: no fixpoint within certified round bound {}",
+            cert.round_bound
+        );
+        assert!(
+            u64::from(res.rounds) <= cert.round_bound,
+            "{name}: observed {} rounds > certified {}",
+            res.rounds,
+            cert.round_bound
+        );
+        assert!(
+            res.instance.len() as u64 <= cert.fact_bound,
+            "{name}: observed {} facts > certified {}",
+            res.instance.len(),
+            cert.fact_bound
+        );
+    }
+    assert!(certified > 0, "zoo has no weakly acyclic program — test is vacuous");
+}
+
+#[test]
+fn priors_change_nothing_observable() {
+    for &(name, src) in bddfc_zoo::corpus() {
+        let prog = parse_program(src).unwrap();
+        let a = analyze(&prog);
+        let config = ChaseConfig::default();
+
+        let mut voc_a = prog.voc.clone();
+        let plain = chase(&prog.instance, &prog.theory, &mut voc_a, config);
+        let mut voc_b = prog.voc.clone();
+        let primed = chase_with_priors(
+            &prog.instance,
+            &prog.theory,
+            &mut voc_b,
+            config,
+            &NULL,
+            Some(a.cost.priors()),
+        );
+
+        assert_eq!(plain.rounds, primed.rounds, "{name}: round count changed under priors");
+        assert_eq!(plain.status, primed.status, "{name}: status changed under priors");
+        assert_eq!(
+            plain.instance.facts(),
+            primed.instance.facts(),
+            "{name}: facts changed under priors"
+        );
+    }
+}

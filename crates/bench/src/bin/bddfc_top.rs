@@ -10,10 +10,12 @@
 //! Scrapes the `--metrics-tcp` Prometheus endpoint over plain
 //! HTTP/1.0 (std `TcpStream` only, like the endpoint itself) and
 //! renders [`bddfc_bench::top::render`]'s table. `--once` output is a
-//! pure function of a single scrape; the default mode redraws the same
-//! table every `--interval` seconds (ANSI clear-screen between draws).
+//! pure function of a single scrape; the default mode redraws every
+//! `--interval` seconds (ANSI clear-screen between draws), keeping the
+//! previous scrape so each lifetime counter also shows its windowed
+//! per-second rate ([`bddfc_bench::top::render_with_rates`]).
 
-use bddfc_bench::top::{parse_exposition, render};
+use bddfc_bench::top::{parse_exposition, render, render_with_rates, Scrape};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
@@ -97,6 +99,9 @@ fn scrape(addr: &str) -> Result<String, String> {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // The previous scrape backs the interactive mode's windowed rate
+    // columns; the first draw (and `--once`) has none.
+    let mut prev: Option<Scrape> = None;
     loop {
         let body = match scrape(&args.addr) {
             Ok(b) => b,
@@ -109,17 +114,19 @@ fn main() -> ExitCode {
             print!("{body}");
             return ExitCode::SUCCESS;
         }
-        let table = match parse_exposition(&body) {
-            Ok(s) => render(&s),
+        let parsed = match parse_exposition(&body) {
+            Ok(s) => s,
             Err(e) => {
                 eprintln!("bddfc-top: {e}");
                 return ExitCode::FAILURE;
             }
         };
         if args.once {
-            print!("{table}");
+            print!("{}", render(&parsed));
             return ExitCode::SUCCESS;
         }
+        let table = render_with_rates(&parsed, prev.as_ref(), args.interval.max(1));
+        prev = Some(parsed);
         // Clear screen + home, then the fresh table.
         print!("\x1b[2J\x1b[H{table}");
         let _ = std::io::stdout().flush();

@@ -4,8 +4,11 @@
 //!
 //! The renderer is deliberately a pure function of a single parsed
 //! scrape ([`render`]): `bddfc-top --once` prints exactly one render, so
-//! its output is testable and diffable, and the interactive mode is
-//! just the same render in a clear-screen loop.
+//! its output is testable and diffable. The interactive mode keeps the
+//! previous scrape and renders through [`render_with_rates`], which
+//! adds a windowed per-second rate column next to every lifetime
+//! counter — still a pure function, now of two scrapes and the window
+//! length.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -113,6 +116,23 @@ const COMMANDS: &[&str] =
 /// Renders one scrape as the `bddfc-top` table — a pure function of the
 /// scrape, so `--once` output is reproducible from a saved exposition.
 pub fn render(scrape: &Scrape) -> String {
+    render_with_rates(scrape, None, 1)
+}
+
+/// Windowed per-second rate of a counter between two scrapes: the
+/// delta (clamped at zero — a restarted server resets its counters)
+/// divided by the window length.
+fn rate(cur: u64, prev: u64, window_secs: u64) -> u64 {
+    cur.saturating_sub(prev) / window_secs.max(1)
+}
+
+/// Like [`render`], but when `prev` holds the previous scrape every
+/// lifetime counter (including the per-command request/error series)
+/// gains a windowed `/s` column: the counter delta over `window_secs`
+/// divided by the window. Still a pure function — of two scrapes and
+/// the window — which is what keeps the interactive mode testable.
+/// With `prev` absent the output is byte-identical to [`render`].
+pub fn render_with_rates(scrape: &Scrape, prev: Option<&Scrape>, window_secs: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "bddfc-top — {} series", scrape.samples.len());
     out.push('\n');
@@ -125,11 +145,22 @@ pub fn render(scrape: &Scrape) -> String {
     }
     out.push('\n');
 
-    let _ = writeln!(
-        out,
-        "{:<10} {:>10} {:>10} {:>14}",
-        "command", "requests", "errors", "mean_us"
-    );
+    match prev {
+        None => {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10} {:>10} {:>14}",
+                "command", "requests", "errors", "mean_us"
+            );
+        }
+        Some(_) => {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10} {:>8} {:>10} {:>8} {:>14}",
+                "command", "requests", "req/s", "errors", "err/s", "mean_us"
+            );
+        }
+    }
     for cmd in COMMANDS {
         let label = ("command", *cmd);
         let Some(requests) = scrape.labelled("bddfc_requests_total", label) else {
@@ -139,15 +170,50 @@ pub fn render(scrape: &Scrape) -> String {
         let count = scrape.labelled("bddfc_request_latency_ns_count", label).unwrap_or(0);
         let sum = scrape.labelled("bddfc_request_latency_ns_sum", label).unwrap_or(0);
         let mean_us = if count == 0 { 0 } else { sum / count / 1_000 };
-        let _ = writeln!(out, "{cmd:<10} {requests:>10} {errors:>10} {mean_us:>14}");
+        match prev {
+            None => {
+                let _ = writeln!(out, "{cmd:<10} {requests:>10} {errors:>10} {mean_us:>14}");
+            }
+            Some(p) => {
+                let rps = rate(
+                    requests,
+                    p.labelled("bddfc_requests_total", label).unwrap_or(0),
+                    window_secs,
+                );
+                let eps = rate(
+                    errors,
+                    p.labelled("bddfc_request_errors_total", label).unwrap_or(0),
+                    window_secs,
+                );
+                let _ = writeln!(
+                    out,
+                    "{cmd:<10} {requests:>10} {rps:>8} {errors:>10} {eps:>8} {mean_us:>14}"
+                );
+            }
+        }
     }
     out.push('\n');
 
-    let _ = writeln!(out, "{:<36} {:>12}", "counter", "value");
+    match prev {
+        None => {
+            let _ = writeln!(out, "{:<36} {:>12}", "counter", "value");
+        }
+        Some(_) => {
+            let _ = writeln!(out, "{:<36} {:>12} {:>10}", "counter", "value", "per_s");
+        }
+    }
     for s in &scrape.samples {
         let is_counter = scrape.types.get(&s.name).map(String::as_str) == Some("counter");
         if is_counter && s.labels.is_empty() {
-            let _ = writeln!(out, "{:<36} {:>12}", s.name, s.value);
+            match prev {
+                None => {
+                    let _ = writeln!(out, "{:<36} {:>12}", s.name, s.value);
+                }
+                Some(p) => {
+                    let per_s = rate(s.value, p.value(&s.name).unwrap_or(0), window_secs);
+                    let _ = writeln!(out, "{:<36} {:>12} {:>10}", s.name, s.value, per_s);
+                }
+            }
         }
     }
     out
@@ -199,6 +265,57 @@ bddfc_request_latency_ns_count{command=\"query\"} 5
         assert!(parse_exposition("bddfc_epoch three").is_err());
         assert!(parse_exposition("bddfc_epoch{command=\"q\" 3").is_err());
         assert!(parse_exposition("just-one-token").is_err());
+    }
+
+    #[test]
+    fn rates_appear_only_against_a_previous_scrape() {
+        let prev = parse_exposition(EXPOSITION).unwrap();
+        // 10 seconds later: 25 more queries, 20 more errors, 50 more
+        // chase rounds.
+        let cur = parse_exposition(
+            &EXPOSITION
+                .replace("bddfc_requests_total{command=\"query\"} 5", "bddfc_requests_total{command=\"query\"} 30")
+                .replace("bddfc_request_errors_total{command=\"query\"} 2", "bddfc_request_errors_total{command=\"query\"} 22")
+                .replace("bddfc_chase_rounds_total 7", "bddfc_chase_rounds_total 57"),
+        )
+        .unwrap();
+
+        // Without a previous scrape the output is byte-identical to the
+        // `--once` renderer — the ci contract.
+        assert_eq!(render_with_rates(&cur, None, 10), render(&cur));
+
+        let t = render_with_rates(&cur, Some(&prev), 10);
+        assert_eq!(t, render_with_rates(&cur, Some(&prev), 10), "must be pure");
+        // query row: 30 requests at 2/s, 22 errors at 2/s, mean 2 us
+        // (the latency series is unchanged between scrapes).
+        let query_row = t.lines().find(|l| l.starts_with("query ")).unwrap();
+        assert_eq!(
+            query_row.split_whitespace().collect::<Vec<_>>(),
+            vec!["query", "30", "2", "22", "2", "2"],
+            "{t}"
+        );
+        // insert row is unchanged between scrapes: rate 0.
+        let insert_row = t.lines().find(|l| l.starts_with("insert ")).unwrap();
+        assert_eq!(
+            insert_row.split_whitespace().collect::<Vec<_>>(),
+            vec!["insert", "1", "0", "0", "0", "0"],
+            "{t}"
+        );
+        // unlabelled counter: 50 more rounds over 10 s = 5/s.
+        let rounds_row = t.lines().find(|l| l.starts_with("bddfc_chase_rounds_total")).unwrap();
+        assert_eq!(
+            rounds_row.split_whitespace().collect::<Vec<_>>(),
+            vec!["bddfc_chase_rounds_total", "57", "5"],
+            "{t}"
+        );
+        // A counter reset (restarted server) clamps to 0, not underflow.
+        let t = render_with_rates(&prev, Some(&cur), 10);
+        let rounds_row = t.lines().find(|l| l.starts_with("bddfc_chase_rounds_total")).unwrap();
+        assert_eq!(
+            rounds_row.split_whitespace().collect::<Vec<_>>(),
+            vec!["bddfc_chase_rounds_total", "7", "0"],
+            "{t}"
+        );
     }
 
     #[test]

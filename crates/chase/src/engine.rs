@@ -713,9 +713,10 @@ fn enumerate_rule_batch(
     rule_idx: usize,
     frontier: &[VarId],
     joins: Option<&mut join::JoinStats>,
+    priors: Option<&join::Priors>,
 ) -> (Vec<Candidate>, u64) {
     let rule = &theory.rules[rule_idx];
-    let batch = join::eval_body(inst.columnar(), &rule.body, None, joins);
+    let batch = join::eval_body_with_priors(inst.columnar(), &rule.body, None, joins, priors);
     let matches = batch.rows() as u64;
     if batch.rows() == 0 {
         return (Vec::new(), 0);
@@ -753,6 +754,7 @@ fn collect_repairs_naive<S: EventSink>(
     templates: &[RuleTemplate],
     variant: ChaseVariant,
     fired: &mut FxHashSet<(usize, Key)>,
+    priors: Option<&join::Priors>,
     work: &mut RoundWork,
 ) -> Vec<Repair> {
     if S::ENABLED && work.rule_work.is_empty() {
@@ -767,11 +769,11 @@ fn collect_repairs_naive<S: EventSink>(
                         let timer = SpanTimer::start();
                         let mut joins = join::JoinStats::default();
                         let (c, m) =
-                            enumerate_rule_batch(inst, theory, rule_idx, &templates[rule_idx].frontier, Some(&mut joins));
+                            enumerate_rule_batch(inst, theory, rule_idx, &templates[rule_idx].frontier, Some(&mut joins), priors);
                         (c, m, timer.elapsed_ns(), hom::ScanStats::default(), joins)
                     }
                     (JoinMode::Batch, false) => {
-                        let (c, m) = enumerate_rule_batch(inst, theory, rule_idx, &templates[rule_idx].frontier, None);
+                        let (c, m) = enumerate_rule_batch(inst, theory, rule_idx, &templates[rule_idx].frontier, None, priors);
                         (c, m, 0, hom::ScanStats::default(), join::JoinStats::default())
                     }
                     (JoinMode::Tuple, true) => {
@@ -843,6 +845,7 @@ fn collect_repairs_seminaive<S: EventSink>(
     fired: &mut FxHashSet<(usize, Key)>,
     delta: &[Fact],
     first_round: bool,
+    priors: Option<&join::Priors>,
     work: &mut RoundWork,
 ) -> Vec<Repair> {
     // Resolved on the calling thread (thread-local overrides do not cross
@@ -856,9 +859,13 @@ fn collect_repairs_seminaive<S: EventSink>(
             fired,
             delta,
             first_round,
+            priors,
             work,
         );
     }
+    // The tuple engine orders atoms inside the homomorphism search
+    // itself; priors only steer the batch planner.
+    let _ = priors;
     if S::ENABLED && work.rule_work.is_empty() {
         work.rule_work = vec![RuleWork::default(); theory.rules.len()];
     }
@@ -1015,6 +1022,7 @@ fn collect_repairs_seminaive_batch<S: EventSink>(
     fired: &mut FxHashSet<(usize, Key)>,
     delta: &[Fact],
     first_round: bool,
+    priors: Option<&join::Priors>,
     work: &mut RoundWork,
 ) -> Vec<Repair> {
     if S::ENABLED && work.rule_work.is_empty() {
@@ -1081,11 +1089,12 @@ fn collect_repairs_seminaive_batch<S: EventSink>(
             for w in &items[range] {
                 let rule = &theory.rules[w.rule_idx];
                 let timer = attr.is_some().then(SpanTimer::start);
-                let batch = join::eval_body(
+                let batch = join::eval_body_with_priors(
                     inst.columnar(),
                     &rule.body,
                     Some((w.pin, w.range.clone())),
                     attr.as_mut().map(|a| &mut a.joins),
+                    priors,
                 );
                 matches += batch.rows() as u64;
                 if batch.rows() > 0 {
@@ -1203,8 +1212,15 @@ pub fn chase_round(
 ) -> Vec<Fact> {
     let mut work = RoundWork::default();
     let templates: Vec<RuleTemplate> = theory.rules.iter().map(RuleTemplate::new).collect();
-    let repairs =
-        collect_repairs_naive::<Null>(inst, theory, &templates, variant, &mut fired.0, &mut work);
+    let repairs = collect_repairs_naive::<Null>(
+        inst,
+        theory,
+        &templates,
+        variant,
+        &mut fired.0,
+        None,
+        &mut work,
+    );
     let (start, _) = apply_repairs(inst, &templates, voc, repairs, None);
     inst.facts()[start..].to_vec()
 }
@@ -1236,6 +1252,9 @@ pub struct ChaseStepper<'t, S: EventSink = Null> {
     rounds_done: u64,
     sink: &'t S,
     parent_span: u64,
+    /// Static cardinality priors the batch join planner consults as
+    /// tie-breakers (see [`ChaseStepper::with_priors`]).
+    priors: Option<join::Priors>,
     /// Work counters, one entry per completed [`ChaseStepper::step`].
     pub stats: ChaseStats,
 }
@@ -1274,6 +1293,7 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
             rounds_done: 0,
             sink,
             parent_span: 0,
+            priors: None,
             stats: ChaseStats { threads_used: par::num_threads(), ..ChaseStats::default() },
         }
     }
@@ -1313,6 +1333,7 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
             rounds_done: 0,
             sink,
             parent_span: 0,
+            priors: None,
             stats: ChaseStats { threads_used: par::num_threads(), ..ChaseStats::default() },
         }
     }
@@ -1322,6 +1343,16 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
     /// sink). 0 — the default — means "no enclosing span".
     pub fn under_span(mut self, span: u64) -> Self {
         self.parent_span = span;
+        self
+    }
+
+    /// Seeds the batch join planner with static cardinality priors (from
+    /// the `bddfc-analyze` cost model). Priors are tie-breakers below
+    /// live cardinalities, so the chase *result* — facts, null names,
+    /// rounds — is identical with or without them; only the join order
+    /// (and hence work) on runtime-tied atoms can change.
+    pub fn with_priors(mut self, priors: join::Priors) -> Self {
+        self.priors = (!priors.is_empty()).then_some(priors);
         self
     }
 
@@ -1411,6 +1442,7 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
                 &self.templates,
                 self.variant,
                 &mut self.fired,
+                self.priors.as_ref(),
                 &mut work,
             ),
             ChaseStrategy::SemiNaive => collect_repairs_seminaive::<S>(
@@ -1421,6 +1453,7 @@ impl<'t, S: EventSink> ChaseStepper<'t, S> {
                 &mut self.fired,
                 &self.instance.facts()[self.delta.clone()],
                 self.first_round,
+                self.priors.as_ref(),
                 &mut work,
             ),
         };
@@ -1587,6 +1620,20 @@ pub fn chase_with<S: EventSink>(
     config: ChaseConfig,
     sink: &S,
 ) -> ChaseResult {
+    chase_with_priors(db, theory, voc, config, sink, None)
+}
+
+/// [`chase_with`] seeding the batch join planner with static
+/// cardinality priors (see [`ChaseStepper::with_priors`]; the chase
+/// result is invariant, only join work can differ).
+pub fn chase_with_priors<S: EventSink>(
+    db: &Instance,
+    theory: &Theory,
+    voc: &mut Vocabulary,
+    config: ChaseConfig,
+    sink: &S,
+    priors: Option<join::Priors>,
+) -> ChaseResult {
     let run_span = if S::ENABLED { sink.span_open("chase", "run", 0, None) } else { 0 };
     // A run with no finite budget at all only terminates if the chase
     // does; when the position dependency graph has a special-edge cycle
@@ -1610,6 +1657,9 @@ pub fn chase_with<S: EventSink>(
     let mut stepper =
         ChaseStepper::with_sink(db, theory, config.variant, config.strategy, sink)
             .under_span(run_span);
+    if let Some(p) = priors {
+        stepper = stepper.with_priors(p);
+    }
     let mut round_ends = vec![db.len()];
     let mut rounds = 0;
     let status = loop {
@@ -1674,6 +1724,7 @@ pub fn chase_uninstrumented_baseline(
                 &templates,
                 config.variant,
                 &mut fired,
+                None,
                 &mut work,
             ),
             ChaseStrategy::SemiNaive => collect_repairs_seminaive::<Null>(
@@ -1684,6 +1735,7 @@ pub fn chase_uninstrumented_baseline(
                 &mut fired,
                 &inst.facts()[delta.clone()],
                 first_round,
+                None,
                 &mut work,
             ),
         };

@@ -110,6 +110,9 @@ pub struct IncrementalChase {
     rounds_total: u64,
     overdeleted_total: u64,
     rederived_total: u64,
+    /// Static cardinality priors for the batch join planner (see
+    /// [`IncrementalChase::with_priors`]).
+    priors: Option<bddfc_core::Priors>,
 }
 
 impl IncrementalChase {
@@ -128,7 +131,17 @@ impl IncrementalChase {
             rounds_total: 0,
             overdeleted_total: 0,
             rederived_total: 0,
+            priors: None,
         }
+    }
+
+    /// Seeds every closure's batch join planner with static cardinality
+    /// priors (from the `bddfc-analyze` cost model). Priors are
+    /// tie-breakers below live cardinalities, so the maintained instance
+    /// is identical with or without them; only join work can differ.
+    pub fn with_priors(mut self, priors: bddfc_core::Priors) -> Self {
+        self.priors = (!priors.is_empty()).then_some(priors);
+        self
     }
 
     /// The resident instance.
@@ -349,6 +362,9 @@ impl IncrementalChase {
             sink,
             delta,
         );
+        if let Some(p) = &self.priors {
+            stepper = stepper.with_priors(p.clone());
+        }
         let round_base = self.rounds_total;
         loop {
             if stepper.pending_delta().is_empty() {

@@ -27,8 +27,8 @@ pub use answers::{
 };
 pub use incremental::{IncrementalChase, MaintainConfig, MaintainOutcome};
 pub use engine::{
-    chase, chase_k, chase_round, chase_with, ChaseConfig, ChaseResult, ChaseStats, ChaseStatus,
-    ChaseStepper, ChaseStrategy, ChaseVariant, FiredSet,
+    chase, chase_k, chase_round, chase_with, chase_with_priors, ChaseConfig, ChaseResult,
+    ChaseStats, ChaseStatus, ChaseStepper, ChaseStrategy, ChaseVariant, FiredSet,
 };
 pub use finder::{countermodel, find_model, find_model_with, FinderConfig, SearchOutcome};
 pub use saturate::{

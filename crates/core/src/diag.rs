@@ -1,0 +1,584 @@
+//! The diagnostic model: codes, severities, rendered text and JSON.
+//!
+//! Every analysis in the workspace — the hygiene and class lints of
+//! `bddfc-lint`, the static analyzer of `bddfc-analyze` — produces
+//! [`Diagnostic`] values with a stable code (`B0xx` hygiene, `B1xx`
+//! class membership, `B2xx` performance), a severity, an optional
+//! primary [`SrcSpan`] and free-form secondary notes carrying the
+//! witness details. Rendering — both the rustc-style text and the
+//! `--json` form — is a pure function of the diagnostic, and
+//! [`LintReport::sort`] fixes a total order, so output is byte-identical
+//! across runs and thread counts.
+//!
+//! The model lives in `bddfc-core` (rather than the lint crate) so that
+//! any crate can emit diagnostics without depending on the linter;
+//! `bddfc_lint::diag` re-exports everything here for compatibility.
+//!
+//! [`CODES`] is the registry of every stable code: its fixed severity,
+//! a one-line summary and a rustc-`--explain`-style long explanation.
+//! A drift-guard test asserts that the registry, the markdown code
+//! tables in module docs, and the set of codes actually emitted by
+//! workspace code never diverge.
+
+use crate::obs::json_escape;
+use crate::SrcSpan;
+use std::fmt;
+
+/// How bad a diagnostic is. The order is `Note < Warning < Error`;
+/// `--deny <level>` fails a run containing any diagnostic at or above
+/// the level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational (e.g. class-membership facts).
+    Note,
+    /// Probably a defect; the program still means something.
+    Warning,
+    /// The program is broken (parse error, unsafe rule).
+    Error,
+}
+
+impl Severity {
+    /// Parses a `--deny` level name.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "note" => Some(Severity::Note),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: a stable code, severity, message, optional primary span
+/// and witness notes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"B101"`. Codes never change meaning.
+    pub code: &'static str,
+    /// Severity level.
+    pub severity: Severity,
+    /// One-line primary message.
+    pub message: String,
+    /// Primary source span (absent for theory-level findings or
+    /// programmatically built rules).
+    pub span: Option<SrcSpan>,
+    /// Secondary lines carrying the witness (missed guard variables,
+    /// marking derivations, cycle edges, …).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without notes.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+        span: Option<SrcSpan>,
+    ) -> Self {
+        Diagnostic { code, severity, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// Appends a secondary note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the diagnostic rustc-style:
+    ///
+    /// ```text
+    /// warning[B103]: theory is not weakly acyclic: ...
+    ///   --> chain.dlg:1:1
+    ///    = note: special edge E[1] -> E[1] induced by rule #0
+    /// ```
+    pub fn render(&self, file: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        if let Some(span) = self.span {
+            out.push_str(&format!("  --> {file}:{span}\n"));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("   = note: {note}\n"));
+        }
+        out
+    }
+
+    /// The diagnostic as one JSON object (fixed key order, no
+    /// whitespace) — a deterministic function of the diagnostic.
+    pub fn json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",",
+            self.code,
+            self.severity,
+            json_escape(&self.message)
+        );
+        match self.span {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    "\"span\":{{\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{}}},",
+                    s.line, s.col, s.end_line, s.end_col
+                );
+            }
+            None => out.push_str("\"span\":null,"),
+        }
+        out.push_str("\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(n));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// All diagnostics for one input, under its display name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintReport {
+    /// Display name of the input (file path or zoo program name).
+    pub file: String,
+    /// The findings, in [`LintReport::sort`] order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Creates a report and puts the diagnostics into canonical order:
+    /// by span start (spanless first), then code, then message.
+    pub fn new(file: impl Into<String>, mut diagnostics: Vec<Diagnostic>) -> Self {
+        Self::sort(&mut diagnostics);
+        LintReport { file: file.into(), diagnostics }
+    }
+
+    /// Canonical diagnostic order (see [`LintReport::new`]).
+    pub fn sort(diagnostics: &mut [Diagnostic]) {
+        diagnostics.sort_by(|a, b| {
+            let key = |d: &Diagnostic| {
+                (
+                    d.span.map_or((0, 0), |s| (s.line, s.col)),
+                    d.code,
+                    d.message.clone(),
+                )
+            };
+            key(a).cmp(&key(b))
+        });
+    }
+
+    /// The worst severity present, if any diagnostic exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Renders every diagnostic rustc-style, separated by blank lines,
+    /// followed by a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(&self.file));
+            out.push('\n');
+        }
+        let (e, w, n) = self.counts();
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s), {} note(s)\n",
+            self.file, e, w, n
+        ));
+        out
+    }
+
+    /// `(errors, warnings, notes)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Note => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// The report as one JSON object (fixed key order, no whitespace).
+    pub fn json(&self) -> String {
+        let mut out = format!("{{\"file\":\"{}\",\"diagnostics\":[", json_escape(&self.file));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Renders several reports as the `bddfc-lint --json` document: one
+/// line, fixed key order, reports in input order.
+pub fn reports_json(reports: &[LintReport]) -> String {
+    let mut out = String::from("{\"schema\":1,\"files\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&r.json());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Registry metadata for one stable diagnostic code.
+#[derive(Clone, Copy, Debug)]
+pub struct CodeInfo {
+    /// The stable code, e.g. `"B103"`.
+    pub code: &'static str,
+    /// The severity every diagnostic with this code carries.
+    pub severity: Severity,
+    /// One-line summary, matching the module-doc code tables.
+    pub summary: &'static str,
+    /// Long-form explanation (`bddfc-lint --explain`), rustc-style:
+    /// what the finding means, why it matters, how to address it.
+    pub explain: &'static str,
+}
+
+/// The registry of every stable diagnostic code in the workspace, in
+/// code order. `bddfc-lint --explain` renders the long explanations;
+/// the docs-vs-code drift guard keeps this, the module-doc tables and
+/// the emitting code in sync.
+pub static CODES: &[CodeInfo] = &[
+    CodeInfo {
+        code: "B000",
+        severity: Severity::Error,
+        summary: "source does not parse",
+        explain: "\
+The input is not a syntactically valid Datalog∃ program, so no analysis
+can run. The message carries the parser's error and the span points at
+the first offending character.
+
+There is nothing to configure away: fix the syntax. The grammar is
+facts `P(a,b).`, rules `P(X,Y), Q(Y,Z) -> exists W . R(X,W).` and
+queries `?- P(X,Y).`; see DESIGN.md for the full format.",
+    },
+    CodeInfo {
+        code: "B001",
+        severity: Severity::Error,
+        summary: "unsafe rule (empty body)",
+        explain: "\
+A rule with an empty body holds vacuously of everything — the classical
+safety violation. Such a rule has no finite semantics under the chase:
+there is no binding of body variables to drive it, so engines either
+reject it or silently never fire it.
+
+The parser cannot produce an empty-body rule, but programmatically
+built theories can. Give the rule at least one body atom, or assert the
+intended conclusion as a fact.",
+    },
+    CodeInfo {
+        code: "B002",
+        severity: Severity::Warning,
+        summary: "singleton variable (dropped, not `_`-prefixed)",
+        explain: "\
+A variable that occurs exactly once in its rule binds a value and then
+drops it. That is either a typo (a join that was meant to connect two
+atoms does not) or an intentional projection.
+
+Existential head variables legitimately occur once (the witness
+position) and are not flagged. If the drop is intentional, prefix the
+name with an underscore (`_X`) to document it and silence the lint.",
+    },
+    CodeInfo {
+        code: "B003",
+        severity: Severity::Note,
+        summary: "head-only predicate (derived but never used)",
+        explain: "\
+The predicate appears in rule heads, so the chase spends work deriving
+its facts, but no rule body and no query ever reads it. The derived
+facts are write-only.
+
+This is harmless but wasteful; it usually indicates a rule that
+outlived the query it once fed. Delete the rules deriving it, or add
+the query that was meant to consume it.",
+    },
+    CodeInfo {
+        code: "B004",
+        severity: Severity::Warning,
+        summary: "body-only predicate (can never hold a fact)",
+        explain: "\
+The predicate appears in rule bodies, but no fact asserts it and no
+rule head can derive it. Its extension is empty in every model, so
+every rule whose body mentions it is dead code.
+
+Check for a misspelled predicate name first — that is the common cause.
+Otherwise add the missing facts or rules, or delete the dead rules.",
+    },
+    CodeInfo {
+        code: "B005",
+        severity: Severity::Warning,
+        summary: "unreachable rule (body predicate in a dependency component unreachable from any fact)",
+        explain: "\
+Condensing the predicate-dependency graph (body predicate → head
+predicate) into strongly connected components and walking the DAG from
+the predicates that hold facts, this rule's body mentions a predicate
+in a component no fact can ever reach. The rule can never fire on this
+instance.
+
+Reachability over-approximates derivability, so every report is sound.
+Unlike B004 the predicate may have rules deriving it — but those rules
+are themselves starved. Seed the component with a fact, or remove the
+rule cluster. (B203 is the schema-level analogue that ignores the
+instance and seeds from EDB predicates instead.)",
+    },
+    CodeInfo {
+        code: "B006",
+        severity: Severity::Warning,
+        summary: "duplicate rule (equal up to variable renaming)",
+        explain: "\
+Two rules are identical up to a consistent renaming of variables (atom
+order sensitive). The later rule is flagged, with a note pointing back
+at the first occurrence. Duplicate rules double the work of every chase
+round over their bodies and usually indicate a copy-paste error.
+
+Delete one of the two. If the rules were meant to differ, the
+difference was lost — compare the join structure of their bodies.",
+    },
+    CodeInfo {
+        code: "B101",
+        severity: Severity::Note,
+        summary: "rule has no guard (outside guarded Datalog∃, §5.6)",
+        explain: "\
+No single body atom of this rule contains every body variable, so the
+rule is not guarded. Guarded Datalog∃ (paper §5.6) enjoys decidable
+reasoning; an unguarded rule places the theory outside that fragment.
+
+This is a class-membership fact, not a defect. The notes list, per
+body atom, a variable it misses — making the missing guard concrete.
+If guardedness matters for your use, restructure the rule so one atom
+covers all body variables.",
+    },
+    CodeInfo {
+        code: "B102",
+        severity: Severity::Note,
+        summary: "sticky marking poisons a join variable (Calì–Gottlob–Pieris)",
+        explain: "\
+The sticky-marking procedure of Calì, Gottlob and Pieris marks the
+positions whose values a rule application can drop; stickiness demands
+that no variable occurring more than once in a body (a join variable)
+sits only in marked positions. Here the marking derivation reaches a
+join variable, so the theory is not sticky.
+
+The notes replay the marking derivation step by step — each line names
+the rule that propagates the mark. Sticky theories are FC (PAPERS.md,
+\"Converging to the Chase\"), so leaving the class costs that guarantee.",
+    },
+    CodeInfo {
+        code: "B103",
+        severity: Severity::Warning,
+        summary: "special-edge cycle: weak acyclicity unprovable, chase may not terminate",
+        explain: "\
+The position dependency graph — regular edges copy a frontier variable
+from a body position to a head position, special edges connect body
+positions to positions where an existential variable invents a fresh
+null — has a cycle through a special edge. Fresh nulls can then feed
+the positions that create more fresh nulls, and the chase may diverge.
+
+This is the one class lint with an operational consequence, hence the
+warning severity: an unbounded chase over this theory is not guaranteed
+to terminate, `bddfc-analyze` will refuse to certify a depth bound, and
+`bddfc-serve --deny-unbounded` will refuse to load the theory. The
+notes list the cycle edge by edge with the inducing rules. Breaking any
+special edge on the cycle (e.g. reusing a frontier variable instead of
+an existential) restores weak acyclicity.",
+    },
+    CodeInfo {
+        code: "B104",
+        severity: Severity::Note,
+        summary: "TGD outside the Theorem 3 fragment (> 1 frontier variable)",
+        explain: "\
+Theorem 3 of the paper proves the BDD/FC equivalence for TGDs whose
+frontier (the variables shared between body and head) has at most one
+variable. This TGD's frontier is wider, so the theory sits outside
+that fragment and the theorem's argument does not apply to it directly.
+
+This is a class-membership fact, not a defect.",
+    },
+    CodeInfo {
+        code: "B105",
+        severity: Severity::Note,
+        summary: "predicate arity > 2: outside the binary scope of Theorem 1",
+        explain: "\
+Theorem 1 of the paper is stated for binary signatures. A predicate of
+arity three or more places the theory outside that scope; the paper's
+own constructions (and this repo's certifier for it) do not cover it.
+
+This is a class-membership fact, not a defect.",
+    },
+    CodeInfo {
+        code: "B201",
+        severity: Severity::Warning,
+        summary: "cross-product join in a rule body (disconnected atoms)",
+        explain: "\
+Viewing the rule body as a graph whose vertices are atoms and whose
+edges are shared variables, the body is disconnected: some pair of
+atoms shares no variable, directly or transitively. Evaluating the
+body must then form the full cross product of the disconnected groups'
+bindings — cost multiplies instead of filtering.
+
+The join planner orders disconnected atoms last to delay the blow-up,
+but cannot avoid it. If the cross product is unintentional, add the
+missing join variable. If it is intentional (e.g. a guard atom testing
+non-emptiness), consider splitting the rule.",
+    },
+    CodeInfo {
+        code: "B202",
+        severity: Severity::Warning,
+        summary: "join variable with no selective binding position",
+        explain: "\
+A variable occurring in two or more body atoms drives a join, and the
+join is cheap exactly when at least one of its positions ranges over a
+small set of values. The static domain analysis found no bound for any
+position this variable occupies — every binding position looks
+unbounded (the position sits downstream of an unbounded null-creating
+cycle or a saturated domain product).
+
+The join over this variable may degenerate to comparing two large
+relations. Restructuring the rule so the variable also occurs at a
+position fed only by base constants gives the planner a selective side
+to probe from.",
+    },
+    CodeInfo {
+        code: "B203",
+        severity: Severity::Warning,
+        summary: "rule unreachable from any EDB predicate under the condensation",
+        explain: "\
+Condensing the predicate-dependency graph and seeding reachability
+from the EDB predicates (those appearing in no rule head — the
+predicates only an input database can populate), this rule's body
+mentions a predicate whose component no EDB predicate feeds. Whatever
+instance arrives, the rule can only fire if the input asserts facts
+for a derived (IDB) predicate directly.
+
+This is the schema-level analogue of B005: B005 consults the concrete
+instance's facts, B203 only the rule structure. A rule flagged by B203
+but not B005 is being kept alive by facts asserted on an IDB
+predicate — usually a smell in the data, sometimes an intended
+override. Introduce a base predicate feeding the component, or accept
+the coupling to the instance.
+
+Programs with no EDB predicate at all (every predicate occurs in some
+rule head) are exempt: such schemas draw no base/derived line, so the
+convention is plainly facts on derived predicates.",
+    },
+    CodeInfo {
+        code: "B204",
+        severity: Severity::Note,
+        summary: "delta-irrelevant rule (derivations no body or query consumes)",
+        explain: "\
+Every head predicate of this rule is read by no rule body and no
+query. Under semi-naive evaluation the rule still joins its body
+against every delta round, and under incremental maintenance
+(bddfc-serve) every insert and retract pays to keep its derivations
+up to date — work whose results nothing downstream observes.
+
+Per-predicate B003 reports the same situation from the predicate's
+side; B204 flags the rule whose evaluation cost is wasted. Delete the
+rule or add the consumer it was written for.",
+    },
+    CodeInfo {
+        code: "B205",
+        severity: Severity::Note,
+        summary: "high fan-in recursive predicate: DRed over-deletion can go quadratic",
+        explain: "\
+The predicate is recursive (its dependency component contains a cycle)
+and is derived by many distinct rule/head-atom pairs. Under
+delete-and-rederive (DRed) maintenance, retracting one base fact
+over-deletes everything derivable through it and then re-derives what
+survives; with heavy fan-in each over-deleted fact has many alternative
+derivations to re-check, and the cascade's cost can grow quadratically
+in the retracted region.
+
+This is a capacity planning note, not a defect: retract-heavy
+workloads over this predicate will be the service's slow path (watch
+the slow-query log). Counting-based maintenance, which tracks
+derivation multiplicities to skip the cascade, is the standard remedy
+(see ROADMAP).",
+    },
+];
+
+/// Looks up a code (e.g. `"B103"`) in [`CODES`].
+pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
+    CODES.iter().find(|c| c.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_order_and_parse() {
+        assert!(Severity::Note < Severity::Warning && Severity::Warning < Severity::Error);
+        assert_eq!(Severity::parse("warning"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn render_includes_code_span_and_notes() {
+        let d = Diagnostic::new(
+            "B101",
+            Severity::Note,
+            "rule has no guard",
+            Some(SrcSpan::new(3, 1, 3, 20)),
+        )
+        .with_note("body atom `E(X,Y)` misses `Z`");
+        let s = d.render("t.dlg");
+        assert!(s.contains("note[B101]: rule has no guard"), "{s}");
+        assert!(s.contains("--> t.dlg:3:1"), "{s}");
+        assert!(s.contains("= note: body atom"), "{s}");
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let d = Diagnostic::new("B000", Severity::Error, "bad \"quote\"", None);
+        assert_eq!(
+            d.json(),
+            "{\"code\":\"B000\",\"severity\":\"error\",\
+             \"message\":\"bad \\\"quote\\\"\",\"span\":null,\"notes\":[]}"
+        );
+    }
+
+    #[test]
+    fn sort_is_total_and_span_first() {
+        let a = Diagnostic::new("B002", Severity::Warning, "x", Some(SrcSpan::new(2, 1, 2, 5)));
+        let b = Diagnostic::new("B103", Severity::Warning, "y", None);
+        let report = LintReport::new("t", vec![a.clone(), b.clone()]);
+        assert_eq!(report.diagnostics, vec![b, a]);
+    }
+
+    #[test]
+    fn registry_is_sorted_unique_and_complete() {
+        let codes: Vec<&str> = CODES.iter().map(|c| c.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "registry must be sorted and duplicate-free");
+        assert!(code_info("B103").is_some());
+        assert!(code_info("B999").is_none());
+        for c in CODES {
+            assert!(!c.summary.is_empty() && !c.explain.is_empty(), "{}", c.code);
+            assert!(
+                c.explain.lines().all(|l| l.len() <= 79),
+                "{}: explanation lines must fit a terminal",
+                c.code
+            );
+        }
+    }
+}

@@ -236,6 +236,33 @@ impl JoinStats {
     }
 }
 
+/// Static per-predicate cardinality priors, produced by the
+/// `bddfc-analyze` domain abstraction and consulted by
+/// [`plan_with_priors`] when runtime cardinalities do not decide an
+/// order on their own. A missing entry means "no static information"
+/// and sorts last among otherwise-tied atoms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Priors {
+    map: FxHashMap<PredId, u64>,
+}
+
+impl Priors {
+    /// Builds priors from `(predicate, static cardinality bound)` pairs.
+    pub fn new(entries: impl IntoIterator<Item = (PredId, u64)>) -> Self {
+        Priors { map: entries.into_iter().collect() }
+    }
+
+    /// The static cardinality bound for `p`, if the analysis produced one.
+    pub fn get(&self, p: PredId) -> Option<u64> {
+        self.map.get(&p).copied()
+    }
+
+    /// Whether no predicate carries a prior.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// Orders the body atoms of a rule for left-deep join evaluation.
 ///
 /// The heuristic: the pinned (delta) atom, if any, always comes first;
@@ -245,6 +272,28 @@ impl JoinStats {
 /// cardinality ties by original atom index. Returns the atom indices in
 /// execution order.
 pub fn plan(body: &[Atom], pinned: Option<usize>, card: impl Fn(PredId) -> usize) -> Vec<usize> {
+    plan_with_priors(body, pinned, card, None)
+}
+
+/// [`plan`] with optional static cardinality priors wedged between the
+/// live cardinality and the atom-index tie-break: the selection key per
+/// atom is `(disconnected, live cardinality, static prior, index)`.
+///
+/// Live postings always dominate — priors only decide among atoms whose
+/// runtime cardinalities are equal, which is exactly the state before
+/// runtime postings exist (every derived predicate at 0 rows on the
+/// first round, or any genuine tie later). Because the key refines the
+/// [`plan`] key rather than replacing any component, passing `None` (or
+/// priors that never break a tie) reproduces [`plan`]'s order bit for
+/// bit — and the chase result is invariant either way, since repair
+/// candidates are deduplicated by frontier key and applied in canonical
+/// order whatever join order produced them.
+pub fn plan_with_priors(
+    body: &[Atom],
+    pinned: Option<usize>,
+    card: impl Fn(PredId) -> usize,
+    priors: Option<&Priors>,
+) -> Vec<usize> {
     let n = body.len();
     let mut order = Vec::with_capacity(n);
     let mut used = vec![false; n];
@@ -254,18 +303,22 @@ pub fn plan(body: &[Atom], pinned: Option<usize>, card: impl Fn(PredId) -> usize
         used[p] = true;
         bound.extend(body[p].vars());
     }
+    let prior = |p: PredId| -> u64 {
+        priors.and_then(|pr| pr.get(p)).unwrap_or(u64::MAX)
+    };
     while order.len() < n {
-        // Minimize (disconnected, cardinality, index): connected atoms
-        // beat cross products, then smaller relations, then source order.
+        // Minimize (disconnected, cardinality, prior, index): connected
+        // atoms beat cross products, then smaller relations, then smaller
+        // static bounds, then source order.
         let next = (0..n)
             .filter(|&i| !used[i])
             .map(|i| {
                 let connected = body[i].vars().any(|v| bound.contains(&v));
-                (!connected, card(body[i].pred), i)
+                (!connected, card(body[i].pred), prior(body[i].pred), i)
             })
             .min()
             .expect("unused atom remains")
-            .2;
+            .3;
         order.push(next);
         used[next] = true;
         bound.extend(body[next].vars());
@@ -529,9 +582,24 @@ pub fn eval_body(
     store: &ColumnarStore,
     body: &[Atom],
     pinned: Option<(usize, Range<usize>)>,
-    mut stats: Option<&mut JoinStats>,
+    stats: Option<&mut JoinStats>,
 ) -> BindingBatch {
-    let order = plan(body, pinned.as_ref().map(|&(i, _)| i), |p| store.rows(p));
+    eval_body_with_priors(store, body, pinned, stats, None)
+}
+
+/// [`eval_body`] planning with the static cardinality priors of
+/// [`plan_with_priors`]. The *set* of result rows is identical for any
+/// priors (only the join order, and hence the row order within the
+/// canonical contract, may differ among runtime-cardinality ties).
+pub fn eval_body_with_priors(
+    store: &ColumnarStore,
+    body: &[Atom],
+    pinned: Option<(usize, Range<usize>)>,
+    mut stats: Option<&mut JoinStats>,
+    priors: Option<&Priors>,
+) -> BindingBatch {
+    let order =
+        plan_with_priors(body, pinned.as_ref().map(|&(i, _)| i), |p| store.rows(p), priors);
     let mut batch = BindingBatch::unit();
     for &ai in &order {
         let range = match &pinned {

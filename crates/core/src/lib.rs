@@ -16,6 +16,9 @@
 //!   downstream hot loop;
 //! * the unified telemetry layer ([`obs`]) — counters, span timers and
 //!   a bounded structured event log — that every engine reports into;
+//! * the diagnostic model ([`diag`]) — stable codes, severities, the
+//!   rustc-style rendering shared by `bddfc-lint` and `bddfc-analyze`,
+//!   and the registry of long-form `--explain` texts;
 //! * conjunctive queries and UCQs ([`query`]);
 //! * TGDs, datalog rules and theories ([`rule`]);
 //! * the backtracking homomorphism engine ([`hom`]);
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod columnar;
+pub mod diag;
 pub mod fxhash;
 pub mod hom;
 pub mod index;
@@ -49,15 +53,17 @@ pub mod prng;
 pub mod query;
 pub mod rule;
 pub mod satisfaction;
+pub mod scc;
 pub mod span;
 pub mod symbols;
 pub mod term;
 
 pub use columnar::ColumnarStore;
+pub use diag::{Diagnostic, LintReport, Severity};
 pub use hom::Binding;
 pub use index::{FactIdx, FactIndex};
 pub use instance::Instance;
-pub use join::{join_mode, with_join_mode, JoinMode};
+pub use join::{join_mode, with_join_mode, JoinMode, Priors};
 pub use parser::{parse_into, parse_program, parse_query, parse_rule, ParseError, Program};
 pub use query::{ConjunctiveQuery, Ucq};
 pub use rule::{Rule, RuleKind, Theory};

@@ -1,0 +1,131 @@
+//! Deterministic strongly connected components over small index graphs.
+//!
+//! One Kosaraju condensation shared by every analysis that walks a
+//! dependency graph: the hygiene linter's predicate-dependency
+//! reachability (B005), `bddfc-analyze`'s position-graph abstract
+//! interpretation and its schema-level reachability and fan-in lints.
+//!
+//! The input is an adjacency list over node indices `0..n`; the output
+//! assigns each node a component id. Two guarantees every caller leans
+//! on:
+//!
+//! * **Determinism** — ids are a pure function of the adjacency list
+//!   (DFS orders come from the sorted successor sets), so derived
+//!   reports are byte-identical across runs and thread counts.
+//! * **Topological numbering** — for every edge `u → v`,
+//!   `comp[u] <= comp[v]`, with equality exactly when `u` and `v` are in
+//!   the same component. Processing components in increasing id order is
+//!   a topological sweep of the condensation DAG; abstract
+//!   interpretation passes rely on this to evaluate each component after
+//!   all of its predecessors.
+
+use std::collections::BTreeSet;
+
+/// Kosaraju condensation: returns, for each node, its component id.
+/// Ids are assigned deterministically from the sorted node order and
+/// form a topological numbering of the condensation (see module docs).
+pub fn condense(succ: &[BTreeSet<usize>]) -> Vec<usize> {
+    let n = succ.len();
+    let mut pred: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (u, ss) in succ.iter().enumerate() {
+        for &v in ss {
+            pred[v].insert(u);
+        }
+    }
+    // Pass 1: finish order on the forward graph (iterative DFS).
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut stack: Vec<(usize, Vec<usize>)> =
+            vec![(start, succ[start].iter().copied().collect())];
+        visited[start] = true;
+        while let Some((u, todo)) = stack.last_mut() {
+            match todo.pop() {
+                Some(v) if !visited[v] => {
+                    visited[v] = true;
+                    stack.push((v, succ[v].iter().copied().collect()));
+                }
+                Some(_) => {}
+                None => {
+                    order.push(*u);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    // Pass 2: components on the reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = next;
+        while let Some(u) = stack.pop() {
+            for &v in &pred[u] {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// The number of components in a [`condense`] result.
+pub fn component_count(comp: &[usize]) -> usize {
+    comp.iter().copied().max().map_or(0, |m| m + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> Vec<BTreeSet<usize>> {
+        let mut succ = vec![BTreeSet::new(); n];
+        for &(u, v) in edges {
+            succ[u].insert(v);
+        }
+        succ
+    }
+
+    #[test]
+    fn cycle_collapses_and_dag_orders() {
+        // 0 -> 1 <-> 2 -> 3: components {0}, {1,2}, {3}.
+        let comp = condense(&graph(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]));
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[1], comp[3]);
+        assert_eq!(component_count(&comp), 3);
+    }
+
+    #[test]
+    fn numbering_is_topological_on_every_edge() {
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (1, 5), (5, 5)];
+        let succ = graph(6, &edges);
+        let comp = condense(&succ);
+        for &(u, v) in &edges {
+            assert!(comp[u] <= comp[v], "edge {u}->{v}: comp {} > {}", comp[u], comp[v]);
+        }
+        // Same component exactly for the two cycles.
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        assert!(condense(&[]).is_empty());
+        let comp = condense(&graph(3, &[]));
+        assert_eq!(component_count(&comp), 3);
+        // Deterministic: isolated nodes number in node order.
+        assert_eq!(comp, condense(&graph(3, &[])));
+    }
+}

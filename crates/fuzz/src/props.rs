@@ -18,6 +18,7 @@
 //! | `rewrite_vs_chase` | UCQ-rewriting certain answers vs chase certain answers |
 //! | `lint_stability` | linting is deterministic and panic-free |
 //! | `serve_vs_scratch_chase` | bddfc-serve incremental sessions vs from-scratch chase of the folded base |
+//! | `static_bound_vs_observed_rounds` | bddfc-analyze termination certificates vs the real chase |
 //!
 //! [`Mutation`] deliberately breaks one engine side — the seeded
 //! known-bad mutations behind `bddfc-fuzz --mutate` that prove the
@@ -25,9 +26,10 @@
 
 use crate::gen::FuzzCase;
 use crate::proptest_lite::{ensure, ensure_eq, PropResult};
+use bddfc_analyze::{analyze as static_analyze, domain::DomainAnalysis};
 use bddfc_chase::{
-    certain_ucq, certain_ucq_outcome, chase, chase_with, Certainty, ChaseConfig, ChaseStepper,
-    ChaseStrategy, ChaseVariant,
+    certain_ucq, certain_ucq_outcome, chase, chase_with, Certainty, ChaseConfig, ChaseStatus,
+    ChaseStepper, ChaseStrategy, ChaseVariant,
 };
 use bddfc_classes::{
     guard_violations, is_guarded, is_sticky, is_theorem3_fragment, is_weakly_acyclic,
@@ -182,6 +184,11 @@ pub static PROPS: &[Prop] = &[
         name: "serve_vs_scratch_chase",
         describe: "bddfc-serve sessions agree with a from-scratch chase and are thread-invariant",
         check: serve_vs_scratch_chase,
+    },
+    Prop {
+        name: "static_bound_vs_observed_rounds",
+        describe: "bddfc-analyze termination certificates dominate the observed chase",
+        check: static_bound_vs_observed_rounds,
     },
 ];
 
@@ -680,6 +687,104 @@ fn serve_vs_scratch_chase(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> Pr
                     &format!("serve and scratch chase disagree on query #{qi} at step {i}"),
                 )?;
             }
+        }
+    }
+    Ok(())
+}
+
+/// `static_bound_vs_observed_rounds`: the static analyzer is sound
+/// against the real chase —
+///
+/// * the counting-lattice weak-acyclicity verdict agrees with the
+///   position-graph oracle of `bddfc-classes`;
+/// * a termination certificate implies weak acyclicity, and every
+///   emitted certificate passes its own independent validator;
+/// * the restricted semi-naive chase never exceeds a certified bound:
+///   a fixpoint within the session budgets stays within `round_bound`
+///   rounds and `fact_bound` distinct facts, and a budget stop with the
+///   budget at or past the certified bound is a soundness violation;
+/// * the analysis JSON is byte-identical at 1, 2 and 7 worker threads.
+///
+/// The mutation runs on the analyzer side: bounds computed from a
+/// defective view of the theory must be caught by the real chase.
+fn static_bound_vs_observed_rounds(_case: &FuzzCase, prog: &Program, ctx: &PropCtx) -> PropResult {
+    let analyzed = Program {
+        voc: prog.voc.clone(),
+        theory: ctx.mutation.apply(&prog.theory),
+        instance: prog.instance.clone(),
+        queries: prog.queries.clone(),
+    };
+    let dom = DomainAnalysis::analyze(&analyzed);
+    ensure_eq(
+        dom.weakly_acyclic,
+        bddfc_classes::is_weakly_acyclic(&analyzed.theory),
+        "domain analysis disagrees with the weak-acyclicity oracle",
+    )?;
+
+    let a = static_analyze(&analyzed);
+    let render = |threads: usize| {
+        par::with_thread_count(threads, || static_analyze(&analyzed).json("fuzz", &analyzed))
+    };
+    let one = render(1);
+    ensure_eq(one.clone(), a.json("fuzz", &analyzed), "analysis JSON is unstable")?;
+    for threads in [2usize, 7] {
+        ensure_eq(
+            one.clone(),
+            render(threads),
+            &format!("analysis JSON diverged at {threads} threads"),
+        )?;
+    }
+
+    // No certificate is always permitted for a WA theory (the counting
+    // lattice may have saturated), never the other way around.
+    let Some(cert) = &a.certificate else {
+        return Ok(());
+    };
+    ensure(dom.weakly_acyclic, "certificate emitted for a non-weakly-acyclic theory")?;
+    cert.validate(&analyzed).map_err(|e| format!("certificate fails its own validator: {e}"))?;
+
+    let res = chase(
+        &prog.instance,
+        &prog.theory,
+        &mut prog.voc.clone(),
+        chase_config(ctx, ChaseVariant::Restricted, ChaseStrategy::SemiNaive),
+    );
+    match res.status {
+        ChaseStatus::Fixpoint => {
+            ensure(
+                u64::from(res.rounds) <= cert.round_bound,
+                &format!("observed {} rounds > certified {}", res.rounds, cert.round_bound),
+            )?;
+            ensure(
+                res.instance.len() as u64 <= cert.fact_bound,
+                &format!(
+                    "observed {} facts > certified {}",
+                    res.instance.len(),
+                    cert.fact_bound
+                ),
+            )?;
+        }
+        // A budget stop is only consistent with the certificate when
+        // the budget ran out *before* the bound: the engine needs
+        // `round_bound` productive rounds plus one empty round to
+        // observe the fixpoint the certificate promises.
+        ChaseStatus::RoundBudget => {
+            ensure(
+                u64::from(ctx.max_rounds) < cert.round_bound.saturating_add(1),
+                &format!(
+                    "no fixpoint within {} rounds despite certified round bound {}",
+                    ctx.max_rounds, cert.round_bound
+                ),
+            )?;
+        }
+        ChaseStatus::FactBudget => {
+            ensure(
+                (ctx.max_facts as u64) < cert.fact_bound,
+                &format!(
+                    "fact budget {} overrun despite certified fact bound {}",
+                    ctx.max_facts, cert.fact_bound
+                ),
+            )?;
         }
     }
     Ok(())

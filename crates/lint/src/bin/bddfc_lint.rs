@@ -4,13 +4,18 @@
 //! bddfc-lint FILE...                    # lint files, rustc-style output
 //! bddfc-lint --zoo                      # lint the embedded zoo corpus
 //! bddfc-lint FILE --json                # one-line deterministic JSON
-//! bddfc-lint FILE --deny warning       # exit 1 on warnings or worse
+//! bddfc-lint FILE --deny warning        # exit 1 on warnings or worse
+//! bddfc-lint FILE --deny-prefix B00     # exit 1 on any B00x, any severity
+//! bddfc-lint --explain B202             # long-form explanation of a code
 //! ```
 //!
 //! The exit code is 0 when every diagnostic is below the `--deny` level
-//! (default `error`), 1 otherwise, 2 on usage errors. JSON output is
-//! byte-identical across runs and `BDDFC_THREADS` settings.
+//! (default `error`) and no diagnostic matches a `--deny-prefix`, 1
+//! otherwise, 2 on usage errors (including `--explain` of an unknown
+//! code). JSON output is byte-identical across runs and `BDDFC_THREADS`
+//! settings.
 
+use bddfc_core::diag::code_info;
 use bddfc_lint::{lint_source, reports_json, LintReport, Severity};
 use std::process::ExitCode;
 
@@ -19,23 +24,54 @@ struct Args {
     zoo: bool,
     json: bool,
     deny: Severity,
+    deny_prefixes: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bddfc-lint [FILE]... [--zoo] [--json] [--deny <note|warning|error>]\n\
+         \x20                [--deny-prefix PREFIX]... | --explain CODE\n\
          \n\
          FILE...            Datalog∃ source files to lint\n\
          --zoo              also lint the embedded zoo corpus\n\
          --json             print one deterministic JSON document instead of text\n\
          --deny LEVEL       exit nonzero if any diagnostic is at or above LEVEL\n\
-         \x20                  (default: error)"
+         \x20                  (default: error)\n\
+         --deny-prefix P    exit nonzero if any diagnostic's code starts with P,\n\
+         \x20                  whatever its severity (repeatable; e.g. B00)\n\
+         --explain CODE     print the long-form explanation of a stable code"
     );
     std::process::exit(2)
 }
 
+/// Prints the registry entry for `code`; exits 2 on an unknown code,
+/// listing everything known.
+fn explain(code: &str) -> ! {
+    match code_info(code) {
+        Some(info) => {
+            println!("{}[{}]: {}", info.severity, info.code, info.summary);
+            println!();
+            println!("{}", info.explain);
+            std::process::exit(0)
+        }
+        None => {
+            eprintln!("unknown code {code:?}; known codes:");
+            for c in bddfc_core::diag::CODES {
+                eprintln!("  {}  {}", c.code, c.summary);
+            }
+            std::process::exit(2)
+        }
+    }
+}
+
 fn parse_args() -> Args {
-    let mut args = Args { files: Vec::new(), zoo: false, json: false, deny: Severity::Error };
+    let mut args = Args {
+        files: Vec::new(),
+        zoo: false,
+        json: false,
+        deny: Severity::Error,
+        deny_prefixes: Vec::new(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -51,6 +87,20 @@ fn parse_args() -> Args {
                     usage()
                 });
             }
+            "--deny-prefix" => {
+                let p = it.next().unwrap_or_else(|| {
+                    eprintln!("--deny-prefix needs a value");
+                    usage()
+                });
+                args.deny_prefixes.push(p);
+            }
+            "--explain" => {
+                let code = it.next().unwrap_or_else(|| {
+                    eprintln!("--explain needs a code");
+                    usage()
+                });
+                explain(&code)
+            }
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => {
                 eprintln!("unknown argument: {flag}");
@@ -60,7 +110,7 @@ fn parse_args() -> Args {
         }
     }
     if args.files.is_empty() && !args.zoo {
-        eprintln!("no input: pass FILE arguments or --zoo");
+        eprintln!("no input: pass FILE arguments, --zoo, or --explain CODE");
         usage()
     }
     args
@@ -94,8 +144,15 @@ fn main() -> ExitCode {
     }
 
     let worst = reports.iter().filter_map(|r| r.max_severity()).max();
-    match worst {
-        Some(s) if s >= args.deny => ExitCode::FAILURE,
-        _ => ExitCode::SUCCESS,
+    if matches!(worst, Some(s) if s >= args.deny) {
+        return ExitCode::FAILURE;
     }
+    let prefix_hit = reports
+        .iter()
+        .flat_map(|r| &r.diagnostics)
+        .any(|d| args.deny_prefixes.iter().any(|p| d.code.starts_with(p.as_str())));
+    if prefix_hit {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

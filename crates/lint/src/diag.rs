@@ -1,271 +1,9 @@
-//! The diagnostic model: codes, severities, rendered text and JSON.
+//! Re-export of the workspace diagnostic model.
 //!
-//! Every lint produces [`Diagnostic`] values with a stable code
-//! (`B0xx` hygiene, `B1xx` class membership), a severity, an optional
-//! primary [`SrcSpan`] and free-form secondary notes carrying the
-//! witness details. Rendering — both the rustc-style text and the
-//! `--json` form — is a pure function of the diagnostic, and
-//! [`LintReport::sort`] fixes a total order, so output is byte-identical
-//! across runs and thread counts.
+//! The model — [`Diagnostic`], [`Severity`], [`LintReport`], the
+//! stable-code registry [`CODES`] — lives in [`bddfc_core::diag`] so
+//! that other crates (notably `bddfc-analyze`) can emit diagnostics
+//! without depending on the linter. This module keeps the historical
+//! `bddfc_lint::diag` paths working.
 
-use bddfc_core::obs::json_escape;
-use bddfc_core::SrcSpan;
-use std::fmt;
-
-/// How bad a diagnostic is. The order is `Note < Warning < Error`;
-/// `--deny <level>` fails a run containing any diagnostic at or above
-/// the level.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Severity {
-    /// Informational (e.g. class-membership facts).
-    Note,
-    /// Probably a defect; the program still means something.
-    Warning,
-    /// The program is broken (parse error, unsafe rule).
-    Error,
-}
-
-impl Severity {
-    /// Parses a `--deny` level name.
-    pub fn parse(s: &str) -> Option<Severity> {
-        match s {
-            "note" => Some(Severity::Note),
-            "warning" => Some(Severity::Warning),
-            "error" => Some(Severity::Error),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Severity::Note => "note",
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        })
-    }
-}
-
-/// One finding: a stable code, severity, message, optional primary span
-/// and witness notes.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Stable code, e.g. `"B101"`. Codes never change meaning.
-    pub code: &'static str,
-    /// Severity level.
-    pub severity: Severity,
-    /// One-line primary message.
-    pub message: String,
-    /// Primary source span (absent for theory-level findings or
-    /// programmatically built rules).
-    pub span: Option<SrcSpan>,
-    /// Secondary lines carrying the witness (missed guard variables,
-    /// marking derivations, cycle edges, …).
-    pub notes: Vec<String>,
-}
-
-impl Diagnostic {
-    /// Creates a diagnostic without notes.
-    pub fn new(
-        code: &'static str,
-        severity: Severity,
-        message: impl Into<String>,
-        span: Option<SrcSpan>,
-    ) -> Self {
-        Diagnostic { code, severity, message: message.into(), span, notes: Vec::new() }
-    }
-
-    /// Appends a secondary note line.
-    pub fn with_note(mut self, note: impl Into<String>) -> Self {
-        self.notes.push(note.into());
-        self
-    }
-
-    /// Renders the diagnostic rustc-style:
-    ///
-    /// ```text
-    /// warning[B103]: theory is not weakly acyclic: ...
-    ///   --> chain.dlg:1:1
-    ///    = note: special edge E[1] -> E[1] induced by rule #0
-    /// ```
-    pub fn render(&self, file: &str) -> String {
-        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
-        if let Some(span) = self.span {
-            out.push_str(&format!("  --> {file}:{span}\n"));
-        }
-        for note in &self.notes {
-            out.push_str(&format!("   = note: {note}\n"));
-        }
-        out
-    }
-
-    /// The diagnostic as one JSON object (fixed key order, no
-    /// whitespace) — a deterministic function of the diagnostic.
-    pub fn json(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = format!(
-            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",",
-            self.code,
-            self.severity,
-            json_escape(&self.message)
-        );
-        match self.span {
-            Some(s) => {
-                let _ = write!(
-                    out,
-                    "\"span\":{{\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{}}},",
-                    s.line, s.col, s.end_line, s.end_col
-                );
-            }
-            None => out.push_str("\"span\":null,"),
-        }
-        out.push_str("\"notes\":[");
-        for (i, n) in self.notes.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{}\"", json_escape(n));
-        }
-        out.push_str("]}");
-        out
-    }
-}
-
-/// All diagnostics for one input, under its display name.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct LintReport {
-    /// Display name of the input (file path or zoo program name).
-    pub file: String,
-    /// The findings, in [`LintReport::sort`] order.
-    pub diagnostics: Vec<Diagnostic>,
-}
-
-impl LintReport {
-    /// Creates a report and puts the diagnostics into canonical order:
-    /// by span start (spanless first), then code, then message.
-    pub fn new(file: impl Into<String>, mut diagnostics: Vec<Diagnostic>) -> Self {
-        Self::sort(&mut diagnostics);
-        LintReport { file: file.into(), diagnostics }
-    }
-
-    /// Canonical diagnostic order (see [`LintReport::new`]).
-    pub fn sort(diagnostics: &mut [Diagnostic]) {
-        diagnostics.sort_by(|a, b| {
-            let key = |d: &Diagnostic| {
-                (
-                    d.span.map_or((0, 0), |s| (s.line, s.col)),
-                    d.code,
-                    d.message.clone(),
-                )
-            };
-            key(a).cmp(&key(b))
-        });
-    }
-
-    /// The worst severity present, if any diagnostic exists.
-    pub fn max_severity(&self) -> Option<Severity> {
-        self.diagnostics.iter().map(|d| d.severity).max()
-    }
-
-    /// Renders every diagnostic rustc-style, separated by blank lines,
-    /// followed by a one-line summary.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for d in &self.diagnostics {
-            out.push_str(&d.render(&self.file));
-            out.push('\n');
-        }
-        let (e, w, n) = self.counts();
-        out.push_str(&format!(
-            "{}: {} error(s), {} warning(s), {} note(s)\n",
-            self.file, e, w, n
-        ));
-        out
-    }
-
-    /// `(errors, warnings, notes)` counts.
-    pub fn counts(&self) -> (usize, usize, usize) {
-        let mut c = (0, 0, 0);
-        for d in &self.diagnostics {
-            match d.severity {
-                Severity::Error => c.0 += 1,
-                Severity::Warning => c.1 += 1,
-                Severity::Note => c.2 += 1,
-            }
-        }
-        c
-    }
-
-    /// The report as one JSON object (fixed key order, no whitespace).
-    pub fn json(&self) -> String {
-        let mut out = format!("{{\"file\":\"{}\",\"diagnostics\":[", json_escape(&self.file));
-        for (i, d) in self.diagnostics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&d.json());
-        }
-        out.push_str("]}");
-        out
-    }
-}
-
-/// Renders several reports as the `bddfc-lint --json` document: one
-/// line, fixed key order, reports in input order.
-pub fn reports_json(reports: &[LintReport]) -> String {
-    let mut out = String::from("{\"schema\":1,\"files\":[");
-    for (i, r) in reports.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&r.json());
-    }
-    out.push_str("]}");
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn severity_order_and_parse() {
-        assert!(Severity::Note < Severity::Warning && Severity::Warning < Severity::Error);
-        assert_eq!(Severity::parse("warning"), Some(Severity::Warning));
-        assert_eq!(Severity::parse("fatal"), None);
-    }
-
-    #[test]
-    fn render_includes_code_span_and_notes() {
-        let d = Diagnostic::new(
-            "B101",
-            Severity::Note,
-            "rule has no guard",
-            Some(SrcSpan::new(3, 1, 3, 20)),
-        )
-        .with_note("body atom `E(X,Y)` misses `Z`");
-        let s = d.render("t.dlg");
-        assert!(s.contains("note[B101]: rule has no guard"), "{s}");
-        assert!(s.contains("--> t.dlg:3:1"), "{s}");
-        assert!(s.contains("= note: body atom"), "{s}");
-    }
-
-    #[test]
-    fn json_is_stable_and_escaped() {
-        let d = Diagnostic::new("B000", Severity::Error, "bad \"quote\"", None);
-        assert_eq!(
-            d.json(),
-            "{\"code\":\"B000\",\"severity\":\"error\",\
-             \"message\":\"bad \\\"quote\\\"\",\"span\":null,\"notes\":[]}"
-        );
-    }
-
-    #[test]
-    fn sort_is_total_and_span_first() {
-        let a = Diagnostic::new("B002", Severity::Warning, "x", Some(SrcSpan::new(2, 1, 2, 5)));
-        let b = Diagnostic::new("B103", Severity::Warning, "y", None);
-        let report = LintReport::new("t", vec![a.clone(), b.clone()]);
-        assert_eq!(report.diagnostics, vec![b, a]);
-    }
-}
+pub use bddfc_core::diag::*;

@@ -11,6 +11,7 @@
 //! | B006 | warning  | duplicate rule (equal up to variable renaming) |
 
 use crate::diag::{Diagnostic, Severity};
+use bddfc_core::scc::condense;
 use bddfc_core::{ConstId, PredId, Program, Rule, Term};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -244,62 +245,6 @@ fn unreachable_rules(prog: &Program, out: &mut Vec<Diagnostic>) {
             );
         }
     }
-}
-
-/// Kosaraju condensation: returns, for each node, its component id;
-/// ids are assigned deterministically from the sorted node order.
-fn condense(succ: &[BTreeSet<usize>]) -> Vec<usize> {
-    let n = succ.len();
-    let mut pred: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
-    for (u, ss) in succ.iter().enumerate() {
-        for &v in ss {
-            pred[v].insert(u);
-        }
-    }
-    // Pass 1: finish order on the forward graph (iterative DFS).
-    let mut visited = vec![false; n];
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    for start in 0..n {
-        if visited[start] {
-            continue;
-        }
-        let mut stack: Vec<(usize, Vec<usize>)> =
-            vec![(start, succ[start].iter().copied().collect())];
-        visited[start] = true;
-        while let Some((u, todo)) = stack.last_mut() {
-            match todo.pop() {
-                Some(v) if !visited[v] => {
-                    visited[v] = true;
-                    stack.push((v, succ[v].iter().copied().collect()));
-                }
-                Some(_) => {}
-                None => {
-                    order.push(*u);
-                    stack.pop();
-                }
-            }
-        }
-    }
-    // Pass 2: components on the reverse graph in reverse finish order.
-    let mut comp = vec![usize::MAX; n];
-    let mut next = 0;
-    for &start in order.iter().rev() {
-        if comp[start] != usize::MAX {
-            continue;
-        }
-        let mut stack = vec![start];
-        comp[start] = next;
-        while let Some(u) = stack.pop() {
-            for &v in &pred[u] {
-                if comp[v] == usize::MAX {
-                    comp[v] = next;
-                    stack.push(v);
-                }
-            }
-        }
-        next += 1;
-    }
-    comp
 }
 
 /// B006: two rules equal up to variable renaming (atom order

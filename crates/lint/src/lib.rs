@@ -16,7 +16,16 @@
 //!   signatures ([`classlints`]).
 //!
 //! The `bddfc-lint` binary drives all of this over files or the zoo
-//! corpus (`--zoo`); parse failures surface as code `B000`.
+//! corpus (`--zoo`); parse failures surface as code `B000`:
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | B000 | error    | source does not parse |
+//!
+//! The perf lints `B201..B205` of `bddfc_analyze` are folded into
+//! [`lint_program`] as well, so the CLI reports every stable code;
+//! `bddfc-lint --explain Bxxx` prints the long-form explanation from
+//! the [`bddfc_core::diag::CODES`] registry.
 //!
 //! ## Determinism contract
 //!
@@ -41,11 +50,12 @@ pub use hygiene::hygiene_lints;
 
 use bddfc_core::{parse_program, Program};
 
-/// Runs every lint over an already-parsed program; the result is in
-/// canonical order.
+/// Runs every lint over an already-parsed program — hygiene, class and
+/// the perf lints of `bddfc_analyze` — in canonical order.
 pub fn lint_program(prog: &Program) -> Vec<Diagnostic> {
     let mut out = hygiene_lints(prog);
     out.extend(class_lints(prog));
+    out.extend(bddfc_analyze::perflints::perf_lints(prog));
     LintReport::sort(&mut out);
     out
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bddfc-serve [PROGRAM.dlg] [--oracle] [--tcp ADDR]
-//!             [--max-rounds N] [--max-facts N]
+//!             [--max-rounds N] [--max-facts N] [--deny-unbounded]
 //!             [--metrics-tcp ADDR] [--no-metrics]
 //!             [--slow-ms N] [--slow-log FILE]
 //! ```
@@ -18,6 +18,15 @@
 //! `--oracle` replays every query through a from-scratch chase and turns
 //! decided disagreements into `err oracle-mismatch ...` responses (the
 //! differential-testing mode `ci.sh` smokes).
+//!
+//! At load the program runs through `bddfc-analyze`. When the analyzer
+//! certifies termination (weak acyclicity) and `--max-rounds` was not
+//! given, the round budget is sized from the certified bound — raised
+//! to `round_bound + 1` when that exceeds the default, so a certified
+//! program always closes to fixpoint. When no certificate exists the
+//! service warns on stderr (mutations may stop at the budget), or
+//! refuses to start under `--deny-unbounded`. The `analyze` protocol
+//! command returns the full analysis as one JSON line.
 //!
 //! `--metrics-tcp ADDR` additionally serves Prometheus text exposition
 //! over a hand-rolled HTTP/1.0 endpoint on `ADDR` (`0` or
@@ -37,8 +46,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: bddfc-serve [PROGRAM.dlg] [--oracle] [--tcp ADDR] \
-         [--max-rounds N] [--max-facts N] [--metrics-tcp ADDR] \
-         [--no-metrics] [--slow-ms N] [--slow-log FILE]"
+         [--max-rounds N] [--max-facts N] [--deny-unbounded] \
+         [--metrics-tcp ADDR] [--no-metrics] [--slow-ms N] [--slow-log FILE]"
     );
     std::process::exit(2);
 }
@@ -54,10 +63,13 @@ fn main() -> ExitCode {
     let mut tcp: Option<String> = None;
     let mut metrics_tcp: Option<String> = None;
     let mut slow_log: Option<String> = None;
+    let mut deny_unbounded = false;
+    let mut max_rounds_set = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--oracle" => config.oracle = true,
+            "--deny-unbounded" => deny_unbounded = true,
             "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-tcp" => metrics_tcp = Some(args.next().unwrap_or_else(|| usage())),
             "--no-metrics" => config.metrics = false,
@@ -69,6 +81,7 @@ fn main() -> ExitCode {
             "--max-rounds" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 config.max_rounds = v.parse().unwrap_or_else(|_| usage());
+                max_rounds_set = true;
             }
             "--max-facts" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -108,6 +121,40 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    // Pre-flight static analysis: refuse (or warn) when termination is
+    // not certified, and size the default round budget from the
+    // certified bound. The +1 is the engine's final empty round that
+    // *observes* the fixpoint.
+    let analysis = bddfc_analyze::analyze(&program);
+    match &analysis.certificate {
+        Some(cert) => {
+            if !max_rounds_set {
+                let need =
+                    u32::try_from(cert.round_bound.saturating_add(1)).unwrap_or(u32::MAX);
+                if need > config.max_rounds {
+                    eprintln!(
+                        "bddfc-serve: round budget raised to {need} from the \
+                         certified static bound"
+                    );
+                    config.max_rounds = need;
+                }
+            }
+        }
+        None => {
+            if deny_unbounded {
+                eprintln!(
+                    "bddfc-serve: no termination certificate (not provably weakly \
+                     acyclic); refusing to start under --deny-unbounded"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "bddfc-serve: no termination certificate (not provably weakly \
+                 acyclic); mutations may stop at the round/fact budget"
+            );
+        }
+    }
 
     let mut server = Server::new(&program, config);
 

@@ -36,6 +36,17 @@
 //! * `unknown reason=rounds|facts` — not witnessed and the closure was
 //!   cut short by the named budget ([`bddfc_chase::BudgetExhausted`]).
 //!
+//! ## Static analysis at load
+//!
+//! Construction runs the loaded program through `bddfc-analyze`: the
+//! cost model's static cardinality priors seed the maintenance
+//! closures' batch join planner (tie-breakers under live postings —
+//! provably invisible in the resident instance), and the full analysis
+//! — termination certificate, cost model, perf lints — is kept as one
+//! JSON line that the `analyze` protocol command returns. The
+//! `bddfc-serve` binary additionally sizes the default round budget
+//! from the certified bound and supports `--deny-unbounded`.
+//!
 //! ## Differential oracle mode
 //!
 //! With [`ServeConfig::oracle`] set, every query is additionally
@@ -172,6 +183,10 @@ pub struct Server<'s, S: EventSink = Null> {
     queries: AtomicU64,
     metrics: Option<MetricsRegistry>,
     slowlog: Option<SlowLog>,
+    /// One-line JSON of the load-time static analysis (the `analyze`
+    /// protocol command). Fixed at construction: the theory never
+    /// changes after load, and the analysis is a pure function of it.
+    analysis_json: String,
 }
 
 /// Metric names the server registers. All `bddfc_`-prefixed; every
@@ -236,9 +251,14 @@ impl<'s, S: EventSink> Server<'s, S> {
     /// Like [`Server::new`], reporting request spans, commit events and
     /// the maintenance chase's own round events into `sink`.
     pub fn with_sink(program: &Program, config: ServeConfig, sink: &'s S) -> Self {
+        // Static analysis of the loaded theory: the cost model's priors
+        // seed every maintenance closure's join planner (tie-breakers
+        // only — the resident instance is identical with or without
+        // them), and the one-line JSON backs the `analyze` command.
+        let analysis = bddfc_analyze::analyze(program);
         let writer = Writer {
             voc: program.voc.clone(),
-            inc: IncrementalChase::new(&program.theory),
+            inc: IncrementalChase::new(&program.theory).with_priors(analysis.cost.priors()),
             segments: vec![0],
             epoch_id: 0,
             inserts: 0,
@@ -254,6 +274,7 @@ impl<'s, S: EventSink> Server<'s, S> {
             queries: AtomicU64::new(0),
             metrics: config.metrics.then(new_registry),
             slowlog: config.slow_ms.map(|ms| SlowLog::new(ms, config.slowlog_cap)),
+            analysis_json: analysis.json("load", program),
         };
         // The initial facts go through the ordinary insert path, so epoch 1
         // is the chased load (epoch 0 stays the published empty state).
@@ -281,6 +302,12 @@ impl<'s, S: EventSink> Server<'s, S> {
     /// The slow-query log, if enabled.
     pub fn slow_log(&self) -> Option<&SlowLog> {
         self.slowlog.as_ref()
+    }
+
+    /// The one-line static-analysis JSON computed at load (what the
+    /// `analyze` protocol command returns).
+    pub fn analysis_json(&self) -> &str {
+        &self.analysis_json
     }
 
     /// Refreshes snapshot-time gauges (sink drop counts, slowlog state)
@@ -433,6 +460,7 @@ impl<'s, S: EventSink> Server<'s, S> {
             Command::Retract(payload) => Reply::Line(self.do_retract(payload, span, sink, local)),
             Command::Query(payload) => Reply::Line(self.do_query(payload, span, sink)),
             Command::Explain(payload) => Reply::Line(self.do_explain(payload, local)),
+            Command::Analyze => Reply::Line(self.analysis_json.clone()),
             Command::Stats => Reply::Line(self.do_stats(local)),
             Command::Metrics => Reply::Line(self.do_metrics()),
             Command::Slowlog => Reply::Line(self.do_slowlog()),
@@ -707,6 +735,7 @@ fn command_verb(cmd: &Command) -> &'static str {
         Command::Retract(_) => "retract",
         Command::Query(_) => "query",
         Command::Explain(_) => "explain",
+        Command::Analyze => "analyze",
         Command::Stats => "stats",
         Command::Metrics => "metrics",
         Command::Slowlog => "slowlog",

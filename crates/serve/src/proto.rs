@@ -8,6 +8,7 @@
 //! retract <facts>     e.g.  retract E(a,b).
 //! query <body>        e.g.  query E(X,Y), E(Y,X)
 //! explain <fact>      e.g.  explain E(a,c)
+//! analyze
 //! stats
 //! metrics
 //! slowlog
@@ -35,6 +36,9 @@ pub enum Command {
     Query(String),
     /// Print the derivation tree of one resident fact.
     Explain(String),
+    /// Report the static analysis of the loaded program (termination
+    /// certificate, cost model, perf lints) as one JSON line.
+    Analyze,
     /// Report service counters as one schema-versioned JSON line.
     Stats,
     /// Dump the full metrics snapshot as one schema-versioned JSON line
@@ -72,13 +76,14 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "retract" => Ok(Command::Retract(payload_of("retract")?)),
         "query" => Ok(Command::Query(payload_of("query")?)),
         "explain" => Ok(Command::Explain(payload_of("explain")?)),
+        "analyze" => Ok(Command::Analyze),
         "stats" => Ok(Command::Stats),
         "metrics" => Ok(Command::Metrics),
         "slowlog" => Ok(Command::Slowlog),
         "quit" => Ok(Command::Quit),
         other => Err(format!(
             "unknown command `{other}` \
-             (expected insert/retract/query/explain/stats/metrics/slowlog/quit)"
+             (expected insert/retract/query/explain/analyze/stats/metrics/slowlog/quit)"
         )),
     }
 }
@@ -108,6 +113,7 @@ mod tests {
             parse_command("  query E(X,Y), E(Y,X)  "),
             Ok(Command::Query("E(X,Y), E(Y,X)".into()))
         );
+        assert_eq!(parse_command("analyze"), Ok(Command::Analyze));
         assert_eq!(parse_command("stats"), Ok(Command::Stats));
         assert_eq!(parse_command("metrics"), Ok(Command::Metrics));
         assert_eq!(parse_command("slowlog"), Ok(Command::Slowlog));

@@ -1,0 +1,132 @@
+//! Docs-vs-code drift guard for the stable diagnostic codes (satellite
+//! of the static-analyzer PR): the three places a `Bxxx` code lives
+//! must never drift apart —
+//!
+//! * the [`bddfc_core::diag::CODES`] registry (drives `--explain`),
+//! * the `Diagnostic::new("Bxxx", ...)` emission sites across the
+//!   workspace,
+//! * the human-facing module-doc code tables (`//! | Bxxx | ... |`)
+//!   and any markdown tables in the repo-root docs.
+//!
+//! Every registered code must be emitted somewhere, every emitted code
+//! must be registered, and every code must appear in exactly one
+//! documented table row (the per-module tables partition the space).
+//! The scan is textual on purpose: it catches the case where a new lint
+//! ships without registry metadata or documentation, which no amount of
+//! unit testing inside the lint crate can see.
+
+use bddfc_core::diag::CODES;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All `.rs` files under `crates/*/src`, plus the repo-root markdown
+/// docs — the only places codes are emitted or documented.
+fn scannable_files(root: &Path) -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ must exist").flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk(&src, &mut out);
+        }
+    }
+    for entry in fs::read_dir(root).expect("repo root must list").flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "md") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A well-formed stable code: `B` followed by exactly three digits.
+fn is_code(s: &str) -> bool {
+    s.len() == 4 && s.starts_with('B') && s[1..].bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Codes passed to `Diagnostic::new` in `text`: the first `"Bxxx"`
+/// string literal within a short window after each call site.
+fn emitted_codes(text: &str, out: &mut BTreeMap<String, Vec<String>>, file: &str) {
+    for (idx, _) in text.match_indices("Diagnostic::new(") {
+        let window = &text[idx..(idx + 200).min(text.len())];
+        let Some(q) = window.find("\"B") else { continue };
+        let lit = &window[q + 1..];
+        let Some(end) = lit.find('"') else { continue };
+        let code = &lit[..end];
+        if is_code(code) {
+            out.entry(code.to_string()).or_default().push(file.to_string());
+        }
+    }
+}
+
+/// Codes in documented table rows: `| Bxxx |` cells in module docs and
+/// markdown tables.
+fn documented_codes(text: &str, out: &mut BTreeMap<String, Vec<String>>, file: &str) {
+    for line in text.lines() {
+        let row = line.trim_start().trim_start_matches("//!").trim_start();
+        let Some(rest) = row.strip_prefix('|') else { continue };
+        let Some(cell) = rest.split('|').next() else { continue };
+        let cell = cell.trim();
+        if is_code(cell) {
+            out.entry(cell.to_string()).or_default().push(file.to_string());
+        }
+    }
+}
+
+#[test]
+fn diagnostic_codes_do_not_drift() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut emitted: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut documented: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for path in scannable_files(root) {
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let name = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+        emitted_codes(&text, &mut emitted, &name);
+        documented_codes(&text, &mut documented, &name);
+    }
+
+    let registry: Vec<&str> = CODES.iter().map(|c| c.code).collect();
+    let mut sorted = registry.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(registry, sorted, "CODES must be sorted and duplicate-free");
+    for c in CODES {
+        assert!(is_code(c.code), "malformed registry code {:?}", c.code);
+        assert!(!c.summary.is_empty() && !c.explain.is_empty(), "{}: empty docs", c.code);
+    }
+
+    let emitted_set: Vec<&str> = emitted.keys().map(String::as_str).collect();
+    assert_eq!(
+        emitted_set, registry,
+        "emitted codes and the CODES registry drifted \
+         (left: emission sites, right: registry)"
+    );
+
+    let documented_set: Vec<&str> = documented.keys().map(String::as_str).collect();
+    assert_eq!(
+        documented_set, registry,
+        "documented code tables and the CODES registry drifted \
+         (left: table rows, right: registry)"
+    );
+    for (code, files) in &documented {
+        assert_eq!(
+            files.len(),
+            1,
+            "{code} must appear in exactly one documented table row, found: {files:?}"
+        );
+    }
+}

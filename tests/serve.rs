@@ -247,6 +247,36 @@ fn slowlog_records_and_dumps_threshold_crossers() {
     assert_eq!(t.trim(), "err slowlog disabled (start with --slow-ms)");
 }
 
+/// The `analyze` protocol command returns the load-time static
+/// analysis as one JSON line: a termination certificate for the
+/// (weakly acyclic) TC theory, a cost model, and lints — byte-identical
+/// across thread counts and equal to the server's stored line.
+#[test]
+fn analyze_command_returns_one_json_line() {
+    let mut voc = Vocabulary::new();
+    let (theory, _) = tc_program(&mut voc);
+    let program =
+        Program { voc, theory, instance: bddfc_core::Instance::new(), queries: Vec::new() };
+    let run = |threads: usize| {
+        par::with_thread_count(threads, || {
+            let server = Server::new(&program, ServeConfig::default());
+            let t = transcript(&server, "insert E(a,b). E(b,c).\nanalyze\n");
+            assert_eq!(t.lines().last(), Some(server.analysis_json()), "{t}");
+            t
+        })
+    };
+    let one = run(1);
+    let line = one.lines().last().unwrap();
+    assert!(line.starts_with("{\"schema\":1,\"program\":\"load\","), "{line}");
+    assert!(!line.contains('\n'), "{line}");
+    // Datalog TC is trivially weakly acyclic: a certificate must exist.
+    assert!(line.contains("\"termination\":{"), "{line}");
+    assert!(line.contains("\"cost\":{"), "{line}");
+    for threads in [2usize, 7] {
+        assert_eq!(one, run(threads), "analyze output diverged at {threads} threads");
+    }
+}
+
 /// The checked-in golden transcript replays in-process: same commands,
 /// same bytes. `ci.sh` replays the same fixture through the binary.
 #[test]
